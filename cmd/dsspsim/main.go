@@ -1,0 +1,95 @@
+// Command dsspsim runs one ad-hoc cluster simulation: a chosen model and
+// paradigm on either the homogeneous 4×P100 cluster or the heterogeneous
+// GTX1080Ti+GTX1060 cluster, reporting throughput, staleness and waiting-time
+// statistics and the simulated accuracy curve.
+//
+// Example:
+//
+//	dsspsim -model resnet-110 -cluster het -paradigm DSSP -epochs 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"dssp/internal/core"
+	"dssp/internal/simulate"
+)
+
+func main() {
+	var (
+		model     = flag.String("model", "resnet-110", "model: alexnet-small, resnet-50, resnet-110")
+		cluster   = flag.String("cluster", "hom", "cluster: hom (4xP100) or het (GTX1080Ti+GTX1060)")
+		workers   = flag.Int("workers", 4, "worker count for the homogeneous cluster")
+		paradigm  = flag.String("paradigm", "DSSP", "paradigm: BSP, ASP, SSP, DSSP, BoundedDelay, BackupBSP")
+		staleness = flag.Int("staleness", 3, "SSP threshold / DSSP lower bound / bounded-delay k")
+		rng       = flag.Int("range", 12, "DSSP range r")
+		enforce   = flag.Bool("enforce-bound", false, "DSSP Theorem-2 mode")
+		epochs    = flag.Int("epochs", 100, "training epochs to simulate")
+		seed      = flag.Int64("seed", 1, "jitter seed")
+	)
+	flag.Parse()
+
+	if err := run(*model, *cluster, *workers, *paradigm, *staleness, *rng, *enforce, *epochs, *seed); err != nil {
+		log.Fatalf("dsspsim: %v", err)
+	}
+}
+
+func run(model, cluster string, workers int, paradigm string, staleness, rng int, enforce bool, epochs int, seed int64) error {
+	var profile simulate.ModelProfile
+	switch model {
+	case "alexnet-small":
+		profile = simulate.ModelAlexNetSmall
+	case "resnet-50":
+		profile = simulate.ModelResNet50
+	case "resnet-110":
+		profile = simulate.ModelResNet110
+	default:
+		return fmt.Errorf("unknown model %q", model)
+	}
+	var spec simulate.ClusterSpec
+	switch cluster {
+	case "hom":
+		spec = simulate.HomogeneousCluster(workers)
+	case "het":
+		spec = simulate.HeterogeneousCluster()
+	default:
+		return fmt.Errorf("unknown cluster %q (use hom or het)", cluster)
+	}
+	p, err := core.ParseParadigm(paradigm)
+	if err != nil {
+		return err
+	}
+	policy := core.PolicyConfig{Paradigm: p, Staleness: staleness, Range: rng, EnforceBound: enforce, Backups: 1}
+
+	iters := simulate.PaperEpochIterations(epochs, spec.NumWorkers())
+	result, err := simulate.Run(simulate.RunConfig{
+		Model:               profile,
+		Cluster:             spec,
+		Policy:              policy,
+		IterationsPerWorker: iters,
+		Seed:                seed,
+	})
+	if err != nil {
+		return err
+	}
+	curve := simulate.AccuracyCurve(profile.Convergence, result, iters*spec.NumWorkers(), 20)
+
+	fmt.Printf("model %s on %s, %s, %d epochs (%d iterations/worker)\n",
+		profile.Name, spec.Name, policy.Describe(), epochs, iters)
+	fmt.Printf("  completed in        %s\n", result.Finish.Round(time.Second))
+	fmt.Printf("  updates applied     %d (%.1f/s)\n", len(result.Updates), result.Throughput())
+	fmt.Printf("  dropped updates     %d\n", result.DroppedUpdates)
+	fmt.Printf("  staleness           mean %.2f, p95 %d, max %d\n",
+		result.MeanStaleness(), result.Staleness.Quantile(0.95), result.Staleness.Max())
+	for w, wait := range result.Waits {
+		fmt.Printf("  worker %d (%s) waited %s\n", w, spec.Workers[w].Name, wait.Round(time.Second))
+	}
+	fmt.Println("  accuracy curve:")
+	for _, pt := range curve.Points() {
+		fmt.Printf("    %8.0fs  %.4f\n", pt.Elapsed.Seconds(), pt.Value)
+	}
+	return nil
+}

@@ -1,0 +1,100 @@
+// Command psserver runs a stand-alone DSSP parameter server over TCP.
+//
+// Example:
+//
+//	psserver -addr :7070 -workers 2 -paradigm DSSP -staleness 3 -range 12
+//
+// Workers started with cmd/psworker (using matching -model, -classes, -seed
+// flags) connect to it and train a shared model under the selected
+// synchronization paradigm.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"dssp"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":7070", "TCP listen address")
+		workers   = flag.Int("workers", 2, "number of workers expected to join")
+		paradigm  = flag.String("paradigm", "DSSP", "synchronization paradigm: BSP, ASP, SSP, DSSP, BoundedDelay, BackupBSP")
+		staleness = flag.Int("staleness", 3, "staleness threshold (SSP) or lower bound sL (DSSP)")
+		rng       = flag.Int("range", 12, "DSSP threshold range r = sU - sL")
+		enforce   = flag.Bool("enforce-bound", false, "use DSSP's strict Theorem-2 mode")
+		backups   = flag.Int("backups", 1, "spare workers for BackupBSP")
+		model     = flag.String("model", string(dssp.ModelSmallMLP), "model: small-mlp, small-cnn, alexnet-small, resnet-8")
+		classes   = flag.Int("classes", 4, "number of classes in the synthetic dataset")
+		examples  = flag.Int("examples", 512, "number of synthetic training examples")
+		imageSize = flag.Int("image-size", 16, "image size (or feature count for small-mlp)")
+		lr        = flag.Float64("lr", 0.1, "learning rate")
+		momentum  = flag.Float64("momentum", 0.0, "SGD momentum")
+		seed      = flag.Int64("seed", 1, "seed for the initial weights (must match workers)")
+	)
+	flag.Parse()
+
+	if err := run(*addr, *workers, *paradigm, *staleness, *rng, *enforce, *backups,
+		*model, *classes, *examples, *imageSize, *lr, *momentum, *seed); err != nil {
+		log.Fatalf("psserver: %v", err)
+	}
+}
+
+func run(addr string, workers int, paradigm string, staleness, rng int, enforce bool, backups int,
+	model string, classes, examples, imageSize int, lr, momentum float64, seed int64) error {
+	sync, err := parseSync(paradigm, staleness, rng, enforce, backups)
+	if err != nil {
+		return err
+	}
+	server, err := dssp.Serve(dssp.ServerConfig{
+		Addr:    addr,
+		Workers: workers,
+		Sync:    sync,
+		Model:   dssp.Model(model),
+		Dataset: dssp.DatasetConfig{
+			Examples: examples, Classes: classes, ImageSize: imageSize, Noise: 0.5, Seed: seed,
+		},
+		LearningRate: lr,
+		Momentum:     momentum,
+		Seed:         seed,
+	})
+	if err != nil {
+		return err
+	}
+	defer server.Stop()
+	fmt.Printf("parameter server listening on %s (%s, %d workers)\n", server.Addr(), sync.Describe(), workers)
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case <-server.Done():
+		fmt.Printf("all %d workers finished; %d updates applied\n", workers, server.Updates())
+	case s := <-sigs:
+		fmt.Printf("received %v; shutting down after %d updates\n", s, server.Updates())
+	}
+	return nil
+}
+
+func parseSync(paradigm string, staleness, rng int, enforce bool, backups int) (dssp.Sync, error) {
+	switch paradigm {
+	case "BSP":
+		return dssp.Sync{Paradigm: dssp.BSP}, nil
+	case "ASP":
+		return dssp.Sync{Paradigm: dssp.ASP}, nil
+	case "SSP":
+		return dssp.Sync{Paradigm: dssp.SSP, Staleness: staleness}, nil
+	case "DSSP":
+		return dssp.Sync{Paradigm: dssp.DSSP, Staleness: staleness, Range: rng, EnforceBound: enforce}, nil
+	case "BoundedDelay":
+		return dssp.Sync{Paradigm: dssp.BoundedDelay, Staleness: staleness}, nil
+	case "BackupBSP":
+		return dssp.Sync{Paradigm: dssp.BackupBSP, Backups: backups}, nil
+	default:
+		return dssp.Sync{}, fmt.Errorf("unknown paradigm %q", paradigm)
+	}
+}

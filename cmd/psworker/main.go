@@ -1,0 +1,55 @@
+// Command psworker runs one training worker that connects to a psserver
+// instance over TCP and executes the worker side of the paper's Algorithm 1:
+// pull weights, compute gradients on its data shard, push, wait for OK.
+//
+// Example (two workers, one slower to emulate a weaker GPU):
+//
+//	psworker -server 127.0.0.1:7070 -id 0 -workers 2
+//	psworker -server 127.0.0.1:7070 -id 1 -workers 2 -delay 20ms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"dssp"
+)
+
+func main() {
+	var (
+		server    = flag.String("server", "127.0.0.1:7070", "parameter server address")
+		id        = flag.Int("id", 0, "worker id in [0, workers)")
+		workers   = flag.Int("workers", 2, "total number of workers")
+		model     = flag.String("model", string(dssp.ModelSmallMLP), "model: small-mlp, small-cnn, alexnet-small, resnet-8")
+		classes   = flag.Int("classes", 4, "number of classes in the synthetic dataset")
+		examples  = flag.Int("examples", 512, "number of synthetic training examples")
+		imageSize = flag.Int("image-size", 16, "image size (or feature count for small-mlp)")
+		batch     = flag.Int("batch", 16, "mini-batch size")
+		epochs    = flag.Int("epochs", 5, "number of epochs over this worker's shard")
+		delay     = flag.Duration("delay", 0, "artificial per-iteration delay (emulates a slower GPU)")
+		seed      = flag.Int64("seed", 1, "seed (must match the server)")
+	)
+	flag.Parse()
+
+	report, err := dssp.RunWorker(dssp.WorkerConfig{
+		ServerAddr: *server,
+		WorkerID:   *id,
+		Workers:    *workers,
+		Model:      dssp.Model(*model),
+		Dataset: dssp.DatasetConfig{
+			Examples: *examples, Classes: *classes, ImageSize: *imageSize, Noise: 0.5, Seed: *seed,
+		},
+		BatchSize: *batch,
+		Epochs:    *epochs,
+		Seed:      *seed,
+		Delay:     *delay,
+	})
+	if err != nil {
+		log.Fatalf("psworker %d: %v", *id, err)
+	}
+	fmt.Printf("worker %d finished: %d iterations in %v (final mini-batch loss %.4f, %.1f iters/s)\n",
+		*id, report.Iterations, report.Duration.Round(time.Millisecond), report.FinalLoss,
+		float64(report.Iterations)/report.Duration.Seconds())
+}

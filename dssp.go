@@ -1,0 +1,94 @@
+// Package dssp is a Go implementation of Dynamic Stale Synchronous Parallel
+// distributed training (Zhao et al., ICDCS 2019) together with the parameter
+// server framework it runs on and the classic synchronization paradigms it is
+// compared against (BSP, ASP, SSP, bounded delay and backup-worker BSP).
+//
+// The package offers three entry points:
+//
+//   - Train runs real data-parallel SGD on a single machine: worker
+//     goroutines with their own model replicas exchange gradients and weights
+//     with an in-process parameter server under the chosen paradigm.
+//   - Serve and RunWorker deploy the same parameter server and worker over
+//     TCP for multi-process or multi-machine training.
+//   - Figure and TableI regenerate the paper's evaluation on the built-in
+//     cluster simulator.
+//
+// The underlying building blocks (synchronization policies, tensors, neural
+// network layers, the simulator) live in internal packages; this package is
+// the stable public surface.
+package dssp
+
+import (
+	"fmt"
+
+	"dssp/internal/core"
+)
+
+// Paradigm identifies a synchronization paradigm.
+type Paradigm = core.Paradigm
+
+// Supported paradigms.
+const (
+	// BSP is Bulk Synchronous Parallel: all workers synchronize at a barrier
+	// every iteration.
+	BSP = core.ParadigmBSP
+	// ASP is Asynchronous Parallel: workers never wait for each other.
+	ASP = core.ParadigmASP
+	// SSP is Stale Synchronous Parallel with a fixed staleness threshold.
+	SSP = core.ParadigmSSP
+	// DSSP is the paper's Dynamic Stale Synchronous Parallel: the staleness
+	// threshold is chosen at run time from a range [sL, sL+Range].
+	DSSP = core.ParadigmDSSP
+	// BoundedDelay is the related-work baseline of Li et al. (2014).
+	BoundedDelay = core.ParadigmBoundedDelay
+	// BackupBSP is the backup-worker synchronous SGD of Chen et al. (2016).
+	BackupBSP = core.ParadigmBackupBSP
+)
+
+// Sync selects a synchronization paradigm and its parameters.
+type Sync struct {
+	// Paradigm is the synchronization scheme.
+	Paradigm Paradigm
+	// Staleness is the fixed threshold s for SSP, the lower bound sL for
+	// DSSP, and the dependency bound k for BoundedDelay.
+	Staleness int
+	// Range is rmax = sU − sL for DSSP (the paper's evaluation uses
+	// Staleness=3, Range=12, i.e. thresholds in [3, 15]).
+	Range int
+	// EnforceBound selects DSSP's strict Theorem-2 mode in which the
+	// iteration gap is hard-capped at Staleness+Range. The default (false)
+	// is the listing-faithful behaviour that reproduces the paper's
+	// measurements.
+	EnforceBound bool
+	// Backups is the number of spare workers for BackupBSP.
+	Backups int
+}
+
+// DefaultDSSP returns the paper's DSSP configuration: sL=3, r=12.
+func DefaultDSSP() Sync { return Sync{Paradigm: DSSP, Staleness: 3, Range: 12} }
+
+// policyConfig converts the public Sync value into the internal form.
+func (s Sync) policyConfig() core.PolicyConfig {
+	return core.PolicyConfig{
+		Paradigm:     s.Paradigm,
+		Staleness:    s.Staleness,
+		Range:        s.Range,
+		EnforceBound: s.EnforceBound,
+		Backups:      s.Backups,
+	}
+}
+
+// Describe returns a short human-readable description such as
+// "DSSP sL=3 r=12".
+func (s Sync) Describe() string { return s.policyConfig().Describe() }
+
+// Validate reports whether the combination of paradigm and parameters is
+// usable with the given number of workers.
+func (s Sync) Validate(workers int) error {
+	cfg := s.policyConfig()
+	cfg.Workers = workers
+	if _, err := core.NewPolicy(cfg); err != nil {
+		return fmt.Errorf("dssp: invalid synchronization config: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,63 @@
+// Heterogeneous cluster study: regenerate the paper's §V-D experiment
+// (Figure 4 and Table I) on the cluster simulator — ResNet-110 trained on a
+// mixed GTX1080Ti + GTX1060 cluster under BSP, ASP, SSP and DSSP — and print
+// the time each paradigm needs to reach target accuracies.
+//
+//	go run ./examples/heterogeneous
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"dssp"
+)
+
+func main() {
+	cfg := dssp.SimulationConfig{
+		// 60 epochs keep the example fast; use 300 for the paper's setting.
+		Epochs: 60,
+		Seed:   1,
+		Points: 80,
+	}
+
+	fig, err := dssp.Figure("fig4", cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(fig.Title)
+	fmt.Printf("\n%-16s %-12s %-12s %-12s %-12s\n", "paradigm", "final acc", "to 0.55", "to 0.60", "to 0.65")
+	for _, curve := range fig.Curves {
+		fmt.Printf("%-16s %-12.4f %-12s %-12s %-12s\n",
+			curve.Label, curve.FinalAccuracy,
+			formatTarget(curve, 0.55), formatTarget(curve, 0.60), formatTarget(curve, 0.65))
+	}
+
+	rows, err := dssp.TableI(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nTable I (time to reach 0.67 / 0.68 accuracy):\n")
+	for _, r := range rows {
+		to67, to68 := "-", "-"
+		if r.Reached067 {
+			to67 = r.To067.Round(time.Second).String()
+		}
+		if r.Reached068 {
+			to68 = r.To068.Round(time.Second).String()
+		}
+		fmt.Printf("  %-16s %-12s %-12s\n", r.Paradigm, to67, to68)
+	}
+
+	fmt.Println("\nThe shape to look for (paper Table I): DSSP tracks ASP and reaches the")
+	fmt.Println("targets far earlier than any fixed-threshold SSP or BSP, because its")
+	fmt.Println("controller keeps the fast GPU running instead of stalling it.")
+}
+
+func formatTarget(c dssp.Curve, target float64) string {
+	if d, ok := c.TimeToAccuracy(target); ok {
+		return d.Round(time.Second).String()
+	}
+	return "-"
+}

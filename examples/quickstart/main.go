@@ -1,0 +1,49 @@
+// Quickstart: train a small model with DSSP on an in-process cluster of four
+// workers and print how accuracy evolved over time.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"dssp"
+)
+
+func main() {
+	result, err := dssp.Train(dssp.TrainConfig{
+		Model:     dssp.ModelSmallCNN,
+		Workers:   4,
+		BatchSize: 16,
+		Epochs:    6,
+		// The paper's DSSP setting: lower bound sL=3 with a range of 12 extra
+		// iterations, i.e. effective thresholds in [3, 15].
+		Sync:         dssp.DefaultDSSP(),
+		LearningRate: 0.05,
+		Momentum:     0.9,
+		Dataset: dssp.DatasetConfig{
+			Examples:  512,
+			Classes:   4,
+			ImageSize: 8,
+			Noise:     0.5,
+			Seed:      42,
+		},
+		Seed: 42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("paradigm:        %s\n", result.Paradigm)
+	fmt.Printf("updates applied: %d\n", result.Updates)
+	fmt.Printf("training time:   %s\n", result.Duration.Round(time.Millisecond))
+	fmt.Printf("final accuracy:  %.3f\n", result.FinalAccuracy)
+	fmt.Printf("mean staleness:  %.2f (max %d)\n", result.MeanStaleness, result.MaxStaleness)
+
+	fmt.Println("\naccuracy over time:")
+	for _, p := range result.Accuracy.Downsample(10).Points() {
+		fmt.Printf("  %8s  %.3f\n", p.Elapsed.Round(time.Millisecond), p.Value)
+	}
+}

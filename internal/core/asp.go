@@ -1,0 +1,53 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// ASP implements Asynchronous Parallel: a worker is released immediately
+// after its push is applied, with no coordination whatsoever. Fast workers
+// may run arbitrarily far ahead of slow ones, so the staleness of applied
+// gradients is unbounded.
+type ASP struct {
+	n     int
+	clock *vectorClock
+}
+
+// NewASP returns an ASP policy coordinating n workers.
+func NewASP(n int) (*ASP, error) {
+	if err := validateWorkers(n); err != nil {
+		return nil, err
+	}
+	return &ASP{n: n, clock: newVectorClock(n)}, nil
+}
+
+// MustNewASP is like NewASP but panics on an invalid worker count.
+func MustNewASP(n int) *ASP {
+	p, err := NewASP(n)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// OnPush implements Policy: the pushing worker is always released at once.
+func (p *ASP) OnPush(w WorkerID, _ time.Time) Decision {
+	if err := validateWorkerID(w, p.n); err != nil {
+		panic(err)
+	}
+	p.clock.Tick(w)
+	return Decision{Release: []WorkerID{w}}
+}
+
+// Blocked implements Policy; ASP never blocks a worker.
+func (p *ASP) Blocked() []WorkerID { return nil }
+
+// Clock implements Policy.
+func (p *ASP) Clock(w WorkerID) int { return p.clock.Count(w) }
+
+// NumWorkers implements Policy.
+func (p *ASP) NumWorkers() int { return p.n }
+
+// Name implements Policy.
+func (p *ASP) Name() string { return fmt.Sprintf("ASP(workers=%d)", p.n) }

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// BackupBSP implements the backup-worker variant of synchronous SGD proposed
+// by Chen et al. ("Revisiting distributed synchronous SGD", 2016) and
+// discussed in the paper's related work: the cluster runs N+c workers but the
+// server aggregates only the first N updates of every round; the c straggler
+// updates that arrive afterwards are dropped, and all workers start the next
+// round together as soon as the N-th update of the round arrives.
+type BackupBSP struct {
+	total   int // N + c
+	needed  int // N
+	clock   *vectorClock
+	waiting *waitSet
+	round   int
+	// arrivedInRound counts pushes whose gradient belongs to the current
+	// round; pushes belonging to an earlier round are dropped.
+	arrivedInRound int
+	// workerRound[w] is the round the worker's next push belongs to.
+	workerRound []int
+	dropped     int
+}
+
+// NewBackupBSP returns a backup-worker BSP policy with total workers and
+// backups spare workers (so the server waits for total-backups updates per
+// round).
+func NewBackupBSP(total, backups int) (*BackupBSP, error) {
+	if err := validateWorkers(total); err != nil {
+		return nil, err
+	}
+	if backups < 0 || backups >= total {
+		return nil, fmt.Errorf("core: backups must be in [0,%d), got %d", total, backups)
+	}
+	return &BackupBSP{
+		total:       total,
+		needed:      total - backups,
+		clock:       newVectorClock(total),
+		waiting:     newWaitSet(total),
+		workerRound: make([]int, total),
+	}, nil
+}
+
+// MustNewBackupBSP is like NewBackupBSP but panics on invalid arguments.
+func MustNewBackupBSP(total, backups int) *BackupBSP {
+	p, err := NewBackupBSP(total, backups)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// OnPush implements Policy.
+func (p *BackupBSP) OnPush(w WorkerID, _ time.Time) Decision {
+	if err := validateWorkerID(w, p.total); err != nil {
+		panic(err)
+	}
+	p.clock.Tick(w)
+
+	if p.workerRound[w] < p.round {
+		// A straggler from a previous round: its gradient is dropped and the
+		// worker immediately moves on to the current round.
+		p.workerRound[w] = p.round
+		p.dropped++
+		return Decision{Release: []WorkerID{w}, Drop: true}
+	}
+
+	p.arrivedInRound++
+	p.workerRound[w] = p.round + 1
+	if p.arrivedInRound >= p.needed {
+		// Round complete: release every worker that was waiting plus the
+		// pusher; stragglers will be dropped when they eventually push.
+		release := append(p.waiting.List(), w)
+		for _, id := range release {
+			p.waiting.Remove(id)
+		}
+		p.round++
+		p.arrivedInRound = 0
+		return Decision{Release: release}
+	}
+	p.waiting.Add(w)
+	return Decision{}
+}
+
+// StalenessBound implements StalenessBounder: like BSP, every aggregated
+// update is based on the weights of the previous round.
+func (p *BackupBSP) StalenessBound() int { return 0 }
+
+// Blocked implements Policy.
+func (p *BackupBSP) Blocked() []WorkerID { return p.waiting.List() }
+
+// Clock implements Policy.
+func (p *BackupBSP) Clock(w WorkerID) int { return p.clock.Count(w) }
+
+// NumWorkers implements Policy.
+func (p *BackupBSP) NumWorkers() int { return p.total }
+
+// Dropped returns the number of straggler updates dropped so far.
+func (p *BackupBSP) Dropped() int { return p.dropped }
+
+// Rounds returns the number of completed aggregation rounds.
+func (p *BackupBSP) Rounds() int { return p.round }
+
+// Name implements Policy.
+func (p *BackupBSP) Name() string {
+	return fmt.Sprintf("BackupBSP(workers=%d,backups=%d)", p.total, p.total-p.needed)
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// BSP implements Bulk Synchronous Parallel: every worker pushes its gradient
+// and then waits at a barrier; once all workers of the current superstep have
+// pushed, the server updates the global weights and releases everyone
+// simultaneously. All workers therefore always start an iteration from the
+// same version of the global weights.
+type BSP struct {
+	n       int
+	clock   *vectorClock
+	waiting *waitSet
+	round   int // completed barrier rounds
+}
+
+// NewBSP returns a BSP policy coordinating n workers.
+func NewBSP(n int) (*BSP, error) {
+	if err := validateWorkers(n); err != nil {
+		return nil, err
+	}
+	return &BSP{n: n, clock: newVectorClock(n), waiting: newWaitSet(n)}, nil
+}
+
+// MustNewBSP is like NewBSP but panics on an invalid worker count.
+// It is intended for tests and examples with constant arguments.
+func MustNewBSP(n int) *BSP {
+	p, err := NewBSP(n)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// OnPush implements Policy. The pushing worker joins the barrier; when it is
+// the last worker of the round, all workers are released.
+func (p *BSP) OnPush(w WorkerID, _ time.Time) Decision {
+	if err := validateWorkerID(w, p.n); err != nil {
+		panic(err)
+	}
+	p.clock.Tick(w)
+	p.waiting.Add(w)
+	if p.waiting.Len() == p.n {
+		// Barrier complete: release everyone and start the next superstep.
+		for _, id := range releaseAll(p.n) {
+			p.waiting.Remove(id)
+		}
+		p.round++
+		return Decision{Release: releaseAll(p.n)}
+	}
+	return Decision{}
+}
+
+// Blocked implements Policy.
+func (p *BSP) Blocked() []WorkerID { return p.waiting.List() }
+
+// Clock implements Policy.
+func (p *BSP) Clock(w WorkerID) int { return p.clock.Count(w) }
+
+// NumWorkers implements Policy.
+func (p *BSP) NumWorkers() int { return p.n }
+
+// Rounds returns the number of completed barrier rounds (supersteps).
+func (p *BSP) Rounds() int { return p.round }
+
+// StalenessBound implements StalenessBounder: BSP is SSP with s = 0.
+func (p *BSP) StalenessBound() int { return 0 }
+
+// Name implements Policy.
+func (p *BSP) Name() string { return fmt.Sprintf("BSP(workers=%d)", p.n) }

@@ -1,0 +1,104 @@
+package core
+
+// vectorClock tracks the number of push requests received from each worker.
+// It is the server-side view of worker progress used by SSP and DSSP
+// (array t in Algorithm 1 of the paper).
+type vectorClock struct {
+	counts []int
+}
+
+// newVectorClock returns a clock for n workers with all counts at zero.
+func newVectorClock(n int) *vectorClock {
+	return &vectorClock{counts: make([]int, n)}
+}
+
+// Tick increments worker w's count and returns the new value.
+func (c *vectorClock) Tick(w WorkerID) int {
+	c.counts[w]++
+	return c.counts[w]
+}
+
+// Count returns worker w's current count.
+func (c *vectorClock) Count(w WorkerID) int { return c.counts[w] }
+
+// Min returns the smallest count across workers and one worker holding it.
+func (c *vectorClock) Min() (WorkerID, int) {
+	minW, minC := WorkerID(0), c.counts[0]
+	for i := 1; i < len(c.counts); i++ {
+		if c.counts[i] < minC {
+			minW, minC = WorkerID(i), c.counts[i]
+		}
+	}
+	return minW, minC
+}
+
+// Max returns the largest count across workers and one worker holding it.
+func (c *vectorClock) Max() (WorkerID, int) {
+	maxW, maxC := WorkerID(0), c.counts[0]
+	for i := 1; i < len(c.counts); i++ {
+		if c.counts[i] > maxC {
+			maxW, maxC = WorkerID(i), c.counts[i]
+		}
+	}
+	return maxW, maxC
+}
+
+// Spread returns the difference between the fastest and the slowest worker's
+// counts. A policy with staleness bound s must keep Spread() <= s at the
+// moments it releases workers.
+func (c *vectorClock) Spread() int {
+	_, maxC := c.Max()
+	_, minC := c.Min()
+	return maxC - minC
+}
+
+// Len returns the number of workers tracked.
+func (c *vectorClock) Len() int { return len(c.counts) }
+
+// Snapshot returns a copy of the per-worker counts.
+func (c *vectorClock) Snapshot() []int {
+	out := make([]int, len(c.counts))
+	copy(out, c.counts)
+	return out
+}
+
+// waitSet tracks which workers are currently blocked waiting for OK.
+type waitSet struct {
+	blocked []bool
+}
+
+// newWaitSet returns an empty wait set for n workers.
+func newWaitSet(n int) *waitSet {
+	return &waitSet{blocked: make([]bool, n)}
+}
+
+// Add marks worker w as blocked.
+func (s *waitSet) Add(w WorkerID) { s.blocked[w] = true }
+
+// Remove marks worker w as released.
+func (s *waitSet) Remove(w WorkerID) { s.blocked[w] = false }
+
+// Contains reports whether worker w is blocked.
+func (s *waitSet) Contains(w WorkerID) bool { return s.blocked[w] }
+
+// List returns the blocked workers in ascending order.
+func (s *waitSet) List() []WorkerID {
+	var out []WorkerID
+	for i, b := range s.blocked {
+		if b {
+			out = append(out, WorkerID(i))
+		}
+	}
+	return out
+}
+
+// Len returns the number of blocked workers.
+func (s *waitSet) Len() int {
+	n := 0
+	for _, b := range s.blocked {
+		if b {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// Controller is the synchronization controller of Algorithm 2 in the paper.
+//
+// It keeps, for every worker, the timestamps of the two most recent push
+// requests (table A). When the parameter server asks it about the currently
+// fastest worker p, it estimates p's and the slowest worker's next iteration
+// intervals from those timestamps, simulates the next rmax iterations of both
+// on the time line, and returns the number of extra iterations r* in
+// [0, rmax] that minimizes the predicted waiting time of worker p, i.e. the
+// r whose simulated finish time lies closest to one of the slowest worker's
+// simulated finish times.
+type Controller struct {
+	n    int
+	rmax int
+
+	// latest[i] and previous[i] are A[i][0] and A[i][1] in Algorithm 2.
+	latest   []time.Time
+	previous []time.Time
+	seen     []int // number of timestamps recorded per worker (0, 1, or 2+)
+}
+
+// NewController returns a controller for n workers allowing at most rmax
+// extra iterations beyond the lower staleness bound.
+func NewController(n, rmax int) (*Controller, error) {
+	if err := validateWorkers(n); err != nil {
+		return nil, err
+	}
+	if rmax < 0 {
+		return nil, fmt.Errorf("core: rmax must be >= 0, got %d", rmax)
+	}
+	return &Controller{
+		n:        n,
+		rmax:     rmax,
+		latest:   make([]time.Time, n),
+		previous: make([]time.Time, n),
+		seen:     make([]int, n),
+	}, nil
+}
+
+// MustNewController is like NewController but panics on invalid arguments.
+func MustNewController(n, rmax int) *Controller {
+	c, err := NewController(n, rmax)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Observe records a push timestamp for worker w without asking for a
+// decision (lines 1-2 of Algorithm 2 applied on every push so that the
+// timestamp table stays current for all workers, not only the fastest one).
+func (c *Controller) Observe(w WorkerID, pushTime time.Time) {
+	if err := validateWorkerID(w, c.n); err != nil {
+		panic(err)
+	}
+	c.previous[w] = c.latest[w]
+	c.latest[w] = pushTime
+	if c.seen[w] < 2 {
+		c.seen[w]++
+	}
+}
+
+// Interval returns the most recently observed iteration interval of worker w
+// (the distance between its two latest push timestamps, Figure 1 in the
+// paper) and whether enough observations exist to compute it.
+func (c *Controller) Interval(w WorkerID) (time.Duration, bool) {
+	if err := validateWorkerID(w, c.n); err != nil {
+		panic(err)
+	}
+	if c.seen[w] < 2 {
+		return 0, false
+	}
+	return c.latest[w].Sub(c.previous[w]), true
+}
+
+// RMax returns the maximum number of extra iterations the controller may
+// grant, i.e. sU - sL.
+func (c *Controller) RMax() int { return c.rmax }
+
+// ExtraIterations implements Algorithm 2: given that worker p just pushed
+// (and its timestamp has been Observed), it identifies the slowest worker by
+// clock, simulates the next rmax iterations of both workers from their
+// estimated intervals, and returns the r* in [0, rmax] whose stopping point
+// yields the least predicted waiting time for worker p.
+//
+// The listing's line 8 expresses the objective through the proxy
+// |Sim_slowest[k] − Sim_p[r]|; this implementation minimizes the predicted
+// waiting time itself (the paper's stated objective in §I-B and the quantity
+// drawn in Figure 2), breaking ties toward the larger r, which lets worker p
+// do strictly more work for the same predicted wait.
+//
+// clocks supplies the server's per-worker push counts (array t of
+// Algorithm 1) and is used to find the slowest worker. When the controller
+// lacks two timestamps for either worker involved, it conservatively returns
+// zero extra iterations.
+func (c *Controller) ExtraIterations(p WorkerID, clocks []int) int {
+	if err := validateWorkerID(p, c.n); err != nil {
+		panic(err)
+	}
+	if len(clocks) != c.n {
+		panic(fmt.Sprintf("core: controller got %d clocks for %d workers", len(clocks), c.n))
+	}
+	if c.rmax == 0 {
+		return 0
+	}
+
+	slowest := c.slowestWorker(clocks)
+	if slowest == p {
+		return 0
+	}
+	if _, ok := c.Interval(p); !ok {
+		return 0
+	}
+	if _, ok := c.Interval(slowest); !ok {
+		return 0
+	}
+
+	best := 0
+	bestWait := time.Duration(-1)
+	for r := 0; r <= c.rmax; r++ {
+		wait, ok := c.PredictedWait(p, clocks, r)
+		if !ok {
+			return 0
+		}
+		if bestWait < 0 || wait <= bestWait {
+			bestWait = wait
+			best = r
+		}
+	}
+	return best
+}
+
+// PredictedWait returns the waiting time worker p would experience if it
+// stopped after running r extra iterations, according to the controller's
+// current interval estimates. The returned duration is zero when the slowest
+// worker is predicted to finish before worker p. The boolean is false when
+// the controller lacks the observations needed for a prediction.
+//
+// This is the quantity minimized in Figure 2 of the paper; it is exposed so
+// that experiments can plot the full waiting-time curve over r.
+func (c *Controller) PredictedWait(p WorkerID, clocks []int, r int) (time.Duration, bool) {
+	if err := validateWorkerID(p, c.n); err != nil {
+		panic(err)
+	}
+	if r < 0 || r > c.rmax {
+		return 0, false
+	}
+	slowest := c.slowestWorker(clocks)
+	if slowest == p {
+		return 0, false
+	}
+	ip, okP := c.Interval(p)
+	islow, okS := c.Interval(slowest)
+	if !okP || !okS || ip <= 0 || islow <= 0 {
+		return 0, false
+	}
+	stop := c.latest[p].Add(time.Duration(r) * ip)
+	// The slowest worker releases worker p at the first of its simulated
+	// finish times that is not earlier than p's stopping point.
+	release := c.latest[slowest].Add(islow)
+	for release.Before(stop) {
+		release = release.Add(islow)
+	}
+	wait := release.Sub(stop)
+	return wait, true
+}
+
+// slowestWorker returns the worker with the smallest clock value, breaking
+// ties toward the lower worker ID.
+func (c *Controller) slowestWorker(clocks []int) WorkerID {
+	slowest := WorkerID(0)
+	for i := 1; i < len(clocks); i++ {
+		if clocks[i] < clocks[slowest] {
+			slowest = WorkerID(i)
+		}
+	}
+	return slowest
+}

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNewControllerValidation(t *testing.T) {
+	if _, err := NewController(0, 3); err == nil {
+		t.Error("NewController(0,3): expected error")
+	}
+	if _, err := NewController(4, -1); err == nil {
+		t.Error("NewController(4,-1): expected error")
+	}
+}
+
+func TestControllerIntervalNeedsTwoObservations(t *testing.T) {
+	c := MustNewController(2, 4)
+	base := time.Unix(0, 0)
+	if _, ok := c.Interval(0); ok {
+		t.Fatal("interval should be unavailable before any observation")
+	}
+	c.Observe(0, base)
+	if _, ok := c.Interval(0); ok {
+		t.Fatal("interval should be unavailable after a single observation")
+	}
+	c.Observe(0, base.Add(3*time.Second))
+	iv, ok := c.Interval(0)
+	if !ok || iv != 3*time.Second {
+		t.Fatalf("interval = %v,%v; want 3s,true", iv, ok)
+	}
+}
+
+func TestControllerConservativeWithoutObservations(t *testing.T) {
+	c := MustNewController(3, 5)
+	if got := c.ExtraIterations(0, []int{5, 1, 1}); got != 0 {
+		t.Fatalf("controller should grant 0 without timestamps, got %d", got)
+	}
+}
+
+func TestControllerZeroRangeGrantsNothing(t *testing.T) {
+	c := MustNewController(2, 0)
+	base := time.Unix(0, 0)
+	for i := 0; i < 3; i++ {
+		c.Observe(0, base.Add(time.Duration(i)*time.Second))
+		c.Observe(1, base.Add(time.Duration(i)*10*time.Second))
+	}
+	if got := c.ExtraIterations(0, []int{3, 1}); got != 0 {
+		t.Fatalf("rmax=0 must grant 0 extra iterations, got %d", got)
+	}
+}
+
+func TestControllerFigure2Scenario(t *testing.T) {
+	// Reproduces the situation of Figure 2: the fast worker's iteration takes
+	// 1s, the slow worker's takes 3.5s. With rmax=4 the controller should let
+	// the fast worker run ~3 extra iterations so that it finishes just before
+	// the slow worker's next push, rather than stopping immediately.
+	c := MustNewController(2, 4)
+	base := time.Unix(0, 0)
+	// Fast worker pushed at t=9s and t=10s (interval 1s).
+	c.Observe(0, base.Add(9*time.Second))
+	// Slow worker pushed at t=6500ms and t=10s (interval 3.5s).
+	c.Observe(1, base.Add(6500*time.Millisecond))
+	c.Observe(1, base.Add(10*time.Second))
+	c.Observe(0, base.Add(10*time.Second))
+
+	clocks := []int{10, 3} // worker 0 is far ahead
+	got := c.ExtraIterations(0, clocks)
+	// The slow worker finishes next at t=13.5s; the fast worker's simulated
+	// pushes are at 10,11,12,13,14s, so r=3 (t=13s) minimizes the gap (0.5s)
+	// against the slow worker's 13.5s. Allow r=4 would give |14-13.5|=0.5 too?
+	// No: 13.5-13 = 0.5 and 14-13.5 = 0.5 tie; the argmin keeps the first
+	// minimum found which is r=3 (smaller r scanned first).
+	if got != 3 {
+		t.Fatalf("ExtraIterations = %d, want 3", got)
+	}
+}
+
+func TestControllerGrantReducesPredictedWait(t *testing.T) {
+	c := MustNewController(2, 8)
+	base := time.Unix(0, 0)
+	// Fast worker: 1s intervals. Slow worker: 5s intervals.
+	c.Observe(0, base.Add(1*time.Second))
+	c.Observe(1, base.Add(5*time.Second))
+	c.Observe(0, base.Add(2*time.Second))
+	c.Observe(1, base.Add(10*time.Second))
+
+	clocks := []int{8, 2}
+	r := c.ExtraIterations(0, clocks)
+	if r <= 0 {
+		t.Fatalf("expected a positive grant for a much faster worker, got %d", r)
+	}
+	wait0, ok0 := c.PredictedWait(0, clocks, 0)
+	waitR, okR := c.PredictedWait(0, clocks, r)
+	if !ok0 || !okR {
+		t.Fatal("predicted waits unavailable")
+	}
+	if waitR > wait0 {
+		t.Fatalf("grant increased predicted wait: r=%d gives %v, r=0 gives %v", r, waitR, wait0)
+	}
+}
+
+func TestControllerGrantIsOptimalAmongAllChoices(t *testing.T) {
+	c := MustNewController(3, 6)
+	base := time.Unix(0, 0)
+	times := map[WorkerID][]time.Duration{
+		0: {2 * time.Second, 4 * time.Second},         // 2s interval
+		1: {7 * time.Second, 14 * time.Second},        // 7s interval
+		2: {3 * time.Second, 6500 * time.Millisecond}, // 3.5s interval
+	}
+	for w, ts := range times {
+		for _, ti := range ts {
+			c.Observe(w, base.Add(ti))
+		}
+	}
+	clocks := []int{9, 2, 5}
+	r := c.ExtraIterations(0, clocks)
+	bestWait, ok := c.PredictedWait(0, clocks, r)
+	if !ok {
+		t.Fatal("predicted wait unavailable for granted r")
+	}
+	for alt := 0; alt <= 6; alt++ {
+		w, ok := c.PredictedWait(0, clocks, alt)
+		if !ok {
+			t.Fatalf("predicted wait unavailable for r=%d", alt)
+		}
+		if w < bestWait {
+			t.Fatalf("controller chose r=%d (wait %v) but r=%d waits only %v", r, bestWait, alt, w)
+		}
+	}
+}
+
+func TestControllerSlowestIsSelfGrantsNothing(t *testing.T) {
+	c := MustNewController(2, 4)
+	base := time.Unix(0, 0)
+	c.Observe(0, base.Add(1*time.Second))
+	c.Observe(0, base.Add(2*time.Second))
+	c.Observe(1, base.Add(1*time.Second))
+	c.Observe(1, base.Add(2*time.Second))
+	// Worker 0 is (tied) slowest: no extra iterations.
+	if got := c.ExtraIterations(0, []int{1, 5}); got != 0 {
+		t.Fatalf("slowest worker must not receive extra iterations, got %d", got)
+	}
+}
+
+func TestControllerGrantNeverExceedsRMax(t *testing.T) {
+	const rmax = 5
+	c := MustNewController(2, rmax)
+	base := time.Unix(0, 0)
+	// Extremely fast worker 0 vs extremely slow worker 1.
+	c.Observe(0, base.Add(time.Millisecond))
+	c.Observe(0, base.Add(2*time.Millisecond))
+	c.Observe(1, base.Add(time.Hour))
+	c.Observe(1, base.Add(2*time.Hour))
+	got := c.ExtraIterations(0, []int{100, 1})
+	if got < 0 || got > rmax {
+		t.Fatalf("grant %d outside [0,%d]", got, rmax)
+	}
+}
+
+func TestControllerPredictedWaitBounds(t *testing.T) {
+	c := MustNewController(2, 3)
+	base := time.Unix(0, 0)
+	c.Observe(0, base.Add(time.Second))
+	c.Observe(0, base.Add(2*time.Second))
+	c.Observe(1, base.Add(4*time.Second))
+	c.Observe(1, base.Add(8*time.Second))
+	if _, ok := c.PredictedWait(0, []int{5, 1}, -1); ok {
+		t.Error("negative r must be rejected")
+	}
+	if _, ok := c.PredictedWait(0, []int{5, 1}, 4); ok {
+		t.Error("r beyond rmax must be rejected")
+	}
+	w, ok := c.PredictedWait(0, []int{5, 1}, 2)
+	if !ok || w < 0 {
+		t.Errorf("PredictedWait(2) = %v,%v; want non-negative wait", w, ok)
+	}
+}

@@ -1,0 +1,96 @@
+// Package core implements the synchronization paradigms studied in
+// "Dynamic Stale Synchronous Parallel Distributed Training for Deep Learning"
+// (Zhao et al., ICDCS 2019): Bulk Synchronous Parallel (BSP), Asynchronous
+// Parallel (ASP), Stale Synchronous Parallel (SSP) and the paper's
+// contribution, Dynamic Stale Synchronous Parallel (DSSP), together with the
+// bounded-delay and backup-worker baselines discussed in its related work.
+//
+// Every paradigm is expressed as a Policy: a pure, single-goroutine state
+// machine that is told about push requests (with an explicit timestamp) and
+// answers which workers the parameter server may release. Policies never read
+// the wall clock themselves, so exactly the same implementations drive the
+// real parameter server (internal/ps) and the event-driven cluster simulator
+// (internal/simulate).
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// WorkerID identifies a worker participating in distributed training.
+// Workers are numbered 0..NumWorkers-1.
+type WorkerID int
+
+// Decision is the outcome of notifying a Policy about a push request.
+type Decision struct {
+	// Release lists the workers that may now be sent the OK signal and
+	// proceed to pull fresh weights and start their next iteration. The
+	// pushing worker may or may not be included; when it is absent it stays
+	// blocked until a later push releases it.
+	Release []WorkerID
+
+	// Drop reports that the pushed gradient should be discarded rather than
+	// applied to the global weights. Only the backup-worker BSP baseline
+	// (Chen et al.) ever sets it.
+	Drop bool
+}
+
+// Policy is a synchronization paradigm for the parameter-server framework.
+//
+// Implementations are not safe for concurrent use; the parameter server and
+// the simulator serialize calls.
+type Policy interface {
+	// OnPush records that worker w delivered the gradient of its next
+	// iteration at time now and returns the release decision. Each call
+	// advances w's logical clock by one.
+	OnPush(w WorkerID, now time.Time) Decision
+
+	// Blocked returns the workers currently waiting for an OK signal, in
+	// ascending order. It is a read-only view used by tests and metrics.
+	Blocked() []WorkerID
+
+	// Clock returns the number of pushes received from worker w so far.
+	Clock(w WorkerID) int
+
+	// NumWorkers returns the number of workers the policy coordinates.
+	NumWorkers() int
+
+	// Name returns a short human-readable paradigm name such as "BSP",
+	// "SSP(s=3)" or "DSSP(sL=3,r=12)".
+	Name() string
+}
+
+// StalenessBounder is implemented by policies that guarantee a bound on the
+// difference in iteration counts between the fastest and the slowest worker.
+type StalenessBounder interface {
+	// StalenessBound returns the maximum permitted difference between any two
+	// workers' iteration counts.
+	StalenessBound() int
+}
+
+// validateWorkers reports an error when n is not a usable worker count.
+func validateWorkers(n int) error {
+	if n <= 0 {
+		return fmt.Errorf("core: number of workers must be positive, got %d", n)
+	}
+	return nil
+}
+
+// validateWorkerID reports an error when w is outside [0, n).
+func validateWorkerID(w WorkerID, n int) error {
+	if int(w) < 0 || int(w) >= n {
+		return fmt.Errorf("core: worker id %d out of range [0,%d)", w, n)
+	}
+	return nil
+}
+
+// releaseAll returns the IDs 0..n-1. It is a convenience for BSP-style
+// barrier releases.
+func releaseAll(n int) []WorkerID {
+	ids := make([]WorkerID, n)
+	for i := range ids {
+		ids[i] = WorkerID(i)
+	}
+	return ids
+}

@@ -1,0 +1,258 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// DSSP implements the paper's Dynamic Stale Synchronous Parallel paradigm
+// (Algorithm 1 for the server rules and Algorithm 2 for the synchronization
+// controller). The user supplies a lower staleness bound sL and a range
+// length rmax = sU - sL. A worker within sL of the slowest worker is always
+// released. When the currently fastest worker exceeds sL, the controller
+// predicts, from recent push timestamps, how many extra iterations r* in
+// [0, rmax] would minimize that worker's eventual wait, and grants them via a
+// per-worker allowance r[p] that is consumed one unit per subsequent push.
+//
+// Three listing ambiguities in Algorithm 1 are resolved as follows.
+//
+// First, when the controller grants r* > 0 the OK sent at that moment is not
+// counted against the allowance; the decrement happens on the worker's
+// subsequent pushes (lines 3-5), matching the listing literally.
+//
+// Second, the listing never prevents the controller from being consulted
+// again once a previous grant is used up, so a persistently fast worker can
+// accumulate grants across consultations.
+//
+// Third, line 17 ("Wait until the slowest worker sends the next push
+// request(s) so that tp−tslowest ≤ sL") is read, in the default mode, as
+// "wait for the slowest worker's next push request": a blocked worker is
+// released as soon as the slowest worker makes progress, even if its lead is
+// still larger than sL. Together with repeated grants this is what lets a
+// fast worker on a heterogeneous cluster run nearly unthrottled, which is
+// the behaviour the paper measures (Table I, where DSSP tracks ASP rather
+// than SSP). Calling EnforceUpperBound(true) switches both decisions to the
+// strict, Theorem-2-compliant reading: grants are capped and a blocked
+// worker waits until it is genuinely within sL of the slowest worker, so the
+// iteration gap never exceeds sU = sL + rmax.
+type DSSP struct {
+	n     int
+	sl    int
+	ctl   *Controller
+	clock *vectorClock
+	// grants[p] is r_p of Algorithm 1: the number of extra iterations worker
+	// p may still run beyond the lower bound sL.
+	grants  []int
+	waiting *waitSet
+	// blockedAtMin[p] is the slowest worker's clock at the moment worker p
+	// was blocked; in the default mode p is released once that clock
+	// advances (the slowest worker "sends the next push request").
+	blockedAtMin []int
+	// enforceUpper caps grants so the clock gap stays within sU (Theorem 2).
+	enforceUpper bool
+
+	grantHistory []GrantEvent
+	keepHistory  bool
+}
+
+// GrantEvent records one decision of the synchronization controller, used by
+// experiments that analyze how the dynamic threshold evolves over time.
+type GrantEvent struct {
+	Worker WorkerID
+	Time   time.Time
+	// Extra is the r* granted by the controller (possibly zero).
+	Extra int
+	// Clock is the worker's push count at the moment of the grant.
+	Clock int
+}
+
+// NewDSSP returns a DSSP policy for n workers with lower staleness bound
+// sL >= 0 and range length rmax >= 0 (so the effective threshold stays within
+// [sL, sL+rmax]).
+func NewDSSP(n, sL, rmax int) (*DSSP, error) {
+	if err := validateWorkers(n); err != nil {
+		return nil, err
+	}
+	if sL < 0 {
+		return nil, fmt.Errorf("core: DSSP lower staleness bound must be >= 0, got %d", sL)
+	}
+	if rmax < 0 {
+		return nil, fmt.Errorf("core: DSSP staleness range length must be >= 0, got %d", rmax)
+	}
+	ctl, err := NewController(n, rmax)
+	if err != nil {
+		return nil, err
+	}
+	return &DSSP{
+		n:            n,
+		sl:           sL,
+		ctl:          ctl,
+		clock:        newVectorClock(n),
+		grants:       make([]int, n),
+		waiting:      newWaitSet(n),
+		blockedAtMin: make([]int, n),
+	}, nil
+}
+
+// MustNewDSSP is like NewDSSP but panics on invalid arguments.
+func MustNewDSSP(n, sL, rmax int) *DSSP {
+	p, err := NewDSSP(n, sL, rmax)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// RecordGrants enables keeping the history of controller decisions,
+// retrievable through Grants. It is off by default to avoid unbounded memory
+// growth in long training runs.
+func (p *DSSP) RecordGrants(on bool) { p.keepHistory = on }
+
+// EnforceUpperBound selects between the listing-faithful behaviour (false,
+// the default: repeated grants may let a fast worker exceed sU) and the
+// Theorem-2-compliant behaviour (true: grants are capped so the iteration
+// gap between any worker and the slowest never exceeds sU).
+func (p *DSSP) EnforceUpperBound(on bool) { p.enforceUpper = on }
+
+// Grants returns a copy of the recorded controller decisions.
+func (p *DSSP) Grants() []GrantEvent {
+	out := make([]GrantEvent, len(p.grantHistory))
+	copy(out, p.grantHistory)
+	return out
+}
+
+// OnPush implements Policy following the server side of Algorithm 1.
+func (p *DSSP) OnPush(w WorkerID, now time.Time) Decision {
+	if err := validateWorkerID(w, p.n); err != nil {
+		panic(err)
+	}
+	p.clock.Tick(w)
+	p.ctl.Observe(w, now)
+
+	var release []WorkerID
+
+	switch {
+	case p.grants[w] > 0:
+		// Lines 3-5: consume one unit of the allowance and release at once.
+		p.grants[w]--
+		release = append(release, w)
+
+	case p.withinLowerBound(w):
+		// Lines 8-9: within sL of the slowest worker.
+		release = append(release, w)
+
+	default:
+		// Lines 10-17: only the currently fastest worker consults the
+		// synchronization controller; everyone else waits for the slowest
+		// worker to catch up.
+		if fastest, _ := p.clock.Max(); fastest == w {
+			extra := p.ctl.ExtraIterations(w, p.clock.Snapshot())
+			if p.enforceUpper {
+				_, slowest := p.clock.Min()
+				headroom := p.UpperBound() - (p.clock.Count(w) - slowest)
+				if headroom < 0 {
+					headroom = 0
+				}
+				if extra > headroom {
+					extra = headroom
+				}
+			}
+			if p.keepHistory {
+				p.grantHistory = append(p.grantHistory, GrantEvent{
+					Worker: w, Time: now, Extra: extra, Clock: p.clock.Count(w),
+				})
+			}
+			if extra > 0 {
+				p.grants[w] = extra
+				release = append(release, w)
+			} else {
+				p.block(w)
+			}
+		} else {
+			p.block(w)
+		}
+	}
+
+	// A push may have advanced the minimum clock: re-examine blocked workers
+	// (line 17: they are released once they are back within sL).
+	release = append(release, p.drainUnblocked(w)...)
+	return Decision{Release: release}
+}
+
+// block parks worker w until the release condition of line 17 holds.
+func (p *DSSP) block(w WorkerID) {
+	p.waiting.Add(w)
+	_, slowest := p.clock.Min()
+	p.blockedAtMin[w] = slowest
+}
+
+// withinLowerBound reports whether worker w is at most sL iterations ahead of
+// the slowest worker.
+func (p *DSSP) withinLowerBound(w WorkerID) bool {
+	_, slowest := p.clock.Min()
+	return p.clock.Count(w)-slowest <= p.sl
+}
+
+// mayRelease reports whether a blocked worker may resume: in the strict
+// (Theorem-2) mode only once it is within sL of the slowest worker; in the
+// default mode also as soon as the slowest worker has pushed again since the
+// worker was blocked.
+func (p *DSSP) mayRelease(w WorkerID) bool {
+	if p.withinLowerBound(w) {
+		return true
+	}
+	if p.enforceUpper {
+		return false
+	}
+	_, slowest := p.clock.Min()
+	return slowest > p.blockedAtMin[w]
+}
+
+// drainUnblocked releases every waiting worker whose release condition now
+// holds. pushed is excluded because its membership was just decided.
+func (p *DSSP) drainUnblocked(pushed WorkerID) []WorkerID {
+	var release []WorkerID
+	for _, id := range p.waiting.List() {
+		if id == pushed {
+			continue
+		}
+		if p.mayRelease(id) {
+			p.waiting.Remove(id)
+			release = append(release, id)
+		}
+	}
+	return release
+}
+
+// Blocked implements Policy.
+func (p *DSSP) Blocked() []WorkerID { return p.waiting.List() }
+
+// Clock implements Policy.
+func (p *DSSP) Clock(w WorkerID) int { return p.clock.Count(w) }
+
+// NumWorkers implements Policy.
+func (p *DSSP) NumWorkers() int { return p.n }
+
+// StalenessBound implements StalenessBounder. The returned bound sU =
+// sL + rmax is a hard guarantee only when EnforceUpperBound(true) is set; in
+// the default listing-faithful mode it is the nominal upper end of the
+// threshold range, which repeated grants may transiently exceed.
+func (p *DSSP) StalenessBound() int { return p.sl + p.ctl.RMax() }
+
+// LowerBound returns sL.
+func (p *DSSP) LowerBound() int { return p.sl }
+
+// UpperBound returns sU = sL + rmax.
+func (p *DSSP) UpperBound() int { return p.sl + p.ctl.RMax() }
+
+// Controller exposes the synchronization controller for inspection by
+// experiments (e.g. reproducing Figure 2's waiting-time curve).
+func (p *DSSP) Controller() *Controller { return p.ctl }
+
+// Allowance returns the remaining extra-iteration allowance r_w of worker w.
+func (p *DSSP) Allowance(w WorkerID) int { return p.grants[w] }
+
+// Name implements Policy.
+func (p *DSSP) Name() string {
+	return fmt.Sprintf("DSSP(sL=%d,r=%d)", p.sl, p.ctl.RMax())
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"math/rand"
+	"time"
+)
+
+// newTestRand returns a deterministic pseudo-random source for tests.
+func newTestRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// replayDriver drives a Policy with workers whose per-iteration durations are
+// fixed, mimicking an event-driven cluster: the worker with the earliest
+// pending push time pushes next, and a worker only schedules its next push
+// after it has been released. It is a miniature version of the simulator in
+// internal/simulate used to exercise policies in isolation.
+type replayDriver struct {
+	policy    Policy
+	durations []time.Duration
+	nextPush  []time.Time
+	ready     []bool
+	now       time.Time
+	pushes    int
+	// maxSpread records the largest clock spread observed after any push.
+	maxSpread int
+	// waitTime accumulates, per worker, the time spent blocked.
+	waitSince map[WorkerID]time.Time
+	waitTotal []time.Duration
+}
+
+// newReplayDriver builds a driver for the given policy and per-worker
+// iteration durations (durations[w] is worker w's constant iteration time).
+func newReplayDriver(p Policy, durations []time.Duration) *replayDriver {
+	start := time.Unix(0, 0)
+	d := &replayDriver{
+		policy:    p,
+		durations: durations,
+		nextPush:  make([]time.Time, len(durations)),
+		ready:     make([]bool, len(durations)),
+		now:       start,
+		waitSince: make(map[WorkerID]time.Time),
+		waitTotal: make([]time.Duration, len(durations)),
+	}
+	for w := range durations {
+		d.nextPush[w] = start.Add(durations[w])
+		d.ready[w] = true
+	}
+	return d
+}
+
+// step advances the driver by one push event. It returns false when no worker
+// is ready to push (which would indicate a deadlock for non-terminating
+// policies).
+func (d *replayDriver) step() bool {
+	chosen := -1
+	for w, ok := range d.ready {
+		if !ok {
+			continue
+		}
+		if chosen == -1 || d.nextPush[w].Before(d.nextPush[chosen]) {
+			chosen = w
+		}
+	}
+	if chosen == -1 {
+		return false
+	}
+	w := WorkerID(chosen)
+	d.now = d.nextPush[chosen]
+	d.ready[chosen] = false
+	d.waitSince[w] = d.now
+	dec := d.policy.OnPush(w, d.now)
+	d.pushes++
+	for _, id := range dec.Release {
+		if since, ok := d.waitSince[id]; ok {
+			d.waitTotal[id] += d.now.Sub(since)
+			delete(d.waitSince, id)
+		}
+		d.ready[id] = true
+		d.nextPush[id] = d.now.Add(d.durations[id])
+	}
+	if s := clockSpread(d.policy); s > d.maxSpread {
+		d.maxSpread = s
+	}
+	return true
+}
+
+// run performs n push events, reporting whether all completed without
+// deadlock.
+func (d *replayDriver) run(n int) bool {
+	for i := 0; i < n; i++ {
+		if !d.step() {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// IntervalTracker measures per-worker iteration intervals from the
+// timestamps of their push requests, as illustrated in Figure 1 of the
+// paper: an iteration interval is the time between two consecutive push
+// requests received from the same worker and covers both the gradient
+// computation and the communication of that iteration.
+type IntervalTracker struct {
+	n         int
+	lastPush  []time.Time
+	hasLast   []bool
+	intervals [][]time.Duration
+	capacity  int
+}
+
+// NewIntervalTracker returns a tracker for n workers keeping at most keep
+// recent intervals per worker (keep <= 0 keeps everything).
+func NewIntervalTracker(n, keep int) (*IntervalTracker, error) {
+	if err := validateWorkers(n); err != nil {
+		return nil, err
+	}
+	return &IntervalTracker{
+		n:         n,
+		lastPush:  make([]time.Time, n),
+		hasLast:   make([]bool, n),
+		intervals: make([][]time.Duration, n),
+		capacity:  keep,
+	}, nil
+}
+
+// MustNewIntervalTracker is like NewIntervalTracker but panics on invalid
+// arguments.
+func MustNewIntervalTracker(n, keep int) *IntervalTracker {
+	t, err := NewIntervalTracker(n, keep)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// RecordPush registers a push request from worker w at the given time and
+// returns the iteration interval it closes, if any.
+func (t *IntervalTracker) RecordPush(w WorkerID, at time.Time) (time.Duration, bool) {
+	if err := validateWorkerID(w, t.n); err != nil {
+		panic(err)
+	}
+	var iv time.Duration
+	closed := false
+	if t.hasLast[w] {
+		iv = at.Sub(t.lastPush[w])
+		closed = true
+		t.intervals[w] = append(t.intervals[w], iv)
+		if t.capacity > 0 && len(t.intervals[w]) > t.capacity {
+			t.intervals[w] = t.intervals[w][len(t.intervals[w])-t.capacity:]
+		}
+	}
+	t.lastPush[w] = at
+	t.hasLast[w] = true
+	return iv, closed
+}
+
+// Intervals returns a copy of the recorded intervals of worker w, oldest
+// first.
+func (t *IntervalTracker) Intervals(w WorkerID) []time.Duration {
+	if err := validateWorkerID(w, t.n); err != nil {
+		panic(err)
+	}
+	out := make([]time.Duration, len(t.intervals[w]))
+	copy(out, t.intervals[w])
+	return out
+}
+
+// Latest returns worker w's most recent interval and whether one exists.
+func (t *IntervalTracker) Latest(w WorkerID) (time.Duration, bool) {
+	if err := validateWorkerID(w, t.n); err != nil {
+		panic(err)
+	}
+	ivs := t.intervals[w]
+	if len(ivs) == 0 {
+		return 0, false
+	}
+	return ivs[len(ivs)-1], true
+}
+
+// Mean returns the mean interval of worker w and whether any were recorded.
+func (t *IntervalTracker) Mean(w WorkerID) (time.Duration, bool) {
+	if err := validateWorkerID(w, t.n); err != nil {
+		panic(err)
+	}
+	ivs := t.intervals[w]
+	if len(ivs) == 0 {
+		return 0, false
+	}
+	var sum time.Duration
+	for _, iv := range ivs {
+		sum += iv
+	}
+	return sum / time.Duration(len(ivs)), true
+}
+
+// String summarizes the tracker's state for debugging.
+func (t *IntervalTracker) String() string {
+	return fmt.Sprintf("IntervalTracker(workers=%d)", t.n)
+}

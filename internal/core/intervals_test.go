@@ -1,0 +1,109 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func TestIntervalTrackerValidation(t *testing.T) {
+	if _, err := NewIntervalTracker(0, 10); err == nil {
+		t.Fatal("NewIntervalTracker(0,10): expected error")
+	}
+}
+
+func TestIntervalTrackerFirstPushClosesNoInterval(t *testing.T) {
+	tr := MustNewIntervalTracker(2, 0)
+	if _, closed := tr.RecordPush(0, time.Unix(0, 0)); closed {
+		t.Fatal("first push must not close an interval")
+	}
+	if _, ok := tr.Latest(0); ok {
+		t.Fatal("no interval should be available after a single push")
+	}
+}
+
+func TestIntervalTrackerMeasuresConsecutivePushGaps(t *testing.T) {
+	tr := MustNewIntervalTracker(1, 0)
+	base := time.Unix(0, 0)
+	pushes := []time.Duration{0, 2 * time.Second, 5 * time.Second, 9 * time.Second}
+	for _, at := range pushes {
+		tr.RecordPush(0, base.Add(at))
+	}
+	want := []time.Duration{2 * time.Second, 3 * time.Second, 4 * time.Second}
+	got := tr.Intervals(0)
+	if len(got) != len(want) {
+		t.Fatalf("got %d intervals, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("interval %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	latest, ok := tr.Latest(0)
+	if !ok || latest != 4*time.Second {
+		t.Errorf("Latest = %v,%v; want 4s,true", latest, ok)
+	}
+	mean, ok := tr.Mean(0)
+	if !ok || mean != 3*time.Second {
+		t.Errorf("Mean = %v,%v; want 3s,true", mean, ok)
+	}
+}
+
+func TestIntervalTrackerHonorsCapacity(t *testing.T) {
+	tr := MustNewIntervalTracker(1, 3)
+	base := time.Unix(0, 0)
+	for i := 0; i <= 10; i++ {
+		tr.RecordPush(0, base.Add(time.Duration(i*i)*time.Second))
+	}
+	if got := len(tr.Intervals(0)); got != 3 {
+		t.Fatalf("capacity 3 but %d intervals kept", got)
+	}
+}
+
+func TestIntervalTrackerIndependentWorkers(t *testing.T) {
+	tr := MustNewIntervalTracker(3, 0)
+	base := time.Unix(0, 0)
+	tr.RecordPush(0, base)
+	tr.RecordPush(1, base.Add(time.Second))
+	tr.RecordPush(0, base.Add(5*time.Second))
+	tr.RecordPush(1, base.Add(3*time.Second))
+
+	if iv, ok := tr.Latest(0); !ok || iv != 5*time.Second {
+		t.Errorf("worker 0 latest = %v,%v; want 5s", iv, ok)
+	}
+	if iv, ok := tr.Latest(1); !ok || iv != 2*time.Second {
+		t.Errorf("worker 1 latest = %v,%v; want 2s", iv, ok)
+	}
+	if _, ok := tr.Latest(2); ok {
+		t.Error("worker 2 should have no interval")
+	}
+	if tr.String() == "" {
+		t.Error("String() should not be empty")
+	}
+}
+
+func TestIntervalTrackerMatchesControllerIntervalEstimates(t *testing.T) {
+	// Figure 1 of the paper: the interval measured from push timestamps is
+	// exactly what the DSSP controller uses for its predictions.
+	tr := MustNewIntervalTracker(2, 0)
+	ctl := MustNewController(2, 4)
+	base := time.Unix(0, 0)
+	schedule := []struct {
+		w  WorkerID
+		at time.Duration
+	}{
+		{0, 1 * time.Second}, {1, 3 * time.Second},
+		{0, 4 * time.Second}, {1, 9 * time.Second},
+		{0, 6 * time.Second}, {1, 17 * time.Second},
+	}
+	for _, s := range schedule {
+		tr.RecordPush(s.w, base.Add(s.at))
+		ctl.Observe(s.w, base.Add(s.at))
+	}
+	for w := WorkerID(0); w < 2; w++ {
+		fromTracker, ok1 := tr.Latest(w)
+		fromController, ok2 := ctl.Interval(w)
+		if !ok1 || !ok2 || fromTracker != fromController {
+			t.Errorf("worker %d: tracker %v(%v) controller %v(%v)", w, fromTracker, ok1, fromController, ok2)
+		}
+	}
+}

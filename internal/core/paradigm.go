@@ -1,0 +1,122 @@
+package core
+
+import "fmt"
+
+// Paradigm enumerates the synchronization paradigms available in this
+// library.
+type Paradigm int
+
+// Supported paradigms. BSP, ASP and SSP follow the literature; DSSP is the
+// paper's contribution; BoundedDelayParadigm and BackupBSPParadigm are the
+// related-work baselines.
+const (
+	ParadigmBSP Paradigm = iota + 1
+	ParadigmASP
+	ParadigmSSP
+	ParadigmDSSP
+	ParadigmBoundedDelay
+	ParadigmBackupBSP
+)
+
+// String returns the canonical short name of the paradigm.
+func (p Paradigm) String() string {
+	switch p {
+	case ParadigmBSP:
+		return "BSP"
+	case ParadigmASP:
+		return "ASP"
+	case ParadigmSSP:
+		return "SSP"
+	case ParadigmDSSP:
+		return "DSSP"
+	case ParadigmBoundedDelay:
+		return "BoundedDelay"
+	case ParadigmBackupBSP:
+		return "BackupBSP"
+	default:
+		return fmt.Sprintf("Paradigm(%d)", int(p))
+	}
+}
+
+// ParseParadigm converts a case-sensitive paradigm name (as produced by
+// String) to its Paradigm value.
+func ParseParadigm(name string) (Paradigm, error) {
+	switch name {
+	case "BSP":
+		return ParadigmBSP, nil
+	case "ASP":
+		return ParadigmASP, nil
+	case "SSP":
+		return ParadigmSSP, nil
+	case "DSSP":
+		return ParadigmDSSP, nil
+	case "BoundedDelay":
+		return ParadigmBoundedDelay, nil
+	case "BackupBSP":
+		return ParadigmBackupBSP, nil
+	default:
+		return 0, fmt.Errorf("core: unknown paradigm %q", name)
+	}
+}
+
+// PolicyConfig collects the parameters needed to construct any Policy.
+type PolicyConfig struct {
+	// Paradigm selects which synchronization scheme to build.
+	Paradigm Paradigm
+	// Workers is the number of workers the policy coordinates.
+	Workers int
+	// Staleness is the fixed threshold s for SSP and the lower bound sL for
+	// DSSP. It is the dependency bound k for BoundedDelay.
+	Staleness int
+	// Range is rmax = sU - sL for DSSP. Ignored by other paradigms.
+	Range int
+	// EnforceBound selects DSSP's Theorem-2-compliant mode in which the
+	// iteration gap is hard-capped at sL+Range. The default (false) is the
+	// listing-faithful behaviour of Algorithm 1. Ignored by other paradigms.
+	EnforceBound bool
+	// Backups is the number of spare workers for BackupBSP. Ignored by other
+	// paradigms.
+	Backups int
+}
+
+// NewPolicy constructs the Policy described by cfg.
+func NewPolicy(cfg PolicyConfig) (Policy, error) {
+	switch cfg.Paradigm {
+	case ParadigmBSP:
+		return NewBSP(cfg.Workers)
+	case ParadigmASP:
+		return NewASP(cfg.Workers)
+	case ParadigmSSP:
+		return NewSSP(cfg.Workers, cfg.Staleness)
+	case ParadigmDSSP:
+		p, err := NewDSSP(cfg.Workers, cfg.Staleness, cfg.Range)
+		if err != nil {
+			return nil, err
+		}
+		p.EnforceUpperBound(cfg.EnforceBound)
+		return p, nil
+	case ParadigmBoundedDelay:
+		return NewBoundedDelay(cfg.Workers, cfg.Staleness)
+	case ParadigmBackupBSP:
+		return NewBackupBSP(cfg.Workers, cfg.Backups)
+	default:
+		return nil, fmt.Errorf("core: unknown paradigm %v", cfg.Paradigm)
+	}
+}
+
+// Describe returns a human-readable description of the configuration,
+// suitable for experiment labels (e.g. "SSP s=3", "DSSP sL=3 r=12").
+func (cfg PolicyConfig) Describe() string {
+	switch cfg.Paradigm {
+	case ParadigmSSP:
+		return fmt.Sprintf("SSP s=%d", cfg.Staleness)
+	case ParadigmDSSP:
+		return fmt.Sprintf("DSSP sL=%d r=%d", cfg.Staleness, cfg.Range)
+	case ParadigmBoundedDelay:
+		return fmt.Sprintf("BoundedDelay k=%d", cfg.Staleness)
+	case ParadigmBackupBSP:
+		return fmt.Sprintf("BackupBSP c=%d", cfg.Backups)
+	default:
+		return cfg.Paradigm.String()
+	}
+}

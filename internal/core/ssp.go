@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// SSP implements Stale Synchronous Parallel with a fixed, user-specified
+// staleness threshold s (Ho et al., NeurIPS 2013). A worker that has pushed
+// is released as long as its iteration count is no more than s ahead of the
+// slowest worker; otherwise it blocks until the slowest worker catches up.
+// Only workers that violate the bound wait; everyone else keeps running.
+type SSP struct {
+	n         int
+	threshold int
+	clock     *vectorClock
+	waiting   *waitSet
+}
+
+// NewSSP returns an SSP policy for n workers with staleness threshold s >= 0.
+func NewSSP(n, s int) (*SSP, error) {
+	if err := validateWorkers(n); err != nil {
+		return nil, err
+	}
+	if s < 0 {
+		return nil, fmt.Errorf("core: SSP staleness threshold must be >= 0, got %d", s)
+	}
+	return &SSP{n: n, threshold: s, clock: newVectorClock(n), waiting: newWaitSet(n)}, nil
+}
+
+// MustNewSSP is like NewSSP but panics on invalid arguments.
+func MustNewSSP(n, s int) *SSP {
+	p, err := NewSSP(n, s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// OnPush implements Policy.
+func (p *SSP) OnPush(w WorkerID, _ time.Time) Decision {
+	if err := validateWorkerID(w, p.n); err != nil {
+		panic(err)
+	}
+	p.clock.Tick(w)
+
+	var release []WorkerID
+	_, slowest := p.clock.Min()
+
+	// The pushing worker may continue when it is within the staleness bound
+	// of the slowest worker; otherwise it joins the wait set.
+	if p.clock.Count(w)-slowest <= p.threshold {
+		release = append(release, w)
+	} else {
+		p.waiting.Add(w)
+	}
+
+	// The push may have advanced the minimum clock, unblocking workers that
+	// were waiting at the bound.
+	release = append(release, p.drainUnblocked(w)...)
+	return Decision{Release: release}
+}
+
+// drainUnblocked releases every waiting worker that is now within the bound.
+// pushed is excluded because its membership was just decided above.
+func (p *SSP) drainUnblocked(pushed WorkerID) []WorkerID {
+	var release []WorkerID
+	_, slowest := p.clock.Min()
+	for _, id := range p.waiting.List() {
+		if id == pushed {
+			continue
+		}
+		if p.clock.Count(id)-slowest <= p.threshold {
+			p.waiting.Remove(id)
+			release = append(release, id)
+		}
+	}
+	return release
+}
+
+// Blocked implements Policy.
+func (p *SSP) Blocked() []WorkerID { return p.waiting.List() }
+
+// Clock implements Policy.
+func (p *SSP) Clock(w WorkerID) int { return p.clock.Count(w) }
+
+// NumWorkers implements Policy.
+func (p *SSP) NumWorkers() int { return p.n }
+
+// StalenessBound implements StalenessBounder.
+func (p *SSP) StalenessBound() int { return p.threshold }
+
+// Threshold returns the fixed staleness threshold s.
+func (p *SSP) Threshold() int { return p.threshold }
+
+// Name implements Policy.
+func (p *SSP) Name() string { return fmt.Sprintf("SSP(s=%d)", p.threshold) }

@@ -1,0 +1,114 @@
+package data
+
+import (
+	"math/rand"
+
+	"dssp/internal/tensor"
+)
+
+// The paper's §V-C explains the accuracy advantage of bounded-staleness
+// paradigms on pure CNNs by analogy with data-distortion augmentation:
+// moderate noise acts as regularization. This file provides the distortions
+// mentioned there (horizontal flips, channel dropping, additive Gaussian
+// noise) so that the real-training examples can reproduce that effect.
+
+// Augmenter applies a random distortion to an NCHW batch in place.
+type Augmenter interface {
+	// Apply distorts the batch in place.
+	Apply(rng *rand.Rand, batch *tensor.Tensor)
+	// Name returns a short description.
+	Name() string
+}
+
+// HorizontalFlip mirrors each image left-right with probability P.
+type HorizontalFlip struct {
+	// P is the per-image flip probability.
+	P float64
+}
+
+// Apply implements Augmenter.
+func (h HorizontalFlip) Apply(rng *rand.Rand, batch *tensor.Tensor) {
+	if batch.Dims() != 4 {
+		return
+	}
+	b, c, hgt, w := batch.Dim(0), batch.Dim(1), batch.Dim(2), batch.Dim(3)
+	data := batch.Data()
+	for img := 0; img < b; img++ {
+		if rng.Float64() >= h.P {
+			continue
+		}
+		for ch := 0; ch < c; ch++ {
+			base := (img*c + ch) * hgt * w
+			for y := 0; y < hgt; y++ {
+				row := data[base+y*w : base+(y+1)*w]
+				for x := 0; x < w/2; x++ {
+					row[x], row[w-1-x] = row[w-1-x], row[x]
+				}
+			}
+		}
+	}
+}
+
+// Name implements Augmenter.
+func (h HorizontalFlip) Name() string { return "HorizontalFlip" }
+
+// GaussianNoise adds independent Gaussian noise to every pixel, the
+// distortion the paper cites as improving very deep network training.
+type GaussianNoise struct {
+	// StdDev is the noise standard deviation.
+	StdDev float64
+}
+
+// Apply implements Augmenter.
+func (g GaussianNoise) Apply(rng *rand.Rand, batch *tensor.Tensor) {
+	data := batch.Data()
+	for i := range data {
+		data[i] += float32(rng.NormFloat64() * g.StdDev)
+	}
+}
+
+// Name implements Augmenter.
+func (g GaussianNoise) Name() string { return "GaussianNoise" }
+
+// ChannelDrop zeroes one randomly chosen color channel per image with
+// probability P ("setting one or two of RGB pixels to zero" in the paper).
+type ChannelDrop struct {
+	// P is the per-image drop probability.
+	P float64
+}
+
+// Apply implements Augmenter.
+func (c ChannelDrop) Apply(rng *rand.Rand, batch *tensor.Tensor) {
+	if batch.Dims() != 4 {
+		return
+	}
+	b, ch, hgt, w := batch.Dim(0), batch.Dim(1), batch.Dim(2), batch.Dim(3)
+	data := batch.Data()
+	plane := hgt * w
+	for img := 0; img < b; img++ {
+		if rng.Float64() >= c.P {
+			continue
+		}
+		drop := rng.Intn(ch)
+		base := (img*ch + drop) * plane
+		for i := 0; i < plane; i++ {
+			data[base+i] = 0
+		}
+	}
+}
+
+// Name implements Augmenter.
+func (c ChannelDrop) Name() string { return "ChannelDrop" }
+
+// Pipeline applies a sequence of augmenters in order.
+type Pipeline []Augmenter
+
+// Apply implements Augmenter.
+func (p Pipeline) Apply(rng *rand.Rand, batch *tensor.Tensor) {
+	for _, a := range p {
+		a.Apply(rng, batch)
+	}
+}
+
+// Name implements Augmenter.
+func (p Pipeline) Name() string { return "Pipeline" }

@@ -1,0 +1,92 @@
+package data
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// CIFAR binary-format constants: each record is a label section followed by
+// a 32×32×3 image stored channel-major (R plane, G plane, B plane).
+const (
+	cifarImageBytes = 3 * 32 * 32
+	// CIFAR-10 records have 1 label byte, CIFAR-100 records have 2 (coarse
+	// then fine label).
+	cifar10Record  = 1 + cifarImageBytes
+	cifar100Record = 2 + cifarImageBytes
+)
+
+// LoadCIFAR10 reads the CIFAR-10 binary batches (data_batch_1.bin ...
+// data_batch_5.bin) from dir. It exists so that the reproduction can run on
+// the paper's real datasets when the files are present; when they are not,
+// callers fall back to the synthetic datasets (the documented substitution).
+func LoadCIFAR10(dir string) (*Dataset, error) {
+	files := []string{
+		"data_batch_1.bin", "data_batch_2.bin", "data_batch_3.bin",
+		"data_batch_4.bin", "data_batch_5.bin",
+	}
+	return loadCIFAR(dir, files, 10, cifar10Record, 0)
+}
+
+// LoadCIFAR10Test reads the CIFAR-10 binary test batch from dir.
+func LoadCIFAR10Test(dir string) (*Dataset, error) {
+	return loadCIFAR(dir, []string{"test_batch.bin"}, 10, cifar10Record, 0)
+}
+
+// LoadCIFAR100 reads the CIFAR-100 binary training file (train.bin) from dir
+// using the fine (100-class) labels.
+func LoadCIFAR100(dir string) (*Dataset, error) {
+	return loadCIFAR(dir, []string{"train.bin"}, 100, cifar100Record, 1)
+}
+
+// LoadCIFAR100Test reads the CIFAR-100 binary test file (test.bin) from dir.
+func LoadCIFAR100Test(dir string) (*Dataset, error) {
+	return loadCIFAR(dir, []string{"test.bin"}, 100, cifar100Record, 1)
+}
+
+// loadCIFAR parses the given record-format files into a dataset. labelOffset
+// selects which label byte to use within the record header.
+func loadCIFAR(dir string, files []string, classes, recordLen, labelOffset int) (*Dataset, error) {
+	d := NewDataset(3, 32, classes, false)
+	for _, name := range files {
+		path := filepath.Join(dir, name)
+		if err := appendCIFARFile(d, path, recordLen, labelOffset); err != nil {
+			return nil, err
+		}
+	}
+	if d.Len() == 0 {
+		return nil, fmt.Errorf("data: no CIFAR records found in %s", dir)
+	}
+	return d, nil
+}
+
+// appendCIFARFile parses one CIFAR binary file into d.
+func appendCIFARFile(d *Dataset, path string, recordLen, labelOffset int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("data: open CIFAR file: %w", err)
+	}
+	defer f.Close()
+
+	record := make([]byte, recordLen)
+	img := make([]float32, cifarImageBytes)
+	for {
+		_, err := io.ReadFull(f, record)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("data: read CIFAR record from %s: %w", path, err)
+		}
+		label := int(record[labelOffset])
+		headerLen := recordLen - cifarImageBytes
+		for i, b := range record[headerLen:] {
+			// Normalize pixels to roughly zero mean, unit-ish range.
+			img[i] = (float32(b) - 127.5) / 127.5
+		}
+		if err := d.Add(img, label); err != nil {
+			return fmt.Errorf("data: %s: %w", path, err)
+		}
+	}
+}

@@ -1,0 +1,338 @@
+package data
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"dssp/internal/tensor"
+)
+
+func TestDatasetAddValidation(t *testing.T) {
+	d := NewDataset(3, 4, 2, false)
+	img := make([]float32, 3*4*4)
+	if err := d.Add(img, 0); err != nil {
+		t.Fatalf("valid Add failed: %v", err)
+	}
+	if err := d.Add(img[:5], 0); err == nil {
+		t.Error("expected error for wrong sample length")
+	}
+	if err := d.Add(img, 5); err == nil {
+		t.Error("expected error for out-of-range label")
+	}
+	if d.Len() != 1 {
+		t.Errorf("Len = %d, want 1", d.Len())
+	}
+}
+
+func TestDatasetBatchShapes(t *testing.T) {
+	img := MustSynthetic(SyntheticConfig{Examples: 10, Classes: 2, Channels: 3, Size: 8, Noise: 0.5, Seed: 1})
+	x, labels := img.Batch([]int{0, 3, 5})
+	if x.Dims() != 4 || x.Dim(0) != 3 || x.Dim(1) != 3 || x.Dim(2) != 8 {
+		t.Fatalf("image batch shape %v", x.Shape())
+	}
+	if len(labels) != 3 {
+		t.Fatalf("labels %v", labels)
+	}
+
+	flat := MustSynthetic(SyntheticConfig{Examples: 10, Classes: 2, Channels: 1, Size: 16, Noise: 0.5, Flat: true, Seed: 1})
+	xf, _ := flat.Batch([]int{1, 2})
+	if xf.Dims() != 2 || xf.Dim(1) != 16 {
+		t.Fatalf("flat batch shape %v", xf.Shape())
+	}
+}
+
+func TestSyntheticIsBalancedAndDeterministic(t *testing.T) {
+	cfg := SyntheticConfig{Examples: 40, Classes: 4, Channels: 3, Size: 6, Noise: 0.3, Seed: 9}
+	a := MustSynthetic(cfg)
+	b := MustSynthetic(cfg)
+	counts := a.ClassCounts()
+	for c, n := range counts {
+		if n != 10 {
+			t.Errorf("class %d has %d examples, want 10", c, n)
+		}
+	}
+	xa, _ := a.All()
+	xb, _ := b.All()
+	if !xa.ApproxEqual(xb, 0) {
+		t.Error("same seed produced different synthetic datasets")
+	}
+	c := MustSynthetic(SyntheticConfig{Examples: 40, Classes: 4, Channels: 3, Size: 6, Noise: 0.3, Seed: 10})
+	xc, _ := c.All()
+	if xa.ApproxEqual(xc, 0) {
+		t.Error("different seeds produced identical datasets")
+	}
+}
+
+func TestSyntheticRejectsBadConfig(t *testing.T) {
+	bad := []SyntheticConfig{
+		{Examples: 0, Classes: 2, Channels: 1, Size: 4},
+		{Examples: 4, Classes: 0, Channels: 1, Size: 4},
+		{Examples: 4, Classes: 2, Channels: 0, Size: 4},
+	}
+	for _, cfg := range bad {
+		if _, err := Synthetic(cfg); err == nil {
+			t.Errorf("config %+v: expected error", cfg)
+		}
+	}
+}
+
+func TestSyntheticCIFARShapes(t *testing.T) {
+	c10 := SyntheticCIFAR10(20, 1)
+	if c10.Classes != 10 || c10.Size != 32 || c10.Channels != 3 {
+		t.Errorf("CIFAR-10 shape wrong: %+v", c10)
+	}
+	c100 := SyntheticCIFAR100(200, 1)
+	if c100.Classes != 100 {
+		t.Errorf("CIFAR-100 classes = %d", c100.Classes)
+	}
+}
+
+func TestPartitionCoversAllIndicesExactlyOnce(t *testing.T) {
+	property := func(totalRaw, workersRaw uint16) bool {
+		total := int(totalRaw % 500)
+		workers := int(workersRaw%16) + 1
+		seen := make(map[int]int)
+		for w := 0; w < workers; w++ {
+			idx, err := Partition(total, w, workers)
+			if err != nil {
+				return false
+			}
+			for _, i := range idx {
+				seen[i]++
+			}
+		}
+		if len(seen) != total {
+			return false
+		}
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionSizesAreBalanced(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 4, 7, 16} {
+		sizes := make([]int, workers)
+		for w := 0; w < workers; w++ {
+			idx, err := Partition(103, w, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sizes[w] = len(idx)
+		}
+		minSz, maxSz := sizes[0], sizes[0]
+		for _, s := range sizes {
+			if s < minSz {
+				minSz = s
+			}
+			if s > maxSz {
+				maxSz = s
+			}
+		}
+		if maxSz-minSz > 1 {
+			t.Errorf("workers=%d: partition sizes %v differ by more than 1", workers, sizes)
+		}
+	}
+}
+
+func TestPartitionValidation(t *testing.T) {
+	if _, err := Partition(10, 0, 0); err == nil {
+		t.Error("expected error for zero workers")
+	}
+	if _, err := Partition(10, 3, 2); err == nil {
+		t.Error("expected error for out-of-range worker")
+	}
+	if _, err := Partition(-1, 0, 2); err == nil {
+		t.Error("expected error for negative total")
+	}
+}
+
+func TestPartitionDatasetKeepsGeometry(t *testing.T) {
+	d := MustSynthetic(SyntheticConfig{Examples: 20, Classes: 2, Channels: 3, Size: 4, Noise: 0.1, Seed: 3})
+	shard, err := PartitionDataset(d, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shard.Len() != 5 {
+		t.Fatalf("shard size = %d, want 5", shard.Len())
+	}
+	if shard.Channels != 3 || shard.Size != 4 || shard.Classes != 2 {
+		t.Fatal("shard geometry differs from parent")
+	}
+}
+
+func TestBatchIteratorCoversEpochAndWrapsAround(t *testing.T) {
+	d := MustSynthetic(SyntheticConfig{Examples: 10, Classes: 2, Channels: 1, Size: 4, Noise: 0.1, Seed: 5})
+	it, err := NewBatchIterator(d, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if it.BatchesPerEpoch() != 3 {
+		t.Fatalf("BatchesPerEpoch = %d, want 3", it.BatchesPerEpoch())
+	}
+	sizes := []int{}
+	for i := 0; i < 3; i++ {
+		x, labels := it.Next()
+		if x.Dim(0) != len(labels) {
+			t.Fatal("batch size and label count differ")
+		}
+		sizes = append(sizes, len(labels))
+	}
+	if sizes[0]+sizes[1]+sizes[2] != 10 {
+		t.Fatalf("epoch covered %v examples, want 10", sizes)
+	}
+	if it.Epoch() != 0 {
+		t.Fatalf("epoch should still be 0, got %d", it.Epoch())
+	}
+	it.Next()
+	if it.Epoch() != 1 {
+		t.Fatalf("epoch after wrap = %d, want 1", it.Epoch())
+	}
+}
+
+func TestBatchIteratorValidation(t *testing.T) {
+	d := MustSynthetic(SyntheticConfig{Examples: 4, Classes: 2, Channels: 1, Size: 4, Noise: 0.1, Seed: 5})
+	if _, err := NewBatchIterator(d, 0, 1); err == nil {
+		t.Error("expected error for zero batch size")
+	}
+	empty := NewDataset(1, 4, 2, false)
+	if _, err := NewBatchIterator(empty, 2, 1); err == nil {
+		t.Error("expected error for empty dataset")
+	}
+}
+
+func TestHorizontalFlipReversesRows(t *testing.T) {
+	batch := tensor.FromSlice([]float32{1, 2, 3, 4}, 1, 1, 2, 2)
+	rng := rand.New(rand.NewSource(1))
+	HorizontalFlip{P: 1}.Apply(rng, batch)
+	want := []float32{2, 1, 4, 3}
+	for i, v := range batch.Data() {
+		if v != want[i] {
+			t.Errorf("flip[%d] = %v, want %v", i, v, want[i])
+		}
+	}
+}
+
+func TestGaussianNoiseChangesValuesButPreservesShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	batch := tensor.New(2, 3, 4, 4)
+	orig := batch.Clone()
+	GaussianNoise{StdDev: 0.5}.Apply(rng, batch)
+	if batch.ApproxEqual(orig, 0) {
+		t.Fatal("noise did not change the batch")
+	}
+	if !batch.SameShape(orig) {
+		t.Fatal("noise changed the shape")
+	}
+}
+
+func TestChannelDropZeroesExactlyOneChannel(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	batch := tensor.Full(1, 1, 3, 2, 2)
+	ChannelDrop{P: 1}.Apply(rng, batch)
+	zeroChannels := 0
+	for c := 0; c < 3; c++ {
+		allZero := true
+		for y := 0; y < 2; y++ {
+			for x := 0; x < 2; x++ {
+				if batch.At(0, c, y, x) != 0 {
+					allZero = false
+				}
+			}
+		}
+		if allZero {
+			zeroChannels++
+		}
+	}
+	if zeroChannels != 1 {
+		t.Fatalf("%d channels zeroed, want exactly 1", zeroChannels)
+	}
+}
+
+func TestPipelineAppliesAllStages(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	batch := tensor.Full(1, 2, 3, 4, 4)
+	orig := batch.Clone()
+	p := Pipeline{HorizontalFlip{P: 1}, GaussianNoise{StdDev: 0.1}, ChannelDrop{P: 1}}
+	p.Apply(rng, batch)
+	if batch.ApproxEqual(orig, 0) {
+		t.Fatal("pipeline did not modify the batch")
+	}
+	if p.Name() == "" {
+		t.Fatal("pipeline name empty")
+	}
+}
+
+func TestLoadCIFAR10FromGeneratedBinaryFiles(t *testing.T) {
+	// Write two tiny files in the CIFAR-10 binary format and read them back.
+	dir := t.TempDir()
+	for _, name := range []string{"data_batch_1.bin", "data_batch_2.bin", "data_batch_3.bin", "data_batch_4.bin", "data_batch_5.bin"} {
+		var buf []byte
+		for rec := 0; rec < 2; rec++ {
+			buf = append(buf, byte(rec%10))
+			for i := 0; i < cifarImageBytes; i++ {
+				buf = append(buf, byte(i%256))
+			}
+		}
+		if err := os.WriteFile(filepath.Join(dir, name), buf, 0o600); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d, err := LoadCIFAR10(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 10 {
+		t.Fatalf("loaded %d records, want 10", d.Len())
+	}
+	if d.Classes != 10 || d.Size != 32 || d.Channels != 3 {
+		t.Fatal("CIFAR-10 geometry wrong")
+	}
+	// Pixels must be normalized into [-1, 1].
+	x, _ := d.Batch([]int{0})
+	for _, v := range x.Data() {
+		if v < -1 || v > 1 {
+			t.Fatalf("pixel %v outside [-1,1]", v)
+		}
+	}
+}
+
+func TestLoadCIFAR100FromGeneratedBinaryFile(t *testing.T) {
+	dir := t.TempDir()
+	var buf []byte
+	for rec := 0; rec < 3; rec++ {
+		buf = append(buf, byte(rec)) // coarse label (ignored)
+		buf = append(buf, byte(90))  // fine label
+		for i := 0; i < cifarImageBytes; i++ {
+			buf = append(buf, 128)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(dir, "train.bin"), buf, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	d, err := LoadCIFAR100(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 3 {
+		t.Fatalf("loaded %d records, want 3", d.Len())
+	}
+	if d.Label(0) != 90 {
+		t.Fatalf("fine label = %d, want 90", d.Label(0))
+	}
+}
+
+func TestLoadCIFARMissingDirectoryFails(t *testing.T) {
+	if _, err := LoadCIFAR10(filepath.Join(t.TempDir(), "does-not-exist")); err == nil {
+		t.Fatal("expected error for missing directory")
+	}
+}

@@ -1,0 +1,200 @@
+// Package data provides the datasets and data-parallel plumbing used by the
+// DSSP reproduction: synthetic CIFAR-like image-classification datasets (the
+// substitution for CIFAR-10/100, see DESIGN.md), a reader for the real CIFAR
+// binary format when the files are available, per-worker partitioning and
+// mini-batch iteration, and the image-distortion augmentations discussed in
+// the paper's §V-C.
+package data
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dssp/internal/tensor"
+)
+
+// Dataset is an in-memory labelled dataset of fixed-size images (or flat
+// feature vectors when Flat is true).
+type Dataset struct {
+	// Channels and Size describe image geometry (Size × Size pixels); for
+	// flat datasets Channels is 1 and Size is the feature count.
+	Channels int
+	Size     int
+	// Classes is the number of distinct labels.
+	Classes int
+	// Flat selects (batch, features) batches instead of NCHW batches.
+	Flat bool
+
+	images [][]float32
+	labels []int
+}
+
+// NewDataset returns an empty dataset with the given geometry.
+func NewDataset(channels, size, classes int, flat bool) *Dataset {
+	return &Dataset{Channels: channels, Size: size, Classes: classes, Flat: flat}
+}
+
+// Add appends one example. The image slice is copied.
+func (d *Dataset) Add(image []float32, label int) error {
+	if len(image) != d.sampleLen() {
+		return fmt.Errorf("data: sample has %d values, want %d", len(image), d.sampleLen())
+	}
+	if label < 0 || label >= d.Classes {
+		return fmt.Errorf("data: label %d out of range [0,%d)", label, d.Classes)
+	}
+	img := make([]float32, len(image))
+	copy(img, image)
+	d.images = append(d.images, img)
+	d.labels = append(d.labels, label)
+	return nil
+}
+
+// sampleLen returns the number of scalars per example.
+func (d *Dataset) sampleLen() int {
+	if d.Flat {
+		return d.Size
+	}
+	return d.Channels * d.Size * d.Size
+}
+
+// Len returns the number of examples.
+func (d *Dataset) Len() int { return len(d.images) }
+
+// Label returns the label of example i.
+func (d *Dataset) Label(i int) int { return d.labels[i] }
+
+// Batch assembles the examples at the given indices into a batch tensor and
+// a label slice. Image datasets produce NCHW tensors; flat datasets produce
+// (batch, features).
+func (d *Dataset) Batch(indices []int) (*tensor.Tensor, []int) {
+	n := len(indices)
+	var batch *tensor.Tensor
+	if d.Flat {
+		batch = tensor.New(n, d.Size)
+	} else {
+		batch = tensor.New(n, d.Channels, d.Size, d.Size)
+	}
+	labels := make([]int, n)
+	bd := batch.Data()
+	stride := d.sampleLen()
+	for i, idx := range indices {
+		if idx < 0 || idx >= len(d.images) {
+			panic(fmt.Sprintf("data: index %d out of range [0,%d)", idx, len(d.images)))
+		}
+		copy(bd[i*stride:(i+1)*stride], d.images[idx])
+		labels[i] = d.labels[idx]
+	}
+	return batch, labels
+}
+
+// All returns a batch containing the whole dataset, useful for evaluation of
+// small datasets.
+func (d *Dataset) All() (*tensor.Tensor, []int) {
+	idx := make([]int, d.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	return d.Batch(idx)
+}
+
+// Subset returns a new dataset referencing copies of the examples at the
+// given indices.
+func (d *Dataset) Subset(indices []int) *Dataset {
+	out := NewDataset(d.Channels, d.Size, d.Classes, d.Flat)
+	for _, idx := range indices {
+		img := make([]float32, len(d.images[idx]))
+		copy(img, d.images[idx])
+		out.images = append(out.images, img)
+		out.labels = append(out.labels, d.labels[idx])
+	}
+	return out
+}
+
+// ClassCounts returns how many examples each class has.
+func (d *Dataset) ClassCounts() []int {
+	counts := make([]int, d.Classes)
+	for _, l := range d.labels {
+		counts[l]++
+	}
+	return counts
+}
+
+// SyntheticConfig describes a synthetic classification dataset: each class
+// has a random prototype image and samples are the prototype plus Gaussian
+// pixel noise. The signal-to-noise ratio controls how hard the task is.
+type SyntheticConfig struct {
+	// Examples is the total number of examples to generate.
+	Examples int
+	// Classes is the number of classes (10 mimics CIFAR-10, 100 CIFAR-100).
+	Classes int
+	// Channels and Size give the image geometry (3 and 32 mimic CIFAR).
+	Channels int
+	Size     int
+	// Noise is the standard deviation of the additive Gaussian pixel noise.
+	Noise float64
+	// Flat produces a flat feature-vector dataset instead of images.
+	Flat bool
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// Synthetic generates a dataset according to cfg.
+func Synthetic(cfg SyntheticConfig) (*Dataset, error) {
+	if cfg.Examples <= 0 || cfg.Classes <= 0 {
+		return nil, fmt.Errorf("data: synthetic config needs positive examples and classes, got %d/%d",
+			cfg.Examples, cfg.Classes)
+	}
+	if cfg.Channels <= 0 || cfg.Size <= 0 {
+		return nil, fmt.Errorf("data: synthetic config needs positive geometry, got %dx%d", cfg.Channels, cfg.Size)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	d := NewDataset(cfg.Channels, cfg.Size, cfg.Classes, cfg.Flat)
+	sample := d.sampleLen()
+
+	prototypes := make([][]float32, cfg.Classes)
+	for c := range prototypes {
+		proto := make([]float32, sample)
+		for i := range proto {
+			proto[i] = float32(rng.NormFloat64())
+		}
+		prototypes[c] = proto
+	}
+	img := make([]float32, sample)
+	for i := 0; i < cfg.Examples; i++ {
+		label := i % cfg.Classes
+		proto := prototypes[label]
+		for j := range img {
+			img[j] = proto[j] + float32(rng.NormFloat64()*cfg.Noise)
+		}
+		if err := d.Add(img, label); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// MustSynthetic is like Synthetic but panics on configuration errors. It is
+// intended for tests and examples with constant configurations.
+func MustSynthetic(cfg SyntheticConfig) *Dataset {
+	d, err := Synthetic(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// SyntheticCIFAR10 returns a CIFAR-10-shaped synthetic dataset (32×32×3,
+// 10 classes) with the given number of examples.
+func SyntheticCIFAR10(examples int, seed int64) *Dataset {
+	return MustSynthetic(SyntheticConfig{
+		Examples: examples, Classes: 10, Channels: 3, Size: 32, Noise: 1.0, Seed: seed,
+	})
+}
+
+// SyntheticCIFAR100 returns a CIFAR-100-shaped synthetic dataset (32×32×3,
+// 100 classes) with the given number of examples.
+func SyntheticCIFAR100(examples int, seed int64) *Dataset {
+	return MustSynthetic(SyntheticConfig{
+		Examples: examples, Classes: 100, Channels: 3, Size: 32, Noise: 1.0, Seed: seed,
+	})
+}

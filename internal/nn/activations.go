@@ -1,0 +1,162 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dssp/internal/tensor"
+)
+
+// ReLU is the rectified linear activation applied element-wise.
+type ReLU struct {
+	mask []bool
+}
+
+// NewReLU returns a ReLU activation layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	out := x.Clone()
+	data := out.Data()
+	if train {
+		if cap(r.mask) < len(data) {
+			r.mask = make([]bool, len(data))
+		}
+		r.mask = r.mask[:len(data)]
+	}
+	for i, v := range data {
+		if v < 0 {
+			data[i] = 0
+			if train {
+				r.mask[i] = false
+			}
+		} else if train {
+			r.mask[i] = true
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	out := grad.Clone()
+	data := out.Data()
+	if len(r.mask) != len(data) {
+		panic("nn: ReLU.Backward called without a matching Forward(train=true)")
+	}
+	for i := range data {
+		if !r.mask[i] {
+			data[i] = 0
+		}
+	}
+	return out
+}
+
+// Params implements Layer.
+func (r *ReLU) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer.
+func (r *ReLU) Grads() []*tensor.Tensor { return nil }
+
+// Name implements Layer.
+func (r *ReLU) Name() string { return "ReLU" }
+
+// Flatten reshapes an NCHW activation into (batch, features) so that dense
+// layers can follow convolutional stages.
+type Flatten struct {
+	lastShape []int
+}
+
+// NewFlatten returns a flatten layer.
+func NewFlatten() *Flatten { return &Flatten{} }
+
+// Forward implements Layer.
+func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if train {
+		f.lastShape = x.Shape()
+	}
+	batch := x.Dim(0)
+	return x.Reshape(batch, x.Size()/batch)
+}
+
+// Backward implements Layer.
+func (f *Flatten) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if f.lastShape == nil {
+		panic("nn: Flatten.Backward called before Forward(train=true)")
+	}
+	return grad.Reshape(f.lastShape...)
+}
+
+// Params implements Layer.
+func (f *Flatten) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer.
+func (f *Flatten) Grads() []*tensor.Tensor { return nil }
+
+// Name implements Layer.
+func (f *Flatten) Name() string { return "Flatten" }
+
+// Dropout zeroes a random fraction of activations during training and
+// rescales the rest, as used between the fully connected layers of AlexNet.
+type Dropout struct {
+	rate float64
+	rng  *rand.Rand
+	mask []float32
+}
+
+// NewDropout returns a dropout layer that drops activations with probability
+// rate in [0,1).
+func NewDropout(rng *rand.Rand, rate float64) *Dropout {
+	if rate < 0 || rate >= 1 {
+		panic(fmt.Sprintf("nn: dropout rate %v outside [0,1)", rate))
+	}
+	return &Dropout{rate: rate, rng: rng}
+}
+
+// Forward implements Layer.
+func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if !train || d.rate == 0 {
+		return x.Clone()
+	}
+	out := x.Clone()
+	data := out.Data()
+	if cap(d.mask) < len(data) {
+		d.mask = make([]float32, len(data))
+	}
+	d.mask = d.mask[:len(data)]
+	keep := float32(1.0 / (1.0 - d.rate))
+	for i := range data {
+		if d.rng.Float64() < d.rate {
+			d.mask[i] = 0
+			data[i] = 0
+		} else {
+			d.mask[i] = keep
+			data[i] *= keep
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (d *Dropout) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	out := grad.Clone()
+	data := out.Data()
+	if len(d.mask) != len(data) {
+		// Dropout was a no-op during forward (rate 0); pass gradient through.
+		return out
+	}
+	for i := range data {
+		data[i] *= d.mask[i]
+	}
+	return out
+}
+
+// Params implements Layer.
+func (d *Dropout) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer.
+func (d *Dropout) Grads() []*tensor.Tensor { return nil }
+
+// Name implements Layer.
+func (d *Dropout) Name() string { return fmt.Sprintf("Dropout(%.2f)", d.rate) }

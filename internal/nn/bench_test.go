@@ -1,0 +1,68 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"dssp/internal/tensor"
+)
+
+// BenchmarkDownsizedAlexNetIteration measures one forward+backward pass of
+// the paper's downsized AlexNet on a small batch, the per-iteration compute
+// cost a worker pays on a CPU.
+func BenchmarkDownsizedAlexNetIteration(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	net := DownsizedAlexNet(rng, 16, 10)
+	x := tensor.New(4, 3, 16, 16).RandNormal(rng, 0, 1)
+	labels := []int{0, 1, 2, 3}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.ZeroGrads()
+		net.Loss(x, labels, true)
+		net.Backward()
+	}
+}
+
+// BenchmarkResNet8Iteration measures one forward+backward pass of the
+// smallest CIFAR-style ResNet.
+func BenchmarkResNet8Iteration(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	net := ResNetCIFAR(rng, 8, 10)
+	x := tensor.New(2, 3, 16, 16).RandNormal(rng, 0, 1)
+	labels := []int{0, 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.ZeroGrads()
+		net.Loss(x, labels, true)
+		net.Backward()
+	}
+}
+
+// BenchmarkSmallMLPIteration measures the cheapest model used in the
+// end-to-end protocol tests.
+func BenchmarkSmallMLPIteration(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	net := SmallMLP(rng, 32, 64, 8)
+	x := tensor.New(16, 32).RandNormal(rng, 0, 1)
+	labels := make([]int, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.ZeroGrads()
+		net.Loss(x, labels, true)
+		net.Backward()
+	}
+}
+
+// BenchmarkParameterFlattening measures CloneParams+SetParams, the worker's
+// cost of installing pulled weights.
+func BenchmarkParameterFlattening(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	net := DownsizedAlexNet(rng, 16, 10)
+	params := net.CloneParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := net.SetParams(params); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

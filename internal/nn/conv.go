@@ -1,0 +1,193 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dssp/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution over NCHW inputs with square kernels, constant
+// stride and zero padding, implemented with im2col + matrix multiplication.
+// Convolutional layers carry few parameters but dominate compute time, the
+// other half of the paper's compute/communication-ratio argument (§V-C).
+type Conv2D struct {
+	inC, outC      int
+	kernel, stride int
+	pad            int
+
+	weight *tensor.Tensor // (outC, inC*kernel*kernel)
+	bias   *tensor.Tensor // (outC)
+	gradW  *tensor.Tensor
+	gradB  *tensor.Tensor
+
+	lastInput *tensor.Tensor
+	lastCols  []*tensor.Tensor // one im2col matrix per batch item
+}
+
+// NewConv2D returns a convolution layer with He-initialized weights.
+func NewConv2D(rng *rand.Rand, inC, outC, kernel, stride, pad int) *Conv2D {
+	if kernel <= 0 || stride <= 0 || pad < 0 {
+		panic(fmt.Sprintf("nn: invalid conv geometry kernel=%d stride=%d pad=%d", kernel, stride, pad))
+	}
+	c := &Conv2D{
+		inC: inC, outC: outC, kernel: kernel, stride: stride, pad: pad,
+		weight: tensor.New(outC, inC*kernel*kernel),
+		bias:   tensor.New(outC),
+		gradW:  tensor.New(outC, inC*kernel*kernel),
+		gradB:  tensor.New(outC),
+	}
+	c.weight.HeInit(rng, inC*kernel*kernel)
+	return c
+}
+
+// outSize returns the spatial output size for an input of the given size.
+func (c *Conv2D) outSize(in int) int {
+	return (in+2*c.pad-c.kernel)/c.stride + 1
+}
+
+// im2col builds the (inC*k*k, outH*outW) patch matrix for one image of shape
+// (inC, h, w) stored in img (flattened).
+func (c *Conv2D) im2col(img []float32, h, w int) *tensor.Tensor {
+	outH, outW := c.outSize(h), c.outSize(w)
+	k := c.kernel
+	col := tensor.New(c.inC*k*k, outH*outW)
+	data := col.Data()
+	for ch := 0; ch < c.inC; ch++ {
+		chBase := ch * h * w
+		for ky := 0; ky < k; ky++ {
+			for kx := 0; kx < k; kx++ {
+				rowIdx := (ch*k+ky)*k + kx
+				rowBase := rowIdx * outH * outW
+				for oy := 0; oy < outH; oy++ {
+					iy := oy*c.stride + ky - c.pad
+					if iy < 0 || iy >= h {
+						continue
+					}
+					for ox := 0; ox < outW; ox++ {
+						ix := ox*c.stride + kx - c.pad
+						if ix < 0 || ix >= w {
+							continue
+						}
+						data[rowBase+oy*outW+ox] = img[chBase+iy*w+ix]
+					}
+				}
+			}
+		}
+	}
+	return col
+}
+
+// col2im scatters the gradient of a patch matrix back onto an image gradient
+// of shape (inC, h, w).
+func (c *Conv2D) col2im(col *tensor.Tensor, h, w int, dst []float32) {
+	outH, outW := c.outSize(h), c.outSize(w)
+	k := c.kernel
+	data := col.Data()
+	for ch := 0; ch < c.inC; ch++ {
+		chBase := ch * h * w
+		for ky := 0; ky < k; ky++ {
+			for kx := 0; kx < k; kx++ {
+				rowIdx := (ch*k+ky)*k + kx
+				rowBase := rowIdx * outH * outW
+				for oy := 0; oy < outH; oy++ {
+					iy := oy*c.stride + ky - c.pad
+					if iy < 0 || iy >= h {
+						continue
+					}
+					for ox := 0; ox < outW; ox++ {
+						ix := ox*c.stride + kx - c.pad
+						if ix < 0 || ix >= w {
+							continue
+						}
+						dst[chBase+iy*w+ix] += data[rowBase+oy*outW+ox]
+					}
+				}
+			}
+		}
+	}
+}
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Dims() != 4 || x.Dim(1) != c.inC {
+		panic(fmt.Sprintf("nn: %s got input shape %v, want (batch,%d,h,w)", c.Name(), x.Shape(), c.inC))
+	}
+	batch, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
+	outH, outW := c.outSize(h), c.outSize(w)
+	out := tensor.New(batch, c.outC, outH, outW)
+
+	if train {
+		c.lastInput = x
+		c.lastCols = make([]*tensor.Tensor, batch)
+	}
+	xData := x.Data()
+	outData := out.Data()
+	bias := c.bias.Data()
+	imgSize := c.inC * h * w
+	outImgSize := c.outC * outH * outW
+	for b := 0; b < batch; b++ {
+		col := c.im2col(xData[b*imgSize:(b+1)*imgSize], h, w)
+		if train {
+			c.lastCols[b] = col
+		}
+		prod := tensor.MatMul(c.weight, col) // (outC, outH*outW)
+		pd := prod.Data()
+		dst := outData[b*outImgSize : (b+1)*outImgSize]
+		plane := outH * outW
+		for oc := 0; oc < c.outC; oc++ {
+			bval := bias[oc]
+			row := pd[oc*plane : (oc+1)*plane]
+			drow := dst[oc*plane : (oc+1)*plane]
+			for i := range row {
+				drow[i] = row[i] + bval
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if c.lastInput == nil {
+		panic("nn: Conv2D.Backward called before Forward(train=true)")
+	}
+	batch, h, w := c.lastInput.Dim(0), c.lastInput.Dim(2), c.lastInput.Dim(3)
+	outH, outW := c.outSize(h), c.outSize(w)
+	plane := outH * outW
+	dx := tensor.New(batch, c.inC, h, w)
+	dxData := dx.Data()
+	gradData := grad.Data()
+	gb := c.gradB.Data()
+	imgSize := c.inC * h * w
+	outImgSize := c.outC * plane
+	for b := 0; b < batch; b++ {
+		gradMat := tensor.FromSlice(gradData[b*outImgSize:(b+1)*outImgSize], c.outC, plane)
+		// dW += grad · colᵀ
+		c.gradW.Add(tensor.MatMulTransB(gradMat, c.lastCols[b]))
+		// db += per-channel sums
+		gm := gradMat.Data()
+		for oc := 0; oc < c.outC; oc++ {
+			var s float32
+			for _, v := range gm[oc*plane : (oc+1)*plane] {
+				s += v
+			}
+			gb[oc] += s
+		}
+		// dcol = Wᵀ · grad, then scatter back to the input gradient.
+		dcol := tensor.MatMulTransA(c.weight, gradMat)
+		c.col2im(dcol, h, w, dxData[b*imgSize:(b+1)*imgSize])
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*tensor.Tensor { return []*tensor.Tensor{c.weight, c.bias} }
+
+// Grads implements Layer.
+func (c *Conv2D) Grads() []*tensor.Tensor { return []*tensor.Tensor{c.gradW, c.gradB} }
+
+// Name implements Layer.
+func (c *Conv2D) Name() string {
+	return fmt.Sprintf("Conv2D(%dx%d,%d->%d,stride=%d,pad=%d)", c.kernel, c.kernel, c.inC, c.outC, c.stride, c.pad)
+}

@@ -1,0 +1,86 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dssp/internal/tensor"
+)
+
+// Dense is a fully connected layer computing y = xW + b for x of shape
+// (batch, in) and W of shape (in, out). Fully connected layers are what give
+// the downsized AlexNet its large parameter count and hence its large
+// communication cost in the paper's §V-C analysis.
+type Dense struct {
+	in, out int
+
+	weight *tensor.Tensor // (in, out)
+	bias   *tensor.Tensor // (out)
+	gradW  *tensor.Tensor
+	gradB  *tensor.Tensor
+
+	lastInput *tensor.Tensor
+}
+
+// NewDense returns a dense layer with Xavier-initialized weights.
+func NewDense(rng *rand.Rand, in, out int) *Dense {
+	d := &Dense{
+		in:     in,
+		out:    out,
+		weight: tensor.New(in, out),
+		bias:   tensor.New(out),
+		gradW:  tensor.New(in, out),
+		gradB:  tensor.New(out),
+	}
+	d.weight.XavierInit(rng, in, out)
+	return d
+}
+
+// Forward implements Layer.
+func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Dims() != 2 || x.Dim(1) != d.in {
+		panic(fmt.Sprintf("nn: %s got input shape %v, want (batch,%d)", d.Name(), x.Shape(), d.in))
+	}
+	if train {
+		d.lastInput = x
+	}
+	out := tensor.MatMul(x, d.weight)
+	batch := out.Dim(0)
+	data := out.Data()
+	bias := d.bias.Data()
+	for b := 0; b < batch; b++ {
+		row := data[b*d.out : (b+1)*d.out]
+		for j := range row {
+			row[j] += bias[j]
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if d.lastInput == nil {
+		panic("nn: Dense.Backward called before Forward(train=true)")
+	}
+	// dW = xᵀ · grad, db = column sums of grad, dx = grad · Wᵀ.
+	d.gradW.Add(tensor.MatMulTransA(d.lastInput, grad))
+	batch := grad.Dim(0)
+	gdata := grad.Data()
+	gb := d.gradB.Data()
+	for b := 0; b < batch; b++ {
+		row := gdata[b*d.out : (b+1)*d.out]
+		for j := range row {
+			gb[j] += row[j]
+		}
+	}
+	return tensor.MatMulTransB(grad, d.weight)
+}
+
+// Params implements Layer.
+func (d *Dense) Params() []*tensor.Tensor { return []*tensor.Tensor{d.weight, d.bias} }
+
+// Grads implements Layer.
+func (d *Dense) Grads() []*tensor.Tensor { return []*tensor.Tensor{d.gradW, d.gradB} }
+
+// Name implements Layer.
+func (d *Dense) Name() string { return fmt.Sprintf("Dense(%d->%d)", d.in, d.out) }

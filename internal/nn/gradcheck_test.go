@@ -1,0 +1,156 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dssp/internal/tensor"
+)
+
+// numericalGradientCheck verifies the analytic gradients of every parameter
+// of net against centered finite differences of the loss, on a small batch.
+// maxPerParam limits how many scalar entries per parameter tensor are
+// probed, keeping the check fast for convolutional layers.
+func numericalGradientCheck(t *testing.T, net *Network, x *tensor.Tensor, labels []int, maxPerParam int) {
+	t.Helper()
+	const eps = 1e-3
+
+	net.ZeroGrads()
+	loss, _ := net.Loss(x, labels, true)
+	if math.IsNaN(loss) || math.IsInf(loss, 0) {
+		t.Fatalf("loss is not finite: %v", loss)
+	}
+	net.Backward()
+	analytic := net.CloneGrads()
+	params := net.Params()
+
+	rng := rand.New(rand.NewSource(99))
+	for pi, p := range params {
+		n := p.Size()
+		indices := make([]int, 0, maxPerParam)
+		if n <= maxPerParam {
+			for i := 0; i < n; i++ {
+				indices = append(indices, i)
+			}
+		} else {
+			for len(indices) < maxPerParam {
+				indices = append(indices, rng.Intn(n))
+			}
+		}
+		data := p.Data()
+		for _, idx := range indices {
+			orig := data[idx]
+			data[idx] = orig + eps
+			lossPlus, _ := net.Loss(x, labels, true)
+			data[idx] = orig - eps
+			lossMinus, _ := net.Loss(x, labels, true)
+			data[idx] = orig
+
+			numeric := (lossPlus - lossMinus) / (2 * eps)
+			got := float64(analytic[pi].Data()[idx])
+			diff := math.Abs(numeric - got)
+			scale := math.Max(1, math.Abs(numeric)+math.Abs(got))
+			if diff/scale > 0.06 {
+				t.Errorf("param %d index %d: analytic %.6f vs numeric %.6f (rel %.4f)",
+					pi, idx, got, numeric, diff/scale)
+			}
+		}
+	}
+}
+
+func TestGradientCheckDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	net := NewNetwork(rng, NewDense(rng, 6, 5), NewReLU(), NewDense(rng, 5, 3))
+	x := tensor.New(4, 6).RandNormal(rng, 0, 1)
+	labels := []int{0, 2, 1, 2}
+	numericalGradientCheck(t, net, x, labels, 30)
+}
+
+func TestGradientCheckConv(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	net := NewNetwork(rng,
+		NewConv2D(rng, 2, 3, 3, 1, 1),
+		NewReLU(),
+		NewFlatten(),
+		NewDense(rng, 3*6*6, 4),
+	)
+	x := tensor.New(2, 2, 6, 6).RandNormal(rng, 0, 1)
+	labels := []int{1, 3}
+	numericalGradientCheck(t, net, x, labels, 20)
+}
+
+func TestGradientCheckConvStrideAndPad(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	net := NewNetwork(rng,
+		NewConv2D(rng, 1, 2, 3, 2, 1),
+		NewFlatten(),
+		NewDense(rng, 2*4*4, 3),
+	)
+	x := tensor.New(2, 1, 8, 8).RandNormal(rng, 0, 1)
+	labels := []int{0, 2}
+	numericalGradientCheck(t, net, x, labels, 20)
+}
+
+func TestGradientCheckMaxPool(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	net := NewNetwork(rng,
+		NewConv2D(rng, 1, 2, 3, 1, 1),
+		NewMaxPool2D(2),
+		NewFlatten(),
+		NewDense(rng, 2*3*3, 3),
+	)
+	x := tensor.New(2, 1, 6, 6).RandNormal(rng, 0, 1)
+	labels := []int{2, 0}
+	numericalGradientCheck(t, net, x, labels, 20)
+}
+
+func TestGradientCheckBatchNorm(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	net := NewNetwork(rng,
+		NewConv2D(rng, 1, 3, 3, 1, 1),
+		NewBatchNorm(3),
+		NewReLU(),
+		NewGlobalAvgPool(),
+		NewDense(rng, 3, 2),
+	)
+	x := tensor.New(3, 1, 5, 5).RandNormal(rng, 0, 1)
+	labels := []int{0, 1, 1}
+	numericalGradientCheck(t, net, x, labels, 15)
+}
+
+func TestGradientCheckResidualBlock(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	net := NewNetwork(rng,
+		NewResidualBlock(rng, 2, 2, 1),
+		NewGlobalAvgPool(),
+		NewDense(rng, 2, 3),
+	)
+	x := tensor.New(2, 2, 5, 5).RandNormal(rng, 0, 1)
+	labels := []int{1, 2}
+	numericalGradientCheck(t, net, x, labels, 12)
+}
+
+func TestGradientCheckResidualBlockWithProjection(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	net := NewNetwork(rng,
+		NewResidualBlock(rng, 2, 4, 2),
+		NewGlobalAvgPool(),
+		NewDense(rng, 4, 3),
+	)
+	x := tensor.New(2, 2, 6, 6).RandNormal(rng, 0, 1)
+	labels := []int{0, 2}
+	numericalGradientCheck(t, net, x, labels, 10)
+}
+
+func TestGradientCheckGlobalAvgPool(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	net := NewNetwork(rng,
+		NewConv2D(rng, 1, 4, 3, 1, 1),
+		NewGlobalAvgPool(),
+		NewDense(rng, 4, 3),
+	)
+	x := tensor.New(2, 1, 6, 6).RandNormal(rng, 0, 1)
+	labels := []int{2, 1}
+	numericalGradientCheck(t, net, x, labels, 20)
+}

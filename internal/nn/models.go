@@ -1,0 +1,174 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// ModelSpec describes one of the DNN architectures evaluated in the paper,
+// along with the metadata the cluster simulator needs: the parameter count
+// (communication cost) and whether the model contains fully connected layers
+// (the property §V-C uses to explain the opposite throughput trends).
+type ModelSpec struct {
+	// Name is the architecture label used in figures, e.g. "AlexNet-small".
+	Name string
+	// InputChannels, InputSize describe the expected input (size × size).
+	InputChannels int
+	InputSize     int
+	// Classes is the number of output classes.
+	Classes int
+	// HasFullyConnected reports whether the architecture contains fully
+	// connected layers other than the final softmax classifier.
+	HasFullyConnected bool
+	// Build constructs a freshly initialized replica of the model.
+	Build func(rng *rand.Rand) *Network
+}
+
+// DownsizedAlexNet builds the paper's reduced AlexNet: 3 convolutional
+// layers and 2 fully connected layers for inputSize×inputSize RGB images.
+// The fully connected layers dominate the parameter count, which is what
+// makes this model communication-bound in the paper's analysis.
+func DownsizedAlexNet(rng *rand.Rand, inputSize, classes int) *Network {
+	if inputSize%8 != 0 {
+		panic(fmt.Sprintf("nn: DownsizedAlexNet input size %d must be divisible by 8", inputSize))
+	}
+	final := inputSize / 8
+	return NewNetwork(rng,
+		NewConv2D(rng, 3, 32, 3, 1, 1),
+		NewReLU(),
+		NewMaxPool2D(2),
+		NewConv2D(rng, 32, 64, 3, 1, 1),
+		NewReLU(),
+		NewMaxPool2D(2),
+		NewConv2D(rng, 64, 128, 3, 1, 1),
+		NewReLU(),
+		NewMaxPool2D(2),
+		NewFlatten(),
+		NewDense(rng, 128*final*final, 256),
+		NewReLU(),
+		NewDropout(rng, 0.5),
+		NewDense(rng, 256, classes),
+	)
+}
+
+// ResNetCIFAR builds a CIFAR-style residual network of depth 6n+2: an
+// initial 3x3 convolution followed by three stages of n residual blocks with
+// 16, 32 and 64 channels, global average pooling and a linear classifier.
+// Depth 50 corresponds to n=8 and depth 110 to n=18, the two depths used in
+// the paper's evaluation.
+func ResNetCIFAR(rng *rand.Rand, depth, classes int) *Network {
+	if (depth-2)%6 != 0 || depth < 8 {
+		panic(fmt.Sprintf("nn: ResNetCIFAR depth %d must be 6n+2 with n>=1", depth))
+	}
+	n := (depth - 2) / 6
+	layers := []Layer{
+		NewConv2D(rng, 3, 16, 3, 1, 1),
+		NewBatchNorm(16),
+		NewReLU(),
+	}
+	channels := []int{16, 32, 64}
+	in := 16
+	for stage, ch := range channels {
+		for block := 0; block < n; block++ {
+			stride := 1
+			if stage > 0 && block == 0 {
+				stride = 2
+			}
+			layers = append(layers, NewResidualBlock(rng, in, ch, stride))
+			in = ch
+		}
+	}
+	layers = append(layers,
+		NewGlobalAvgPool(),
+		NewDense(rng, 64, classes),
+	)
+	return NewNetwork(rng, layers...)
+}
+
+// SmallCNN builds a tiny convolutional classifier (one conv layer, one dense
+// classifier) for sz×sz inputs with the given channel count. It trains in
+// seconds on a CPU and is used by integration tests, examples and the
+// end-to-end protocol benchmarks.
+func SmallCNN(rng *rand.Rand, channels, sz, classes int) *Network {
+	if sz%2 != 0 {
+		panic(fmt.Sprintf("nn: SmallCNN input size %d must be even", sz))
+	}
+	half := sz / 2
+	return NewNetwork(rng,
+		NewConv2D(rng, channels, 8, 3, 1, 1),
+		NewReLU(),
+		NewMaxPool2D(2),
+		NewFlatten(),
+		NewDense(rng, 8*half*half, classes),
+	)
+}
+
+// SmallMLP builds a two-layer perceptron over flat feature vectors, the
+// cheapest model that still exercises the full distributed-training path.
+func SmallMLP(rng *rand.Rand, features, hidden, classes int) *Network {
+	return NewNetwork(rng,
+		NewDense(rng, features, hidden),
+		NewReLU(),
+		NewDense(rng, hidden, classes),
+	)
+}
+
+// Standard model specifications for the paper's three architectures plus the
+// small models used for CPU-scale end-to-end runs.
+
+// SpecDownsizedAlexNet returns the spec for the paper's downsized AlexNet on
+// 32x32 inputs (CIFAR-10 by default).
+func SpecDownsizedAlexNet(classes int) ModelSpec {
+	return ModelSpec{
+		Name:              "AlexNet-small",
+		InputChannels:     3,
+		InputSize:         32,
+		Classes:           classes,
+		HasFullyConnected: true,
+		Build: func(rng *rand.Rand) *Network {
+			return DownsizedAlexNet(rng, 32, classes)
+		},
+	}
+}
+
+// SpecResNet returns the spec for a CIFAR ResNet of the given depth.
+func SpecResNet(depth, classes int) ModelSpec {
+	return ModelSpec{
+		Name:              fmt.Sprintf("ResNet-%d", depth),
+		InputChannels:     3,
+		InputSize:         32,
+		Classes:           classes,
+		HasFullyConnected: false,
+		Build: func(rng *rand.Rand) *Network {
+			return ResNetCIFAR(rng, depth, classes)
+		},
+	}
+}
+
+// SpecSmallCNN returns the spec for the tiny CNN used in CPU-scale runs.
+func SpecSmallCNN(sz, classes int) ModelSpec {
+	return ModelSpec{
+		Name:              "SmallCNN",
+		InputChannels:     3,
+		InputSize:         sz,
+		Classes:           classes,
+		HasFullyConnected: false,
+		Build: func(rng *rand.Rand) *Network {
+			return SmallCNN(rng, 3, sz, classes)
+		},
+	}
+}
+
+// SpecSmallMLP returns the spec for the tiny MLP used in CPU-scale runs.
+func SpecSmallMLP(features, hidden, classes int) ModelSpec {
+	return ModelSpec{
+		Name:              "SmallMLP",
+		InputChannels:     1,
+		InputSize:         features,
+		Classes:           classes,
+		HasFullyConnected: true,
+		Build: func(rng *rand.Rand) *Network {
+			return SmallMLP(rng, features, hidden, classes)
+		},
+	}
+}

@@ -1,0 +1,134 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"dssp/internal/tensor"
+)
+
+func TestDownsizedAlexNetForwardShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	net := DownsizedAlexNet(rng, 16, 10) // 16x16 keeps the test fast
+	x := tensor.New(2, 3, 16, 16).RandNormal(rng, 0, 1)
+	out := net.Forward(x, false)
+	if out.Dim(0) != 2 || out.Dim(1) != 10 {
+		t.Fatalf("AlexNet output shape %v, want (2,10)", out.Shape())
+	}
+}
+
+func TestDownsizedAlexNetHasLargeDenseParameterShare(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	net := DownsizedAlexNet(rng, 32, 10)
+	var dense, total int
+	for _, l := range net.Layers() {
+		size := 0
+		for _, p := range l.Params() {
+			size += p.Size()
+		}
+		total += size
+		if _, ok := l.(*Dense); ok {
+			dense += size
+		}
+	}
+	if total == 0 || dense == 0 {
+		t.Fatal("unexpected zero parameter counts")
+	}
+	// The paper's §V-C argument: fully connected layers dominate the
+	// parameter count of AlexNet-style models.
+	if frac := float64(dense) / float64(total); frac < 0.5 {
+		t.Fatalf("dense layers hold %.2f of parameters, expected > 0.5", frac)
+	}
+}
+
+func TestResNetDepthValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for invalid ResNet depth")
+		}
+	}()
+	ResNetCIFAR(rng, 21, 10)
+}
+
+func TestResNetForwardShapeAndBlockCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	net := ResNetCIFAR(rng, 8, 100) // depth 8 = n=1: smallest valid ResNet
+	blocks := 0
+	for _, l := range net.Layers() {
+		if _, ok := l.(*ResidualBlock); ok {
+			blocks++
+		}
+	}
+	if blocks != 3 {
+		t.Fatalf("depth-8 ResNet has %d residual blocks, want 3", blocks)
+	}
+	x := tensor.New(2, 3, 16, 16).RandNormal(rng, 0, 1)
+	out := net.Forward(x, false)
+	if out.Dim(0) != 2 || out.Dim(1) != 100 {
+		t.Fatalf("ResNet output shape %v, want (2,100)", out.Shape())
+	}
+}
+
+func TestResNetParameterCountGrowsWithDepth(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	shallow := ResNetCIFAR(rng, 8, 10).ParamCount()
+	deeper := ResNetCIFAR(rng, 20, 10).ParamCount()
+	if deeper <= shallow {
+		t.Fatalf("ResNet-20 has %d params, ResNet-8 has %d; expected growth", deeper, shallow)
+	}
+}
+
+func TestPaperModelSpecs(t *testing.T) {
+	alex := SpecDownsizedAlexNet(10)
+	if !alex.HasFullyConnected {
+		t.Error("AlexNet spec must report fully connected layers")
+	}
+	res := SpecResNet(50, 100)
+	if res.HasFullyConnected {
+		t.Error("ResNet spec must not report fully connected layers")
+	}
+	if res.Name != "ResNet-50" {
+		t.Errorf("unexpected spec name %q", res.Name)
+	}
+	if alex.Classes != 10 || res.Classes != 100 {
+		t.Error("spec classes not propagated")
+	}
+}
+
+func TestSmallSpecsBuildRunnableNetworks(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	cnnSpec := SpecSmallCNN(8, 4)
+	cnn := cnnSpec.Build(rng)
+	x := tensor.New(2, 3, 8, 8).RandNormal(rng, 0, 1)
+	if out := cnn.Forward(x, false); out.Dim(1) != 4 {
+		t.Fatalf("SmallCNN output shape %v", out.Shape())
+	}
+
+	mlpSpec := SpecSmallMLP(10, 8, 3)
+	mlp := mlpSpec.Build(rng)
+	xf := tensor.New(2, 10).RandNormal(rng, 0, 1)
+	if out := mlp.Forward(xf, false); out.Dim(1) != 3 {
+		t.Fatalf("SmallMLP output shape %v", out.Shape())
+	}
+	if !mlpSpec.HasFullyConnected || cnnSpec.HasFullyConnected {
+		t.Error("HasFullyConnected flags wrong for small specs")
+	}
+}
+
+func TestIdenticalSeedsBuildIdenticalReplicas(t *testing.T) {
+	// Distributed data parallelism requires every worker to start from the
+	// same model replica; seeding the build RNG identically must achieve it.
+	spec := SpecSmallCNN(8, 4)
+	a := spec.Build(rand.New(rand.NewSource(77)))
+	b := spec.Build(rand.New(rand.NewSource(77)))
+	pa, pb := a.Params(), b.Params()
+	if len(pa) != len(pb) {
+		t.Fatalf("replica parameter counts differ: %d vs %d", len(pa), len(pb))
+	}
+	for i := range pa {
+		if !pa[i].ApproxEqual(pb[i], 0) {
+			t.Fatalf("parameter %d differs between identically seeded replicas", i)
+		}
+	}
+}

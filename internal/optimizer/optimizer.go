@@ -1,0 +1,128 @@
+// Package optimizer implements the stochastic-gradient-descent update rules
+// used by the paper's experiments: plain SGD and SGD with momentum, both with
+// optional weight decay, plus the step learning-rate schedule (decay ×0.1 at
+// fixed epochs) used for the ResNet runs.
+package optimizer
+
+import (
+	"fmt"
+
+	"dssp/internal/tensor"
+)
+
+// Optimizer applies parameter updates computed from gradients. In the
+// parameter-server architecture the optimizer lives on the server and is
+// applied to the globally shared weights whenever a worker pushes gradients.
+type Optimizer interface {
+	// Step applies one update to params given the aligned grads.
+	Step(params, grads []*tensor.Tensor)
+	// SetLearningRate changes the learning rate used by subsequent steps.
+	SetLearningRate(lr float64)
+	// LearningRate returns the current learning rate.
+	LearningRate() float64
+	// Name returns a short description of the optimizer.
+	Name() string
+}
+
+// SGD is stochastic gradient descent with optional momentum and weight
+// decay: v = mu*v + grad + wd*param; param -= lr * v.
+type SGD struct {
+	lr       float64
+	momentum float64
+	decay    float64
+	velocity [][]float32
+}
+
+// NewSGD returns a plain SGD optimizer with the given learning rate.
+func NewSGD(lr float64) *SGD { return &SGD{lr: lr} }
+
+// NewSGDMomentum returns an SGD optimizer with momentum and weight decay.
+func NewSGDMomentum(lr, momentum, weightDecay float64) *SGD {
+	return &SGD{lr: lr, momentum: momentum, decay: weightDecay}
+}
+
+// Step implements Optimizer.
+func (s *SGD) Step(params, grads []*tensor.Tensor) {
+	if len(params) != len(grads) {
+		panic(fmt.Sprintf("optimizer: %d params but %d grads", len(params), len(grads)))
+	}
+	if s.momentum > 0 && s.velocity == nil {
+		s.velocity = make([][]float32, len(params))
+		for i, p := range params {
+			s.velocity[i] = make([]float32, p.Size())
+		}
+	}
+	lr := float32(s.lr)
+	mu := float32(s.momentum)
+	wd := float32(s.decay)
+	for i, p := range params {
+		pd := p.Data()
+		gd := grads[i].Data()
+		if len(pd) != len(gd) {
+			panic(fmt.Sprintf("optimizer: param %d has %d values but grad has %d", i, len(pd), len(gd)))
+		}
+		if s.momentum > 0 {
+			v := s.velocity[i]
+			for j := range pd {
+				g := gd[j] + wd*pd[j]
+				v[j] = mu*v[j] + g
+				pd[j] -= lr * v[j]
+			}
+		} else {
+			for j := range pd {
+				g := gd[j] + wd*pd[j]
+				pd[j] -= lr * g
+			}
+		}
+	}
+}
+
+// SetLearningRate implements Optimizer.
+func (s *SGD) SetLearningRate(lr float64) { s.lr = lr }
+
+// LearningRate implements Optimizer.
+func (s *SGD) LearningRate() float64 { return s.lr }
+
+// Name implements Optimizer.
+func (s *SGD) Name() string {
+	if s.momentum > 0 {
+		return fmt.Sprintf("SGD(lr=%g,momentum=%g,wd=%g)", s.lr, s.momentum, s.decay)
+	}
+	return fmt.Sprintf("SGD(lr=%g)", s.lr)
+}
+
+// StepSchedule is a piecewise-constant learning-rate schedule: the base rate
+// is multiplied by factor at each listed epoch, as in the paper's ResNet
+// training (decay 0.1 at epochs 200 and 250).
+type StepSchedule struct {
+	base   float64
+	factor float64
+	epochs []int
+}
+
+// NewStepSchedule returns a schedule decaying base by factor at each of the
+// given epochs.
+func NewStepSchedule(base, factor float64, epochs ...int) *StepSchedule {
+	e := make([]int, len(epochs))
+	copy(e, epochs)
+	return &StepSchedule{base: base, factor: factor, epochs: e}
+}
+
+// At returns the learning rate in force at the given zero-based epoch.
+func (s *StepSchedule) At(epoch int) float64 {
+	lr := s.base
+	for _, e := range s.epochs {
+		if epoch >= e {
+			lr *= s.factor
+		}
+	}
+	return lr
+}
+
+// Apply sets the optimizer's learning rate for the given epoch and returns
+// the rate applied.
+func (s *StepSchedule) Apply(opt Optimizer, epoch int) float64 {
+	lr := s.At(epoch)
+	opt.SetLearningRate(lr)
+	return lr
+}

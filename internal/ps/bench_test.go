@@ -1,0 +1,66 @@
+package ps
+
+import (
+	"testing"
+
+	"dssp/internal/core"
+	"dssp/internal/optimizer"
+	"dssp/internal/tensor"
+	"dssp/internal/transport"
+)
+
+// BenchmarkStoreApply measures applying one gradient-sized update to the
+// global weights.
+func BenchmarkStoreApply(b *testing.B) {
+	initial := []*tensor.Tensor{tensor.New(256, 256), tensor.New(256)}
+	st, err := NewStore(initial, optimizer.NewSGDMomentum(0.01, 0.9, 1e-4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	grads := []*tensor.Tensor{tensor.Full(0.01, 256, 256), tensor.Full(0.01, 256)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.Apply(grads); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPushPullRoundTrip measures one full worker iteration against the
+// in-process parameter server under ASP (no synchronization waits): push a
+// gradient, wait for OK, pull the weights.
+func BenchmarkPushPullRoundTrip(b *testing.B) {
+	initial := []*tensor.Tensor{tensor.New(128, 128)}
+	st, err := NewStore(initial, optimizer.NewSGD(0.01))
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := NewServer(ServerConfig{Workers: 1, Policy: core.MustNewASP(1), Store: st})
+	if err != nil {
+		b.Fatal(err)
+	}
+	listener := transport.NewChanListener()
+	go func() { _ = srv.Serve(listener) }()
+	defer func() {
+		srv.Stop()
+		listener.Close()
+	}()
+	conn, err := listener.Dial()
+	if err != nil {
+		b.Fatal(err)
+	}
+	client := NewClient(conn, 0)
+	if err := client.Register(); err != nil {
+		b.Fatal(err)
+	}
+	grad := []*tensor.Tensor{tensor.Full(0.001, 128, 128)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := client.PushAndWait(grad, int64(i), i); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := client.Pull(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

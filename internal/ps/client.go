@@ -1,0 +1,107 @@
+package ps
+
+import (
+	"fmt"
+
+	"dssp/internal/tensor"
+	"dssp/internal/transport"
+)
+
+// Client is the worker-side handle to the parameter server, implementing the
+// worker protocol of Algorithm 1: register once, pull the initial weights,
+// then repeatedly push gradients, wait for OK, and pull fresh weights.
+type Client struct {
+	conn   transport.Conn
+	worker int
+}
+
+// NewClient wraps a connection for the given worker ID.
+func NewClient(conn transport.Conn, worker int) *Client {
+	return &Client{conn: conn, worker: worker}
+}
+
+// Worker returns the worker ID this client represents.
+func (c *Client) Worker() int { return c.worker }
+
+// Register announces the worker to the server and waits for the
+// acknowledgement.
+func (c *Client) Register() error {
+	if err := c.conn.Send(transport.Message{Type: transport.MsgRegister, Worker: c.worker}); err != nil {
+		return fmt.Errorf("ps: register worker %d: %w", c.worker, err)
+	}
+	msg, err := c.recv()
+	if err != nil {
+		return err
+	}
+	if msg.Type != transport.MsgRegistered {
+		return fmt.Errorf("ps: worker %d expected Registered, got %v", c.worker, msg.Type)
+	}
+	return nil
+}
+
+// Pull retrieves the current global weights and their version.
+func (c *Client) Pull() ([]*tensor.Tensor, int64, error) {
+	if err := c.conn.Send(transport.Message{Type: transport.MsgPull, Worker: c.worker}); err != nil {
+		return nil, 0, fmt.Errorf("ps: pull request from worker %d: %w", c.worker, err)
+	}
+	msg, err := c.recv()
+	if err != nil {
+		return nil, 0, err
+	}
+	if msg.Type != transport.MsgWeights {
+		return nil, 0, fmt.Errorf("ps: worker %d expected Weights, got %v", c.worker, msg.Type)
+	}
+	params, err := transport.FromWire(msg.Tensors)
+	if err != nil {
+		return nil, 0, err
+	}
+	return params, msg.Version, nil
+}
+
+// PushAndWait sends the worker's gradients (computed against baseVersion of
+// the global weights) and blocks until the server sends OK, i.e. until the
+// synchronization policy allows the worker to start its next iteration.
+func (c *Client) PushAndWait(grads []*tensor.Tensor, baseVersion int64, iteration int) error {
+	msg := transport.Message{
+		Type:      transport.MsgPush,
+		Worker:    c.worker,
+		Iteration: iteration,
+		Version:   baseVersion,
+		Tensors:   transport.ToWire(grads),
+	}
+	if err := c.conn.Send(msg); err != nil {
+		return fmt.Errorf("ps: push from worker %d: %w", c.worker, err)
+	}
+	reply, err := c.recv()
+	if err != nil {
+		return err
+	}
+	if reply.Type != transport.MsgOK {
+		return fmt.Errorf("ps: worker %d expected OK, got %v", c.worker, reply.Type)
+	}
+	return nil
+}
+
+// Done tells the server the worker has finished training.
+func (c *Client) Done() error {
+	if err := c.conn.Send(transport.Message{Type: transport.MsgDone, Worker: c.worker}); err != nil {
+		return fmt.Errorf("ps: done from worker %d: %w", c.worker, err)
+	}
+	return nil
+}
+
+// Close releases the underlying connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// recv reads the next message, converting server-reported errors into Go
+// errors.
+func (c *Client) recv() (transport.Message, error) {
+	msg, err := c.conn.Recv()
+	if err != nil {
+		return transport.Message{}, fmt.Errorf("ps: worker %d receive: %w", c.worker, err)
+	}
+	if msg.Type == transport.MsgError {
+		return transport.Message{}, fmt.Errorf("ps: server error: %s", msg.Error)
+	}
+	return msg, nil
+}

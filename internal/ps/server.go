@@ -1,0 +1,337 @@
+package ps
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"dssp/internal/core"
+	"dssp/internal/metrics"
+	"dssp/internal/transport"
+)
+
+// ServerConfig configures a parameter server.
+type ServerConfig struct {
+	// Workers is the number of workers expected to register.
+	Workers int
+	// Policy is the synchronization paradigm deciding when pushed workers are
+	// released (BSP, ASP, SSP, DSSP, ...).
+	Policy core.Policy
+	// Store holds the global weights and applies updates.
+	Store *Store
+	// Clock supplies timestamps for the policy; nil means time.Now. The
+	// trainer injects an accelerated clock when it simulates heterogeneous
+	// hardware.
+	Clock func() time.Time
+}
+
+// Server is the parameter server: it accepts worker connections, applies
+// pushed gradients to the store, and releases workers according to the
+// configured synchronization policy.
+type Server struct {
+	cfg   ServerConfig
+	clock func() time.Time
+
+	commands chan serverCmd
+
+	mu        sync.Mutex
+	outboxes  map[int]chan transport.Message
+	finished  map[int]bool
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stopped   chan struct{}
+	allDone   chan struct{}
+	wg        sync.WaitGroup
+
+	// Metrics, owned by the run loop.
+	staleness  *metrics.Histogram
+	waits      *metrics.WaitTracker
+	pushes     int
+	dropped    int
+	pushedAt   map[int]time.Time
+	runStarted time.Time
+}
+
+// serverCmd is one unit of work for the central run loop.
+type serverCmd struct {
+	kind    cmdKind
+	worker  int
+	grads   []transport.WireTensor
+	version int64
+	reply   chan error
+}
+
+type cmdKind int
+
+const (
+	cmdPush cmdKind = iota + 1
+	cmdPull
+	cmdDone
+)
+
+// NewServer returns a parameter server with the given configuration.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Workers <= 0 {
+		return nil, fmt.Errorf("ps: server needs a positive worker count, got %d", cfg.Workers)
+	}
+	if cfg.Policy == nil || cfg.Store == nil {
+		return nil, fmt.Errorf("ps: server needs a policy and a store")
+	}
+	if cfg.Policy.NumWorkers() != cfg.Workers {
+		return nil, fmt.Errorf("ps: policy coordinates %d workers, server expects %d",
+			cfg.Policy.NumWorkers(), cfg.Workers)
+	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = time.Now
+	}
+	return &Server{
+		cfg:       cfg,
+		clock:     clock,
+		commands:  make(chan serverCmd, cfg.Workers*4),
+		outboxes:  make(map[int]chan transport.Message),
+		finished:  make(map[int]bool),
+		stopped:   make(chan struct{}),
+		allDone:   make(chan struct{}),
+		staleness: metrics.NewHistogram(),
+		waits:     metrics.NewWaitTracker(cfg.Workers),
+		pushedAt:  make(map[int]time.Time),
+	}, nil
+}
+
+// Serve accepts worker connections from the listener until Stop is called or
+// the listener fails. It blocks; run it in its own goroutine when the caller
+// also drives workers.
+func (s *Server) Serve(l transport.Listener) error {
+	s.startRunLoop()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			select {
+			case <-s.stopped:
+				return nil
+			default:
+				return fmt.Errorf("ps: accept: %w", err)
+			}
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handleConn(conn)
+		}()
+	}
+}
+
+// HandleConn serves a single pre-established connection (used with the
+// in-process transport). It returns when the worker disconnects or the
+// server stops.
+func (s *Server) HandleConn(conn transport.Conn) {
+	s.startRunLoop()
+	s.handleConn(conn)
+}
+
+// startRunLoop launches the central command-processing goroutine once.
+func (s *Server) startRunLoop() {
+	s.startOnce.Do(func() {
+		s.runStarted = s.clock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.run()
+		}()
+	})
+}
+
+// Stop shuts the server down: the run loop exits and all worker outboxes are
+// closed. It is safe to call multiple times.
+func (s *Server) Stop() {
+	s.stopOnce.Do(func() { close(s.stopped) })
+}
+
+// AllWorkersDone returns a channel that is closed once every expected worker
+// has sent MsgDone.
+func (s *Server) AllWorkersDone() <-chan struct{} { return s.allDone }
+
+// handleConn reads messages from one worker connection and forwards them to
+// the run loop.
+func (s *Server) handleConn(conn transport.Conn) {
+	defer conn.Close()
+	var workerID = -1
+	for {
+		msg, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		switch msg.Type {
+		case transport.MsgRegister:
+			workerID = msg.Worker
+			if workerID < 0 || workerID >= s.cfg.Workers {
+				_ = conn.Send(transport.Message{
+					Type:  transport.MsgError,
+					Error: fmt.Sprintf("worker id %d out of range [0,%d)", workerID, s.cfg.Workers),
+				})
+				return
+			}
+			outbox := make(chan transport.Message, 64)
+			s.mu.Lock()
+			s.outboxes[workerID] = outbox
+			s.mu.Unlock()
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				s.writer(conn, outbox)
+			}()
+			s.enqueueOut(workerID, transport.Message{Type: transport.MsgRegistered, Worker: workerID})
+
+		case transport.MsgPush:
+			if workerID < 0 {
+				return
+			}
+			s.submit(serverCmd{kind: cmdPush, worker: workerID, grads: msg.Tensors, version: msg.Version})
+
+		case transport.MsgPull:
+			if workerID < 0 {
+				return
+			}
+			s.submit(serverCmd{kind: cmdPull, worker: workerID})
+
+		case transport.MsgDone:
+			if workerID < 0 {
+				return
+			}
+			s.submit(serverCmd{kind: cmdDone, worker: workerID})
+
+		case transport.MsgShutdown:
+			return
+
+		default:
+			// Unknown message types are ignored to keep the protocol
+			// forward-compatible.
+		}
+	}
+}
+
+// submit forwards a command to the run loop unless the server has stopped.
+func (s *Server) submit(cmd serverCmd) {
+	select {
+	case s.commands <- cmd:
+	case <-s.stopped:
+	}
+}
+
+// writer drains one worker's outbox onto its connection.
+func (s *Server) writer(conn transport.Conn, outbox <-chan transport.Message) {
+	for {
+		select {
+		case msg, ok := <-outbox:
+			if !ok {
+				return
+			}
+			if err := conn.Send(msg); err != nil {
+				return
+			}
+		case <-s.stopped:
+			return
+		}
+	}
+}
+
+// enqueueOut places a message on a worker's outbox, dropping it if the worker
+// never registered or the server is stopping.
+func (s *Server) enqueueOut(worker int, msg transport.Message) {
+	s.mu.Lock()
+	outbox, ok := s.outboxes[worker]
+	s.mu.Unlock()
+	if !ok {
+		return
+	}
+	select {
+	case outbox <- msg:
+	case <-s.stopped:
+	}
+}
+
+// run is the central loop: it serializes all store mutations and policy
+// decisions, mirroring the single logical server of the paper.
+func (s *Server) run() {
+	doneWorkers := 0
+	for {
+		select {
+		case <-s.stopped:
+			return
+		case cmd := <-s.commands:
+			switch cmd.kind {
+			case cmdPush:
+				s.handlePush(cmd)
+			case cmdPull:
+				s.handlePull(cmd)
+			case cmdDone:
+				s.mu.Lock()
+				if !s.finished[cmd.worker] {
+					s.finished[cmd.worker] = true
+					doneWorkers++
+				}
+				s.mu.Unlock()
+				if doneWorkers == s.cfg.Workers {
+					close(s.allDone)
+				}
+			}
+		}
+	}
+}
+
+// handlePush applies a pushed gradient and releases workers per the policy.
+func (s *Server) handlePush(cmd serverCmd) {
+	now := s.clock()
+	decision := s.cfg.Policy.OnPush(core.WorkerID(cmd.worker), now)
+
+	if decision.Drop {
+		s.dropped++
+	} else {
+		grads, err := transport.FromWire(cmd.grads)
+		if err == nil {
+			_, err = s.cfg.Store.Apply(grads)
+		}
+		if err != nil {
+			s.enqueueOut(cmd.worker, transport.Message{Type: transport.MsgError, Error: err.Error()})
+			return
+		}
+		s.pushes++
+		s.staleness.Observe(int(s.cfg.Store.Version() - 1 - cmd.version))
+	}
+
+	s.pushedAt[cmd.worker] = now
+	for _, id := range decision.Release {
+		w := int(id)
+		if at, ok := s.pushedAt[w]; ok {
+			s.waits.Record(w, now.Sub(at))
+			delete(s.pushedAt, w)
+		}
+		s.enqueueOut(w, transport.Message{Type: transport.MsgOK, Worker: w})
+	}
+}
+
+// handlePull sends the current weights to a worker.
+func (s *Server) handlePull(cmd serverCmd) {
+	params, version := s.cfg.Store.Snapshot()
+	s.enqueueOut(cmd.worker, transport.Message{
+		Type:    transport.MsgWeights,
+		Worker:  cmd.worker,
+		Version: version,
+		Tensors: transport.ToWire(params),
+	})
+}
+
+// Staleness returns the histogram of staleness values of applied updates
+// (current store version minus the version the gradient was computed from).
+func (s *Server) Staleness() *metrics.Histogram { return s.staleness }
+
+// Waits returns the per-worker waiting-time tracker.
+func (s *Server) Waits() *metrics.WaitTracker { return s.waits }
+
+// Pushes returns the number of gradient updates applied.
+func (s *Server) Pushes() int { return s.pushes }
+
+// Dropped returns the number of pushed updates dropped by the policy
+// (non-zero only for the backup-worker baseline).
+func (s *Server) Dropped() int { return s.dropped }

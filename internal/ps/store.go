@@ -1,0 +1,98 @@
+// Package ps implements the parameter-server framework the paper builds on:
+// a versioned global parameter store, a server that applies pushed gradients
+// and decides when to release workers according to a synchronization policy
+// (internal/core), and a worker-side client implementing the push/pull
+// protocol of Algorithm 1.
+package ps
+
+import (
+	"fmt"
+	"sync"
+
+	"dssp/internal/optimizer"
+	"dssp/internal/tensor"
+)
+
+// Store holds the globally shared model parameters ("the weights of the
+// model") together with a monotonically increasing version: the number of
+// gradient updates applied so far. The version is what staleness is measured
+// against.
+type Store struct {
+	mu      sync.Mutex
+	params  []*tensor.Tensor
+	opt     optimizer.Optimizer
+	version int64
+}
+
+// NewStore returns a store initialized with deep copies of the given
+// parameters, updated by the given optimizer on every Apply.
+func NewStore(initial []*tensor.Tensor, opt optimizer.Optimizer) (*Store, error) {
+	if len(initial) == 0 {
+		return nil, fmt.Errorf("ps: store needs at least one parameter tensor")
+	}
+	if opt == nil {
+		return nil, fmt.Errorf("ps: store needs an optimizer")
+	}
+	params := make([]*tensor.Tensor, len(initial))
+	for i, p := range initial {
+		params[i] = p.Clone()
+	}
+	return &Store{params: params, opt: opt}, nil
+}
+
+// Apply updates the parameters with one set of gradients and returns the new
+// version.
+func (s *Store) Apply(grads []*tensor.Tensor) (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(grads) != len(s.params) {
+		return 0, fmt.Errorf("ps: push carries %d tensors, store has %d", len(grads), len(s.params))
+	}
+	for i, g := range grads {
+		if !g.SameShape(s.params[i]) {
+			return 0, fmt.Errorf("ps: gradient %d shape %v does not match parameter shape %v",
+				i, g.Shape(), s.params[i].Shape())
+		}
+	}
+	s.opt.Step(s.params, grads)
+	s.version++
+	return s.version, nil
+}
+
+// Snapshot returns deep copies of the current parameters and their version.
+func (s *Store) Snapshot() ([]*tensor.Tensor, int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*tensor.Tensor, len(s.params))
+	for i, p := range s.params {
+		out[i] = p.Clone()
+	}
+	return out, s.version
+}
+
+// Version returns the number of updates applied so far.
+func (s *Store) Version() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.version
+}
+
+// SetLearningRate adjusts the optimizer's learning rate (used by learning-
+// rate schedules during training).
+func (s *Store) SetLearningRate(lr float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.opt.SetLearningRate(lr)
+}
+
+// ParamCount returns the total number of scalar parameters, which determines
+// the per-iteration communication volume.
+func (s *Store) ParamCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	total := 0
+	for _, p := range s.params {
+		total += p.Size()
+	}
+	return total
+}

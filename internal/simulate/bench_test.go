@@ -1,0 +1,73 @@
+package simulate
+
+import (
+	"testing"
+
+	"dssp/internal/core"
+)
+
+// BenchmarkSimulateOneEpochHomogeneous measures simulating one epoch of the
+// 4-worker homogeneous cluster under DSSP.
+func BenchmarkSimulateOneEpochHomogeneous(b *testing.B) {
+	iters := PaperEpochIterations(1, 4)
+	for i := 0; i < b.N; i++ {
+		_, err := Run(RunConfig{
+			Model:               ModelResNet110,
+			Cluster:             HomogeneousCluster(4),
+			Policy:              core.PolicyConfig{Paradigm: core.ParadigmDSSP, Staleness: 3, Range: 12},
+			IterationsPerWorker: iters,
+			Seed:                int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulateHeterogeneousParadigms measures the per-paradigm cost of
+// the heterogeneous simulation (the inner loop of Figure 4 / Table I).
+func BenchmarkSimulateHeterogeneousParadigms(b *testing.B) {
+	policies := map[string]core.PolicyConfig{
+		"BSP":  {Paradigm: core.ParadigmBSP},
+		"ASP":  {Paradigm: core.ParadigmASP},
+		"SSP":  {Paradigm: core.ParadigmSSP, Staleness: 15},
+		"DSSP": {Paradigm: core.ParadigmDSSP, Staleness: 3, Range: 12},
+	}
+	iters := PaperEpochIterations(5, 2)
+	for name, policy := range policies {
+		policy := policy
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(RunConfig{
+					Model:               ModelResNet110,
+					Cluster:             HeterogeneousCluster(),
+					Policy:              policy,
+					IterationsPerWorker: iters,
+					Seed:                1,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAccuracyCurve measures converting a full update trace into an
+// accuracy curve.
+func BenchmarkAccuracyCurve(b *testing.B) {
+	iters := PaperEpochIterations(20, 4)
+	run, err := Run(RunConfig{
+		Model:               ModelResNet50,
+		Cluster:             HomogeneousCluster(4),
+		Policy:              core.PolicyConfig{Paradigm: core.ParadigmSSP, Staleness: 3},
+		IterationsPerWorker: iters,
+		Seed:                1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AccuracyCurve(ModelResNet50.Convergence, run, iters*4, 60)
+	}
+}

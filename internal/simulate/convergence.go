@@ -1,0 +1,148 @@
+package simulate
+
+import (
+	"math"
+	"time"
+
+	"dssp/internal/metrics"
+)
+
+// ConvergenceSpec parameterizes the staleness-aware convergence model that
+// converts a simulated update trace into a test-accuracy curve. The model
+// follows the paper's qualitative analysis:
+//
+//   - every applied update contributes "effective progress" discounted by its
+//     staleness (stale gradients are lower-quality, §I-A2 and [18]);
+//   - accuracy follows a saturating curve of cumulative effective progress;
+//   - the achievable plateau drops as the average staleness grows, strongly
+//     for models with fully connected layers (they overfit to the errors
+//     injected by delayed updates, §V-C) and mildly for pure CNNs;
+//   - pure CNNs additionally gain a small regularization bonus from moderate
+//     staleness, the paper's explanation for SSP/DSSP/ASP exceeding BSP's
+//     accuracy on the ResNets (§V-C).
+type ConvergenceSpec struct {
+	// FloorAccuracy is the untrained accuracy (1/classes).
+	FloorAccuracy float64
+	// PeakAccuracy is the plateau reached with perfectly fresh updates.
+	PeakAccuracy float64
+	// ProgressRate controls how quickly the saturating curve approaches the
+	// plateau as normalized progress goes from 0 to 1.
+	ProgressRate float64
+	// StalenessQuality is the per-update discount rate: an update with
+	// staleness s contributes 1/(1+StalenessQuality*s) progress.
+	StalenessQuality float64
+	// StalenessPenalty is the maximum plateau reduction caused by staleness.
+	StalenessPenalty float64
+	// PenaltyHalfLife is the mean staleness at which half the penalty
+	// applies.
+	PenaltyHalfLife float64
+	// NoiseBonus is the maximum plateau gain from staleness-induced gradient
+	// noise (conv-only models).
+	NoiseBonus float64
+	// NoiseBonusSaturation is the mean staleness at which half the bonus is
+	// realized (saturating form).
+	NoiseBonusSaturation float64
+	// UnboundedPenalty is an extra plateau reduction applied to paradigms
+	// without any staleness bound (ASP), reflecting the paper's observation
+	// that ASP "has no guarantee to converge" and sometimes diverges,
+	// especially for models with fully connected layers.
+	UnboundedPenalty float64
+}
+
+// Plateau returns the model's achievable accuracy given the mean staleness
+// of applied updates and whether the paradigm bounds staleness at all.
+func (c ConvergenceSpec) Plateau(meanStaleness float64, bounded bool) float64 {
+	penalty := 0.0
+	if c.StalenessPenalty > 0 && c.PenaltyHalfLife > 0 {
+		penalty = c.StalenessPenalty * meanStaleness / (meanStaleness + c.PenaltyHalfLife)
+	}
+	bonus := 0.0
+	if c.NoiseBonus > 0 && c.NoiseBonusSaturation > 0 {
+		bonus = c.NoiseBonus * meanStaleness / (meanStaleness + c.NoiseBonusSaturation)
+	}
+	plateau := c.PeakAccuracy - penalty + bonus
+	if !bounded {
+		plateau -= c.UnboundedPenalty
+	}
+	if plateau < c.FloorAccuracy {
+		plateau = c.FloorAccuracy
+	}
+	return plateau
+}
+
+// UpdateQuality returns the effective-progress contribution of one update
+// with the given staleness.
+func (c ConvergenceSpec) UpdateQuality(staleness int) float64 {
+	if staleness < 0 {
+		staleness = 0
+	}
+	return 1.0 / (1.0 + c.StalenessQuality*float64(staleness))
+}
+
+// AccuracyCurve converts a run's update trace into a test-accuracy time
+// series with roughly `points` samples. totalPlanned is the number of updates
+// a full training run applies (iterations per worker × workers); it
+// normalizes progress so that runs of different lengths are comparable.
+func AccuracyCurve(spec ConvergenceSpec, run *RunResult, totalPlanned, points int) *metrics.TimeSeries {
+	series := metrics.NewTimeSeries(run.Label)
+	if totalPlanned <= 0 || len(run.Updates) == 0 {
+		return series
+	}
+	if points < 2 {
+		points = 2
+	}
+	stride := len(run.Updates) / points
+	if stride < 1 {
+		stride = 1
+	}
+
+	plateau := spec.Plateau(run.MeanStaleness(), run.Bounded)
+
+	progress := 0.0
+	for i, u := range run.Updates {
+		progress += spec.UpdateQuality(u.Staleness)
+		if i%stride == 0 || i == len(run.Updates)-1 {
+			normalized := progress / float64(totalPlanned)
+			acc := spec.FloorAccuracy + (plateau-spec.FloorAccuracy)*(1-math.Exp(-spec.ProgressRate*normalized))
+			series.Add(u.At, acc)
+		}
+	}
+	return series
+}
+
+// AverageSeries returns the point-wise average of several accuracy curves,
+// sampled at `points` times spanning the longest curve. It reproduces the
+// "Average SSP s=3 to 15" curves of Figure 3.
+func AverageSeries(name string, curves []*metrics.TimeSeries, points int) *metrics.TimeSeries {
+	out := metrics.NewTimeSeries(name)
+	if len(curves) == 0 || points <= 0 {
+		return out
+	}
+	var maxEnd time.Duration
+	for _, c := range curves {
+		if last, ok := c.Last(); ok && last.Elapsed > maxEnd {
+			maxEnd = last.Elapsed
+		}
+	}
+	if maxEnd == 0 {
+		return out
+	}
+	for i := 1; i <= points; i++ {
+		t := time.Duration(int64(maxEnd) * int64(i) / int64(points))
+		sum := 0.0
+		n := 0
+		for _, c := range curves {
+			if v, ok := c.ValueAt(t); ok {
+				sum += v
+				n++
+			} else if last, ok := c.Last(); ok && t > last.Elapsed {
+				sum += last.Value
+				n++
+			}
+		}
+		if n > 0 {
+			out.Add(t, sum/float64(n))
+		}
+	}
+	return out
+}

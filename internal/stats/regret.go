@@ -1,0 +1,126 @@
+// Package stats implements the quantitative analysis tools of the paper's
+// Section IV: the regret bounds of SGD under SSP (Theorem 1) and under DSSP
+// (Theorem 2), and helpers for checking the O(√T) behaviour empirically.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// RegretParams collects the constants appearing in Theorems 1 and 2.
+type RegretParams struct {
+	// F bounds the diameter of the feasible region: D(w||w') <= F².
+	F float64
+	// L is the Lipschitz constant of the per-iteration loss components.
+	L float64
+	// Workers is P, the number of workers.
+	Workers int
+	// T is the number of iterations.
+	T int
+}
+
+// validate reports an error for non-positive constants.
+func (p RegretParams) validate() error {
+	if p.F <= 0 || p.L <= 0 {
+		return fmt.Errorf("stats: F and L must be positive, got F=%g L=%g", p.F, p.L)
+	}
+	if p.Workers <= 0 {
+		return fmt.Errorf("stats: worker count must be positive, got %d", p.Workers)
+	}
+	if p.T <= 0 {
+		return fmt.Errorf("stats: iteration count must be positive, got %d", p.T)
+	}
+	return nil
+}
+
+// SSPRegretBound returns the right-hand side of Theorem 1:
+// R[X] <= 4FL sqrt(2(s+1)PT) for SSP with staleness threshold s.
+func SSPRegretBound(p RegretParams, staleness int) (float64, error) {
+	if err := p.validate(); err != nil {
+		return 0, err
+	}
+	if staleness < 0 {
+		return 0, fmt.Errorf("stats: staleness must be >= 0, got %d", staleness)
+	}
+	return 4 * p.F * p.L * math.Sqrt(2*float64(staleness+1)*float64(p.Workers)*float64(p.T)), nil
+}
+
+// DSSPRegretBound returns the right-hand side of Theorem 2:
+// R[X] <= 4FL sqrt(2(sL+r+1)PT) where r is the largest value in the range
+// R = [0, sU-sL].
+func DSSPRegretBound(p RegretParams, lower, rangeLen int) (float64, error) {
+	if err := p.validate(); err != nil {
+		return 0, err
+	}
+	if lower < 0 || rangeLen < 0 {
+		return 0, fmt.Errorf("stats: lower bound and range must be >= 0, got %d/%d", lower, rangeLen)
+	}
+	return SSPRegretBound(p, lower+rangeLen)
+}
+
+// SSPStepSize returns the theorem's learning-rate constant sigma =
+// F / (L sqrt(2(s+1)P)), the step-size scale under which the bound holds.
+func SSPStepSize(p RegretParams, staleness int) (float64, error) {
+	if err := p.validate(); err != nil {
+		return 0, err
+	}
+	if staleness < 0 {
+		return 0, fmt.Errorf("stats: staleness must be >= 0, got %d", staleness)
+	}
+	return p.F / (p.L * math.Sqrt(2*float64(staleness+1)*float64(p.Workers))), nil
+}
+
+// RegretRate returns bound/T, the average regret per iteration; Theorems 1
+// and 2 state that it vanishes as T grows.
+func RegretRate(bound float64, t int) float64 {
+	if t <= 0 {
+		return math.Inf(1)
+	}
+	return bound / float64(t)
+}
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// LinearSlope fits y = a + b*x by least squares and returns the slope b. It
+// is used by tests to verify that cumulative regret grows sub-linearly: the
+// slope of regret/T against T must be non-positive (within noise).
+func LinearSlope(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var num, den float64
+	for i := range xs {
+		num += (xs[i] - mx) * (ys[i] - my)
+		den += (xs[i] - mx) * (xs[i] - mx)
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}

@@ -1,0 +1,146 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func validParams() RegretParams {
+	return RegretParams{F: 1, L: 1, Workers: 4, T: 10000}
+}
+
+func TestSSPRegretBoundFormula(t *testing.T) {
+	p := validParams()
+	got, err := SSPRegretBound(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 4 * math.Sqrt(2*4*4*10000)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("bound = %v, want %v", got, want)
+	}
+}
+
+func TestDSSPRegretBoundEqualsSSPAtUpperThreshold(t *testing.T) {
+	// Theorem 2's proof: DSSP with range [sL, sL+r] has the bound of SSP with
+	// threshold sL+r.
+	p := validParams()
+	dssp, err := DSSPRegretBound(p, 3, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ssp, err := SSPRegretBound(p, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(dssp-ssp) > 1e-9 {
+		t.Fatalf("DSSP bound %v differs from SSP(15) bound %v", dssp, ssp)
+	}
+}
+
+func TestRegretBoundMonotoneInStaleness(t *testing.T) {
+	p := validParams()
+	prev := 0.0
+	for s := 0; s < 20; s++ {
+		b, err := SSPRegretBound(p, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b <= prev {
+			t.Fatalf("bound not increasing at s=%d: %v <= %v", s, b, prev)
+		}
+		prev = b
+	}
+}
+
+func TestRegretRateVanishesWithT(t *testing.T) {
+	// R[X]/T = O(1/sqrt(T)) -> 0: the rate at T=10^6 must be far below the
+	// rate at T=10^2.
+	p := validParams()
+	p.T = 100
+	b1, _ := SSPRegretBound(p, 3)
+	r1 := RegretRate(b1, p.T)
+	p.T = 1000000
+	b2, _ := SSPRegretBound(p, 3)
+	r2 := RegretRate(b2, p.T)
+	if !(r2 < r1/10) {
+		t.Fatalf("regret rate does not vanish: %v at T=100 vs %v at T=1e6", r1, r2)
+	}
+	if !math.IsInf(RegretRate(b2, 0), 1) {
+		t.Fatal("RegretRate with T=0 should be +Inf")
+	}
+}
+
+func TestSSPStepSizeFormula(t *testing.T) {
+	p := validParams()
+	got, err := SSPStepSize(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1.0 / math.Sqrt(2*4*4)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("sigma = %v, want %v", got, want)
+	}
+	if _, err := SSPStepSize(p, -1); err == nil {
+		t.Fatal("expected error for negative staleness")
+	}
+}
+
+func TestRegretValidation(t *testing.T) {
+	bad := []RegretParams{
+		{F: 0, L: 1, Workers: 1, T: 1},
+		{F: 1, L: 0, Workers: 1, T: 1},
+		{F: 1, L: 1, Workers: 0, T: 1},
+		{F: 1, L: 1, Workers: 1, T: 0},
+	}
+	for _, p := range bad {
+		if _, err := SSPRegretBound(p, 1); err == nil {
+			t.Errorf("params %+v: expected error", p)
+		}
+	}
+	if _, err := SSPRegretBound(validParams(), -1); err == nil {
+		t.Error("expected error for negative staleness")
+	}
+	if _, err := DSSPRegretBound(validParams(), -1, 2); err == nil {
+		t.Error("expected error for negative lower bound")
+	}
+}
+
+func TestMeanAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Fatalf("Mean = %v, want 5", got)
+	}
+	if got := StdDev(xs); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("StdDev = %v, want 2", got)
+	}
+	if Mean(nil) != 0 || StdDev(nil) != 0 {
+		t.Fatal("empty-slice statistics should be 0")
+	}
+}
+
+func TestLinearSlope(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{3, 5, 7, 9, 11} // slope 2
+	if got := LinearSlope(xs, ys); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("slope = %v, want 2", got)
+	}
+	if LinearSlope(xs, ys[:3]) != 0 {
+		t.Fatal("mismatched lengths should return 0")
+	}
+	if LinearSlope([]float64{1, 1}, []float64{2, 3}) != 0 {
+		t.Fatal("degenerate x should return 0")
+	}
+}
+
+func TestSqrtTGrowthOfBound(t *testing.T) {
+	// The bound itself grows like sqrt(T): quadrupling T doubles the bound.
+	p := validParams()
+	p.T = 1000
+	b1, _ := SSPRegretBound(p, 5)
+	p.T = 4000
+	b2, _ := SSPRegretBound(p, 5)
+	if math.Abs(b2/b1-2) > 1e-9 {
+		t.Fatalf("bound ratio = %v, want 2", b2/b1)
+	}
+}

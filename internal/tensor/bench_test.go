@@ -1,0 +1,48 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkMatMul128(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := New(128, 128).RandNormal(rng, 0, 1)
+	y := New(128, 128).RandNormal(rng, 0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMul(x, y)
+	}
+}
+
+func BenchmarkMatMulTransA128(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	x := New(128, 128).RandNormal(rng, 0, 1)
+	y := New(128, 128).RandNormal(rng, 0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulTransA(x, y)
+	}
+}
+
+func BenchmarkAXPYLargeVector(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	x := New(1_000_000).RandNormal(rng, 0, 1)
+	y := New(1_000_000).RandNormal(rng, 0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.AXPY(0.01, y)
+	}
+}
+
+func BenchmarkEncodeDecodeGradientSizedTensor(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	t := New(512, 256).RandNormal(rng, 0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf := t.Encode(nil)
+		if _, _, err := Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package tensor
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Binary layout produced by Encode:
+//
+//	uint32  number of dimensions d
+//	uint32  d dimension sizes
+//	uint32  element count n (redundant, used for validation)
+//	float32 n elements (IEEE 754, little endian)
+//
+// The format is deliberately self-describing so that parameter-server
+// messages can carry tensors of any shape without side-channel metadata.
+
+// EncodedSize returns the number of bytes Encode will produce for t.
+func (t *Tensor) EncodedSize() int {
+	return 4 + 4*len(t.shape) + 4 + 4*len(t.data)
+}
+
+// Encode appends the binary representation of t to dst and returns the
+// extended slice.
+func (t *Tensor) Encode(dst []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(t.shape)))
+	for _, d := range t.shape {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(d))
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(t.data)))
+	for _, v := range t.data {
+		dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(v))
+	}
+	return dst
+}
+
+// Decode parses one tensor from the front of buf and returns it together
+// with the remaining bytes.
+func Decode(buf []byte) (*Tensor, []byte, error) {
+	if len(buf) < 4 {
+		return nil, nil, fmt.Errorf("tensor: decode: truncated header")
+	}
+	dims := int(binary.LittleEndian.Uint32(buf))
+	buf = buf[4:]
+	if dims < 0 || dims > 8 {
+		return nil, nil, fmt.Errorf("tensor: decode: implausible dimension count %d", dims)
+	}
+	if len(buf) < 4*dims+4 {
+		return nil, nil, fmt.Errorf("tensor: decode: truncated shape")
+	}
+	shape := make([]int, dims)
+	expect := 1
+	for i := range shape {
+		shape[i] = int(binary.LittleEndian.Uint32(buf))
+		buf = buf[4:]
+		if shape[i] <= 0 {
+			return nil, nil, fmt.Errorf("tensor: decode: non-positive dimension %d", shape[i])
+		}
+		expect *= shape[i]
+	}
+	n := int(binary.LittleEndian.Uint32(buf))
+	buf = buf[4:]
+	if n != expect {
+		return nil, nil, fmt.Errorf("tensor: decode: element count %d does not match shape %v", n, shape)
+	}
+	if len(buf) < 4*n {
+		return nil, nil, fmt.Errorf("tensor: decode: truncated data: need %d bytes, have %d", 4*n, len(buf))
+	}
+	t := New(shape...)
+	for i := 0; i < n; i++ {
+		t.data[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf))
+		buf = buf[4:]
+	}
+	return t, buf, nil
+}

@@ -1,0 +1,38 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RandNormal fills the tensor with samples from N(mean, stddev²) drawn from
+// rng and returns it. The caller owns the random source so that distributed
+// workers can initialize identical model replicas from a shared seed.
+func (t *Tensor) RandNormal(rng *rand.Rand, mean, stddev float64) *Tensor {
+	for i := range t.data {
+		t.data[i] = float32(rng.NormFloat64()*stddev + mean)
+	}
+	return t
+}
+
+// RandUniform fills the tensor with samples from U[lo, hi) and returns it.
+func (t *Tensor) RandUniform(rng *rand.Rand, lo, hi float64) *Tensor {
+	for i := range t.data {
+		t.data[i] = float32(lo + rng.Float64()*(hi-lo))
+	}
+	return t
+}
+
+// XavierInit fills the tensor with the Glorot/Xavier uniform initialization
+// for a layer with the given fan-in and fan-out and returns it.
+func (t *Tensor) XavierInit(rng *rand.Rand, fanIn, fanOut int) *Tensor {
+	limit := math.Sqrt(6.0 / float64(fanIn+fanOut))
+	return t.RandUniform(rng, -limit, limit)
+}
+
+// HeInit fills the tensor with the He-normal initialization used for layers
+// followed by ReLU activations and returns it.
+func (t *Tensor) HeInit(rng *rand.Rand, fanIn int) *Tensor {
+	stddev := math.Sqrt(2.0 / float64(fanIn))
+	return t.RandNormal(rng, 0, stddev)
+}

@@ -1,0 +1,319 @@
+// Package trainer runs real data-parallel training through the parameter
+// server: worker goroutines each hold a model replica and a shard of the
+// dataset, compute gradients with the nn substrate, and exchange them with a
+// ps.Server whose release decisions are made by one of the synchronization
+// paradigms in internal/core. Per-worker artificial delays emulate the
+// heterogeneous-GPU clusters of the paper's §V-D on a single machine.
+package trainer
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"dssp/internal/core"
+	"dssp/internal/data"
+	"dssp/internal/metrics"
+	"dssp/internal/nn"
+	"dssp/internal/optimizer"
+	"dssp/internal/ps"
+	"dssp/internal/transport"
+)
+
+// Config describes one distributed training run.
+type Config struct {
+	// Model builds the network architecture to train.
+	Model nn.ModelSpec
+	// Train is the training dataset, partitioned across workers.
+	Train *data.Dataset
+	// Test is the evaluation dataset; when nil the training set is used.
+	Test *data.Dataset
+	// Workers is the number of worker goroutines.
+	Workers int
+	// BatchSize is the per-worker mini-batch size.
+	BatchSize int
+	// Epochs is the number of passes over each worker's shard.
+	Epochs int
+	// Policy selects the synchronization paradigm.
+	Policy core.PolicyConfig
+	// LearningRate, Momentum and WeightDecay configure the server-side SGD.
+	LearningRate float64
+	Momentum     float64
+	WeightDecay  float64
+	// Schedule optionally decays the learning rate by epoch; nil keeps the
+	// base rate.
+	Schedule *optimizer.StepSchedule
+	// WorkerDelay adds an artificial per-iteration delay to each worker,
+	// emulating slower GPUs; nil or missing entries mean no delay.
+	WorkerDelay []time.Duration
+	// Augment optionally distorts each training batch.
+	Augment data.Augmenter
+	// EvalEvery evaluates the global model every EvalEvery applied updates;
+	// 0 picks a default that yields roughly 30 evaluation points.
+	EvalEvery int
+	// Seed makes model initialization and batching deterministic.
+	Seed int64
+}
+
+// Result collects the measurements of one run.
+type Result struct {
+	// Paradigm is the human-readable policy description.
+	Paradigm string
+	// Accuracy is test accuracy against elapsed wall-clock time.
+	Accuracy *metrics.TimeSeries
+	// Loss is the most recent training loss per evaluation point.
+	Loss *metrics.TimeSeries
+	// Staleness is the distribution of applied-update staleness.
+	Staleness *metrics.Histogram
+	// Waits is the per-worker waiting time recorded by the server.
+	Waits *metrics.WaitTracker
+	// Updates is the number of gradient updates applied.
+	Updates int
+	// Duration is the total wall-clock training time.
+	Duration time.Duration
+	// FinalAccuracy is the test accuracy of the final model.
+	FinalAccuracy float64
+}
+
+// TimeToAccuracy returns the elapsed time at which the run first reached the
+// target test accuracy (Table I of the paper) and whether it ever did.
+func (r *Result) TimeToAccuracy(target float64) (time.Duration, bool) {
+	return r.Accuracy.TimeToReach(target)
+}
+
+// validate checks the configuration.
+func (c Config) validate() error {
+	if c.Model.Build == nil {
+		return fmt.Errorf("trainer: config needs a model spec")
+	}
+	if c.Train == nil || c.Train.Len() == 0 {
+		return fmt.Errorf("trainer: config needs a non-empty training set")
+	}
+	if c.Workers <= 0 {
+		return fmt.Errorf("trainer: worker count must be positive, got %d", c.Workers)
+	}
+	if c.BatchSize <= 0 {
+		return fmt.Errorf("trainer: batch size must be positive, got %d", c.BatchSize)
+	}
+	if c.Epochs <= 0 {
+		return fmt.Errorf("trainer: epoch count must be positive, got %d", c.Epochs)
+	}
+	if c.LearningRate <= 0 {
+		return fmt.Errorf("trainer: learning rate must be positive, got %g", c.LearningRate)
+	}
+	return nil
+}
+
+// Run executes one distributed training run and returns its measurements.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	cfg.Policy.Workers = cfg.Workers
+	policy, err := core.NewPolicy(cfg.Policy)
+	if err != nil {
+		return nil, err
+	}
+
+	// Build the initial model; every worker replica starts from the same
+	// weights because they are all pulled from the store before training.
+	initModel := cfg.Model.Build(rand.New(rand.NewSource(cfg.Seed)))
+	opt := optimizer.NewSGDMomentum(cfg.LearningRate, cfg.Momentum, cfg.WeightDecay)
+	store, err := ps.NewStore(initModel.Params(), opt)
+	if err != nil {
+		return nil, err
+	}
+	server, err := ps.NewServer(ps.ServerConfig{Workers: cfg.Workers, Policy: policy, Store: store})
+	if err != nil {
+		return nil, err
+	}
+	listener := transport.NewChanListener()
+	go func() { _ = server.Serve(listener) }()
+	defer func() {
+		server.Stop()
+		listener.Close()
+	}()
+
+	test := cfg.Test
+	if test == nil {
+		test = cfg.Train
+	}
+	// Every worker runs the same number of iterations so that no paradigm
+	// deadlocks waiting for a worker that has already finished.
+	shardSize := cfg.Train.Len() / cfg.Workers
+	if shardSize == 0 {
+		shardSize = cfg.Train.Len()
+	}
+	itersPerEpoch := (shardSize + cfg.BatchSize - 1) / cfg.BatchSize
+	totalIters := itersPerEpoch * cfg.Epochs
+
+	evalEvery := cfg.EvalEvery
+	if evalEvery <= 0 {
+		evalEvery = totalIters * cfg.Workers / 30
+		if evalEvery == 0 {
+			evalEvery = 1
+		}
+	}
+
+	start := time.Now()
+	var lossMu sync.Mutex
+	lastLoss := 0.0
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(workerID int) {
+			defer wg.Done()
+			loss, err := runWorker(cfg, listener, workerID, totalIters)
+			if err != nil {
+				errCh <- fmt.Errorf("worker %d: %w", workerID, err)
+				return
+			}
+			lossMu.Lock()
+			lastLoss = loss
+			lossMu.Unlock()
+		}(w)
+	}
+
+	// Evaluation loop: snapshot the store whenever enough new updates were
+	// applied, evaluate on the test set, and apply the learning-rate schedule.
+	result := &Result{
+		Paradigm: cfg.Policy.Describe(),
+		Accuracy: metrics.NewTimeSeries(cfg.Policy.Describe()),
+		Loss:     metrics.NewTimeSeries(cfg.Policy.Describe() + "/loss"),
+	}
+	evalModel := cfg.Model.Build(rand.New(rand.NewSource(cfg.Seed)))
+	testX, testLabels := test.All()
+
+	workersDone := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(workersDone)
+	}()
+
+	lastEval := int64(0)
+	evaluate := func() {
+		params, version := store.Snapshot()
+		if err := evalModel.SetParams(params); err != nil {
+			return
+		}
+		acc := evalModel.Accuracy(testX, testLabels)
+		elapsed := time.Since(start)
+		result.Accuracy.Add(elapsed, acc)
+		lossMu.Lock()
+		result.Loss.Add(elapsed, lastLoss)
+		lossMu.Unlock()
+		lastEval = version
+		if cfg.Schedule != nil {
+			totalUpdates := int64(totalIters) * int64(cfg.Workers)
+			epoch := int(version * int64(cfg.Epochs) / max64(totalUpdates, 1))
+			store.SetLearningRate(cfg.Schedule.At(epoch))
+		}
+	}
+
+	ticker := time.NewTicker(5 * time.Millisecond)
+	defer ticker.Stop()
+poll:
+	for {
+		select {
+		case err := <-errCh:
+			server.Stop()
+			return nil, err
+		case <-workersDone:
+			break poll
+		case <-ticker.C:
+			if store.Version()-lastEval >= int64(evalEvery) {
+				evaluate()
+			}
+		}
+	}
+	select {
+	case err := <-errCh:
+		return nil, err
+	default:
+	}
+	evaluate()
+
+	result.Duration = time.Since(start)
+	result.Staleness = server.Staleness()
+	result.Waits = server.Waits()
+	result.Updates = server.Pushes()
+	if last, ok := result.Accuracy.Last(); ok {
+		result.FinalAccuracy = last.Value
+	}
+	return result, nil
+}
+
+// runWorker executes the worker side of Algorithm 1 for one worker.
+func runWorker(cfg Config, listener *transport.ChanListener, workerID, totalIters int) (float64, error) {
+	conn, err := listener.Dial()
+	if err != nil {
+		return 0, err
+	}
+	client := ps.NewClient(conn, workerID)
+	defer client.Close()
+	if err := client.Register(); err != nil {
+		return 0, err
+	}
+
+	shard, err := data.PartitionDataset(cfg.Train, workerID, cfg.Workers)
+	if err != nil {
+		return 0, err
+	}
+	if shard.Len() == 0 {
+		shard = cfg.Train
+	}
+	iter, err := data.NewBatchIterator(shard, cfg.BatchSize, cfg.Seed+int64(workerID)*1009)
+	if err != nil {
+		return 0, err
+	}
+	replica := cfg.Model.Build(rand.New(rand.NewSource(cfg.Seed)))
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(workerID)*7919))
+
+	var delay time.Duration
+	if workerID < len(cfg.WorkerDelay) {
+		delay = cfg.WorkerDelay[workerID]
+	}
+
+	lastLoss := 0.0
+	for it := 0; it < totalIters; it++ {
+		// Step 1 of the iteration: pull the global weights and adopt them.
+		params, version, err := client.Pull()
+		if err != nil {
+			return 0, err
+		}
+		if err := replica.SetParams(params); err != nil {
+			return 0, err
+		}
+		// Step 2: compute gradients on the next mini-batch.
+		x, labels := iter.Next()
+		if cfg.Augment != nil {
+			cfg.Augment.Apply(rng, x)
+		}
+		replica.ZeroGrads()
+		loss, _ := replica.Loss(x, labels, true)
+		replica.Backward()
+		lastLoss = loss
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+		// Step 3: push the gradients and wait for the server's OK.
+		if err := client.PushAndWait(replica.CloneGrads(), version, it); err != nil {
+			return 0, err
+		}
+	}
+	if err := client.Done(); err != nil {
+		return 0, err
+	}
+	return lastLoss, nil
+}
+
+// max64 returns the larger of two int64 values.
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

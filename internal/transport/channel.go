@@ -1,0 +1,151 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrClosed is returned by operations on a closed connection or listener.
+var ErrClosed = errors.New("transport: connection closed")
+
+// chanConn is one endpoint of an in-process connection pair.
+type chanConn struct {
+	send chan<- Message
+	recv <-chan Message
+
+	closeOnce sync.Once
+	closed    chan struct{}
+	peer      *chanConn
+}
+
+// Pipe returns two connected in-process endpoints. Messages sent on one are
+// received on the other. The buffer keeps the parameter server's release
+// fan-out from blocking on slow readers.
+func Pipe() (Conn, Conn) {
+	const depth = 64
+	ab := make(chan Message, depth)
+	ba := make(chan Message, depth)
+	a := &chanConn{send: ab, recv: ba, closed: make(chan struct{})}
+	b := &chanConn{send: ba, recv: ab, closed: make(chan struct{})}
+	a.peer, b.peer = b, a
+	return a, b
+}
+
+// Send implements Conn.
+func (c *chanConn) Send(m Message) error {
+	// Check for closure first so that Send on a closed connection fails even
+	// when buffer space would still accept the message.
+	select {
+	case <-c.closed:
+		return ErrClosed
+	case <-c.peer.closed:
+		return ErrClosed
+	default:
+	}
+	select {
+	case <-c.closed:
+		return ErrClosed
+	case <-c.peer.closed:
+		return ErrClosed
+	case c.send <- m:
+		return nil
+	}
+}
+
+// Recv implements Conn.
+func (c *chanConn) Recv() (Message, error) {
+	select {
+	case <-c.closed:
+		return Message{}, ErrClosed
+	case m, ok := <-c.recv:
+		if !ok {
+			return Message{}, ErrClosed
+		}
+		return m, nil
+	case <-c.peer.closed:
+		// Drain any messages the peer sent before closing.
+		select {
+		case m, ok := <-c.recv:
+			if ok {
+				return m, nil
+			}
+		default:
+		}
+		return Message{}, ErrClosed
+	}
+}
+
+// Close implements Conn.
+func (c *chanConn) Close() error {
+	c.closeOnce.Do(func() { close(c.closed) })
+	return nil
+}
+
+// chanListener hands out pre-connected in-process connections.
+type chanListener struct {
+	conns chan Conn
+
+	mu     sync.Mutex
+	closed bool
+	done   chan struct{}
+}
+
+// NewChanListener returns an in-process listener. Call Dial to obtain the
+// worker end of a new connection; the server end is returned by Accept.
+func NewChanListener() *ChanListener {
+	return &ChanListener{
+		inner: &chanListener{
+			conns: make(chan Conn, 16),
+			done:  make(chan struct{}),
+		},
+	}
+}
+
+// ChanListener is an in-process Listener whose Dial method creates worker
+// connections without any networking.
+type ChanListener struct {
+	inner *chanListener
+}
+
+// Dial creates a new in-process connection to the listener and returns the
+// worker endpoint.
+func (l *ChanListener) Dial() (Conn, error) {
+	l.inner.mu.Lock()
+	closed := l.inner.closed
+	l.inner.mu.Unlock()
+	if closed {
+		return nil, ErrClosed
+	}
+	serverEnd, workerEnd := Pipe()
+	select {
+	case l.inner.conns <- serverEnd:
+		return workerEnd, nil
+	case <-l.inner.done:
+		return nil, ErrClosed
+	}
+}
+
+// Accept implements Listener.
+func (l *ChanListener) Accept() (Conn, error) {
+	select {
+	case c := <-l.inner.conns:
+		return c, nil
+	case <-l.inner.done:
+		return nil, ErrClosed
+	}
+}
+
+// Close implements Listener.
+func (l *ChanListener) Close() error {
+	l.inner.mu.Lock()
+	defer l.inner.mu.Unlock()
+	if !l.inner.closed {
+		l.inner.closed = true
+		close(l.inner.done)
+	}
+	return nil
+}
+
+// Addr implements Listener.
+func (l *ChanListener) Addr() string { return fmt.Sprintf("inproc://%p", l.inner) }

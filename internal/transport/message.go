@@ -1,0 +1,142 @@
+// Package transport defines the wire protocol spoken between parameter-server
+// workers and the server, and two interchangeable transports for it: an
+// in-process transport built on channels (used by tests, examples and the
+// single-process trainer) and a TCP transport (used by cmd/psserver and
+// cmd/psworker) with gob-encoded, length-delimited messages.
+package transport
+
+import (
+	"fmt"
+
+	"dssp/internal/tensor"
+)
+
+// MessageType identifies the purpose of a Message.
+type MessageType int
+
+// Protocol message types. The worker-side protocol of Algorithm 1 is:
+// Register, Pull (initial weights), then repeatedly Push → wait for OK →
+// Pull, and finally Done.
+const (
+	// MsgRegister announces a worker to the server.
+	MsgRegister MessageType = iota + 1
+	// MsgRegistered acknowledges registration.
+	MsgRegistered
+	// MsgPush carries a worker's gradients to the server.
+	MsgPush
+	// MsgOK releases a worker to start its next iteration.
+	MsgOK
+	// MsgPull requests the current global weights.
+	MsgPull
+	// MsgWeights carries the global weights and their version.
+	MsgWeights
+	// MsgDone tells the server a worker has finished training.
+	MsgDone
+	// MsgShutdown tells a worker (or the server) to stop.
+	MsgShutdown
+	// MsgError carries an error description.
+	MsgError
+)
+
+// String returns the message type name.
+func (t MessageType) String() string {
+	switch t {
+	case MsgRegister:
+		return "Register"
+	case MsgRegistered:
+		return "Registered"
+	case MsgPush:
+		return "Push"
+	case MsgOK:
+		return "OK"
+	case MsgPull:
+		return "Pull"
+	case MsgWeights:
+		return "Weights"
+	case MsgDone:
+		return "Done"
+	case MsgShutdown:
+		return "Shutdown"
+	case MsgError:
+		return "Error"
+	default:
+		return fmt.Sprintf("MessageType(%d)", int(t))
+	}
+}
+
+// WireTensor is the serializable form of a tensor.
+type WireTensor struct {
+	Shape []int
+	Data  []float32
+}
+
+// Message is the envelope exchanged between a worker and the server.
+type Message struct {
+	// Type identifies the message purpose.
+	Type MessageType
+	// Worker is the sender's worker ID (0-based) on worker→server messages.
+	Worker int
+	// Iteration is the worker's local iteration number on Push messages.
+	Iteration int
+	// Version is the parameter-store version: on Push it is the version the
+	// worker's gradients were computed from (for staleness accounting), on
+	// Weights it is the version of the delivered weights.
+	Version int64
+	// Tensors carries gradients (Push) or weights (Weights).
+	Tensors []WireTensor
+	// Error carries a description on MsgError messages.
+	Error string
+}
+
+// ToWire converts tensors into their serializable form. Data slices are
+// copied so that the caller may keep mutating the originals.
+func ToWire(ts []*tensor.Tensor) []WireTensor {
+	out := make([]WireTensor, len(ts))
+	for i, t := range ts {
+		data := make([]float32, t.Size())
+		copy(data, t.Data())
+		out[i] = WireTensor{Shape: t.Shape(), Data: data}
+	}
+	return out
+}
+
+// FromWire converts serialized tensors back into tensor values.
+func FromWire(ws []WireTensor) ([]*tensor.Tensor, error) {
+	out := make([]*tensor.Tensor, len(ws))
+	for i, w := range ws {
+		n := 1
+		for _, d := range w.Shape {
+			if d <= 0 {
+				return nil, fmt.Errorf("transport: tensor %d has non-positive dimension %d", i, d)
+			}
+			n *= d
+		}
+		if n != len(w.Data) {
+			return nil, fmt.Errorf("transport: tensor %d has %d values for shape %v", i, len(w.Data), w.Shape)
+		}
+		out[i] = tensor.FromSlice(w.Data, w.Shape...)
+	}
+	return out, nil
+}
+
+// Conn is a bidirectional, message-oriented connection between one worker
+// and the server. Send and Recv may be used concurrently with each other but
+// each must not be called concurrently with itself.
+type Conn interface {
+	// Send transmits one message.
+	Send(Message) error
+	// Recv blocks until the next message arrives or the connection closes.
+	Recv() (Message, error)
+	// Close releases the connection. Pending Recv calls return an error.
+	Close() error
+}
+
+// Listener accepts incoming worker connections on the server side.
+type Listener interface {
+	// Accept blocks until a worker connects or the listener closes.
+	Accept() (Conn, error)
+	// Close stops accepting connections.
+	Close() error
+	// Addr returns the address workers should dial, when applicable.
+	Addr() string
+}

@@ -1,0 +1,86 @@
+package transport
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// tcpConn is a Conn over a TCP socket using gob encoding. A mutex on each
+// direction allows Send and Recv to be used from different goroutines.
+type tcpConn struct {
+	conn net.Conn
+
+	encMu sync.Mutex
+	enc   *gob.Encoder
+	decMu sync.Mutex
+	dec   *gob.Decoder
+}
+
+// newTCPConn wraps an established socket.
+func newTCPConn(c net.Conn) *tcpConn {
+	return &tcpConn{conn: c, enc: gob.NewEncoder(c), dec: gob.NewDecoder(c)}
+}
+
+// Send implements Conn.
+func (c *tcpConn) Send(m Message) error {
+	c.encMu.Lock()
+	defer c.encMu.Unlock()
+	if err := c.enc.Encode(&m); err != nil {
+		return fmt.Errorf("transport: send %v: %w", m.Type, err)
+	}
+	return nil
+}
+
+// Recv implements Conn.
+func (c *tcpConn) Recv() (Message, error) {
+	c.decMu.Lock()
+	defer c.decMu.Unlock()
+	var m Message
+	if err := c.dec.Decode(&m); err != nil {
+		return Message{}, fmt.Errorf("transport: recv: %w", err)
+	}
+	return m, nil
+}
+
+// Close implements Conn.
+func (c *tcpConn) Close() error { return c.conn.Close() }
+
+// tcpListener adapts a net.Listener to the Listener interface.
+type tcpListener struct {
+	l net.Listener
+}
+
+// Listen starts a TCP listener on addr (e.g. ":7070" or "127.0.0.1:0").
+func Listen(addr string) (Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	return &tcpListener{l: l}, nil
+}
+
+// Accept implements Listener.
+func (t *tcpListener) Accept() (Conn, error) {
+	c, err := t.l.Accept()
+	if err != nil {
+		return nil, fmt.Errorf("transport: accept: %w", err)
+	}
+	return newTCPConn(c), nil
+}
+
+// Close implements Listener.
+func (t *tcpListener) Close() error { return t.l.Close() }
+
+// Addr implements Listener.
+func (t *tcpListener) Addr() string { return t.l.Addr().String() }
+
+// Dial connects to a parameter server listening on addr over TCP.
+func Dial(addr string) (Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	return newTCPConn(c), nil
+}

@@ -1,0 +1,190 @@
+package dssp
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"dssp/internal/core"
+	"dssp/internal/data"
+	"dssp/internal/optimizer"
+	"dssp/internal/ps"
+	"dssp/internal/transport"
+)
+
+// ServerConfig configures a stand-alone parameter server reachable over TCP
+// (used by cmd/psserver). Workers built with RunWorker connect to it.
+type ServerConfig struct {
+	// Addr is the TCP listen address, e.g. ":7070".
+	Addr string
+	// Workers is the number of workers expected to join.
+	Workers int
+	// Sync selects the synchronization paradigm.
+	Sync Sync
+	// Model and Dataset must match the workers' configuration; the server
+	// builds the initial global weights from them.
+	Model   Model
+	Dataset DatasetConfig
+	// LearningRate, Momentum and WeightDecay configure the server-side SGD.
+	LearningRate float64
+	Momentum     float64
+	WeightDecay  float64
+	// Seed determines the initial weights; it must match the workers' seed.
+	Seed int64
+}
+
+// Server is a running TCP parameter server.
+type Server struct {
+	inner    *ps.Server
+	listener transport.Listener
+}
+
+// Addr returns the address the server is listening on.
+func (s *Server) Addr() string { return s.listener.Addr() }
+
+// Done returns a channel closed once every expected worker reported
+// completion.
+func (s *Server) Done() <-chan struct{} { return s.inner.AllWorkersDone() }
+
+// Stop shuts the server down.
+func (s *Server) Stop() {
+	s.inner.Stop()
+	_ = s.listener.Close()
+}
+
+// Updates returns the number of gradient updates applied so far.
+func (s *Server) Updates() int { return s.inner.Pushes() }
+
+// Serve starts a parameter server listening on cfg.Addr and returns
+// immediately; the server runs until Stop is called or all workers finish.
+func Serve(cfg ServerConfig) (*Server, error) {
+	cfg2 := TrainConfig{Model: cfg.Model, Dataset: cfg.Dataset, Workers: cfg.Workers,
+		Sync: cfg.Sync, LearningRate: cfg.LearningRate, Seed: cfg.Seed}.withDefaults()
+	if cfg2.Workers <= 0 {
+		return nil, fmt.Errorf("dssp: server needs a positive worker count")
+	}
+	spec, err := cfg2.modelSpec()
+	if err != nil {
+		return nil, err
+	}
+	if err := cfg2.Sync.Validate(cfg2.Workers); err != nil {
+		return nil, err
+	}
+	policyCfg := cfg2.Sync.policyConfig()
+	policyCfg.Workers = cfg2.Workers
+	policy, err := core.NewPolicy(policyCfg)
+	if err != nil {
+		return nil, err
+	}
+	initial := spec.Build(rand.New(rand.NewSource(cfg2.Seed)))
+	store, err := ps.NewStore(initial.Params(),
+		optimizer.NewSGDMomentum(cfg2.LearningRate, cfg.Momentum, cfg.WeightDecay))
+	if err != nil {
+		return nil, err
+	}
+	server, err := ps.NewServer(ps.ServerConfig{Workers: cfg2.Workers, Policy: policy, Store: store})
+	if err != nil {
+		return nil, err
+	}
+	listener, err := transport.Listen(cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	go func() { _ = server.Serve(listener) }()
+	return &Server{inner: server, listener: listener}, nil
+}
+
+// WorkerConfig configures one TCP worker process (used by cmd/psworker).
+type WorkerConfig struct {
+	// ServerAddr is the parameter server's address.
+	ServerAddr string
+	// WorkerID is this worker's index in [0, Workers).
+	WorkerID int
+	// Workers is the total number of workers (determines the data shard).
+	Workers int
+	// Model, Dataset, BatchSize, Epochs and Seed must match the server and
+	// the other workers.
+	Model     Model
+	Dataset   DatasetConfig
+	BatchSize int
+	Epochs    int
+	Seed      int64
+	// Delay adds an artificial per-iteration delay to emulate a slower GPU.
+	Delay time.Duration
+}
+
+// WorkerReport summarizes one worker's run.
+type WorkerReport struct {
+	// Iterations is the number of mini-batches processed.
+	Iterations int
+	// FinalLoss is the loss of the last mini-batch.
+	FinalLoss float64
+	// Duration is the wall-clock time spent training.
+	Duration time.Duration
+}
+
+// RunWorker connects to a parameter server over TCP and runs the worker side
+// of Algorithm 1 until the configured number of epochs completes.
+func RunWorker(cfg WorkerConfig) (*WorkerReport, error) {
+	base := TrainConfig{Model: cfg.Model, Dataset: cfg.Dataset, Workers: cfg.Workers,
+		BatchSize: cfg.BatchSize, Epochs: cfg.Epochs, Seed: cfg.Seed}.withDefaults()
+	if cfg.WorkerID < 0 || cfg.WorkerID >= base.Workers {
+		return nil, fmt.Errorf("dssp: worker id %d out of range [0,%d)", cfg.WorkerID, base.Workers)
+	}
+	spec, err := base.modelSpec()
+	if err != nil {
+		return nil, err
+	}
+	train, _, err := base.buildDatasets()
+	if err != nil {
+		return nil, err
+	}
+	shard, err := data.PartitionDataset(train, cfg.WorkerID, base.Workers)
+	if err != nil {
+		return nil, err
+	}
+	iter, err := data.NewBatchIterator(shard, base.BatchSize, base.Seed+int64(cfg.WorkerID)*1009)
+	if err != nil {
+		return nil, err
+	}
+
+	conn, err := transport.Dial(cfg.ServerAddr)
+	if err != nil {
+		return nil, err
+	}
+	client := ps.NewClient(conn, cfg.WorkerID)
+	defer client.Close()
+	if err := client.Register(); err != nil {
+		return nil, err
+	}
+
+	replica := spec.Build(rand.New(rand.NewSource(base.Seed)))
+	itersPerEpoch := (shard.Len() + base.BatchSize - 1) / base.BatchSize
+	totalIters := itersPerEpoch * base.Epochs
+
+	start := time.Now()
+	lastLoss := 0.0
+	for it := 0; it < totalIters; it++ {
+		params, version, err := client.Pull()
+		if err != nil {
+			return nil, err
+		}
+		if err := replica.SetParams(params); err != nil {
+			return nil, err
+		}
+		x, labels := iter.Next()
+		replica.ZeroGrads()
+		lastLoss, _ = replica.Loss(x, labels, true)
+		replica.Backward()
+		if cfg.Delay > 0 {
+			time.Sleep(cfg.Delay)
+		}
+		if err := client.PushAndWait(replica.CloneGrads(), version, it); err != nil {
+			return nil, err
+		}
+	}
+	if err := client.Done(); err != nil {
+		return nil, err
+	}
+	return &WorkerReport{Iterations: totalIters, FinalLoss: lastLoss, Duration: time.Since(start)}, nil
+}

@@ -1,0 +1,41 @@
+# Same entry points CI uses (.github/workflows/ci.yml); run `make ci` to
+# reproduce the full pipeline locally.
+
+GO ?= go
+
+.PHONY: all build test race bench bench-smoke fmt fmt-check vet ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run '^$$' -bench=. -benchmem ./...
+
+# One iteration per benchmark: proves the benchmarks still run without
+# measuring anything.
+bench-smoke:
+	$(GO) test -run '^$$' -bench=. -benchtime=1x ./...
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:" >&2; \
+		echo "$$unformatted" >&2; \
+		exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+ci: build fmt-check vet race bench-smoke

@@ -35,18 +35,19 @@ func main() {
 		imageSize = flag.Int("image-size", 16, "image size (or feature count for small-mlp)")
 		lr        = flag.Float64("lr", 0.1, "learning rate")
 		momentum  = flag.Float64("momentum", 0.0, "SGD momentum")
+		shards    = flag.Int("shards", 0, "parameter-store shards (0 = one per CPU)")
 		seed      = flag.Int64("seed", 1, "seed for the initial weights (must match workers)")
 	)
 	flag.Parse()
 
 	if err := run(*addr, *workers, *paradigm, *staleness, *rng, *enforce, *backups,
-		*model, *classes, *examples, *imageSize, *lr, *momentum, *seed); err != nil {
+		*model, *classes, *examples, *imageSize, *lr, *momentum, *shards, *seed); err != nil {
 		log.Fatalf("psserver: %v", err)
 	}
 }
 
 func run(addr string, workers int, paradigm string, staleness, rng int, enforce bool, backups int,
-	model string, classes, examples, imageSize int, lr, momentum float64, seed int64) error {
+	model string, classes, examples, imageSize int, lr, momentum float64, shards int, seed int64) error {
 	sync, err := parseSync(paradigm, staleness, rng, enforce, backups)
 	if err != nil {
 		return err
@@ -61,6 +62,7 @@ func run(addr string, workers int, paradigm string, staleness, rng int, enforce 
 		},
 		LearningRate: lr,
 		Momentum:     momentum,
+		Shards:       shards,
 		Seed:         seed,
 	})
 	if err != nil {

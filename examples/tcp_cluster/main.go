@@ -31,7 +31,10 @@ func main() {
 		Model:        dssp.ModelSmallMLP,
 		Dataset:      dataset,
 		LearningRate: 0.1,
-		Seed:         11,
+		// Four store shards: pulls stream the weights as four chunks, each
+		// sent as soon as its shard is read (0 would pick one per CPU).
+		Shards: 4,
+		Seed:   11,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -1,0 +1,3 @@
+module dssp
+
+go 1.24

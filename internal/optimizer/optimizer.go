@@ -22,6 +22,11 @@ type Optimizer interface {
 	LearningRate() float64
 	// Name returns a short description of the optimizer.
 	Name() string
+	// Clone returns a fresh optimizer with the same hyperparameters and no
+	// accumulated state. The sharded parameter store gives each shard its own
+	// clone so that per-parameter state (e.g. momentum velocity) stays aligned
+	// with the shard's parameter slice.
+	Clone() Optimizer
 }
 
 // SGD is stochastic gradient descent with optional momentum and weight
@@ -75,6 +80,12 @@ func (s *SGD) Step(params, grads []*tensor.Tensor) {
 			}
 		}
 	}
+}
+
+// Clone implements Optimizer: the clone shares hyperparameters but starts
+// with zero velocity.
+func (s *SGD) Clone() Optimizer {
+	return &SGD{lr: s.lr, momentum: s.momentum, decay: s.decay}
 }
 
 // SetLearningRate implements Optimizer.

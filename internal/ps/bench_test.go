@@ -1,6 +1,8 @@
 package ps
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 
 	"dssp/internal/core"
@@ -9,20 +11,233 @@ import (
 	"dssp/internal/transport"
 )
 
-// BenchmarkStoreApply measures applying one gradient-sized update to the
-// global weights.
-func BenchmarkStoreApply(b *testing.B) {
-	initial := []*tensor.Tensor{tensor.New(256, 256), tensor.New(256)}
-	st, err := NewStore(initial, optimizer.NewSGDMomentum(0.01, 0.9, 1e-4))
-	if err != nil {
-		b.Fatal(err)
+// benchModel builds a multi-tensor parameter set resembling a small CNN's
+// layer structure, large enough that copying and updating it dominates
+// locking-free overheads.
+func benchModel() []*tensor.Tensor {
+	return []*tensor.Tensor{
+		tensor.New(256, 256), tensor.New(256),
+		tensor.New(128, 256), tensor.New(128),
+		tensor.New(64, 128), tensor.New(64),
+		tensor.New(32, 64), tensor.New(32),
 	}
-	grads := []*tensor.Tensor{tensor.Full(0.01, 256, 256), tensor.Full(0.01, 256)}
+}
+
+func benchGrads() []*tensor.Tensor {
+	out := make([]*tensor.Tensor, 0, 8)
+	for _, p := range benchModel() {
+		out = append(out, tensor.Full(0.01, p.Shape()...))
+	}
+	return out
+}
+
+// benchImpl is one store implementation under benchmark: apply pushes one
+// gradient set, servePull performs the work the server's pull handler does
+// for one worker (everything up to handing chunks to the outbox).
+type benchImpl struct {
+	apply     func(grads []*tensor.Tensor) (int64, error)
+	servePull func() int
+}
+
+// globalLockStore replicates the pre-sharding parameter store — one exclusive
+// mutex over all tensors, every pull a full deep copy under that lock. It is
+// the baseline the sharded store's benchmarks are measured against.
+type globalLockStore struct {
+	mu      sync.Mutex
+	params  []*tensor.Tensor
+	opt     optimizer.Optimizer
+	version int64
+}
+
+func newGlobalLockStore(initial []*tensor.Tensor, opt optimizer.Optimizer) *globalLockStore {
+	params := make([]*tensor.Tensor, len(initial))
+	for i, p := range initial {
+		params[i] = p.Clone()
+	}
+	return &globalLockStore{params: params, opt: opt}
+}
+
+func (g *globalLockStore) Apply(grads []*tensor.Tensor) (int64, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.opt.Step(g.params, grads)
+	g.version++
+	return g.version, nil
+}
+
+func (g *globalLockStore) Snapshot() ([]*tensor.Tensor, int64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]*tensor.Tensor, len(g.params))
+	for i, p := range g.params {
+		out[i] = p.Clone()
+	}
+	return out, g.version
+}
+
+// benchStores returns the baseline and sharded stores side by side. Each
+// servePull reproduces what the server's pull handler did against that
+// store: the global-lock baseline deep-copied the whole model under its
+// mutex and copied it again into wire tensors; the sharded store grabs
+// per-shard copy-on-write references and aliases them onto the wire. The
+// constructors take the sub-benchmark's own *testing.B so that setup
+// failures are reported on the goroutine they occur on.
+func benchStores() map[string]func(b *testing.B) benchImpl {
+	return map[string]func(b *testing.B) benchImpl{
+		"global-lock": func(_ *testing.B) benchImpl {
+			st := newGlobalLockStore(benchModel(), optimizer.NewSGDMomentum(0.01, 0.9, 1e-4))
+			return benchImpl{
+				apply: st.Apply,
+				servePull: func() int {
+					params, _ := st.Snapshot()
+					return len(transport.ToWire(params))
+				},
+			}
+		},
+		"sharded": func(b *testing.B) benchImpl {
+			st, err := NewStoreSharded(benchModel(), optimizer.NewSGDMomentum(0.01, 0.9, 1e-4), 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return benchImpl{
+				apply: st.Apply,
+				servePull: func() int {
+					n := 0
+					for i := 0; i < st.Shards(); i++ {
+						params, _, _ := st.ViewShard(i)
+						n += len(transport.ToWireOwned(params))
+					}
+					return n
+				},
+			}
+		},
+	}
+}
+
+// runConcurrent spreads b.N calls of fn over the given number of goroutines.
+func runConcurrent(b *testing.B, workers int, fn func(worker, i int)) {
+	b.Helper()
+	var wg sync.WaitGroup
+	per := b.N / workers
+	extra := b.N % workers
 	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := st.Apply(grads); err != nil {
-			b.Fatal(err)
+	for w := 0; w < workers; w++ {
+		iters := per
+		if w < extra {
+			iters++
 		}
+		wg.Add(1)
+		go func(w, iters int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				fn(w, i)
+			}
+		}(w, iters)
+	}
+	wg.Wait()
+}
+
+// BenchmarkStoreConcurrentPull measures pull-serving throughput with 1, 4
+// and 16 workers pulling simultaneously, for the global-lock baseline and
+// the sharded store. The baseline serializes a full deep copy per pull under
+// one mutex; the sharded store serves copy-on-write shard references with
+// near-zero lock hold time and no copying.
+func BenchmarkStoreConcurrentPull(b *testing.B) {
+	for name, mk := range benchStores() {
+		for _, workers := range []int{1, 4, 16} {
+			b.Run(fmt.Sprintf("%s/workers=%d", name, workers), func(b *testing.B) {
+				impl := mk(b)
+				runConcurrent(b, workers, func(_, _ int) {
+					if impl.servePull() == 0 {
+						b.Fail()
+					}
+				})
+			})
+		}
+	}
+}
+
+// BenchmarkStoreConcurrentPushPull measures a mixed workload — every fourth
+// operation is a gradient application, the rest are pulls — the steady state
+// of an asynchronous parameter server where pulls from many workers overlap
+// in-flight pushes.
+func BenchmarkStoreConcurrentPushPull(b *testing.B) {
+	for name, mk := range benchStores() {
+		for _, workers := range []int{1, 4, 16} {
+			b.Run(fmt.Sprintf("%s/workers=%d", name, workers), func(b *testing.B) {
+				impl := mk(b)
+				grads := make([][]*tensor.Tensor, workers)
+				for w := range grads {
+					grads[w] = benchGrads()
+				}
+				runConcurrent(b, workers, func(w, i int) {
+					if i%4 == 0 {
+						if _, err := impl.apply(grads[w]); err != nil {
+							b.Error(err)
+						}
+					} else {
+						impl.servePull()
+					}
+				})
+			})
+		}
+	}
+}
+
+// BenchmarkStoreApply measures applying one gradient-sized update to the
+// global weights (shard-parallel in the sharded store).
+func BenchmarkStoreApply(b *testing.B) {
+	for name, mk := range benchStores() {
+		b.Run(name, func(b *testing.B) {
+			impl := mk(b)
+			grads := benchGrads()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := impl.apply(grads); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkServerConcurrentPull measures pull round trips through the full
+// server — registration, per-worker outboxes, chunked weight streaming —
+// with 1, 4 and 16 workers pulling concurrently.
+func BenchmarkServerConcurrentPull(b *testing.B) {
+	for _, workers := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			st, err := NewStoreSharded(benchModel(), optimizer.NewSGD(0.01), 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			srv, err := NewServer(ServerConfig{Workers: workers, Policy: core.MustNewASP(workers), Store: st})
+			if err != nil {
+				b.Fatal(err)
+			}
+			listener := transport.NewChanListener()
+			go func() { _ = srv.Serve(listener) }()
+			defer func() {
+				srv.Stop()
+				listener.Close()
+			}()
+			clients := make([]*Client, workers)
+			for w := range clients {
+				conn, err := listener.Dial()
+				if err != nil {
+					b.Fatal(err)
+				}
+				clients[w] = NewClient(conn, w)
+				if err := clients[w].Register(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			runConcurrent(b, workers, func(w, _ int) {
+				if _, _, err := clients[w].Pull(); err != nil {
+					b.Error(err)
+				}
+			})
+		})
 	}
 }
 

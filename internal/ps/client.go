@@ -39,7 +39,11 @@ func (c *Client) Register() error {
 	return nil
 }
 
-// Pull retrieves the current global weights and their version.
+// Pull retrieves the current global weights and their version. The server
+// streams the weights as one chunk per parameter-store shard; Pull
+// reassembles them in arrival order and reports the smallest version seen
+// across chunks, the conservative choice for staleness accounting when a
+// gradient application lands mid-pull.
 func (c *Client) Pull() ([]*tensor.Tensor, int64, error) {
 	if err := c.conn.Send(transport.Message{Type: transport.MsgPull, Worker: c.worker}); err != nil {
 		return nil, 0, fmt.Errorf("ps: pull request from worker %d: %w", c.worker, err)
@@ -51,11 +55,60 @@ func (c *Client) Pull() ([]*tensor.Tensor, int64, error) {
 	if msg.Type != transport.MsgWeights {
 		return nil, 0, fmt.Errorf("ps: worker %d expected Weights, got %v", c.worker, msg.Type)
 	}
-	params, err := transport.FromWire(msg.Tensors)
-	if err != nil {
-		return nil, 0, err
+	if msg.Shards <= 1 {
+		// Unchunked reply from a single-shard store.
+		params, err := transport.FromWire(msg.Tensors)
+		if err != nil {
+			return nil, 0, err
+		}
+		return params, msg.Version, nil
 	}
-	return params, msg.Version, nil
+
+	chunks := msg.Shards
+	total := msg.Total
+	if total <= 0 {
+		return nil, 0, fmt.Errorf("ps: worker %d received chunked weights with total %d tensors", c.worker, total)
+	}
+	params := make([]*tensor.Tensor, total)
+	version := msg.Version
+	placed := 0
+	for chunk := 0; ; chunk++ {
+		if msg.Shards != chunks || msg.Total != total {
+			return nil, 0, fmt.Errorf("ps: worker %d received inconsistent weight chunks (%d/%d shards, %d/%d tensors)",
+				c.worker, msg.Shards, chunks, msg.Total, total)
+		}
+		ts, err := transport.FromWire(msg.Tensors)
+		if err != nil {
+			return nil, 0, err
+		}
+		if msg.Base < 0 || msg.Base+len(ts) > total {
+			return nil, 0, fmt.Errorf("ps: worker %d received weight chunk [%d,%d) outside [0,%d)",
+				c.worker, msg.Base, msg.Base+len(ts), total)
+		}
+		for i, t := range ts {
+			if params[msg.Base+i] != nil {
+				return nil, 0, fmt.Errorf("ps: worker %d received tensor %d twice", c.worker, msg.Base+i)
+			}
+			params[msg.Base+i] = t
+		}
+		placed += len(ts)
+		if msg.Version < version {
+			version = msg.Version
+		}
+		if chunk == chunks-1 {
+			break
+		}
+		if msg, err = c.recv(); err != nil {
+			return nil, 0, err
+		}
+		if msg.Type != transport.MsgWeights {
+			return nil, 0, fmt.Errorf("ps: worker %d expected Weights chunk, got %v", c.worker, msg.Type)
+		}
+	}
+	if placed != total {
+		return nil, 0, fmt.Errorf("ps: worker %d reassembled %d of %d tensors", c.worker, placed, total)
+	}
+	return params, version, nil
 }
 
 // PushAndWait sends the worker's gradients (computed against baseVersion of

@@ -28,46 +28,39 @@ type ServerConfig struct {
 // Server is the parameter server: it accepts worker connections, applies
 // pushed gradients to the store, and releases workers according to the
 // configured synchronization policy.
+//
+// Requests are handled on the connection goroutines themselves rather than
+// being funneled through a central run loop. Pulls touch only the store's
+// per-shard read locks, so any number of workers pull concurrently and a
+// pull streams each shard to the wire as soon as that shard is unlocked.
+// Pushes serialize on policyMu — the release decision and the gradient
+// application must form one atomic step for the paradigm semantics (a BSP
+// round's updates are all applied before any worker is released) — but the
+// application itself is shard-parallel inside the store, so a push uses
+// multiple cores and blocks concurrent pulls only shard by shard.
 type Server struct {
 	cfg   ServerConfig
 	clock func() time.Time
 
-	commands chan serverCmd
+	mu       sync.Mutex
+	outboxes map[int]chan transport.Message
+	finished map[int]bool
+	done     int
+	stopOnce sync.Once
+	stopped  chan struct{}
+	allDone  chan struct{}
+	wg       sync.WaitGroup
 
-	mu        sync.Mutex
-	outboxes  map[int]chan transport.Message
-	finished  map[int]bool
-	startOnce sync.Once
-	stopOnce  sync.Once
-	stopped   chan struct{}
-	allDone   chan struct{}
-	wg        sync.WaitGroup
-
-	// Metrics, owned by the run loop.
-	staleness  *metrics.Histogram
-	waits      *metrics.WaitTracker
-	pushes     int
-	dropped    int
-	pushedAt   map[int]time.Time
-	runStarted time.Time
+	// policyMu serializes push handling: the policy decision, the store
+	// update, the metrics derived from them, and the choice of workers to
+	// release.
+	policyMu  sync.Mutex
+	staleness *metrics.Histogram
+	waits     *metrics.WaitTracker
+	pushes    int
+	dropped   int
+	pushedAt  map[int]time.Time
 }
-
-// serverCmd is one unit of work for the central run loop.
-type serverCmd struct {
-	kind    cmdKind
-	worker  int
-	grads   []transport.WireTensor
-	version int64
-	reply   chan error
-}
-
-type cmdKind int
-
-const (
-	cmdPush cmdKind = iota + 1
-	cmdPull
-	cmdDone
-)
 
 // NewServer returns a parameter server with the given configuration.
 func NewServer(cfg ServerConfig) (*Server, error) {
@@ -88,7 +81,6 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	return &Server{
 		cfg:       cfg,
 		clock:     clock,
-		commands:  make(chan serverCmd, cfg.Workers*4),
 		outboxes:  make(map[int]chan transport.Message),
 		finished:  make(map[int]bool),
 		stopped:   make(chan struct{}),
@@ -103,7 +95,6 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 // the listener fails. It blocks; run it in its own goroutine when the caller
 // also drives workers.
 func (s *Server) Serve(l transport.Listener) error {
-	s.startRunLoop()
 	for {
 		conn, err := l.Accept()
 		if err != nil {
@@ -126,24 +117,11 @@ func (s *Server) Serve(l transport.Listener) error {
 // in-process transport). It returns when the worker disconnects or the
 // server stops.
 func (s *Server) HandleConn(conn transport.Conn) {
-	s.startRunLoop()
 	s.handleConn(conn)
 }
 
-// startRunLoop launches the central command-processing goroutine once.
-func (s *Server) startRunLoop() {
-	s.startOnce.Do(func() {
-		s.runStarted = s.clock()
-		s.wg.Add(1)
-		go func() {
-			defer s.wg.Done()
-			s.run()
-		}()
-	})
-}
-
-// Stop shuts the server down: the run loop exits and all worker outboxes are
-// closed. It is safe to call multiple times.
+// Stop shuts the server down: connection writers exit and pending work is
+// abandoned. It is safe to call multiple times.
 func (s *Server) Stop() {
 	s.stopOnce.Do(func() { close(s.stopped) })
 }
@@ -152,8 +130,10 @@ func (s *Server) Stop() {
 // has sent MsgDone.
 func (s *Server) AllWorkersDone() <-chan struct{} { return s.allDone }
 
-// handleConn reads messages from one worker connection and forwards them to
-// the run loop.
+// handleConn reads messages from one worker connection and services them on
+// this goroutine. The worker protocol is lock-step (one outstanding request
+// per worker), so handling in-line costs no pipeline depth, while requests
+// from different workers run fully in parallel.
 func (s *Server) handleConn(conn transport.Conn) {
 	defer conn.Close()
 	var workerID = -1
@@ -187,19 +167,19 @@ func (s *Server) handleConn(conn transport.Conn) {
 			if workerID < 0 {
 				return
 			}
-			s.submit(serverCmd{kind: cmdPush, worker: workerID, grads: msg.Tensors, version: msg.Version})
+			s.handlePush(workerID, msg.Tensors, msg.Version)
 
 		case transport.MsgPull:
 			if workerID < 0 {
 				return
 			}
-			s.submit(serverCmd{kind: cmdPull, worker: workerID})
+			s.handlePull(workerID)
 
 		case transport.MsgDone:
 			if workerID < 0 {
 				return
 			}
-			s.submit(serverCmd{kind: cmdDone, worker: workerID})
+			s.handleDone(workerID)
 
 		case transport.MsgShutdown:
 			return
@@ -208,14 +188,6 @@ func (s *Server) handleConn(conn transport.Conn) {
 			// Unknown message types are ignored to keep the protocol
 			// forward-compatible.
 		}
-	}
-}
-
-// submit forwards a command to the run loop unless the server has stopped.
-func (s *Server) submit(cmd serverCmd) {
-	select {
-	case s.commands <- cmd:
-	case <-s.stopped:
 	}
 }
 
@@ -251,87 +223,111 @@ func (s *Server) enqueueOut(worker int, msg transport.Message) {
 	}
 }
 
-// run is the central loop: it serializes all store mutations and policy
-// decisions, mirroring the single logical server of the paper.
-func (s *Server) run() {
-	doneWorkers := 0
-	for {
-		select {
-		case <-s.stopped:
-			return
-		case cmd := <-s.commands:
-			switch cmd.kind {
-			case cmdPush:
-				s.handlePush(cmd)
-			case cmdPull:
-				s.handlePull(cmd)
-			case cmdDone:
-				s.mu.Lock()
-				if !s.finished[cmd.worker] {
-					s.finished[cmd.worker] = true
-					doneWorkers++
-				}
-				s.mu.Unlock()
-				if doneWorkers == s.cfg.Workers {
-					close(s.allDone)
-				}
-			}
-		}
-	}
-}
-
 // handlePush applies a pushed gradient and releases workers per the policy.
-func (s *Server) handlePush(cmd serverCmd) {
+// Decoding the wire tensors happens outside policyMu so that payload
+// conversion from many workers overlaps; the policy decision and the store
+// update hold the lock.
+func (s *Server) handlePush(worker int, wire []transport.WireTensor, baseVersion int64) {
+	grads, decodeErr := transport.FromWire(wire)
+
 	now := s.clock()
-	decision := s.cfg.Policy.OnPush(core.WorkerID(cmd.worker), now)
+	s.policyMu.Lock()
+	decision := s.cfg.Policy.OnPush(core.WorkerID(worker), now)
 
 	if decision.Drop {
 		s.dropped++
 	} else {
-		grads, err := transport.FromWire(cmd.grads)
+		err := decodeErr
+		var applied int64
 		if err == nil {
-			_, err = s.cfg.Store.Apply(grads)
+			applied, err = s.cfg.Store.Apply(grads)
 		}
 		if err != nil {
-			s.enqueueOut(cmd.worker, transport.Message{Type: transport.MsgError, Error: err.Error()})
+			s.policyMu.Unlock()
+			s.enqueueOut(worker, transport.Message{Type: transport.MsgError, Error: err.Error()})
 			return
 		}
 		s.pushes++
-		s.staleness.Observe(int(s.cfg.Store.Version() - 1 - cmd.version))
+		s.staleness.Observe(int(applied - 1 - baseVersion))
 	}
 
-	s.pushedAt[cmd.worker] = now
+	s.pushedAt[worker] = now
 	for _, id := range decision.Release {
 		w := int(id)
 		if at, ok := s.pushedAt[w]; ok {
 			s.waits.Record(w, now.Sub(at))
 			delete(s.pushedAt, w)
 		}
+	}
+	s.policyMu.Unlock()
+
+	for _, id := range decision.Release {
+		w := int(id)
 		s.enqueueOut(w, transport.Message{Type: transport.MsgOK, Worker: w})
 	}
 }
 
-// handlePull sends the current weights to a worker.
-func (s *Server) handlePull(cmd serverCmd) {
-	params, version := s.cfg.Store.Snapshot()
-	s.enqueueOut(cmd.worker, transport.Message{
-		Type:    transport.MsgWeights,
-		Worker:  cmd.worker,
-		Version: version,
-		Tensors: transport.ToWire(params),
-	})
+// handlePull streams the current weights to a worker, one chunk per store
+// shard. Each chunk references the shard's copy-on-write snapshot — the
+// server copies nothing — and goes onto the wire as soon as the shard's
+// reference is grabbed, so pulls from different workers, and a pull
+// overlapping an in-flight push on other shards, proceed concurrently. The
+// worker-side wire decode copies the data, keeping workers isolated.
+func (s *Server) handlePull(worker int) {
+	st := s.cfg.Store
+	shards := st.Shards()
+	total := st.NumTensors()
+	for i := 0; i < shards; i++ {
+		params, base, version := st.ViewShard(i)
+		s.enqueueOut(worker, transport.Message{
+			Type:    transport.MsgWeights,
+			Worker:  worker,
+			Version: version,
+			Shard:   i,
+			Shards:  shards,
+			Base:    base,
+			Total:   total,
+			Tensors: transport.ToWireOwned(params),
+		})
+	}
+}
+
+// handleDone records a worker's completion and closes AllWorkersDone once
+// every expected worker reported in.
+func (s *Server) handleDone(worker int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.finished[worker] {
+		return
+	}
+	s.finished[worker] = true
+	s.done++
+	if s.done == s.cfg.Workers {
+		close(s.allDone)
+	}
 }
 
 // Staleness returns the histogram of staleness values of applied updates
 // (current store version minus the version the gradient was computed from).
+// The histogram is not synchronized; read it only after the run has
+// completed (e.g. after AllWorkersDone).
 func (s *Server) Staleness() *metrics.Histogram { return s.staleness }
 
-// Waits returns the per-worker waiting-time tracker.
+// Waits returns the per-worker waiting-time tracker. Like Staleness, read it
+// only after the run has completed.
 func (s *Server) Waits() *metrics.WaitTracker { return s.waits }
 
 // Pushes returns the number of gradient updates applied.
-func (s *Server) Pushes() int { return s.pushes }
+func (s *Server) Pushes() int {
+	s.policyMu.Lock()
+	defer s.policyMu.Unlock()
+	return s.pushes
+}
 
 // Dropped returns the number of pushed updates dropped by the policy
 // (non-zero only for the backup-worker baseline).
-func (s *Server) Dropped() int { return s.dropped }
+func (s *Server) Dropped() int {
+	s.policyMu.Lock()
+	defer s.policyMu.Unlock()
+	return s.dropped
+}

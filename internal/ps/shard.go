@@ -1,0 +1,79 @@
+package ps
+
+import (
+	"runtime"
+	"sync"
+
+	"dssp/internal/optimizer"
+	"dssp/internal/tensor"
+)
+
+// shard is one independently locked partition of the model: a contiguous run
+// of parameter tensors, the optimizer state that updates them, and a version
+// counter incremented on every update applied to the shard.
+//
+// Each shard has its own optimizer clone so that lazily allocated
+// per-parameter state (momentum velocity) is indexed by position within the
+// shard, never by global tensor index.
+type shard struct {
+	mu      sync.RWMutex
+	params  []*tensor.Tensor
+	opt     optimizer.Optimizer
+	version int64
+}
+
+// shardRange is the half-open interval of global tensor indices [Start, End)
+// owned by one shard. Shards are contiguous so that a weights chunk on the
+// wire is described by a single base offset.
+type shardRange struct {
+	Start, End int
+}
+
+// defaultShards picks the shard count when the caller does not: one shard per
+// available CPU, capped at the tensor count (a shard must own at least one
+// tensor).
+func defaultShards(tensors int) int {
+	n := runtime.GOMAXPROCS(0)
+	if n > tensors {
+		n = tensors
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// partitionBySize splits tensors with the given element counts into n
+// contiguous, size-balanced blocks. It greedily closes a block once it holds
+// its proportional share of the remaining elements, while always leaving
+// enough tensors for the remaining blocks; every block is non-empty and the
+// blocks cover [0, len(sizes)) exactly. n must be in [1, len(sizes)].
+func partitionBySize(sizes []int, n int) []shardRange {
+	total := 0
+	for _, s := range sizes {
+		total += s
+	}
+	ranges := make([]shardRange, 0, n)
+	start := 0
+	remaining := total
+	for b := 0; b < n; b++ {
+		blocksLeft := n - b
+		// This block must leave at least blocksLeft-1 tensors for its
+		// successors.
+		lastStart := len(sizes) - (blocksLeft - 1)
+		end := start + 1
+		acc := sizes[start]
+		target := remaining / blocksLeft
+		for end < lastStart && acc < target {
+			acc += sizes[end]
+			end++
+		}
+		if b == n-1 {
+			end = len(sizes)
+		}
+		ranges = append(ranges, shardRange{Start: start, End: end})
+		remaining -= acc
+		start = end
+	}
+	return ranges
+}

@@ -8,6 +8,7 @@ package ps
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"dssp/internal/optimizer"
 	"dssp/internal/tensor"
@@ -17,82 +18,230 @@ import (
 // model") together with a monotonically increasing version: the number of
 // gradient updates applied so far. The version is what staleness is measured
 // against.
+//
+// The parameters are partitioned into contiguous, size-balanced shards, each
+// guarded by its own RWMutex and updated by its own optimizer clone. Shards
+// publish copy-on-write snapshots: Apply steps the optimizer on a fresh copy
+// of the shard's tensors and publishes the copy, so the published tensors are
+// immutable from the moment they become visible. A reader therefore only
+// needs the shard lock for the instant it takes a reference (ViewShard), and
+// any number of concurrent pulls proceed without copying or blocking behind
+// gradient application; Apply updates the shards in parallel, so a single
+// push uses multiple cores on large models. The shard layout is fixed at
+// construction and immutable afterwards.
+//
+// Concurrency semantics: each shard is always internally consistent, but a
+// read taken while an Apply is in flight may see the update on some shards
+// and not yet on others. This is the same relaxation the asynchronous
+// paradigms (ASP/SSP/DSSP) already embrace. It is, however, weaker than the
+// old fully serialized store even under BSP: a slow worker still pulling
+// after the barrier release may observe a fast worker's next-round push on
+// some shards only, where the serialized store would have delivered some
+// whole version. Workers that pull before computing (Algorithm 1) see
+// quiescent weights whenever no push is concurrently in flight.
 type Store struct {
-	mu      sync.Mutex
-	params  []*tensor.Tensor
-	opt     optimizer.Optimizer
-	version int64
+	shards  []*shard
+	ranges  []shardRange
+	shapes  [][]int // global tensor index -> shape, immutable
+	version atomic.Int64
+	scalars int // total scalar parameter count, immutable
+
+	// proto is the optimizer the store was built from. The shards step their
+	// own clones; proto is only kept so that SetLearningRate stays visible on
+	// the instance the caller handed in.
+	protoMu sync.Mutex
+	proto   optimizer.Optimizer
 }
 
 // NewStore returns a store initialized with deep copies of the given
-// parameters, updated by the given optimizer on every Apply.
+// parameters, updated by the given optimizer on every Apply, using the
+// default shard count (one shard per CPU, capped at the tensor count).
 func NewStore(initial []*tensor.Tensor, opt optimizer.Optimizer) (*Store, error) {
+	return NewStoreSharded(initial, opt, 0)
+}
+
+// NewStoreSharded is NewStore with an explicit shard count. shards <= 0
+// selects the default; a count larger than the number of tensors is clamped
+// (every shard must own at least one tensor). shards == 1 reproduces the
+// classic single-partition store.
+func NewStoreSharded(initial []*tensor.Tensor, opt optimizer.Optimizer, shards int) (*Store, error) {
 	if len(initial) == 0 {
 		return nil, fmt.Errorf("ps: store needs at least one parameter tensor")
 	}
 	if opt == nil {
 		return nil, fmt.Errorf("ps: store needs an optimizer")
 	}
-	params := make([]*tensor.Tensor, len(initial))
-	for i, p := range initial {
-		params[i] = p.Clone()
+	if shards <= 0 {
+		shards = defaultShards(len(initial))
 	}
-	return &Store{params: params, opt: opt}, nil
+	if shards > len(initial) {
+		shards = len(initial)
+	}
+
+	sizes := make([]int, len(initial))
+	shapes := make([][]int, len(initial))
+	scalars := 0
+	for i, p := range initial {
+		sizes[i] = p.Size()
+		shapes[i] = p.Shape()
+		scalars += p.Size()
+	}
+	ranges := partitionBySize(sizes, shards)
+
+	st := &Store{
+		shards:  make([]*shard, shards),
+		ranges:  ranges,
+		shapes:  shapes,
+		scalars: scalars,
+		proto:   opt,
+	}
+	for i, r := range ranges {
+		params := make([]*tensor.Tensor, r.End-r.Start)
+		for j := range params {
+			params[j] = initial[r.Start+j].Clone()
+		}
+		st.shards[i] = &shard{params: params, opt: opt.Clone()}
+	}
+	return st, nil
+}
+
+// Shards returns the number of shards the parameters are partitioned into.
+func (s *Store) Shards() int { return len(s.shards) }
+
+// NumTensors returns the number of parameter tensors across all shards.
+func (s *Store) NumTensors() int { return len(s.shapes) }
+
+// ShardRange returns the half-open global tensor index range [start, end)
+// owned by shard i.
+func (s *Store) ShardRange(i int) (start, end int) {
+	r := s.ranges[i]
+	return r.Start, r.End
 }
 
 // Apply updates the parameters with one set of gradients and returns the new
-// version.
+// version. Shards are updated in parallel; the aggregate version is bumped
+// once after every shard has absorbed its slice of the gradients.
 func (s *Store) Apply(grads []*tensor.Tensor) (int64, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if len(grads) != len(s.params) {
-		return 0, fmt.Errorf("ps: push carries %d tensors, store has %d", len(grads), len(s.params))
+	if len(grads) != len(s.shapes) {
+		return 0, fmt.Errorf("ps: push carries %d tensors, store has %d", len(grads), len(s.shapes))
 	}
 	for i, g := range grads {
-		if !g.SameShape(s.params[i]) {
+		if !sameShape(g.Shape(), s.shapes[i]) {
 			return 0, fmt.Errorf("ps: gradient %d shape %v does not match parameter shape %v",
-				i, g.Shape(), s.params[i].Shape())
+				i, g.Shape(), s.shapes[i])
 		}
 	}
-	s.opt.Step(s.params, grads)
-	s.version++
-	return s.version, nil
+	if len(s.shards) == 1 {
+		s.shards[0].apply(grads)
+	} else {
+		var wg sync.WaitGroup
+		for i, sh := range s.shards {
+			wg.Add(1)
+			go func(sh *shard, grads []*tensor.Tensor) {
+				defer wg.Done()
+				sh.apply(grads)
+			}(sh, grads[s.ranges[i].Start:s.ranges[i].End])
+		}
+		wg.Wait()
+	}
+	return s.version.Add(1), nil
+}
+
+// apply absorbs one gradient slice under the shard's write lock,
+// copy-on-write: the optimizer steps a fresh copy of the shard's tensors and
+// the copy is published. Tensors already handed out by ViewShard are never
+// mutated.
+func (sh *shard) apply(grads []*tensor.Tensor) {
+	sh.mu.Lock()
+	next := make([]*tensor.Tensor, len(sh.params))
+	for i, p := range sh.params {
+		next[i] = p.Clone()
+	}
+	sh.opt.Step(next, grads)
+	sh.params = next
+	sh.version++
+	sh.mu.Unlock()
+}
+
+// view returns the shard's currently published tensors. The returned slice
+// and tensors are immutable; the lock is held only for the reference grab.
+func (sh *shard) view() []*tensor.Tensor {
+	sh.mu.RLock()
+	params := sh.params
+	sh.mu.RUnlock()
+	return params
 }
 
 // Snapshot returns deep copies of the current parameters and their version.
+// Each shard's lock is held only while grabbing the published tensor
+// references; the copying happens outside all locks, so snapshots from many
+// workers proceed concurrently and never block gradient application.
 func (s *Store) Snapshot() ([]*tensor.Tensor, int64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]*tensor.Tensor, len(s.params))
-	for i, p := range s.params {
-		out[i] = p.Clone()
+	version := s.version.Load()
+	out := make([]*tensor.Tensor, len(s.shapes))
+	for i, sh := range s.shards {
+		base := s.ranges[i].Start
+		for j, p := range sh.view() {
+			out[base+j] = p.Clone()
+		}
 	}
-	return out, s.version
+	return out, version
+}
+
+// SnapshotShard returns deep copies of shard i's parameters, the global
+// tensor index of the first one, and the store's aggregate version at read
+// time.
+func (s *Store) SnapshotShard(i int) (params []*tensor.Tensor, base int, version int64) {
+	version = s.version.Load()
+	published := s.shards[i].view()
+	params = make([]*tensor.Tensor, len(published))
+	for j, p := range published {
+		params[j] = p.Clone()
+	}
+	return params, s.ranges[i].Start, version
+}
+
+// ViewShard returns shard i's currently published parameter tensors without
+// copying, with the global index of the first one and the store's aggregate
+// version at read time. The returned tensors are the store's copy-on-write
+// snapshot: they are never mutated after publication, and the CALLER MUST
+// NOT mutate them either. This is the zero-copy fast path the server's pull
+// handler streams to the wire; workers receive isolated copies because the
+// wire decode (transport.FromWire) copies the data.
+func (s *Store) ViewShard(i int) (params []*tensor.Tensor, base int, version int64) {
+	version = s.version.Load()
+	return s.shards[i].view(), s.ranges[i].Start, version
 }
 
 // Version returns the number of updates applied so far.
-func (s *Store) Version() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.version
-}
+func (s *Store) Version() int64 { return s.version.Load() }
 
-// SetLearningRate adjusts the optimizer's learning rate (used by learning-
-// rate schedules during training).
+// SetLearningRate adjusts the optimizer's learning rate on every shard (used
+// by learning-rate schedules during training).
 func (s *Store) SetLearningRate(lr float64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.opt.SetLearningRate(lr)
+	s.protoMu.Lock()
+	s.proto.SetLearningRate(lr)
+	s.protoMu.Unlock()
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		sh.opt.SetLearningRate(lr)
+		sh.mu.Unlock()
+	}
 }
 
 // ParamCount returns the total number of scalar parameters, which determines
 // the per-iteration communication volume.
-func (s *Store) ParamCount() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	total := 0
-	for _, p := range s.params {
-		total += p.Size()
+func (s *Store) ParamCount() int { return s.scalars }
+
+// sameShape reports whether two dimension lists are identical.
+func sameShape(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
 	}
-	return total
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }

@@ -24,6 +24,13 @@ func (t *Tensor) EncodedSize() int {
 // Encode appends the binary representation of t to dst and returns the
 // extended slice.
 func (t *Tensor) Encode(dst []byte) []byte {
+	if cap(dst)-len(dst) < t.EncodedSize() {
+		// Grow once up front: parameter-sized tensors would otherwise trigger
+		// many incremental reallocations through repeated appends.
+		grown := make([]byte, len(dst), len(dst)+t.EncodedSize())
+		copy(grown, dst)
+		dst = grown
+	}
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(t.shape)))
 	for _, d := range t.shape {
 		dst = binary.LittleEndian.AppendUint32(dst, uint32(d))
@@ -33,6 +40,37 @@ func (t *Tensor) Encode(dst []byte) []byte {
 		dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(v))
 	}
 	return dst
+}
+
+// EncodeTensors encodes a list of tensors back to back into one buffer,
+// sized exactly once — a compact frame for a whole parameter set, also handy
+// for comparing parameter lists byte for byte. Decode with DecodeTensors.
+// (The TCP transport currently speaks gob, not this format.)
+func EncodeTensors(ts []*Tensor) []byte {
+	size := 0
+	for _, t := range ts {
+		size += t.EncodedSize()
+	}
+	buf := make([]byte, 0, size)
+	for _, t := range ts {
+		buf = t.Encode(buf)
+	}
+	return buf
+}
+
+// DecodeTensors parses tensors from buf until it is exhausted, the inverse
+// of EncodeTensors.
+func DecodeTensors(buf []byte) ([]*Tensor, error) {
+	var out []*Tensor
+	for len(buf) > 0 {
+		t, rest, err := Decode(buf)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		buf = rest
+	}
+	return out, nil
 }
 
 // Decode parses one tensor from the front of buf and returns it together

@@ -341,6 +341,32 @@ func TestEncodeDecodeMultipleTensorsInOneBuffer(t *testing.T) {
 	}
 }
 
+func TestEncodeTensorsDecodeTensorsRoundTrip(t *testing.T) {
+	orig := []*Tensor{
+		FromSlice([]float32{1, 2, 3}, 3),
+		FromSlice([]float32{4, 5, 6, 7}, 2, 2),
+		FromSlice([]float32{8}, 1),
+	}
+	got, err := DecodeTensors(EncodeTensors(orig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(orig) {
+		t.Fatalf("decoded %d tensors, want %d", len(got), len(orig))
+	}
+	for i := range orig {
+		if !got[i].ApproxEqual(orig[i], 0) {
+			t.Errorf("tensor %d round trip mismatch", i)
+		}
+	}
+	if ts, err := DecodeTensors(nil); err != nil || len(ts) != 0 {
+		t.Fatalf("DecodeTensors(nil) = %v, %v; want empty, nil", ts, err)
+	}
+	if _, err := DecodeTensors([]byte{1, 2}); err == nil {
+		t.Fatal("expected error for truncated buffer")
+	}
+}
+
 func TestPropertyMatMulDistributesOverAddition(t *testing.T) {
 	// (A+B)×C == A×C + B×C up to floating-point tolerance.
 	property := func(seed int64) bool {

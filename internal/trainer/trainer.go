@@ -52,6 +52,10 @@ type Config struct {
 	// EvalEvery evaluates the global model every EvalEvery applied updates;
 	// 0 picks a default that yields roughly 30 evaluation points.
 	EvalEvery int
+	// Shards is the number of independently locked partitions of the
+	// parameter store; 0 picks one per CPU. More shards mean more
+	// pull/push concurrency on the server.
+	Shards int
 	// Seed makes model initialization and batching deterministic.
 	Seed int64
 }
@@ -120,7 +124,7 @@ func Run(cfg Config) (*Result, error) {
 	// weights because they are all pulled from the store before training.
 	initModel := cfg.Model.Build(rand.New(rand.NewSource(cfg.Seed)))
 	opt := optimizer.NewSGDMomentum(cfg.LearningRate, cfg.Momentum, cfg.WeightDecay)
-	store, err := ps.NewStore(initModel.Params(), opt)
+	store, err := ps.NewStoreSharded(initModel.Params(), opt, cfg.Shards)
 	if err != nil {
 		return nil, err
 	}

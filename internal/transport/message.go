@@ -84,6 +84,17 @@ type Message struct {
 	Version int64
 	// Tensors carries gradients (Push) or weights (Weights).
 	Tensors []WireTensor
+	// Shard and Shards describe chunked Weights replies: a pull response is
+	// streamed as Shards messages, each carrying one parameter-store shard as
+	// soon as that shard's lock is released. Shard is this chunk's index;
+	// Shards <= 1 means the reply is a single unchunked message.
+	Shard  int
+	Shards int
+	// Base is the global index of the first tensor in this chunk and Total
+	// the model's total tensor count, letting the receiver reassemble chunks
+	// into the full parameter list.
+	Base  int
+	Total int
 	// Error carries a description on MsgError messages.
 	Error string
 }
@@ -96,6 +107,20 @@ func ToWire(ts []*tensor.Tensor) []WireTensor {
 		data := make([]float32, t.Size())
 		copy(data, t.Data())
 		out[i] = WireTensor{Shape: t.Shape(), Data: data}
+	}
+	return out
+}
+
+// ToWireOwned converts tensors into their serializable form without copying
+// the data: the wire tensors alias the inputs' storage. The caller must
+// guarantee the tensors are never mutated after the call — by anyone. Its
+// production use is the parameter server wrapping the store's copy-on-write
+// shard views, which are immutable from publication; receivers are isolated
+// because FromWire copies on decode.
+func ToWireOwned(ts []*tensor.Tensor) []WireTensor {
+	out := make([]WireTensor, len(ts))
+	for i, t := range ts {
+		out[i] = WireTensor{Shape: t.Shape(), Data: t.Data()}
 	}
 	return out
 }

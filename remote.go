@@ -29,6 +29,9 @@ type ServerConfig struct {
 	LearningRate float64
 	Momentum     float64
 	WeightDecay  float64
+	// Shards is the number of independently locked parameter-store
+	// partitions (0 = one per CPU); pulls stream one wire chunk per shard.
+	Shards int
 	// Seed determines the initial weights; it must match the workers' seed.
 	Seed int64
 }
@@ -77,8 +80,8 @@ func Serve(cfg ServerConfig) (*Server, error) {
 		return nil, err
 	}
 	initial := spec.Build(rand.New(rand.NewSource(cfg2.Seed)))
-	store, err := ps.NewStore(initial.Params(),
-		optimizer.NewSGDMomentum(cfg2.LearningRate, cfg.Momentum, cfg.WeightDecay))
+	store, err := ps.NewStoreSharded(initial.Params(),
+		optimizer.NewSGDMomentum(cfg2.LearningRate, cfg.Momentum, cfg.WeightDecay), cfg.Shards)
 	if err != nil {
 		return nil, err
 	}

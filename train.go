@@ -75,6 +75,12 @@ type TrainConfig struct {
 	WorkerDelays []time.Duration
 	// Augment enables the image distortions discussed in §V-C.
 	Augment bool
+	// Shards is the number of independently locked partitions of the
+	// parameter store (0 = one per CPU). Pulls from different workers read
+	// shards concurrently and gradient application parallelizes across
+	// shards, so the default is right for almost everyone; set 1 to force
+	// the classic fully serialized store.
+	Shards int
 	// Seed controls model initialization and batch order.
 	Seed int64
 }
@@ -245,6 +251,7 @@ func Train(cfg TrainConfig) (*TrainResult, error) {
 		Schedule:     schedule,
 		WorkerDelay:  cfg.WorkerDelays,
 		Augment:      augment,
+		Shards:       cfg.Shards,
 		Seed:         cfg.Seed,
 	})
 	if err != nil {

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke fmt fmt-check vet ci
+.PHONY: all build test race bench bench-smoke bench-json fmt fmt-check vet ci
 
 all: build
 
@@ -23,6 +23,14 @@ bench:
 # measuring anything.
 bench-smoke:
 	$(GO) test -run '^$$' -bench=. -benchtime=1x ./...
+
+# Full benchmark pass converted to BENCH_local.json (the same pipeline CI
+# uses to accumulate BENCH_*.json trajectories as artifacts). Plain
+# redirection rather than tee: make's sh has no pipefail, and a benchmark
+# failure must stop the recipe instead of emitting a partial JSON.
+bench-json:
+	$(GO) test -run '^$$' -bench=. -benchmem ./... > bench-local.txt
+	$(GO) run ./cmd/benchjson -in bench-local.txt -out BENCH_local.json
 
 fmt:
 	gofmt -w .

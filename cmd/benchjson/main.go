@@ -1,0 +1,124 @@
+// Command benchjson converts `go test -bench` text output into a stable
+// JSON document so benchmark trajectories can accumulate as CI artifacts
+// (BENCH_*.json) and be diffed across commits.
+//
+//	go test -run '^$' -bench=. ./... | go run ./cmd/benchjson -out BENCH_smoke.json
+//
+// Non-benchmark lines (package headers, PASS/ok trailers) are ignored, so
+// the raw `go test` stream can be piped in unfiltered.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark measurement: the benchmark's full name (including
+// sub-benchmark path and the -cpu suffix go test appends), its iteration
+// count, and every reported metric keyed by unit (ns/op, B/op, allocs/op,
+// plus custom b.ReportMetric units such as wire-B/op).
+type Result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Document is the file layout: context lines go test printed (goos, goarch,
+// pkg, cpu) followed by the measurements.
+type Document struct {
+	Context map[string]string `json:"context,omitempty"`
+	Results []Result          `json:"results"`
+}
+
+func main() {
+	in := flag.String("in", "", "bench output file to read (default stdin)")
+	out := flag.String("out", "", "JSON file to write (default stdout)")
+	flag.Parse()
+
+	r := io.Reader(os.Stdin)
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			log.Fatalf("benchjson: %v", err)
+		}
+		defer f.Close()
+		r = f
+	}
+	doc, err := parse(r)
+	if err != nil {
+		log.Fatalf("benchjson: %v", err)
+	}
+	if len(doc.Results) == 0 {
+		log.Fatal("benchjson: no benchmark lines found in input")
+	}
+
+	blob, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		log.Fatalf("benchjson: %v", err)
+	}
+	blob = append(blob, '\n')
+	if *out == "" {
+		os.Stdout.Write(blob)
+		return
+	}
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		log.Fatalf("benchjson: %v", err)
+	}
+	fmt.Printf("benchjson: wrote %d results to %s\n", len(doc.Results), *out)
+}
+
+// parse scans go test output for benchmark result lines and context headers.
+func parse(r io.Reader) (*Document, error) {
+	doc := &Document{Context: map[string]string{}, Results: nil}
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		for _, key := range []string{"goos", "goarch", "pkg", "cpu"} {
+			if v, ok := strings.CutPrefix(line, key+":"); ok {
+				// Later packages overwrite pkg; keep the first for a stable
+				// document and note multiplicity instead.
+				if _, seen := doc.Context[key]; !seen {
+					doc.Context[key] = strings.TrimSpace(v)
+				}
+			}
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		res, ok := parseBenchLine(line)
+		if ok {
+			doc.Results = append(doc.Results, res)
+		}
+	}
+	return doc, scanner.Err()
+}
+
+// parseBenchLine parses one "BenchmarkX-8  20  123 ns/op  456 B/op" line.
+func parseBenchLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	// Need at least name, iterations and one value/unit pair.
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	res := Result{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		value, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		res.Metrics[fields[i+1]] = value
+	}
+	return res, true
+}

@@ -7,6 +7,12 @@
 // Workers started with cmd/psworker (using matching -model, -classes, -seed
 // flags) connect to it and train a shared model under the selected
 // synchronization paradigm.
+//
+// Gradient compression: -compress selects the wire codec (none, fp16, int8,
+// topk), -topk its keep fraction, and -compress-pull additionally compresses
+// the weights workers pull. Workers launched with their default -compress
+// auto adopt whatever the server speaks; an explicitly mismatched worker is
+// rejected at registration.
 package main
 
 import (
@@ -22,32 +28,37 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":7070", "TCP listen address")
-		workers   = flag.Int("workers", 2, "number of workers expected to join")
-		paradigm  = flag.String("paradigm", "DSSP", "synchronization paradigm: BSP, ASP, SSP, DSSP, BoundedDelay, BackupBSP")
-		staleness = flag.Int("staleness", 3, "staleness threshold (SSP) or lower bound sL (DSSP)")
-		rng       = flag.Int("range", 12, "DSSP threshold range r = sU - sL")
-		enforce   = flag.Bool("enforce-bound", false, "use DSSP's strict Theorem-2 mode")
-		backups   = flag.Int("backups", 1, "spare workers for BackupBSP")
-		model     = flag.String("model", string(dssp.ModelSmallMLP), "model: small-mlp, small-cnn, alexnet-small, resnet-8")
-		classes   = flag.Int("classes", 4, "number of classes in the synthetic dataset")
-		examples  = flag.Int("examples", 512, "number of synthetic training examples")
-		imageSize = flag.Int("image-size", 16, "image size (or feature count for small-mlp)")
-		lr        = flag.Float64("lr", 0.1, "learning rate")
-		momentum  = flag.Float64("momentum", 0.0, "SGD momentum")
-		shards    = flag.Int("shards", 0, "parameter-store shards (0 = one per CPU)")
-		seed      = flag.Int64("seed", 1, "seed for the initial weights (must match workers)")
+		addr         = flag.String("addr", ":7070", "TCP listen address")
+		workers      = flag.Int("workers", 2, "number of workers expected to join")
+		paradigm     = flag.String("paradigm", "DSSP", "synchronization paradigm: BSP, ASP, SSP, DSSP, BoundedDelay, BackupBSP")
+		staleness    = flag.Int("staleness", 3, "staleness threshold (SSP) or lower bound sL (DSSP)")
+		rng          = flag.Int("range", 12, "DSSP threshold range r = sU - sL")
+		enforce      = flag.Bool("enforce-bound", false, "use DSSP's strict Theorem-2 mode")
+		backups      = flag.Int("backups", 1, "spare workers for BackupBSP")
+		model        = flag.String("model", string(dssp.ModelSmallMLP), "model: small-mlp, small-cnn, alexnet-small, resnet-8")
+		classes      = flag.Int("classes", 4, "number of classes in the synthetic dataset")
+		examples     = flag.Int("examples", 512, "number of synthetic training examples")
+		imageSize    = flag.Int("image-size", 16, "image size (or feature count for small-mlp)")
+		lr           = flag.Float64("lr", 0.1, "learning rate")
+		momentum     = flag.Float64("momentum", 0.0, "SGD momentum")
+		shards       = flag.Int("shards", 0, "parameter-store shards (0 = one per CPU)")
+		compressName = flag.String("compress", dssp.CompressNone, "gradient codec on the wire: none, fp16, int8, topk")
+		topk         = flag.Float64("topk", 0, "fraction of gradient entries the topk codec keeps (0 = default 0.1)")
+		compressPull = flag.Bool("compress-pull", false, "also compress pulled weights (fp16/int8 codecs only)")
+		seed         = flag.Int64("seed", 1, "seed for the initial weights (must match workers)")
 	)
 	flag.Parse()
 
+	compression := dssp.Compression{Codec: *compressName, TopK: *topk, Pull: *compressPull}
 	if err := run(*addr, *workers, *paradigm, *staleness, *rng, *enforce, *backups,
-		*model, *classes, *examples, *imageSize, *lr, *momentum, *shards, *seed); err != nil {
+		*model, *classes, *examples, *imageSize, *lr, *momentum, *shards, compression, *seed); err != nil {
 		log.Fatalf("psserver: %v", err)
 	}
 }
 
 func run(addr string, workers int, paradigm string, staleness, rng int, enforce bool, backups int,
-	model string, classes, examples, imageSize int, lr, momentum float64, shards int, seed int64) error {
+	model string, classes, examples, imageSize int, lr, momentum float64, shards int,
+	compression dssp.Compression, seed int64) error {
 	sync, err := parseSync(paradigm, staleness, rng, enforce, backups)
 	if err != nil {
 		return err
@@ -63,13 +74,15 @@ func run(addr string, workers int, paradigm string, staleness, rng int, enforce 
 		LearningRate: lr,
 		Momentum:     momentum,
 		Shards:       shards,
+		Compression:  compression,
 		Seed:         seed,
 	})
 	if err != nil {
 		return err
 	}
 	defer server.Stop()
-	fmt.Printf("parameter server listening on %s (%s, %d workers)\n", server.Addr(), sync.Describe(), workers)
+	fmt.Printf("parameter server listening on %s (%s, %d workers, codec %s)\n",
+		server.Addr(), sync.Describe(), workers, compression)
 
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)

@@ -6,6 +6,13 @@
 //
 //	psworker -server 127.0.0.1:7070 -id 0 -workers 2
 //	psworker -server 127.0.0.1:7070 -id 1 -workers 2 -delay 20ms
+//
+// Its flags mirror cmd/psserver's where the two sides must agree: -model,
+// -classes, -examples, -image-size and -seed describe the shared model and
+// dataset; -compress/-topk/-compress-pull select the gradient codec (the
+// default "auto" adopts whatever the server speaks, anything else must match
+// the server or registration is rejected); -shards, when set, asserts the
+// server's parameter-store shard count and aborts on a mismatch.
 package main
 
 import (
@@ -19,20 +26,25 @@ import (
 
 func main() {
 	var (
-		server    = flag.String("server", "127.0.0.1:7070", "parameter server address")
-		id        = flag.Int("id", 0, "worker id in [0, workers)")
-		workers   = flag.Int("workers", 2, "total number of workers")
-		model     = flag.String("model", string(dssp.ModelSmallMLP), "model: small-mlp, small-cnn, alexnet-small, resnet-8")
-		classes   = flag.Int("classes", 4, "number of classes in the synthetic dataset")
-		examples  = flag.Int("examples", 512, "number of synthetic training examples")
-		imageSize = flag.Int("image-size", 16, "image size (or feature count for small-mlp)")
-		batch     = flag.Int("batch", 16, "mini-batch size")
-		epochs    = flag.Int("epochs", 5, "number of epochs over this worker's shard")
-		delay     = flag.Duration("delay", 0, "artificial per-iteration delay (emulates a slower GPU)")
-		seed      = flag.Int64("seed", 1, "seed (must match the server)")
+		server       = flag.String("server", "127.0.0.1:7070", "parameter server address")
+		id           = flag.Int("id", 0, "worker id in [0, workers)")
+		workers      = flag.Int("workers", 2, "total number of workers")
+		model        = flag.String("model", string(dssp.ModelSmallMLP), "model: small-mlp, small-cnn, alexnet-small, resnet-8 (must match the server)")
+		classes      = flag.Int("classes", 4, "number of classes in the synthetic dataset (must match the server)")
+		examples     = flag.Int("examples", 512, "number of synthetic training examples (must match the server)")
+		imageSize    = flag.Int("image-size", 16, "image size (or feature count for small-mlp; must match the server)")
+		batch        = flag.Int("batch", 16, "mini-batch size")
+		epochs       = flag.Int("epochs", 5, "number of epochs over this worker's shard")
+		delay        = flag.Duration("delay", 0, "artificial per-iteration delay (emulates a slower GPU)")
+		shards       = flag.Int("shards", 0, "expected parameter-store shard count on the server (0 = accept any; a mismatch aborts)")
+		compressName = flag.String("compress", dssp.CompressAuto, "gradient codec: auto (adopt the server's), none, fp16, int8, topk")
+		topk         = flag.Float64("topk", 0, "fraction of gradient entries the topk codec keeps (0 = default 0.1; must match the server)")
+		compressPull = flag.Bool("compress-pull", false, "expect compressed weight pulls (must match the server; implied by -compress auto)")
+		seed         = flag.Int64("seed", 1, "seed (must match the server)")
 	)
 	flag.Parse()
 
+	compression := dssp.Compression{Codec: *compressName, TopK: *topk, Pull: *compressPull}
 	report, err := dssp.RunWorker(dssp.WorkerConfig{
 		ServerAddr: *server,
 		WorkerID:   *id,
@@ -41,15 +53,18 @@ func main() {
 		Dataset: dssp.DatasetConfig{
 			Examples: *examples, Classes: *classes, ImageSize: *imageSize, Noise: 0.5, Seed: *seed,
 		},
-		BatchSize: *batch,
-		Epochs:    *epochs,
-		Seed:      *seed,
-		Delay:     *delay,
+		BatchSize:   *batch,
+		Epochs:      *epochs,
+		Seed:        *seed,
+		Delay:       *delay,
+		Shards:      *shards,
+		Compression: compression,
 	})
 	if err != nil {
 		log.Fatalf("psworker %d: %v", *id, err)
 	}
-	fmt.Printf("worker %d finished: %d iterations in %v (final mini-batch loss %.4f, %.1f iters/s)\n",
+	fmt.Printf("worker %d finished: %d iterations in %v (final mini-batch loss %.4f, %.1f iters/s, codec %s, pushed %.1f KiB, pulled %.1f KiB)\n",
 		*id, report.Iterations, report.Duration.Round(time.Millisecond), report.FinalLoss,
-		float64(report.Iterations)/report.Duration.Seconds())
+		float64(report.Iterations)/report.Duration.Seconds(), report.Codec,
+		float64(report.PushedBytes)/1024, float64(report.PulledBytes)/1024)
 }

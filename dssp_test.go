@@ -248,3 +248,122 @@ func TestServeAndRunWorkerOverTCP(t *testing.T) {
 		t.Fatal("server applied no updates")
 	}
 }
+
+func TestServeAndRunWorkerCompressedOverTCP(t *testing.T) {
+	dataset := DatasetConfig{Examples: 96, Classes: 2, ImageSize: 8, Noise: 0.4, Seed: 9}
+	const workers = 2
+	server, err := Serve(ServerConfig{
+		Addr:         "127.0.0.1:0",
+		Workers:      workers,
+		Sync:         DefaultDSSP(),
+		Model:        ModelSmallMLP,
+		Dataset:      dataset,
+		LearningRate: 0.1,
+		Compression:  Compression{Codec: CompressTopK, TopK: 0.25},
+		Seed:         7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer server.Stop()
+
+	// A worker with a conflicting explicit codec must be rejected cleanly.
+	if _, err := RunWorker(WorkerConfig{
+		ServerAddr:  server.Addr(),
+		WorkerID:    0,
+		Workers:     workers,
+		Model:       ModelSmallMLP,
+		Dataset:     dataset,
+		BatchSize:   16,
+		Epochs:      1,
+		Seed:        7,
+		Compression: Compression{Codec: CompressInt8},
+	}); err == nil {
+		t.Fatal("int8 worker joined a topk server")
+	}
+
+	// One worker adopts the server's codec (default auto), one matches it
+	// explicitly; both must train and the codec must show in the report.
+	reports := make(chan *WorkerReport, workers)
+	errs := make(chan error, workers)
+	configs := []Compression{{}, {Codec: CompressTopK, TopK: 0.25}}
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			rep, err := RunWorker(WorkerConfig{
+				ServerAddr:  server.Addr(),
+				WorkerID:    w,
+				Workers:     workers,
+				Model:       ModelSmallMLP,
+				Dataset:     dataset,
+				BatchSize:   16,
+				Epochs:      3,
+				Seed:        7,
+				Compression: configs[w],
+				Shards:      0, // accept the server's layout
+			})
+			if err != nil {
+				errs <- err
+				return
+			}
+			reports <- rep
+		}(w)
+	}
+	for i := 0; i < workers; i++ {
+		select {
+		case err := <-errs:
+			t.Fatal(err)
+		case rep := <-reports:
+			if rep.Codec != CompressTopK {
+				t.Fatalf("worker negotiated codec %q, want %q", rep.Codec, CompressTopK)
+			}
+			if rep.PushedBytes <= 0 || rep.PulledBytes <= 0 {
+				t.Fatalf("traffic not accounted: pushed=%d pulled=%d", rep.PushedBytes, rep.PulledBytes)
+			}
+			if rep.PushedBytes >= rep.PulledBytes {
+				t.Fatalf("topk pushes (%d B) should be far below dense pulls (%d B)", rep.PushedBytes, rep.PulledBytes)
+			}
+		case <-time.After(60 * time.Second):
+			t.Fatal("worker timed out")
+		}
+	}
+	select {
+	case <-server.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never observed completion")
+	}
+	if server.Updates() == 0 {
+		t.Fatal("server applied no updates")
+	}
+}
+
+func TestWorkerShardExpectationMismatch(t *testing.T) {
+	dataset := DatasetConfig{Examples: 64, Classes: 2, ImageSize: 8, Noise: 0.4, Seed: 3}
+	server, err := Serve(ServerConfig{
+		Addr:         "127.0.0.1:0",
+		Workers:      1,
+		Sync:         Sync{Paradigm: ASP},
+		Model:        ModelSmallMLP,
+		Dataset:      dataset,
+		LearningRate: 0.1,
+		Shards:       2,
+		Seed:         3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer server.Stop()
+
+	if _, err := RunWorker(WorkerConfig{
+		ServerAddr: server.Addr(),
+		WorkerID:   0,
+		Workers:    1,
+		Model:      ModelSmallMLP,
+		Dataset:    dataset,
+		BatchSize:  16,
+		Epochs:     1,
+		Seed:       3,
+		Shards:     5, // wrong on purpose
+	}); err == nil {
+		t.Fatal("worker accepted a shard-count mismatch it was told to assert")
+	}
+}

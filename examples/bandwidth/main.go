@@ -1,0 +1,67 @@
+// Bandwidth vs accuracy: train the same model under DSSP with each gradient
+// codec and compare what every option costs on the wire against what it
+// gives up in accuracy. On a bandwidth-constrained cluster the bytes column
+// is the iteration-time budget; with error feedback the accuracy column
+// barely moves, which is the whole point of the compression subsystem.
+//
+//	go run ./examples/bandwidth
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dssp"
+)
+
+func main() {
+	codecs := []dssp.Compression{
+		{Codec: dssp.CompressNone},
+		{Codec: dssp.CompressFP16},
+		{Codec: dssp.CompressInt8},
+		{Codec: dssp.CompressTopK, TopK: 0.1},
+		{Codec: dssp.CompressTopK, TopK: 0.01},
+		// Fully compressed wire: int8 gradients up, int8 weights down.
+		{Codec: dssp.CompressInt8, Pull: true},
+	}
+
+	fmt.Println("codec          pushed      pulled      final-acc  updates  duration")
+	var basePushed int64
+	for _, codec := range codecs {
+		result, err := dssp.Train(dssp.TrainConfig{
+			Model:        dssp.ModelSmallMLP,
+			Workers:      4,
+			BatchSize:    16,
+			Epochs:       6,
+			Sync:         dssp.DefaultDSSP(),
+			LearningRate: 0.1,
+			Compression:  codec,
+			Dataset: dssp.DatasetConfig{
+				Examples:  512,
+				Classes:   4,
+				ImageSize: 16,
+				Noise:     0.5,
+				Seed:      42,
+			},
+			Seed: 42,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if basePushed == 0 {
+			basePushed = result.PushedBytes
+		}
+		fmt.Printf("%-13s  %-10s  %-10s  %8.1f%%  %7d  %v\n",
+			codec, mib(result.PushedBytes), mib(result.PulledBytes),
+			100*result.FinalAccuracy, result.Updates, result.Duration.Round(1e6))
+		if codec.Codec != dssp.CompressNone {
+			fmt.Printf("               (%.1fx fewer pushed bytes than uncompressed)\n",
+				float64(basePushed)/float64(result.PushedBytes))
+		}
+	}
+}
+
+// mib renders a byte count in mebibytes.
+func mib(n int64) string {
+	return fmt.Sprintf("%.2f MiB", float64(n)/(1<<20))
+}

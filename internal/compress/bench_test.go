@@ -1,0 +1,104 @@
+package compress
+
+import (
+	"math/rand"
+	"testing"
+
+	"dssp/internal/tensor"
+)
+
+// benchGrads builds a gradient set shaped like a small CNN's parameters
+// (matching the layer structure internal/ps benchmarks against).
+func benchGrads(rng *rand.Rand) []*tensor.Tensor {
+	shapes := [][]int{
+		{256, 256}, {256}, {128, 256}, {128}, {64, 128}, {64}, {32, 64}, {32},
+	}
+	out := make([]*tensor.Tensor, len(shapes))
+	for i, s := range shapes {
+		out[i] = randTensor(rng, 0.1, s...)
+	}
+	return out
+}
+
+func denseBytes(ts []*tensor.Tensor) int {
+	n := 0
+	for _, t := range ts {
+		n += 4 * t.Size()
+	}
+	return n
+}
+
+func packedBytes(ps []Packed) int {
+	n := 0
+	for _, p := range ps {
+		n += p.WireSize()
+	}
+	return n
+}
+
+// BenchmarkCompress measures worker-side compression throughput per codec
+// and reports the payload size and its reduction over dense float32.
+func BenchmarkCompress(b *testing.B) {
+	for _, cfg := range []Config{
+		{Codec: FP16},
+		{Codec: Int8},
+		{Codec: TopK, TopK: 0.1},
+		{Codec: TopK, TopK: 0.01},
+	} {
+		b.Run(cfg.String(), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			grads := benchGrads(rng)
+			c, err := NewCompressor(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var packed []Packed
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				packed = c.Compress(grads)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(packedBytes(packed)), "wire-B/op")
+			b.ReportMetric(float64(denseBytes(grads))/float64(packedBytes(packed)), "x-reduction")
+		})
+	}
+}
+
+// BenchmarkDecompress measures the server-side decode per codec.
+func BenchmarkDecompress(b *testing.B) {
+	for _, cfg := range []Config{
+		{Codec: FP16},
+		{Codec: Int8},
+		{Codec: TopK, TopK: 0.1},
+	} {
+		b.Run(cfg.String(), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			c, err := NewCompressor(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			packed := c.Compress(benchGrads(rng))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := DecompressAll(packed); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPackPullPath measures the stateless weight packing the server
+// performs per pull (before the per-shard cache amortizes it).
+func BenchmarkPackPullPath(b *testing.B) {
+	for _, cfg := range []Config{{Codec: FP16}, {Codec: Int8}} {
+		b.Run(cfg.String(), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			weights := benchGrads(rng)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Pack(weights, cfg)
+			}
+		})
+	}
+}

@@ -1,0 +1,155 @@
+package compress
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"dssp/internal/tensor"
+)
+
+// packTopK encodes the k = ceil(frac·n) largest-magnitude entries of r as
+// (uint32 index, float32 value) pairs and zeroes those entries in r: the
+// kept values travel exactly, so their residual is zero, while everything
+// dropped stays in r for the next push.
+func packTopK(r *tensor.Tensor, frac float64) Packed {
+	data := r.Data()
+	n := len(data)
+	k := int(math.Ceil(frac * float64(n)))
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	thr := kthLargestMagnitude(data, k)
+
+	payload := make([]byte, 0, 8*k)
+	emit := func(i int) {
+		payload = binary.LittleEndian.AppendUint32(payload, uint32(i))
+		payload = binary.LittleEndian.AppendUint32(payload, math.Float32bits(data[i]))
+		data[i] = 0
+	}
+	// Entries strictly above the threshold all belong to the top k; ties at
+	// the threshold fill the remaining slots in index order, keeping the
+	// selection deterministic.
+	kept := 0
+	for i, v := range data {
+		if abs32(v) > thr {
+			emit(i)
+			kept++
+		}
+	}
+	for i := 0; i < n && kept < k; i++ {
+		if data[i] != 0 && abs32(data[i]) == thr {
+			emit(i)
+			kept++
+		}
+	}
+	// Degenerate tensors (all zero, or NaN entries that no ordered
+	// comparison selects) can leave the selection short; fill with leading
+	// entries in index order so the payload always carries exactly k pairs.
+	// Re-emitting an already-sent index carries its now-zero residual, and a
+	// NaN entry travels as-is so divergence surfaces at the server instead
+	// of being silently swallowed here.
+	for i := 0; kept < k; i++ {
+		emit(i)
+		kept++
+	}
+	return Packed{Scheme: SchemeTopK, Shape: r.Shape(), Payload: payload}
+}
+
+// unpackTopK decodes a SchemeTopK payload into a dense tensor of n elements.
+func unpackTopK(p Packed, n int) (*tensor.Tensor, error) {
+	if len(p.Payload)%8 != 0 {
+		return nil, fmt.Errorf("compress: topk payload of %d bytes is not index/value pairs", len(p.Payload))
+	}
+	k := len(p.Payload) / 8
+	if k > n {
+		return nil, fmt.Errorf("compress: topk payload holds %d entries for %d values", k, n)
+	}
+	t := tensor.New(p.Shape...)
+	data := t.Data()
+	for e := 0; e < k; e++ {
+		idx := binary.LittleEndian.Uint32(p.Payload[8*e:])
+		if int(idx) >= n {
+			return nil, fmt.Errorf("compress: topk index %d outside tensor of %d values", idx, n)
+		}
+		data[idx] = math.Float32frombits(binary.LittleEndian.Uint32(p.Payload[8*e+4:]))
+	}
+	return t, nil
+}
+
+// kthLargestMagnitude returns the k-th largest absolute value in data
+// (1-based: k=1 is the maximum) in O(n) expected time via quickselect. NaN
+// magnitudes are mapped to +Inf so the selection stays totally ordered — an
+// unordered NaN pivot would run the Hoare scans out of bounds.
+func kthLargestMagnitude(data []float32, k int) float32 {
+	inf := float32(math.Inf(1))
+	mags := make([]float32, len(data))
+	for i, v := range data {
+		if v != v { // NaN
+			mags[i] = inf
+		} else {
+			mags[i] = abs32(v)
+		}
+	}
+	return selectDesc(mags, k-1)
+}
+
+// selectDesc partially sorts a in descending order until position k is
+// final and returns a[k]. It mutates a. The Hoare partition splits runs of
+// equal elements across both halves, so duplicate-heavy inputs (e.g. sparse
+// or constant gradients) stay O(n) instead of degrading quadratically.
+func selectDesc(a []float32, k int) float32 {
+	lo, hi := 0, len(a)-1
+	for lo < hi {
+		// Median-of-three pivot against sorted/reversed inputs.
+		mid := lo + (hi-lo)/2
+		if a[mid] > a[lo] {
+			a[lo], a[mid] = a[mid], a[lo]
+		}
+		if a[hi] > a[lo] {
+			a[lo], a[hi] = a[hi], a[lo]
+		}
+		if a[hi] > a[mid] {
+			a[mid], a[hi] = a[hi], a[mid]
+		}
+		pivot := a[mid]
+
+		i, j := lo-1, hi+1
+		for {
+			for {
+				i++
+				if a[i] <= pivot {
+					break
+				}
+			}
+			for {
+				j--
+				if a[j] >= pivot {
+					break
+				}
+			}
+			if i >= j {
+				break
+			}
+			a[i], a[j] = a[j], a[i]
+		}
+		// a[lo..j] >= pivot >= a[j+1..hi].
+		if k <= j {
+			hi = j
+		} else {
+			lo = j + 1
+		}
+	}
+	return a[k]
+}
+
+// abs32 returns |v| without the float64 round trip of math.Abs.
+func abs32(v float32) float32 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

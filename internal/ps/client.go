@@ -3,30 +3,82 @@ package ps
 import (
 	"fmt"
 
+	"dssp/internal/compress"
 	"dssp/internal/tensor"
 	"dssp/internal/transport"
 )
 
 // Client is the worker-side handle to the parameter server, implementing the
-// worker protocol of Algorithm 1: register once, pull the initial weights,
-// then repeatedly push gradients, wait for OK, and pull fresh weights.
+// worker protocol of Algorithm 1: register once (negotiating the gradient
+// codec), pull the initial weights, then repeatedly push gradients, wait for
+// OK, and pull fresh weights. A Client belongs to one worker goroutine; it
+// is not safe for concurrent use.
 type Client struct {
 	conn   transport.Conn
 	worker int
+
+	// cfg is the compression configuration — the worker's request before
+	// Register, the negotiated result after. comp carries the error-feedback
+	// state of a lossy codec (nil for the identity codec).
+	cfg  compress.Config
+	comp *compress.Compressor
+
+	// serverShards is the server's parameter-store shard count, learned at
+	// registration.
+	serverShards int
+
+	// pushedBytes and pulledBytes approximate this client's traffic in wire
+	// payload bytes (tensor data plus small per-tensor headers; gob framing
+	// excluded). They let callers compare codecs without packet captures.
+	pushedBytes int64
+	pulledBytes int64
 }
 
-// NewClient wraps a connection for the given worker ID.
+// NewClient wraps a connection for the given worker ID, speaking the
+// uncompressed protocol (identity codec).
 func NewClient(conn transport.Conn, worker int) *Client {
-	return &Client{conn: conn, worker: worker}
+	return &Client{conn: conn, worker: worker, cfg: compress.Config{}.Normalized()}
+}
+
+// NewClientCompressed wraps a connection with an explicit compression
+// configuration. Use compress.Auto as the codec to adopt whatever the server
+// speaks; any other codec must match the server's exactly or Register fails.
+func NewClientCompressed(conn transport.Conn, worker int, cfg compress.Config) (*Client, error) {
+	cfg = cfg.Normalized()
+	if err := cfg.Validate(true); err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, worker: worker, cfg: cfg}, nil
 }
 
 // Worker returns the worker ID this client represents.
 func (c *Client) Worker() int { return c.worker }
 
-// Register announces the worker to the server and waits for the
-// acknowledgement.
+// Compression returns the compression configuration: the requested one
+// before Register, the negotiated one after.
+func (c *Client) Compression() compress.Config { return c.cfg }
+
+// ServerShards returns the server's parameter-store shard count as reported
+// at registration (0 before Register).
+func (c *Client) ServerShards() int { return c.serverShards }
+
+// Traffic returns the approximate payload bytes this client pushed and
+// pulled so far.
+func (c *Client) Traffic() (pushed, pulled int64) { return c.pushedBytes, c.pulledBytes }
+
+// Register announces the worker to the server, negotiates the gradient
+// codec, and waits for the acknowledgement. A worker whose codec conflicts
+// with the server's is rejected with an error; a worker registering with
+// compress.Auto adopts the server's configuration.
 func (c *Client) Register() error {
-	if err := c.conn.Send(transport.Message{Type: transport.MsgRegister, Worker: c.worker}); err != nil {
+	err := c.conn.Send(transport.Message{
+		Type:      transport.MsgRegister,
+		Worker:    c.worker,
+		Codec:     c.cfg.Codec,
+		CodecTopK: c.cfg.TopK,
+		CodecPull: c.cfg.Pull,
+	})
+	if err != nil {
 		return fmt.Errorf("ps: register worker %d: %w", c.worker, err)
 	}
 	msg, err := c.recv()
@@ -36,6 +88,19 @@ func (c *Client) Register() error {
 	if msg.Type != transport.MsgRegistered {
 		return fmt.Errorf("ps: worker %d expected Registered, got %v", c.worker, msg.Type)
 	}
+	negotiated := compress.Config{Codec: msg.Codec, TopK: msg.CodecTopK, Pull: msg.CodecPull}.Normalized()
+	if c.cfg.Codec != compress.Auto && !c.cfg.Equal(negotiated) {
+		// The server accepted us but speaks something else — a protocol bug,
+		// but fail loudly rather than desynchronize.
+		return fmt.Errorf("ps: worker %d negotiated codec %s but server speaks %s", c.worker, c.cfg, negotiated)
+	}
+	c.cfg = negotiated
+	if c.cfg.Enabled() {
+		if c.comp, err = compress.NewCompressor(c.cfg); err != nil {
+			return fmt.Errorf("ps: worker %d: %w", c.worker, err)
+		}
+	}
+	c.serverShards = msg.StoreShards
 	return nil
 }
 
@@ -57,7 +122,7 @@ func (c *Client) Pull() ([]*tensor.Tensor, int64, error) {
 	}
 	if msg.Shards <= 1 {
 		// Unchunked reply from a single-shard store.
-		params, err := transport.FromWire(msg.Tensors)
+		params, err := c.decodeWeights(msg)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -77,7 +142,7 @@ func (c *Client) Pull() ([]*tensor.Tensor, int64, error) {
 			return nil, 0, fmt.Errorf("ps: worker %d received inconsistent weight chunks (%d/%d shards, %d/%d tensors)",
 				c.worker, msg.Shards, chunks, msg.Total, total)
 		}
-		ts, err := transport.FromWire(msg.Tensors)
+		ts, err := c.decodeWeights(msg)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -111,16 +176,45 @@ func (c *Client) Pull() ([]*tensor.Tensor, int64, error) {
 	return params, version, nil
 }
 
+// decodeWeights extracts the tensors of one Weights message, decompressing
+// packed chunks when the server compresses the pull path, and accounts the
+// pulled bytes.
+func (c *Client) decodeWeights(msg transport.Message) ([]*tensor.Tensor, error) {
+	if msg.Codec != "" || len(msg.Packed) > 0 {
+		if msg.Codec != c.cfg.Codec {
+			return nil, fmt.Errorf("ps: worker %d received %s-compressed weights but negotiated %s",
+				c.worker, msg.Codec, c.cfg)
+		}
+		for _, p := range msg.Packed {
+			c.pulledBytes += int64(p.WireSize())
+		}
+		return compress.DecompressAll(msg.Packed)
+	}
+	c.pulledBytes += wireTensorBytes(msg.Tensors)
+	return transport.FromWire(msg.Tensors)
+}
+
 // PushAndWait sends the worker's gradients (computed against baseVersion of
 // the global weights) and blocks until the server sends OK, i.e. until the
 // synchronization policy allows the worker to start its next iteration.
+// Under a lossy codec the gradients are compressed with error feedback; the
+// caller's tensors are never mutated.
 func (c *Client) PushAndWait(grads []*tensor.Tensor, baseVersion int64, iteration int) error {
 	msg := transport.Message{
 		Type:      transport.MsgPush,
 		Worker:    c.worker,
 		Iteration: iteration,
 		Version:   baseVersion,
-		Tensors:   transport.ToWire(grads),
+	}
+	if c.comp != nil {
+		msg.Codec = c.cfg.Codec
+		msg.Packed = c.comp.Compress(grads)
+		for _, p := range msg.Packed {
+			c.pushedBytes += int64(p.WireSize())
+		}
+	} else {
+		msg.Tensors = transport.ToWire(grads)
+		c.pushedBytes += wireTensorBytes(msg.Tensors)
 	}
 	if err := c.conn.Send(msg); err != nil {
 		return fmt.Errorf("ps: push from worker %d: %w", c.worker, err)
@@ -157,4 +251,15 @@ func (c *Client) recv() (transport.Message, error) {
 		return transport.Message{}, fmt.Errorf("ps: server error: %s", msg.Error)
 	}
 	return msg, nil
+}
+
+// wireTensorBytes approximates the wire payload of dense tensors: 4 bytes
+// per value plus a small per-tensor header, mirroring compress.Packed's
+// WireSize accounting.
+func wireTensorBytes(ws []transport.WireTensor) int64 {
+	var n int64
+	for _, w := range ws {
+		n += int64(4*len(w.Data) + 4*len(w.Shape) + 8)
+	}
+	return n
 }

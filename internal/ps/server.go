@@ -5,8 +5,10 @@ import (
 	"sync"
 	"time"
 
+	"dssp/internal/compress"
 	"dssp/internal/core"
 	"dssp/internal/metrics"
+	"dssp/internal/tensor"
 	"dssp/internal/transport"
 )
 
@@ -19,6 +21,11 @@ type ServerConfig struct {
 	Policy core.Policy
 	// Store holds the global weights and applies updates.
 	Store *Store
+	// Compression selects the gradient codec this server speaks. Workers
+	// must register with a matching configuration (or compress.Auto) or are
+	// rejected. With Compression.Pull set, weight chunks on the pull path
+	// are compressed too.
+	Compression compress.Config
 	// Clock supplies timestamps for the policy; nil means time.Now. The
 	// trainer injects an accelerated clock when it simulates heterogeneous
 	// hardware.
@@ -39,8 +46,11 @@ type ServerConfig struct {
 // application itself is shard-parallel inside the store, so a push uses
 // multiple cores and blocks concurrent pulls only shard by shard.
 type Server struct {
-	cfg   ServerConfig
-	clock func() time.Time
+	cfg ServerConfig
+	// compression is cfg.Compression in normalized form, the single source
+	// of truth for what the wire speaks.
+	compression compress.Config
+	clock       func() time.Time
 
 	mu       sync.Mutex
 	outboxes map[int]chan transport.Message
@@ -74,20 +84,25 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		return nil, fmt.Errorf("ps: policy coordinates %d workers, server expects %d",
 			cfg.Policy.NumWorkers(), cfg.Workers)
 	}
+	compression := cfg.Compression.Normalized()
+	if err := compression.Validate(false); err != nil {
+		return nil, fmt.Errorf("ps: server compression: %w", err)
+	}
 	clock := cfg.Clock
 	if clock == nil {
 		clock = time.Now
 	}
 	return &Server{
-		cfg:       cfg,
-		clock:     clock,
-		outboxes:  make(map[int]chan transport.Message),
-		finished:  make(map[int]bool),
-		stopped:   make(chan struct{}),
-		allDone:   make(chan struct{}),
-		staleness: metrics.NewHistogram(),
-		waits:     metrics.NewWaitTracker(cfg.Workers),
-		pushedAt:  make(map[int]time.Time),
+		cfg:         cfg,
+		compression: compression,
+		clock:       clock,
+		outboxes:    make(map[int]chan transport.Message),
+		finished:    make(map[int]bool),
+		stopped:     make(chan struct{}),
+		allDone:     make(chan struct{}),
+		staleness:   metrics.NewHistogram(),
+		waits:       metrics.NewWaitTracker(cfg.Workers),
+		pushedAt:    make(map[int]time.Time),
 	}, nil
 }
 
@@ -152,6 +167,19 @@ func (s *Server) handleConn(conn transport.Conn) {
 				})
 				return
 			}
+			// Codec negotiation: the worker either adopts the server's
+			// configuration (compress.Auto) or must match it exactly —
+			// mixed-codec streams would silently corrupt staleness-critical
+			// state, so mismatches are rejected before any payload flows.
+			requested := compress.Config{Codec: msg.Codec, TopK: msg.CodecTopK, Pull: msg.CodecPull}.Normalized()
+			if requested.Codec != compress.Auto && !requested.Equal(s.compression) {
+				_ = conn.Send(transport.Message{
+					Type: transport.MsgError,
+					Error: fmt.Sprintf("compression mismatch: worker %d registered with codec %s, server speaks %s",
+						workerID, requested, s.compression),
+				})
+				return
+			}
 			outbox := make(chan transport.Message, 64)
 			s.mu.Lock()
 			s.outboxes[workerID] = outbox
@@ -161,13 +189,20 @@ func (s *Server) handleConn(conn transport.Conn) {
 				defer s.wg.Done()
 				s.writer(conn, outbox)
 			}()
-			s.enqueueOut(workerID, transport.Message{Type: transport.MsgRegistered, Worker: workerID})
+			s.enqueueOut(workerID, transport.Message{
+				Type:        transport.MsgRegistered,
+				Worker:      workerID,
+				Codec:       s.compression.Codec,
+				CodecTopK:   s.compression.TopK,
+				CodecPull:   s.compression.Pull,
+				StoreShards: s.cfg.Store.Shards(),
+			})
 
 		case transport.MsgPush:
 			if workerID < 0 {
 				return
 			}
-			s.handlePush(workerID, msg.Tensors, msg.Version)
+			s.handlePush(workerID, msg)
 
 		case transport.MsgPull:
 			if workerID < 0 {
@@ -224,16 +259,18 @@ func (s *Server) enqueueOut(worker int, msg transport.Message) {
 }
 
 // handlePush applies a pushed gradient and releases workers per the policy.
-// Decoding the wire tensors happens outside policyMu so that payload
-// conversion from many workers overlaps; the policy decision and the store
-// update hold the lock.
-func (s *Server) handlePush(worker int, wire []transport.WireTensor, baseVersion int64) {
-	grads, decodeErr := transport.FromWire(wire)
+// Decoding the wire tensors — including codec decompression — happens
+// outside policyMu so that payload conversion from many workers overlaps;
+// the policy decision and the store update hold the lock.
+func (s *Server) handlePush(worker int, msg transport.Message) {
+	baseVersion := msg.Version
+	grads, decodeErr := s.decodePush(msg)
 
 	now := s.clock()
 	s.policyMu.Lock()
 	decision := s.cfg.Policy.OnPush(core.WorkerID(worker), now)
 
+	var pushErr error
 	if decision.Drop {
 		s.dropped++
 	} else {
@@ -243,12 +280,15 @@ func (s *Server) handlePush(worker int, wire []transport.WireTensor, baseVersion
 			applied, err = s.cfg.Store.Apply(grads)
 		}
 		if err != nil {
-			s.policyMu.Unlock()
-			s.enqueueOut(worker, transport.Message{Type: transport.MsgError, Error: err.Error()})
-			return
+			// The policy has already counted this push and may have decided
+			// to release other workers — their releases must still go out
+			// below or a barrier paradigm deadlocks on a single bad payload.
+			// Only the pushing worker learns of the failure.
+			pushErr = err
+		} else {
+			s.pushes++
+			s.staleness.Observe(int(applied - 1 - baseVersion))
 		}
-		s.pushes++
-		s.staleness.Observe(int(applied - 1 - baseVersion))
 	}
 
 	s.pushedAt[worker] = now
@@ -263,7 +303,33 @@ func (s *Server) handlePush(worker int, wire []transport.WireTensor, baseVersion
 
 	for _, id := range decision.Release {
 		w := int(id)
+		if pushErr != nil && w == worker {
+			// The erroring worker gets the error, not an OK that would let
+			// it train on as if the push had landed.
+			continue
+		}
 		s.enqueueOut(w, transport.Message{Type: transport.MsgOK, Worker: w})
+	}
+	if pushErr != nil {
+		s.enqueueOut(worker, transport.Message{Type: transport.MsgError, Error: pushErr.Error()})
+	}
+}
+
+// decodePush converts a push message's payload into gradient tensors,
+// decompressing packed payloads under the negotiated codec. A compressed
+// push arriving on an uncompressed server (or vice versa) is a protocol
+// violation — registration negotiates the codec — and fails the push.
+func (s *Server) decodePush(msg transport.Message) ([]*tensor.Tensor, error) {
+	compressed := msg.Codec != "" || len(msg.Packed) > 0
+	switch {
+	case compressed && (!s.compression.Enabled() || msg.Codec != s.compression.Codec):
+		return nil, fmt.Errorf("push compressed with codec %q but server speaks %s", msg.Codec, s.compression)
+	case compressed:
+		return compress.DecompressAll(msg.Packed)
+	case s.compression.Enabled():
+		return nil, fmt.Errorf("uncompressed push but server speaks %s", s.compression)
+	default:
+		return transport.FromWire(msg.Tensors)
 	}
 }
 
@@ -273,23 +339,45 @@ func (s *Server) handlePush(worker int, wire []transport.WireTensor, baseVersion
 // reference is grabbed, so pulls from different workers, and a pull
 // overlapping an in-flight push on other shards, proceed concurrently. The
 // worker-side wire decode copies the data, keeping workers isolated.
+//
+// With pull compression negotiated, each chunk instead carries the shard's
+// packed form from the store's per-shard cache: the quantization pass runs
+// once per shard update, not once per pull, so fan-out to many workers
+// stays cheap.
 func (s *Server) handlePull(worker int) {
 	st := s.cfg.Store
 	shards := st.Shards()
 	total := st.NumTensors()
+	compressPull := s.compression.Pull && s.compression.Enabled()
 	for i := 0; i < shards; i++ {
-		params, base, version := st.ViewShard(i)
-		s.enqueueOut(worker, transport.Message{
-			Type:    transport.MsgWeights,
-			Worker:  worker,
-			Version: version,
-			Shard:   i,
-			Shards:  shards,
-			Base:    base,
-			Total:   total,
-			Tensors: transport.ToWireOwned(params),
-		})
+		msg := transport.Message{
+			Type:   transport.MsgWeights,
+			Worker: worker,
+			Shard:  i,
+			Shards: shards,
+			Total:  total,
+		}
+		if compressPull {
+			packed, base, version := st.PackShard(i, s.packShard)
+			msg.Codec = s.compression.Codec
+			msg.Packed = packed
+			msg.Base = base
+			msg.Version = version
+		} else {
+			params, base, version := st.ViewShard(i)
+			msg.Tensors = transport.ToWireOwned(params)
+			msg.Base = base
+			msg.Version = version
+		}
+		s.enqueueOut(worker, msg)
 	}
+}
+
+// packShard is the Store.PackShard callback compressing one shard's
+// published snapshot with the server's codec (stateless: no error feedback
+// on the pull path).
+func (s *Server) packShard(params []*tensor.Tensor) []compress.Packed {
+	return compress.Pack(params, s.compression)
 }
 
 // handleDone records a worker's completion and closes AllWorkersDone once

@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync"
 
+	"dssp/internal/compress"
 	"dssp/internal/optimizer"
 	"dssp/internal/tensor"
 )
@@ -20,6 +21,23 @@ type shard struct {
 	params  []*tensor.Tensor
 	opt     optimizer.Optimizer
 	version int64
+
+	// packed caches the compressed form of the published snapshot for the
+	// compressed pull path; packedVersion is the shard version it encodes.
+	// Guarded by packedMu, separate from mu so a cache fill never blocks
+	// gradient application or uncompressed readers.
+	packedMu      sync.Mutex
+	packed        []compress.Packed
+	packedVersion int64
+}
+
+// viewVersioned returns the shard's currently published tensors together
+// with the shard-local version that published them.
+func (sh *shard) viewVersioned() ([]*tensor.Tensor, int64) {
+	sh.mu.RLock()
+	params, version := sh.params, sh.version
+	sh.mu.RUnlock()
+	return params, version
 }
 
 // shardRange is the half-open interval of global tensor indices [Start, End)

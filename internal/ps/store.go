@@ -10,6 +10,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"dssp/internal/compress"
 	"dssp/internal/optimizer"
 	"dssp/internal/tensor"
 )
@@ -211,6 +212,34 @@ func (s *Store) SnapshotShard(i int) (params []*tensor.Tensor, base int, version
 func (s *Store) ViewShard(i int) (params []*tensor.Tensor, base int, version int64) {
 	version = s.version.Load()
 	return s.shards[i].view(), s.ranges[i].Start, version
+}
+
+// PackShard returns shard i's published parameters in the compressed form
+// produced by pack, with the global index of the first tensor and the
+// store's aggregate version at read time. The packed form is cached per
+// shard and recomputed only after a newer snapshot is published, so
+// concurrent pulls from any number of workers share one compression pass
+// per update. Like ViewShard's tensors, the returned slice is immutable and
+// must not be modified.
+//
+// All callers of a store must pass an equivalent pack function: the cache is
+// keyed on the shard version only, which is exactly the pull path's shape —
+// one server, one negotiated codec.
+func (s *Store) PackShard(i int, pack func([]*tensor.Tensor) []compress.Packed) (packed []compress.Packed, base int, version int64) {
+	version = s.version.Load()
+	sh := s.shards[i]
+	params, local := sh.viewVersioned()
+	sh.packedMu.Lock()
+	if sh.packed == nil || sh.packedVersion < local {
+		sh.packed = pack(params)
+		sh.packedVersion = local
+	}
+	// When another goroutine cached an even newer snapshot between our view
+	// and the lock, serve that one: pulls always get the freshest published
+	// state available.
+	packed = sh.packed
+	sh.packedMu.Unlock()
+	return packed, s.ranges[i].Start, version
 }
 
 // Version returns the number of updates applied so far.

@@ -1,0 +1,135 @@
+package trainer
+
+import (
+	"testing"
+
+	"dssp/internal/compress"
+	"dssp/internal/core"
+	"dssp/internal/nn"
+)
+
+// TestCompressedTrainingConverges is the subsystem's end-to-end acceptance
+// check: under BSP, SSP and DSSP, training with every lossy codec (error
+// feedback on) must reach a final accuracy within tolerance of the
+// uncompressed run on the same easy synthetic task — and must actually move
+// fewer bytes.
+func TestCompressedTrainingConverges(t *testing.T) {
+	paradigms := []core.PolicyConfig{
+		{Paradigm: core.ParadigmBSP},
+		{Paradigm: core.ParadigmSSP, Staleness: 3},
+		{Paradigm: core.ParadigmDSSP, Staleness: 1, Range: 4},
+	}
+	codecs := []compress.Config{
+		{Codec: compress.FP16},
+		{Codec: compress.Int8},
+		{Codec: compress.TopK, TopK: 0.25},
+	}
+	// Accuracy head room below the uncompressed baseline: lossy gradients on
+	// a tiny model jitter between runs, but with error feedback they must
+	// stay in the same convergence regime.
+	const tolerance = 0.15
+
+	for _, p := range paradigms {
+		p := p
+		t.Run(p.Describe(), func(t *testing.T) {
+			baselineCfg := smallConfig(p)
+			baseline, err := Run(baselineCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if baseline.PushedBytes <= 0 {
+				t.Fatal("baseline run recorded no pushed bytes")
+			}
+			for _, codec := range codecs {
+				codec := codec
+				t.Run(codec.String(), func(t *testing.T) {
+					cfg := smallConfig(p)
+					cfg.Compression = codec
+					res, err := Run(cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if res.Updates == 0 {
+						t.Fatal("no updates were applied")
+					}
+					if res.FinalAccuracy < baseline.FinalAccuracy-tolerance {
+						t.Fatalf("codec %s final accuracy %.3f, uncompressed baseline %.3f (tolerance %.2f)",
+							codec, res.FinalAccuracy, baseline.FinalAccuracy, tolerance)
+					}
+					if res.PushedBytes <= 0 {
+						t.Fatal("compressed run recorded no pushed bytes")
+					}
+					if res.PushedBytes >= baseline.PushedBytes {
+						t.Fatalf("codec %s pushed %d bytes, baseline pushed %d",
+							codec, res.PushedBytes, baseline.PushedBytes)
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestCompressedPullPathTrains exercises the fully compressed wire — int8
+// pushes and int8 weight pulls — end to end.
+func TestCompressedPullPathTrains(t *testing.T) {
+	cfg := smallConfig(core.PolicyConfig{Paradigm: core.ParadigmDSSP, Staleness: 1, Range: 4})
+	cfg.Compression = compress.Config{Codec: compress.FP16, Pull: true}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalAccuracy < 0.6 {
+		t.Fatalf("final accuracy %.3f with compressed pulls, want >= 0.6", res.FinalAccuracy)
+	}
+	uncompressed := smallConfig(core.PolicyConfig{Paradigm: core.ParadigmDSSP, Staleness: 1, Range: 4})
+	base, err := Run(uncompressed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PulledBytes >= base.PulledBytes {
+		t.Fatalf("compressed pulls moved %d bytes, uncompressed moved %d", res.PulledBytes, base.PulledBytes)
+	}
+}
+
+// TestTrafficAccountingScalesWithCodec pins the relative wire footprint end
+// to end: int8 pushes must be at least 2× smaller than dense, topk(0.1) at
+// least 4×. The model gets a wider hidden layer than smallConfig's so that
+// payloads, not per-tensor headers, dominate — as they do on any real model
+// (the gob-measured equivalent lives in internal/transport).
+func trafficConfig(p core.PolicyConfig) Config {
+	cfg := smallConfig(p)
+	cfg.Model = nn.SpecSmallMLP(12, 64, 3)
+	cfg.Epochs = 2
+	return cfg
+}
+
+func TestTrafficAccountingScalesWithCodec(t *testing.T) {
+	p := core.PolicyConfig{Paradigm: core.ParadigmBSP}
+	dense, err := Run(trafficConfig(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	int8Cfg := trafficConfig(p)
+	int8Cfg.Compression = compress.Config{Codec: compress.Int8}
+	int8Res, err := Run(int8Cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	topkCfg := trafficConfig(p)
+	topkCfg.Compression = compress.Config{Codec: compress.TopK, TopK: 0.1}
+	topkRes, err := Run(topkCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// All three runs push the same number of updates (same iteration count),
+	// so pushed bytes compare directly.
+	if ratio := float64(dense.PushedBytes) / float64(int8Res.PushedBytes); ratio < 2 {
+		t.Errorf("int8 reduced pushed bytes %.2fx, want >= 2x", ratio)
+	}
+	if ratio := float64(dense.PushedBytes) / float64(topkRes.PushedBytes); ratio < 4 {
+		t.Errorf("topk(0.1) reduced pushed bytes %.2fx, want >= 4x", ratio)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"dssp/internal/compress"
 	"dssp/internal/core"
 	"dssp/internal/data"
 	"dssp/internal/metrics"
@@ -56,6 +57,9 @@ type Config struct {
 	// parameter store; 0 picks one per CPU. More shards mean more
 	// pull/push concurrency on the server.
 	Shards int
+	// Compression selects the gradient codec on the worker↔server path;
+	// the zero value trains uncompressed.
+	Compression compress.Config
 	// Seed makes model initialization and batching deterministic.
 	Seed int64
 }
@@ -78,6 +82,10 @@ type Result struct {
 	Duration time.Duration
 	// FinalAccuracy is the test accuracy of the final model.
 	FinalAccuracy float64
+	// PushedBytes and PulledBytes are the approximate payload bytes all
+	// workers sent and received — the knob gradient compression turns.
+	PushedBytes int64
+	PulledBytes int64
 }
 
 // TimeToAccuracy returns the elapsed time at which the run first reached the
@@ -128,7 +136,12 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	server, err := ps.NewServer(ps.ServerConfig{Workers: cfg.Workers, Policy: policy, Store: store})
+	server, err := ps.NewServer(ps.ServerConfig{
+		Workers:     cfg.Workers,
+		Policy:      policy,
+		Store:       store,
+		Compression: cfg.Compression,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -163,6 +176,7 @@ func Run(cfg Config) (*Result, error) {
 	start := time.Now()
 	var lossMu sync.Mutex
 	lastLoss := 0.0
+	var pushedBytes, pulledBytes int64
 
 	var wg sync.WaitGroup
 	errCh := make(chan error, cfg.Workers)
@@ -170,13 +184,15 @@ func Run(cfg Config) (*Result, error) {
 		wg.Add(1)
 		go func(workerID int) {
 			defer wg.Done()
-			loss, err := runWorker(cfg, listener, workerID, totalIters)
+			report, err := runWorker(cfg, listener, workerID, totalIters)
 			if err != nil {
 				errCh <- fmt.Errorf("worker %d: %w", workerID, err)
 				return
 			}
 			lossMu.Lock()
-			lastLoss = loss
+			lastLoss = report.loss
+			pushedBytes += report.pushed
+			pulledBytes += report.pulled
 			lossMu.Unlock()
 		}(w)
 	}
@@ -244,34 +260,50 @@ poll:
 	result.Staleness = server.Staleness()
 	result.Waits = server.Waits()
 	result.Updates = server.Pushes()
+	lossMu.Lock()
+	result.PushedBytes = pushedBytes
+	result.PulledBytes = pulledBytes
+	lossMu.Unlock()
 	if last, ok := result.Accuracy.Last(); ok {
 		result.FinalAccuracy = last.Value
 	}
 	return result, nil
 }
 
+// workerReport is what one worker goroutine hands back to Run.
+type workerReport struct {
+	loss   float64
+	pushed int64
+	pulled int64
+}
+
 // runWorker executes the worker side of Algorithm 1 for one worker.
-func runWorker(cfg Config, listener *transport.ChanListener, workerID, totalIters int) (float64, error) {
+func runWorker(cfg Config, listener *transport.ChanListener, workerID, totalIters int) (workerReport, error) {
+	var report workerReport
 	conn, err := listener.Dial()
 	if err != nil {
-		return 0, err
+		return report, err
 	}
-	client := ps.NewClient(conn, workerID)
+	client, err := ps.NewClientCompressed(conn, workerID, cfg.Compression)
+	if err != nil {
+		conn.Close()
+		return report, err
+	}
 	defer client.Close()
 	if err := client.Register(); err != nil {
-		return 0, err
+		return report, err
 	}
 
 	shard, err := data.PartitionDataset(cfg.Train, workerID, cfg.Workers)
 	if err != nil {
-		return 0, err
+		return report, err
 	}
 	if shard.Len() == 0 {
 		shard = cfg.Train
 	}
 	iter, err := data.NewBatchIterator(shard, cfg.BatchSize, cfg.Seed+int64(workerID)*1009)
 	if err != nil {
-		return 0, err
+		return report, err
 	}
 	replica := cfg.Model.Build(rand.New(rand.NewSource(cfg.Seed)))
 	rng := rand.New(rand.NewSource(cfg.Seed + int64(workerID)*7919))
@@ -281,15 +313,14 @@ func runWorker(cfg Config, listener *transport.ChanListener, workerID, totalIter
 		delay = cfg.WorkerDelay[workerID]
 	}
 
-	lastLoss := 0.0
 	for it := 0; it < totalIters; it++ {
 		// Step 1 of the iteration: pull the global weights and adopt them.
 		params, version, err := client.Pull()
 		if err != nil {
-			return 0, err
+			return report, err
 		}
 		if err := replica.SetParams(params); err != nil {
-			return 0, err
+			return report, err
 		}
 		// Step 2: compute gradients on the next mini-batch.
 		x, labels := iter.Next()
@@ -299,19 +330,20 @@ func runWorker(cfg Config, listener *transport.ChanListener, workerID, totalIter
 		replica.ZeroGrads()
 		loss, _ := replica.Loss(x, labels, true)
 		replica.Backward()
-		lastLoss = loss
+		report.loss = loss
 		if delay > 0 {
 			time.Sleep(delay)
 		}
 		// Step 3: push the gradients and wait for the server's OK.
 		if err := client.PushAndWait(replica.CloneGrads(), version, it); err != nil {
-			return 0, err
+			return report, err
 		}
 	}
 	if err := client.Done(); err != nil {
-		return 0, err
+		return report, err
 	}
-	return lastLoss, nil
+	report.pushed, report.pulled = client.Traffic()
+	return report, nil
 }
 
 // max64 returns the larger of two int64 values.

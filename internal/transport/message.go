@@ -8,6 +8,7 @@ package transport
 import (
 	"fmt"
 
+	"dssp/internal/compress"
 	"dssp/internal/tensor"
 )
 
@@ -95,6 +96,22 @@ type Message struct {
 	// into the full parameter list.
 	Base  int
 	Total int
+	// Codec, CodecTopK and CodecPull negotiate the gradient codec
+	// (internal/compress): on MsgRegister they carry the worker's requested
+	// configuration (compress.Auto adopts the server's), on MsgRegistered
+	// the server's actual configuration, which both ends then speak for the
+	// rest of the connection. On MsgPush and MsgWeights, Codec names the
+	// codec that produced Packed; empty means Tensors is used uncompressed.
+	Codec     string
+	CodecTopK float64
+	CodecPull bool
+	// Packed carries codec-compressed tensors — gradients on MsgPush, weight
+	// chunks on MsgWeights — when a lossy codec is negotiated. Exactly one of
+	// Tensors and Packed is populated on those messages.
+	Packed []compress.Packed
+	// StoreShards reports the server's parameter-store shard count on
+	// MsgRegistered, letting workers sanity-check cluster configuration.
+	StoreShards int
 	// Error carries a description on MsgError messages.
 	Error string
 }

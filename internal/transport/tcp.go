@@ -1,18 +1,28 @@
 package transport
 
 import (
+	"bufio"
 	"encoding/gob"
 	"fmt"
 	"net"
 	"sync"
 )
 
-// tcpConn is a Conn over a TCP socket using gob encoding. A mutex on each
+// tcpBufferSize sizes the per-direction bufio buffers: large enough that a
+// typical message's many small gob writes coalesce into few syscalls, small
+// enough to be irrelevant against parameter-sized payloads.
+const tcpBufferSize = 64 << 10
+
+// tcpConn is a Conn over a TCP socket using gob encoding over buffered I/O:
+// gob emits many small writes per message, so the encoder writes into a
+// bufio.Writer that is flushed once per Send, and the decoder reads through
+// a bufio.Reader instead of hitting the kernel per field. A mutex on each
 // direction allows Send and Recv to be used from different goroutines.
 type tcpConn struct {
 	conn net.Conn
 
 	encMu sync.Mutex
+	bw    *bufio.Writer
 	enc   *gob.Encoder
 	decMu sync.Mutex
 	dec   *gob.Decoder
@@ -20,15 +30,26 @@ type tcpConn struct {
 
 // newTCPConn wraps an established socket.
 func newTCPConn(c net.Conn) *tcpConn {
-	return &tcpConn{conn: c, enc: gob.NewEncoder(c), dec: gob.NewDecoder(c)}
+	bw := bufio.NewWriterSize(c, tcpBufferSize)
+	return &tcpConn{
+		conn: c,
+		bw:   bw,
+		enc:  gob.NewEncoder(bw),
+		dec:  gob.NewDecoder(bufio.NewReaderSize(c, tcpBufferSize)),
+	}
 }
 
-// Send implements Conn.
+// Send implements Conn. The message is encoded into the write buffer and
+// flushed to the socket before Send returns, so a sent message is never
+// stranded in user space.
 func (c *tcpConn) Send(m Message) error {
 	c.encMu.Lock()
 	defer c.encMu.Unlock()
 	if err := c.enc.Encode(&m); err != nil {
 		return fmt.Errorf("transport: send %v: %w", m.Type, err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		return fmt.Errorf("transport: flush %v: %w", m.Type, err)
 	}
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"time"
 
+	"dssp/internal/compress"
 	"dssp/internal/core"
 	"dssp/internal/data"
 	"dssp/internal/optimizer"
@@ -32,6 +33,10 @@ type ServerConfig struct {
 	// Shards is the number of independently locked parameter-store
 	// partitions (0 = one per CPU); pulls stream one wire chunk per shard.
 	Shards int
+	// Compression selects the gradient codec this server speaks; workers
+	// must register with a matching configuration (or CompressAuto) or are
+	// rejected at registration.
+	Compression Compression
 	// Seed determines the initial weights; it must match the workers' seed.
 	Seed int64
 }
@@ -85,7 +90,12 @@ func Serve(cfg ServerConfig) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	server, err := ps.NewServer(ps.ServerConfig{Workers: cfg2.Workers, Policy: policy, Store: store})
+	server, err := ps.NewServer(ps.ServerConfig{
+		Workers:     cfg2.Workers,
+		Policy:      policy,
+		Store:       store,
+		Compression: cfg.Compression.internal(),
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -114,6 +124,14 @@ type WorkerConfig struct {
 	Seed      int64
 	// Delay adds an artificial per-iteration delay to emulate a slower GPU.
 	Delay time.Duration
+	// Compression selects the gradient codec. The zero value (empty Codec)
+	// adopts whatever the server speaks; an explicit codec must match the
+	// server's exactly or registration fails.
+	Compression Compression
+	// Shards, when positive, is the parameter-store shard count this worker
+	// expects the server to run with; a mismatch aborts at registration.
+	// Zero accepts any layout (the server streams it per pull anyway).
+	Shards int
 }
 
 // WorkerReport summarizes one worker's run.
@@ -124,6 +142,12 @@ type WorkerReport struct {
 	FinalLoss float64
 	// Duration is the wall-clock time spent training.
 	Duration time.Duration
+	// Codec is the negotiated gradient codec (useful when Compression was
+	// left on auto).
+	Codec string
+	// PushedBytes and PulledBytes approximate this worker's wire traffic.
+	PushedBytes int64
+	PulledBytes int64
 }
 
 // RunWorker connects to a parameter server over TCP and runs the worker side
@@ -151,14 +175,29 @@ func RunWorker(cfg WorkerConfig) (*WorkerReport, error) {
 		return nil, err
 	}
 
+	ccfg := cfg.Compression.internal()
+	if cfg.Compression.Codec == "" {
+		// Unset means "follow the server" for workers: a fleet started with
+		// default flags keeps working when the server turns compression on.
+		ccfg.Codec = compress.Auto
+	}
+
 	conn, err := transport.Dial(cfg.ServerAddr)
 	if err != nil {
 		return nil, err
 	}
-	client := ps.NewClient(conn, cfg.WorkerID)
+	client, err := ps.NewClientCompressed(conn, cfg.WorkerID, ccfg)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
 	defer client.Close()
 	if err := client.Register(); err != nil {
 		return nil, err
+	}
+	if cfg.Shards > 0 && client.ServerShards() != cfg.Shards {
+		return nil, fmt.Errorf("dssp: worker %d expects %d parameter-store shards, server runs %d",
+			cfg.WorkerID, cfg.Shards, client.ServerShards())
 	}
 
 	replica := spec.Build(rand.New(rand.NewSource(base.Seed)))
@@ -189,5 +228,13 @@ func RunWorker(cfg WorkerConfig) (*WorkerReport, error) {
 	if err := client.Done(); err != nil {
 		return nil, err
 	}
-	return &WorkerReport{Iterations: totalIters, FinalLoss: lastLoss, Duration: time.Since(start)}, nil
+	pushed, pulled := client.Traffic()
+	return &WorkerReport{
+		Iterations:  totalIters,
+		FinalLoss:   lastLoss,
+		Duration:    time.Since(start),
+		Codec:       client.Compression().Codec,
+		PushedBytes: pushed,
+		PulledBytes: pulled,
+	}, nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"dssp/internal/compress"
 	"dssp/internal/data"
 	"dssp/internal/metrics"
 	"dssp/internal/nn"
@@ -49,6 +50,46 @@ type DatasetConfig struct {
 	Seed int64
 }
 
+// Compression selects the gradient codec spoken on the wire between workers
+// and the parameter server. Lossy codecs carry a per-worker error-feedback
+// residual, so training still converges; what they buy is bandwidth — see
+// the README's wire-protocol section for when to pick which.
+type Compression struct {
+	// Codec is CompressNone (the default), CompressFP16, CompressInt8 or
+	// CompressTopK. On WorkerConfig the empty string instead means "adopt
+	// whatever the server speaks" (CompressAuto).
+	Codec string
+	// TopK is the fraction of gradient entries the topk codec keeps per
+	// tensor, in (0, 1]; 0 selects the default 0.1.
+	TopK float64
+	// Pull additionally compresses the weights workers pull from the server
+	// (fp16 and int8 only — weights are state, not sparse updates).
+	Pull bool
+}
+
+// Codec names for Compression.Codec.
+const (
+	// CompressNone sends full-precision float32 tensors (the default).
+	CompressNone = compress.None
+	// CompressAuto (workers only) adopts the server's codec at registration.
+	CompressAuto = compress.Auto
+	// CompressFP16 halves the wire footprint with IEEE half precision.
+	CompressFP16 = compress.FP16
+	// CompressInt8 quantizes to one byte per value with a per-tensor scale.
+	CompressInt8 = compress.Int8
+	// CompressTopK sends only the largest-magnitude gradient entries.
+	CompressTopK = compress.TopK
+)
+
+// internal converts the public knob into the codec subsystem's configuration.
+func (c Compression) internal() compress.Config {
+	return compress.Config{Codec: c.Codec, TopK: c.TopK, Pull: c.Pull}.Normalized()
+}
+
+// String renders the configuration with its effective parameters, e.g.
+// "topk(0.1)+pull".
+func (c Compression) String() string { return c.internal().String() }
+
 // TrainConfig configures a local distributed-training run.
 type TrainConfig struct {
 	// Model selects the architecture.
@@ -81,6 +122,9 @@ type TrainConfig struct {
 	// shards, so the default is right for almost everyone; set 1 to force
 	// the classic fully serialized store.
 	Shards int
+	// Compression selects the gradient codec on the worker↔server wire; the
+	// zero value trains uncompressed.
+	Compression Compression
 	// Seed controls model initialization and batch order.
 	Seed int64
 }
@@ -103,6 +147,11 @@ type TrainResult struct {
 	MaxStaleness  int
 	// WorkerWaitTime is the total synchronization wait per worker.
 	WorkerWaitTime []time.Duration
+	// PushedBytes and PulledBytes approximate the gradient and weight
+	// payloads all workers moved over the wire — the number gradient
+	// compression shrinks.
+	PushedBytes int64
+	PulledBytes int64
 }
 
 // TimeToAccuracy returns when the run first reached the target accuracy.
@@ -252,6 +301,7 @@ func Train(cfg TrainConfig) (*TrainResult, error) {
 		WorkerDelay:  cfg.WorkerDelays,
 		Augment:      augment,
 		Shards:       cfg.Shards,
+		Compression:  cfg.Compression.internal(),
 		Seed:         cfg.Seed,
 	})
 	if err != nil {
@@ -267,6 +317,8 @@ func Train(cfg TrainConfig) (*TrainResult, error) {
 		MeanStaleness:  res.Staleness.Mean(),
 		MaxStaleness:   res.Staleness.Max(),
 		WorkerWaitTime: make([]time.Duration, cfg.Workers),
+		PushedBytes:    res.PushedBytes,
+		PulledBytes:    res.PulledBytes,
 	}
 	for w := 0; w < cfg.Workers; w++ {
 		out.WorkerWaitTime[w] = res.Waits.Total(w)

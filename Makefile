@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke bench-json fmt fmt-check vet ci
+.PHONY: all build test race bench bench-smoke bench-json bench-baseline fmt fmt-check vet ci
 
 all: build
 
@@ -31,6 +31,14 @@ bench-smoke:
 bench-json:
 	$(GO) test -run '^$$' -bench=. -benchmem ./... > bench-local.txt
 	$(GO) run ./cmd/benchjson -in bench-local.txt -out BENCH_local.json
+
+# Refresh the committed benchmark baseline (BENCH_baseline.json at the repo
+# root). A short fixed -benchtime keeps the full suite to a couple of
+# minutes; the baseline is a trajectory record that CI compares smoke
+# numbers against informationally, not a precision measurement.
+bench-baseline:
+	$(GO) test -run '^$$' -bench=. -benchtime=10x -benchmem ./... > bench-baseline.txt
+	$(GO) run ./cmd/benchjson -in bench-baseline.txt -out BENCH_baseline.json
 
 fmt:
 	gofmt -w .

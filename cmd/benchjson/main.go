@@ -40,6 +40,7 @@ type Document struct {
 func main() {
 	in := flag.String("in", "", "bench output file to read (default stdin)")
 	out := flag.String("out", "", "JSON file to write (default stdout)")
+	baseline := flag.String("baseline", "", "baseline JSON to compare ns/op against (informational; never fails)")
 	flag.Parse()
 
 	r := io.Reader(os.Stdin)
@@ -66,12 +67,59 @@ func main() {
 	blob = append(blob, '\n')
 	if *out == "" {
 		os.Stdout.Write(blob)
+	} else {
+		if err := os.WriteFile(*out, blob, 0o644); err != nil {
+			log.Fatalf("benchjson: %v", err)
+		}
+		fmt.Printf("benchjson: wrote %d results to %s\n", len(doc.Results), *out)
+	}
+	if *baseline != "" {
+		compareBaseline(doc, *baseline)
+	}
+}
+
+// compareBaseline prints an informational ns/op comparison of doc against a
+// previously written baseline document. It never exits non-zero: smoke runs
+// on shared CI hardware are noisy, and the perf trajectory is a record, not
+// a merge gate. Missing files or unknown benchmarks just shrink the table.
+func compareBaseline(doc *Document, path string) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Printf("benchjson: no baseline comparison (%v)\n", err)
 		return
 	}
-	if err := os.WriteFile(*out, blob, 0o644); err != nil {
-		log.Fatalf("benchjson: %v", err)
+	var base Document
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Printf("benchjson: no baseline comparison (%v)\n", err)
+		return
 	}
-	fmt.Printf("benchjson: wrote %d results to %s\n", len(doc.Results), *out)
+	baseNs := make(map[string]float64, len(base.Results))
+	for _, r := range base.Results {
+		if ns, ok := r.Metrics["ns/op"]; ok && ns > 0 {
+			baseNs[r.Name] = ns
+		}
+	}
+	fmt.Printf("benchjson: comparison against baseline %s (informational)\n", path)
+	compared := 0
+	for _, r := range doc.Results {
+		ns, ok := r.Metrics["ns/op"]
+		old, okBase := baseNs[r.Name]
+		if !ok || !okBase || ns <= 0 {
+			continue
+		}
+		compared++
+		ratio := ns / old
+		marker := ""
+		switch {
+		case ratio >= 1.5:
+			marker = "  <-- slower"
+		case ratio <= 0.67:
+			marker = "  <-- faster"
+		}
+		fmt.Printf("  %-70s %12.0f ns/op  baseline %12.0f  ratio %.2fx%s\n", r.Name, ns, old, ratio, marker)
+	}
+	fmt.Printf("benchjson: compared %d of %d benchmarks against %d baseline entries\n",
+		compared, len(doc.Results), len(baseNs))
 }
 
 // parse scans go test output for benchmark result lines and context headers.

@@ -13,6 +13,11 @@
 // the weights workers pull. Workers launched with their default -compress
 // auto adopt whatever the server speaks; an explicitly mismatched worker is
 // rejected at registration.
+//
+// Fault tolerance: -elastic lease-monitors worker sessions (evicting any
+// silent for -heartbeat-timeout) and accepts mid-run rejoins from workers
+// started with -reconnect; -checkpoint-dir/-checkpoint-every persist the
+// store so a restarted server resumes the run where it stopped.
 package main
 
 import (
@@ -22,6 +27,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"dssp"
 )
@@ -45,52 +51,73 @@ func main() {
 		compressName = flag.String("compress", dssp.CompressNone, "gradient codec on the wire: none, fp16, int8, topk")
 		topk         = flag.Float64("topk", 0, "fraction of gradient entries the topk codec keeps (0 = default 0.1)")
 		compressPull = flag.Bool("compress-pull", false, "also compress pulled weights (fp16/int8 codecs only)")
+		elastic      = flag.Bool("elastic", false, "tolerate worker churn: lease-monitor sessions, accept rejoins, finish when live workers finish")
+		hbTimeout    = flag.Duration("heartbeat-timeout", 5*time.Second, "evict a session silent for this long (elastic mode)")
+		ckptDir      = flag.String("checkpoint-dir", "", "directory for store checkpoints (restored on startup when present; empty = off)")
+		ckptEvery    = flag.Int("checkpoint-every", 0, "checkpoint every N applied updates (0 = only on shutdown)")
 		seed         = flag.Int64("seed", 1, "seed for the initial weights (must match workers)")
 	)
 	flag.Parse()
 
-	compression := dssp.Compression{Codec: *compressName, TopK: *topk, Pull: *compressPull}
-	if err := run(*addr, *workers, *paradigm, *staleness, *rng, *enforce, *backups,
-		*model, *classes, *examples, *imageSize, *lr, *momentum, *shards, compression, *seed); err != nil {
+	cfg := dssp.ServerConfig{
+		Addr:             *addr,
+		Workers:          *workers,
+		Model:            dssp.Model(*model),
+		LearningRate:     *lr,
+		Momentum:         *momentum,
+		Shards:           *shards,
+		Compression:      dssp.Compression{Codec: *compressName, TopK: *topk, Pull: *compressPull},
+		Elastic:          *elastic,
+		HeartbeatTimeout: *hbTimeout,
+		Checkpoint:       dssp.Checkpoint{Dir: *ckptDir, Every: *ckptEvery},
+		Seed:             *seed,
+		Dataset: dssp.DatasetConfig{
+			Examples: *examples, Classes: *classes, ImageSize: *imageSize, Noise: 0.5, Seed: *seed,
+		},
+	}
+	if err := run(cfg, *paradigm, *staleness, *rng, *enforce, *backups); err != nil {
 		log.Fatalf("psserver: %v", err)
 	}
 }
 
-func run(addr string, workers int, paradigm string, staleness, rng int, enforce bool, backups int,
-	model string, classes, examples, imageSize int, lr, momentum float64, shards int,
-	compression dssp.Compression, seed int64) error {
+func run(cfg dssp.ServerConfig, paradigm string, staleness, rng int, enforce bool, backups int) error {
 	sync, err := parseSync(paradigm, staleness, rng, enforce, backups)
 	if err != nil {
 		return err
 	}
-	server, err := dssp.Serve(dssp.ServerConfig{
-		Addr:    addr,
-		Workers: workers,
-		Sync:    sync,
-		Model:   dssp.Model(model),
-		Dataset: dssp.DatasetConfig{
-			Examples: examples, Classes: classes, ImageSize: imageSize, Noise: 0.5, Seed: seed,
-		},
-		LearningRate: lr,
-		Momentum:     momentum,
-		Shards:       shards,
-		Compression:  compression,
-		Seed:         seed,
-	})
+	cfg.Sync = sync
+	server, err := dssp.Serve(cfg)
 	if err != nil {
 		return err
 	}
 	defer server.Stop()
-	fmt.Printf("parameter server listening on %s (%s, %d workers, codec %s)\n",
-		server.Addr(), sync.Describe(), workers, compression)
+	mode := "fixed membership"
+	if cfg.Elastic {
+		mode = "elastic"
+	}
+	fmt.Printf("parameter server listening on %s (%s, %d workers, codec %s, %s)\n",
+		server.Addr(), sync.Describe(), cfg.Workers, cfg.Compression, mode)
+	if server.Restored() {
+		fmt.Printf("restored checkpoint from %s at version %d\n", cfg.Checkpoint.Dir, server.Version())
+	}
 
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
 	select {
 	case <-server.Done():
-		fmt.Printf("all %d workers finished; %d updates applied\n", workers, server.Updates())
+		fmt.Printf("all workers finished: %d updates applied, %d straggler updates dropped, %d departures, %d rejoins\n",
+			server.Updates(), server.Dropped(), server.Departures(), server.Rejoins())
+		if acc, err := server.Evaluate(); err == nil {
+			fmt.Printf("final model accuracy on held-out data: %.4f\n", acc)
+		}
 	case s := <-sigs:
-		fmt.Printf("received %v; shutting down after %d updates\n", s, server.Updates())
+		fmt.Printf("received %v; shutting down after %d updates (%d dropped)\n", s, server.Updates(), server.Dropped())
+	}
+	// Stop writes the final checkpoint (with -checkpoint-every 0 it is the
+	// only one), so the failure check must come after it.
+	server.Stop()
+	if err := server.CheckpointError(); err != nil {
+		fmt.Printf("warning: checkpoint write failed: %v\n", err)
 	}
 	return nil
 }

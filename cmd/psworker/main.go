@@ -13,6 +13,10 @@
 // default "auto" adopts whatever the server speaks, anything else must match
 // the server or registration is rejected); -shards, when set, asserts the
 // server's parameter-store shard count and aborts on a mismatch.
+//
+// Fault tolerance: -reconnect redials and rejoins on any connection loss
+// (surviving parameter-server restarts), -heartbeat proves liveness to an
+// -elastic server, and -fail-after injects a crash for demos.
 package main
 
 import (
@@ -40,6 +44,10 @@ func main() {
 		compressName = flag.String("compress", dssp.CompressAuto, "gradient codec: auto (adopt the server's), none, fp16, int8, topk")
 		topk         = flag.Float64("topk", 0, "fraction of gradient entries the topk codec keeps (0 = default 0.1; must match the server)")
 		compressPull = flag.Bool("compress-pull", false, "expect compressed weight pulls (must match the server; implied by -compress auto)")
+		reconnect    = flag.Bool("reconnect", false, "redial and rejoin on connection loss (survives server restarts)")
+		reconnectTO  = flag.Duration("reconnect-timeout", 30*time.Second, "give up after failing to reconnect for this long")
+		heartbeat    = flag.Duration("heartbeat", 0, "send liveness heartbeats at this interval (needed under an -elastic server; 0 = off)")
+		failAfter    = flag.Int("fail-after", 0, "fault injection for demos: crash (drop the connection) before this iteration (0 = never)")
 		seed         = flag.Int64("seed", 1, "seed (must match the server)")
 	)
 	flag.Parse()
@@ -53,18 +61,26 @@ func main() {
 		Dataset: dssp.DatasetConfig{
 			Examples: *examples, Classes: *classes, ImageSize: *imageSize, Noise: 0.5, Seed: *seed,
 		},
-		BatchSize:   *batch,
-		Epochs:      *epochs,
-		Seed:        *seed,
-		Delay:       *delay,
-		Shards:      *shards,
-		Compression: compression,
+		BatchSize:         *batch,
+		Epochs:            *epochs,
+		Seed:              *seed,
+		Delay:             *delay,
+		Shards:            *shards,
+		Compression:       compression,
+		Reconnect:         *reconnect,
+		ReconnectTimeout:  *reconnectTO,
+		HeartbeatInterval: *heartbeat,
+		FailAfter:         *failAfter,
 	})
 	if err != nil {
 		log.Fatalf("psworker %d: %v", *id, err)
 	}
-	fmt.Printf("worker %d finished: %d iterations in %v (final mini-batch loss %.4f, %.1f iters/s, codec %s, pushed %.1f KiB, pulled %.1f KiB)\n",
+	if report.Crashed {
+		fmt.Printf("worker %d crashed (injected) after %d iterations\n", *id, report.Iterations)
+		return
+	}
+	fmt.Printf("worker %d finished: %d iterations in %v (final mini-batch loss %.4f, %.1f iters/s, codec %s, pushed %.1f KiB, pulled %.1f KiB, %d reconnects)\n",
 		*id, report.Iterations, report.Duration.Round(time.Millisecond), report.FinalLoss,
 		float64(report.Iterations)/report.Duration.Seconds(), report.Codec,
-		float64(report.PushedBytes)/1024, float64(report.PulledBytes)/1024)
+		float64(report.PushedBytes)/1024, float64(report.PulledBytes)/1024, report.Reconnects)
 }

@@ -36,8 +36,29 @@ func (p *ASP) OnPush(w WorkerID, _ time.Time) Decision {
 	if err := validateWorkerID(w, p.n); err != nil {
 		panic(err)
 	}
+	p.clock.Join(w)
 	p.clock.Tick(w)
 	return Decision{Release: []WorkerID{w}}
+}
+
+// OnJoin implements Policy. ASP never blocks anyone, so membership only
+// affects the progress accounting.
+func (p *ASP) OnJoin(w WorkerID, _ time.Time) Decision {
+	if err := validateWorkerID(w, p.n); err != nil {
+		panic(err)
+	}
+	p.clock.Join(w)
+	return Decision{}
+}
+
+// OnLeave implements Policy. No worker ever waits under ASP, so a departure
+// releases nobody.
+func (p *ASP) OnLeave(w WorkerID, _ time.Time) Decision {
+	if err := validateWorkerID(w, p.n); err != nil {
+		panic(err)
+	}
+	p.clock.Leave(w)
+	return Decision{}
 }
 
 // Blocked implements Policy; ASP never blocks a worker.

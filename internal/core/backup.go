@@ -58,6 +58,7 @@ func (p *BackupBSP) OnPush(w WorkerID, _ time.Time) Decision {
 	if err := validateWorkerID(w, p.total); err != nil {
 		panic(err)
 	}
+	p.join(w)
 	p.clock.Tick(w)
 
 	if p.workerRound[w] < p.round {
@@ -70,7 +71,7 @@ func (p *BackupBSP) OnPush(w WorkerID, _ time.Time) Decision {
 
 	p.arrivedInRound++
 	p.workerRound[w] = p.round + 1
-	if p.arrivedInRound >= p.needed {
+	if p.arrivedInRound >= p.effectiveNeeded() {
 		// Round complete: release every worker that was waiting plus the
 		// pusher; stragglers will be dropped when they eventually push.
 		release := append(p.waiting.List(), w)
@@ -83,6 +84,61 @@ func (p *BackupBSP) OnPush(w WorkerID, _ time.Time) Decision {
 	}
 	p.waiting.Add(w)
 	return Decision{}
+}
+
+// OnJoin implements Policy: the worker participates from the current round
+// on, so its next push counts toward the round instead of being dropped as a
+// straggler.
+func (p *BackupBSP) OnJoin(w WorkerID, _ time.Time) Decision {
+	if err := validateWorkerID(w, p.total); err != nil {
+		panic(err)
+	}
+	p.join(w)
+	return Decision{}
+}
+
+// join reactivates a departed worker in the current round.
+func (p *BackupBSP) join(w WorkerID) {
+	if !p.clock.Join(w) {
+		return
+	}
+	if p.workerRound[w] < p.round {
+		p.workerRound[w] = p.round
+	}
+}
+
+// OnLeave implements Policy. A departure shrinks the pool the round draws
+// from: the quorum becomes min(N, active), and if the remaining waiters
+// already meet it the round completes — otherwise a crash of a non-backup
+// worker would stall the round forever.
+func (p *BackupBSP) OnLeave(w WorkerID, _ time.Time) Decision {
+	if err := validateWorkerID(w, p.total); err != nil {
+		panic(err)
+	}
+	if !p.clock.Leave(w) {
+		return Decision{}
+	}
+	p.waiting.Remove(w)
+	needed := p.effectiveNeeded()
+	if needed > 0 && p.arrivedInRound >= needed {
+		release := p.waiting.List()
+		for _, id := range release {
+			p.waiting.Remove(id)
+		}
+		p.round++
+		p.arrivedInRound = 0
+		return Decision{Release: release}
+	}
+	return Decision{}
+}
+
+// effectiveNeeded returns the per-round quorum: the configured N capped at
+// the number of active workers.
+func (p *BackupBSP) effectiveNeeded() int {
+	if a := p.clock.NumActive(); a < p.needed {
+		return a
+	}
+	return p.needed
 }
 
 // StalenessBound implements StalenessBounder: like BSP, every aggregated

@@ -68,13 +68,12 @@ func (p *BoundedDelay) OnPush(w WorkerID, _ time.Time) Decision {
 	if err := validateWorkerID(w, p.n); err != nil {
 		panic(err)
 	}
+	p.join(w)
 	p.clock.Tick(w)
 
 	completed := p.next[w]
 	p.done[completed] = true
-	for p.done[p.maxDone+1] {
-		p.maxDone++
-	}
+	p.advanceDone()
 	p.next[w] = completed + p.n
 
 	var release []WorkerID
@@ -83,8 +82,75 @@ func (p *BoundedDelay) OnPush(w WorkerID, _ time.Time) Decision {
 	} else {
 		p.waiting.Add(w)
 	}
+	return Decision{Release: append(release, p.drainUnblocked(w)...)}
+}
+
+// OnJoin implements Policy: the worker resumes its round-robin schedule at
+// the first global iteration assigned to it that has not completed (or been
+// skipped while it was away).
+func (p *BoundedDelay) OnJoin(w WorkerID, _ time.Time) Decision {
+	if err := validateWorkerID(w, p.n); err != nil {
+		panic(err)
+	}
+	p.join(w)
+	return Decision{}
+}
+
+// join reactivates a departed worker and repositions it on the global
+// iteration schedule.
+func (p *BoundedDelay) join(w WorkerID) {
+	if !p.clock.Join(w) {
+		return
+	}
+	t := p.maxDone + 1
+	for p.done[t] || WorkerID((t-1)%p.n) != w {
+		t++
+	}
+	p.next[w] = t
+}
+
+// OnLeave implements Policy. Iterations are pre-assigned round-robin, so a
+// departed worker leaves holes in the global schedule that every later
+// iteration transitively depends on; those holes are skipped as they become
+// the completion frontier, which may unblock workers waiting on the
+// dependency bound.
+func (p *BoundedDelay) OnLeave(w WorkerID, _ time.Time) Decision {
+	if err := validateWorkerID(w, p.n); err != nil {
+		panic(err)
+	}
+	if !p.clock.Leave(w) {
+		return Decision{}
+	}
+	p.waiting.Remove(w)
+	p.advanceDone()
+	return Decision{Release: p.drainUnblocked(noWorker)}
+}
+
+// advanceDone advances the contiguous completion frontier, treating
+// iterations assigned to departed workers as vacuously complete — they can
+// never be pushed, and leaving them pending would stall the whole schedule.
+func (p *BoundedDelay) advanceDone() {
+	for {
+		t := p.maxDone + 1
+		if p.done[t] {
+			p.maxDone = t
+			continue
+		}
+		if p.clock.NumActive() > 0 && !p.clock.IsActive(WorkerID((t-1)%p.n)) {
+			p.done[t] = true
+			p.maxDone = t
+			continue
+		}
+		return
+	}
+}
+
+// drainUnblocked releases every waiting worker whose dependency constraint
+// now holds, excluding pushed (whose membership was decided by the caller).
+func (p *BoundedDelay) drainUnblocked(pushed WorkerID) []WorkerID {
+	var release []WorkerID
 	for _, id := range p.waiting.List() {
-		if id == w {
+		if id == pushed {
 			continue
 		}
 		if p.mayStart(id) {
@@ -92,7 +158,7 @@ func (p *BoundedDelay) OnPush(w WorkerID, _ time.Time) Decision {
 			release = append(release, id)
 		}
 	}
-	return Decision{Release: release}
+	return release
 }
 
 // mayStart reports whether worker w's next global iteration satisfies the

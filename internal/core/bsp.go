@@ -36,22 +36,55 @@ func MustNewBSP(n int) *BSP {
 }
 
 // OnPush implements Policy. The pushing worker joins the barrier; when it is
-// the last worker of the round, all workers are released.
+// the last active worker of the round, all active workers are released.
 func (p *BSP) OnPush(w WorkerID, _ time.Time) Decision {
 	if err := validateWorkerID(w, p.n); err != nil {
 		panic(err)
 	}
+	p.clock.Join(w)
 	p.clock.Tick(w)
 	p.waiting.Add(w)
-	if p.waiting.Len() == p.n {
-		// Barrier complete: release everyone and start the next superstep.
-		for _, id := range releaseAll(p.n) {
-			p.waiting.Remove(id)
-		}
-		p.round++
-		return Decision{Release: releaseAll(p.n)}
+	return Decision{Release: p.completeBarrier()}
+}
+
+// OnJoin implements Policy: the worker joins the barrier population, so the
+// current round now needs its push too.
+func (p *BSP) OnJoin(w WorkerID, _ time.Time) Decision {
+	if err := validateWorkerID(w, p.n); err != nil {
+		panic(err)
 	}
+	p.clock.Join(w)
 	return Decision{}
+}
+
+// OnLeave implements Policy: the worker drops out of the barrier population.
+// If every remaining active worker has already pushed, its departure
+// completes the round — without this, one crashed worker blocks the barrier
+// forever.
+func (p *BSP) OnLeave(w WorkerID, _ time.Time) Decision {
+	if err := validateWorkerID(w, p.n); err != nil {
+		panic(err)
+	}
+	if !p.clock.Leave(w) {
+		return Decision{}
+	}
+	p.waiting.Remove(w)
+	return Decision{Release: p.completeBarrier()}
+}
+
+// completeBarrier releases every active worker and advances the round when
+// all active workers are waiting, and returns nil otherwise.
+func (p *BSP) completeBarrier() []WorkerID {
+	active := p.clock.NumActive()
+	if active == 0 || p.waiting.Len() != active {
+		return nil
+	}
+	release := p.clock.ActiveList()
+	for _, id := range release {
+		p.waiting.Remove(id)
+	}
+	p.round++
+	return release
 }
 
 // Blocked implements Policy.

@@ -43,8 +43,23 @@ type Decision struct {
 type Policy interface {
 	// OnPush records that worker w delivered the gradient of its next
 	// iteration at time now and returns the release decision. Each call
-	// advances w's logical clock by one.
+	// advances w's logical clock by one. A push from a worker previously
+	// reported departed implicitly rejoins it (see OnJoin).
 	OnPush(w WorkerID, now time.Time) Decision
+
+	// OnJoin records that worker w (re)joined the computation at time now.
+	// Joining an already-active worker is a no-op. A rejoining worker's
+	// progress accounting restarts at the slowest active worker's clock; its
+	// push count history is otherwise preserved.
+	OnJoin(w WorkerID, now time.Time) Decision
+
+	// OnLeave records that worker w left the computation at time now —
+	// crashed, was evicted by a lease timeout, or deregistered gracefully.
+	// The worker is removed from barrier and staleness accounting, and the
+	// decision lists any peers whose release condition its departure
+	// satisfied (a shrunken BSP barrier may complete, an SSP minimum may
+	// advance). Leaving an already-departed worker is a no-op.
+	OnLeave(w WorkerID, now time.Time) Decision
 
 	// Blocked returns the workers currently waiting for an OK signal, in
 	// ascending order. It is a read-only view used by tests and metrics.

@@ -126,6 +126,7 @@ func (p *DSSP) OnPush(w WorkerID, now time.Time) Decision {
 	if err := validateWorkerID(w, p.n); err != nil {
 		panic(err)
 	}
+	p.clock.Join(w)
 	p.clock.Tick(w)
 	p.ctl.Observe(w, now)
 
@@ -177,6 +178,36 @@ func (p *DSSP) OnPush(w WorkerID, now time.Time) Decision {
 	// (line 17: they are released once they are back within sL).
 	release = append(release, p.drainUnblocked(w)...)
 	return Decision{Release: release}
+}
+
+// OnJoin implements Policy: the worker re-enters staleness accounting at the
+// slowest active worker's clock, with no extra-iteration allowance.
+func (p *DSSP) OnJoin(w WorkerID, _ time.Time) Decision {
+	if err := validateWorkerID(w, p.n); err != nil {
+		panic(err)
+	}
+	if p.clock.Join(w) {
+		p.grants[w] = 0
+	}
+	return Decision{}
+}
+
+// OnLeave implements Policy: the departed worker drops out of the minimum
+// clock — a crashed slowest worker no longer holds everyone at the staleness
+// bound — and any remaining allowance is forfeited.
+func (p *DSSP) OnLeave(w WorkerID, _ time.Time) Decision {
+	if err := validateWorkerID(w, p.n); err != nil {
+		panic(err)
+	}
+	if !p.clock.Leave(w) {
+		return Decision{}
+	}
+	p.grants[w] = 0
+	p.waiting.Remove(w)
+	if p.clock.NumActive() == 0 {
+		return Decision{}
+	}
+	return Decision{Release: p.drainUnblocked(noWorker)}
 }
 
 // block parks worker w until the release condition of line 17 holds.

@@ -1,0 +1,30 @@
+package core
+
+import "time"
+
+// Membership semantics. Every policy coordinates a fixed capacity of worker
+// slots [0, NumWorkers), but the set of slots that currently participate in
+// synchronization is dynamic: OnLeave removes a worker from barrier and
+// staleness accounting (a crashed or drained worker must never block its
+// peers), OnJoin adds it back. A worker that pushes while marked inactive is
+// implicitly rejoined — a push is the strongest possible proof of
+// participation — so policies stay self-consistent even if a join
+// notification is lost.
+//
+// Rejoining resets the worker's progress accounting to the slowest active
+// worker's clock: a rejoining worker pulls fresh weights before computing
+// (Algorithm 1), so its first gradient is no staler than anyone else's and
+// must not drag the minimum clock down to its pre-crash value.
+
+// StaticMembership is an embeddable helper for Policy implementations with a
+// truly fixed worker set: OnJoin and OnLeave are accepted and ignored. The
+// six built-in paradigms implement real membership semantics instead; this
+// helper exists for external or experimental policies that do not care about
+// churn.
+type StaticMembership struct{}
+
+// OnJoin implements the membership half of Policy as a no-op.
+func (StaticMembership) OnJoin(WorkerID, time.Time) Decision { return Decision{} }
+
+// OnLeave implements the membership half of Policy as a no-op.
+func (StaticMembership) OnLeave(WorkerID, time.Time) Decision { return Decision{} }

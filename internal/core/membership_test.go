@@ -1,0 +1,289 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+var t0 = time.Unix(0, 0)
+
+// releasedSet collects a decision's release list into a set.
+func releasedSet(d Decision) map[WorkerID]bool {
+	out := make(map[WorkerID]bool, len(d.Release))
+	for _, id := range d.Release {
+		out[id] = true
+	}
+	return out
+}
+
+func TestBSPLeaveCompletesBarrier(t *testing.T) {
+	p := MustNewBSP(3)
+	if d := p.OnPush(0, t0); len(d.Release) != 0 {
+		t.Fatalf("premature release %v", d.Release)
+	}
+	if d := p.OnPush(1, t0); len(d.Release) != 0 {
+		t.Fatalf("premature release %v", d.Release)
+	}
+	// Worker 2 crashes before pushing: the two waiters form a complete
+	// barrier of the shrunken population and must be released.
+	d := p.OnLeave(2, t0)
+	got := releasedSet(d)
+	if !got[0] || !got[1] || len(got) != 2 {
+		t.Fatalf("leave released %v, want workers 0 and 1", d.Release)
+	}
+	if p.Rounds() != 1 {
+		t.Fatalf("rounds = %d, want 1", p.Rounds())
+	}
+	// Subsequent rounds run with two workers.
+	if d := p.OnPush(0, t0); len(d.Release) != 0 {
+		t.Fatalf("premature release %v", d.Release)
+	}
+	if d := p.OnPush(1, t0); len(releasedSet(d)) != 2 {
+		t.Fatalf("two-worker barrier released %v", d.Release)
+	}
+}
+
+func TestBSPLeaveOfComputingWorkerCompletesBarrier(t *testing.T) {
+	p := MustNewBSP(2)
+	p.OnPush(0, t0)
+	// Worker 1 crashes mid-compute (it never pushed). Worker 0 must not wait
+	// forever.
+	d := p.OnLeave(1, t0)
+	if got := releasedSet(d); !got[0] {
+		t.Fatalf("leave released %v, want worker 0", d.Release)
+	}
+}
+
+func TestBSPJoinGrowsBarrier(t *testing.T) {
+	p := MustNewBSP(3)
+	p.OnLeave(2, t0)
+	p.OnPush(0, t0)
+	p.OnJoin(2, t0)
+	// Barrier now needs all three again.
+	if d := p.OnPush(1, t0); len(d.Release) != 0 {
+		t.Fatalf("barrier completed without rejoined worker: %v", d.Release)
+	}
+	if d := p.OnPush(2, t0); len(releasedSet(d)) != 3 {
+		t.Fatalf("full barrier released %v", d.Release)
+	}
+}
+
+func TestSSPLeaveAdvancesMinimum(t *testing.T) {
+	p := MustNewSSP(2, 1)
+	// Worker 0 runs ahead until it blocks at the bound.
+	p.OnPush(0, t0)
+	p.OnPush(0, t0)
+	d := p.OnPush(0, t0)
+	if len(d.Release) != 0 {
+		t.Fatalf("worker 0 beyond the bound was released: %v", d.Release)
+	}
+	if got := p.Blocked(); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("blocked = %v, want [0]", got)
+	}
+	// The slowest worker crashes; the survivor is alone, within any bound of
+	// itself, and must resume.
+	d = p.OnLeave(1, t0)
+	if got := releasedSet(d); !got[0] {
+		t.Fatalf("leave released %v, want worker 0", d.Release)
+	}
+	if len(p.Blocked()) != 0 {
+		t.Fatalf("blocked = %v after release", p.Blocked())
+	}
+}
+
+func TestSSPJoinResetsClockToMinimum(t *testing.T) {
+	p := MustNewSSP(3, 1)
+	p.OnLeave(2, t0)
+	for i := 0; i < 5; i++ {
+		p.OnPush(0, t0)
+		p.OnPush(1, t0)
+	}
+	p.OnJoin(2, t0)
+	if got, want := p.Clock(2), 5; got != want {
+		t.Fatalf("rejoined clock = %d, want the active minimum %d", got, want)
+	}
+	// The rejoined worker must not be treated as 5 iterations behind: the
+	// others keep running.
+	d := p.OnPush(0, t0)
+	if got := releasedSet(d); !got[0] {
+		t.Fatalf("worker 0 blocked by a rejoined worker: %v", d.Release)
+	}
+}
+
+func TestDSSPLeaveUnblocksWaiters(t *testing.T) {
+	p := MustNewDSSP(2, 1, 0) // rmax=0: behaves like SSP with s=1
+	p.OnPush(0, t0)
+	p.OnPush(0, t0)
+	d := p.OnPush(0, t0)
+	if len(d.Release) != 0 {
+		t.Fatalf("worker 0 beyond the bound was released: %v", d.Release)
+	}
+	d = p.OnLeave(1, t0)
+	if got := releasedSet(d); !got[0] {
+		t.Fatalf("leave released %v, want worker 0", d.Release)
+	}
+}
+
+func TestDSSPLeaveForfeitsAllowance(t *testing.T) {
+	p := MustNewDSSP(2, 0, 3)
+	// Build up timing history so the controller can grant.
+	now := t0
+	for i := 0; i < 6; i++ {
+		now = now.Add(10 * time.Millisecond)
+		p.OnPush(0, now)
+		now = now.Add(10 * time.Millisecond)
+		p.OnPush(1, now)
+	}
+	p.OnLeave(0, now)
+	if got := p.Allowance(0); got != 0 {
+		t.Fatalf("allowance after leave = %d, want 0", got)
+	}
+}
+
+func TestBoundedDelayLeaveSkipsOrphanedIterations(t *testing.T) {
+	p := MustNewBoundedDelay(2, 1)
+	// Worker 0 completes iteration 1; its next is 3, which depends on
+	// iteration 2 — assigned to worker 1 — so with k=1 it must wait.
+	d := p.OnPush(0, t0)
+	if len(d.Release) != 0 {
+		t.Fatalf("worker 0 should wait on iteration 2: %v", d.Release)
+	}
+	// Worker 1 crashes without ever pushing. Its iterations (2, 4, 6, ...)
+	// must be skipped so worker 0's schedule keeps moving.
+	d = p.OnLeave(1, t0)
+	if got := releasedSet(d); !got[0] {
+		t.Fatalf("leave released %v, want worker 0", d.Release)
+	}
+	// Worker 0 now runs alone indefinitely.
+	for i := 0; i < 5; i++ {
+		if d := p.OnPush(0, t0); !releasedSet(d)[0] {
+			t.Fatalf("solo worker blocked at push %d: %v", i, d.Release)
+		}
+	}
+}
+
+func TestBoundedDelayRejoinResumesSchedule(t *testing.T) {
+	p := MustNewBoundedDelay(2, 2)
+	p.OnPush(0, t0)
+	p.OnLeave(1, t0)
+	p.OnPush(0, t0)
+	p.OnJoin(1, t0)
+	// The rejoined worker's next iteration must be after the completion
+	// frontier and assigned to it.
+	next := p.next[1]
+	if next <= p.maxDone {
+		t.Fatalf("rejoined schedule %d is behind the frontier %d", next, p.maxDone)
+	}
+	if (next-1)%2 != 1 {
+		t.Fatalf("iteration %d is not assigned to worker 1", next)
+	}
+	// Both workers make progress afterwards.
+	for i := 0; i < 4; i++ {
+		d0 := p.OnPush(0, t0)
+		d1 := p.OnPush(1, t0)
+		if len(d0.Release) == 0 && len(d1.Release) == 0 {
+			t.Fatalf("no progress at round %d", i)
+		}
+	}
+}
+
+func TestBackupBSPLeaveShrinksQuorum(t *testing.T) {
+	// 3 workers, 1 backup: rounds need 2 arrivals.
+	p := MustNewBackupBSP(3, 1)
+	if d := p.OnPush(0, t0); len(d.Release) != 0 {
+		t.Fatalf("premature release %v", d.Release)
+	}
+	// Workers 1 and 2 crash: only worker 0 remains, the quorum becomes 1 and
+	// the round completes on its already-arrived push.
+	p.OnLeave(1, t0)
+	d := p.OnLeave(2, t0)
+	if got := releasedSet(d); !got[0] {
+		t.Fatalf("leave released %v, want worker 0", d.Release)
+	}
+	// The lone worker keeps completing rounds by itself.
+	if d := p.OnPush(0, t0); !releasedSet(d)[0] {
+		t.Fatalf("solo round did not complete: %v", d.Release)
+	}
+	if p.Rounds() != 2 {
+		t.Fatalf("rounds = %d, want 2", p.Rounds())
+	}
+}
+
+func TestBackupBSPRejoinCountsInCurrentRound(t *testing.T) {
+	p := MustNewBackupBSP(2, 0)
+	p.OnPush(0, t0)
+	p.OnPush(1, t0) // round 0 completes
+	p.OnLeave(1, t0)
+	p.OnPush(0, t0) // round 1 completes with quorum 1
+	p.OnJoin(1, t0)
+	// The rejoined worker's next push belongs to the current round, not to a
+	// previous one — it must be aggregated, not dropped.
+	d := p.OnPush(1, t0)
+	if d.Drop {
+		t.Fatal("rejoined worker's push was dropped as a straggler")
+	}
+	if p.Dropped() != 0 {
+		t.Fatalf("dropped = %d, want 0", p.Dropped())
+	}
+}
+
+func TestASPLeaveJoinAreHarmless(t *testing.T) {
+	p := MustNewASP(2)
+	p.OnPush(0, t0)
+	if d := p.OnLeave(1, t0); len(d.Release) != 0 {
+		t.Fatalf("ASP leave released %v", d.Release)
+	}
+	if d := p.OnJoin(1, t0); len(d.Release) != 0 {
+		t.Fatalf("ASP join released %v", d.Release)
+	}
+	if d := p.OnPush(1, t0); !releasedSet(d)[1] {
+		t.Fatalf("ASP push not released: %v", d.Release)
+	}
+}
+
+func TestImplicitRejoinOnPush(t *testing.T) {
+	// A push from a worker reported departed implicitly rejoins it on every
+	// paradigm: the policies stay self-consistent even if a join notification
+	// is lost.
+	policies := []Policy{
+		MustNewBSP(2),
+		MustNewASP(2),
+		MustNewSSP(2, 1),
+		MustNewDSSP(2, 1, 2),
+		MustNewBoundedDelay(2, 2),
+		MustNewBackupBSP(2, 0),
+	}
+	for _, p := range policies {
+		p.OnLeave(1, t0)
+		p.OnPush(1, t0) // must not panic or corrupt state
+		p.OnPush(0, t0)
+		d := p.OnPush(1, t0)
+		_ = d
+		if got := p.NumWorkers(); got != 2 {
+			t.Fatalf("%s: NumWorkers = %d", p.Name(), got)
+		}
+	}
+}
+
+func TestLeaveIsIdempotent(t *testing.T) {
+	p := MustNewBSP(2)
+	p.OnPush(0, t0)
+	d1 := p.OnLeave(1, t0)
+	d2 := p.OnLeave(1, t0)
+	if len(d1.Release) == 0 {
+		t.Fatalf("first leave released nothing")
+	}
+	if len(d2.Release) != 0 {
+		t.Fatalf("second leave released %v", d2.Release)
+	}
+}
+
+func TestStaticMembershipIsNoOp(t *testing.T) {
+	var m StaticMembership
+	if d := m.OnJoin(0, t0); len(d.Release) != 0 || d.Drop {
+		t.Fatalf("OnJoin = %+v", d)
+	}
+	if d := m.OnLeave(0, t0); len(d.Release) != 0 || d.Drop {
+		t.Fatalf("OnLeave = %+v", d)
+	}
+}

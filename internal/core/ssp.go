@@ -42,6 +42,7 @@ func (p *SSP) OnPush(w WorkerID, _ time.Time) Decision {
 	if err := validateWorkerID(w, p.n); err != nil {
 		panic(err)
 	}
+	p.clock.Join(w)
 	p.clock.Tick(w)
 
 	var release []WorkerID
@@ -60,6 +61,37 @@ func (p *SSP) OnPush(w WorkerID, _ time.Time) Decision {
 	release = append(release, p.drainUnblocked(w)...)
 	return Decision{Release: release}
 }
+
+// OnJoin implements Policy: the worker re-enters staleness accounting at the
+// slowest active worker's clock.
+func (p *SSP) OnJoin(w WorkerID, _ time.Time) Decision {
+	if err := validateWorkerID(w, p.n); err != nil {
+		panic(err)
+	}
+	p.clock.Join(w)
+	return Decision{}
+}
+
+// OnLeave implements Policy: the departed worker drops out of the minimum
+// clock, which may unblock workers that were waiting at the staleness bound
+// for it to catch up.
+func (p *SSP) OnLeave(w WorkerID, _ time.Time) Decision {
+	if err := validateWorkerID(w, p.n); err != nil {
+		panic(err)
+	}
+	if !p.clock.Leave(w) {
+		return Decision{}
+	}
+	p.waiting.Remove(w)
+	if p.clock.NumActive() == 0 {
+		return Decision{}
+	}
+	return Decision{Release: p.drainUnblocked(noWorker)}
+}
+
+// noWorker is a sentinel WorkerID that matches no real worker, used to drain
+// the wait set without excluding anyone.
+const noWorker = WorkerID(-1)
 
 // drainUnblocked releases every waiting worker that is now within the bound.
 // pushed is excluded because its membership was just decided above.

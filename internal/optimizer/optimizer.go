@@ -27,6 +27,15 @@ type Optimizer interface {
 	// clone so that per-parameter state (e.g. momentum velocity) stays aligned
 	// with the shard's parameter slice.
 	Clone() Optimizer
+	// State returns a deep copy of the optimizer's accumulated per-parameter
+	// state (momentum velocity for SGD), aligned with the parameter list it
+	// has been stepping, or nil when it holds none. Checkpoints persist it so
+	// a restored server resumes with the same update dynamics.
+	State() [][]float32
+	// LoadState replaces the accumulated state with a deep copy of state
+	// (nil clears it). The next Step must see parameter tensors whose sizes
+	// match the loaded state.
+	LoadState(state [][]float32)
 }
 
 // SGD is stochastic gradient descent with optional momentum and weight
@@ -86,6 +95,31 @@ func (s *SGD) Step(params, grads []*tensor.Tensor) {
 // with zero velocity.
 func (s *SGD) Clone() Optimizer {
 	return &SGD{lr: s.lr, momentum: s.momentum, decay: s.decay}
+}
+
+// State implements Optimizer: a deep copy of the momentum velocity, nil when
+// momentum is off or no step has run yet.
+func (s *SGD) State() [][]float32 {
+	if s.velocity == nil {
+		return nil
+	}
+	out := make([][]float32, len(s.velocity))
+	for i, v := range s.velocity {
+		out[i] = append([]float32(nil), v...)
+	}
+	return out
+}
+
+// LoadState implements Optimizer.
+func (s *SGD) LoadState(state [][]float32) {
+	if state == nil {
+		s.velocity = nil
+		return
+	}
+	s.velocity = make([][]float32, len(state))
+	for i, v := range state {
+		s.velocity[i] = append([]float32(nil), v...)
+	}
 }
 
 // SetLearningRate implements Optimizer.

@@ -1,0 +1,183 @@
+package ps
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dssp/internal/tensor"
+)
+
+// CheckpointConfig configures periodic store checkpoints on a server.
+type CheckpointConfig struct {
+	// Dir is the directory checkpoints are written to; empty disables
+	// checkpointing.
+	Dir string
+	// Every writes a checkpoint whenever Every gradient updates have been
+	// applied since the last one. 0 (with Dir set) checkpoints only on Stop.
+	Every int
+}
+
+// Enabled reports whether the configuration asks for checkpoints at all.
+func (c CheckpointConfig) Enabled() bool { return c.Dir != "" }
+
+// CheckpointFile returns the checkpoint path used inside dir. Every writer
+// and restorer goes through this one name; atomicity comes from writing a
+// temporary file in dir and renaming it into place.
+func CheckpointFile(dir string) string { return filepath.Join(dir, "store.ckpt") }
+
+// checkpointData is the serialized form of a store: the published weights,
+// the per-tensor optimizer state, the aggregate version, and the learning
+// rate in force. Tensors are stored flat by global index, so a checkpoint
+// restores into a store with any shard count.
+type checkpointData struct {
+	Version      int64
+	LearningRate float64
+	Shapes       [][]int
+	Params       [][]float32
+	// State holds the optimizer's per-parameter state by global tensor index;
+	// nil entries mean no accumulated state for that tensor.
+	State [][]float32
+}
+
+// SaveCheckpoint atomically writes the store's current weights, optimizer
+// state and version to path: the data lands in a temporary file in the same
+// directory and is renamed into place, so a crash mid-write never corrupts
+// the previous checkpoint. Concurrent Apply calls are safe; the snapshot is
+// consistent per shard (the same relaxation pulls live with).
+func (s *Store) SaveCheckpoint(path string) error {
+	ck := checkpointData{
+		Version: s.version.Load(),
+		Shapes:  s.shapes,
+		Params:  make([][]float32, len(s.shapes)),
+		State:   make([][]float32, len(s.shapes)),
+	}
+	s.protoMu.Lock()
+	ck.LearningRate = s.proto.LearningRate()
+	s.protoMu.Unlock()
+	for i, sh := range s.shards {
+		base := s.ranges[i].Start
+		sh.mu.RLock()
+		params := sh.params
+		state := sh.opt.State()
+		sh.mu.RUnlock()
+		for j, p := range params {
+			// Published tensors are immutable; referencing their data without
+			// copying is safe for the duration of the encode.
+			ck.Params[base+j] = p.Data()
+		}
+		for j, v := range state {
+			ck.State[base+j] = v
+		}
+	}
+
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("ps: checkpoint dir: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, ".ckpt-*")
+	if err != nil {
+		return fmt.Errorf("ps: checkpoint temp file: %w", err)
+	}
+	if err := gob.NewEncoder(tmp).Encode(&ck); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("ps: encode checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("ps: close checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("ps: publish checkpoint: %w", err)
+	}
+	return nil
+}
+
+// RestoreCheckpoint replaces the store's weights, optimizer state, version
+// and learning rate with the contents of the checkpoint at path. The
+// checkpoint's tensor shapes must match the store's — it restores a run of
+// the same model, not an arbitrary one — but the shard count may differ from
+// the saving server's. Restore before serving traffic; it is not synchronized
+// against concurrent Apply.
+func (s *Store) RestoreCheckpoint(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("ps: open checkpoint: %w", err)
+	}
+	defer f.Close()
+	var ck checkpointData
+	if err := gob.NewDecoder(f).Decode(&ck); err != nil {
+		return fmt.Errorf("ps: decode checkpoint: %w", err)
+	}
+	if ck.Version < 0 {
+		return fmt.Errorf("ps: checkpoint version %d is negative", ck.Version)
+	}
+	if len(ck.Params) != len(s.shapes) || len(ck.Shapes) != len(s.shapes) {
+		return fmt.Errorf("ps: checkpoint has %d tensors, store has %d", len(ck.Params), len(s.shapes))
+	}
+	if ck.State == nil {
+		// A checkpoint without optimizer state (older writer) restores with
+		// none rather than crashing.
+		ck.State = make([][]float32, len(s.shapes))
+	}
+	if len(ck.State) != len(s.shapes) {
+		return fmt.Errorf("ps: checkpoint has state for %d tensors, store has %d", len(ck.State), len(s.shapes))
+	}
+	for i, shape := range ck.Shapes {
+		if !sameShape(shape, s.shapes[i]) {
+			return fmt.Errorf("ps: checkpoint tensor %d has shape %v, store expects %v", i, shape, s.shapes[i])
+		}
+		want := 1
+		for _, d := range shape {
+			want *= d
+		}
+		if len(ck.Params[i]) != want {
+			return fmt.Errorf("ps: checkpoint tensor %d has %d values for shape %v", i, len(ck.Params[i]), shape)
+		}
+		if st := ck.State[i]; st != nil && len(st) != want {
+			return fmt.Errorf("ps: checkpoint state %d has %d values for shape %v", i, len(st), shape)
+		}
+	}
+
+	for i, sh := range s.shards {
+		r := s.ranges[i]
+		params := make([]*tensor.Tensor, r.End-r.Start)
+		var state [][]float32
+		hasState := false
+		for j := range params {
+			g := r.Start + j
+			params[j] = tensor.FromSlice(append([]float32(nil), ck.Params[g]...), s.shapes[g]...)
+			if ck.State[g] != nil {
+				hasState = true
+			}
+		}
+		if hasState {
+			state = make([][]float32, len(params))
+			for j := range params {
+				g := r.Start + j
+				if ck.State[g] != nil {
+					state[j] = ck.State[g]
+				} else {
+					// Mixed checkpoints (some tensors stateless) restore zero
+					// state for the stateless ones to keep alignment.
+					state[j] = make([]float32, len(ck.Params[g]))
+				}
+			}
+		}
+		sh.mu.Lock()
+		sh.params = params
+		sh.opt.LoadState(state)
+		// Bump the shard version past anything the packed-pull cache may have
+		// encoded so the next compressed pull repacks the restored weights.
+		sh.version++
+		sh.mu.Unlock()
+	}
+	s.version.Store(ck.Version)
+	if ck.LearningRate > 0 {
+		s.SetLearningRate(ck.LearningRate)
+	}
+	return nil
+}

@@ -1,0 +1,225 @@
+package ps
+
+import (
+	"encoding/gob"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dssp/internal/core"
+	"dssp/internal/optimizer"
+	"dssp/internal/tensor"
+	"dssp/internal/transport"
+)
+
+// randomGrads returns deterministic pseudo-random gradients matching shapes.
+func randomGrads(rng *rand.Rand, shapes ...[]int) []*tensor.Tensor {
+	out := make([]*tensor.Tensor, len(shapes))
+	for i, shape := range shapes {
+		t := tensor.New(shape...)
+		d := t.Data()
+		for j := range d {
+			d[j] = float32(rng.NormFloat64())
+		}
+		out[i] = t
+	}
+	return out
+}
+
+// buildStore creates a store over two tensors with a momentum optimizer (so
+// checkpoints carry real optimizer state) and applies steps updates.
+func buildStore(t *testing.T, shards, steps int, seed int64) *Store {
+	t.Helper()
+	initial := []*tensor.Tensor{tensor.New(3, 4), tensor.New(7)}
+	st, err := NewStoreSharded(initial, optimizer.NewSGDMomentum(0.1, 0.9, 0.0001), shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < steps; i++ {
+		if _, err := st.Apply(randomGrads(rng, []int{3, 4}, []int{7})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return st
+}
+
+// assertStoresEqual fails unless both stores publish bit-identical weights
+// and the same version.
+func assertStoresEqual(t *testing.T, a, b *Store, context string) {
+	t.Helper()
+	pa, va := a.Snapshot()
+	pb, vb := b.Snapshot()
+	if va != vb {
+		t.Fatalf("%s: versions differ: %d vs %d", context, va, vb)
+	}
+	for i := range pa {
+		da, db := pa[i].Data(), pb[i].Data()
+		for j := range da {
+			if da[j] != db[j] {
+				t.Fatalf("%s: tensor %d element %d differs: %v vs %v", context, i, j, da[j], db[j])
+			}
+		}
+	}
+}
+
+func TestCheckpointRoundTripIsBitIdentical(t *testing.T) {
+	dir := t.TempDir()
+	path := CheckpointFile(dir)
+
+	src := buildStore(t, 2, 5, 1)
+	if err := src.SaveCheckpoint(path); err != nil {
+		t.Fatal(err)
+	}
+	dst := buildStore(t, 2, 0, 1)
+	if err := dst.RestoreCheckpoint(path); err != nil {
+		t.Fatal(err)
+	}
+	assertStoresEqual(t, src, dst, "after restore")
+
+	// The restored optimizer state must match too: applying the same
+	// gradients to both stores keeps them bit-identical, which fails if
+	// momentum velocity was lost or zeroed.
+	rng1 := rand.New(rand.NewSource(42))
+	rng2 := rand.New(rand.NewSource(42))
+	for i := 0; i < 3; i++ {
+		if _, err := src.Apply(randomGrads(rng1, []int{3, 4}, []int{7})); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := dst.Apply(randomGrads(rng2, []int{3, 4}, []int{7})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	assertStoresEqual(t, src, dst, "after post-restore updates")
+}
+
+func TestCheckpointRestoresAcrossShardCounts(t *testing.T) {
+	// A checkpoint written by a 1-shard server restores into a 2-shard store
+	// and vice versa: tensors are stored flat by global index.
+	dir := t.TempDir()
+	path := CheckpointFile(dir)
+	src := buildStore(t, 1, 4, 9)
+	if err := src.SaveCheckpoint(path); err != nil {
+		t.Fatal(err)
+	}
+	dst := buildStore(t, 2, 0, 9)
+	if err := dst.RestoreCheckpoint(path); err != nil {
+		t.Fatal(err)
+	}
+	assertStoresEqual(t, src, dst, "cross-shard restore")
+}
+
+func TestCheckpointRejectsMismatchedModel(t *testing.T) {
+	dir := t.TempDir()
+	path := CheckpointFile(dir)
+	src := buildStore(t, 1, 1, 3)
+	if err := src.SaveCheckpoint(path); err != nil {
+		t.Fatal(err)
+	}
+	other, err := NewStore([]*tensor.Tensor{tensor.New(5)}, optimizer.NewSGD(0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := other.RestoreCheckpoint(path); err == nil {
+		t.Fatal("restore into a different model succeeded")
+	}
+}
+
+// TestRestoreCheckpointWithoutState: a checkpoint whose gob stream carries
+// no optimizer state (an older writer's struct) restores with none instead
+// of panicking on the missing slice.
+func TestRestoreCheckpointWithoutState(t *testing.T) {
+	type legacyCheckpoint struct {
+		Version      int64
+		LearningRate float64
+		Shapes       [][]int
+		Params       [][]float32
+	}
+	src := buildStore(t, 1, 2, 4)
+	params, version := src.Snapshot()
+	legacy := legacyCheckpoint{Version: version, LearningRate: 0.1}
+	for _, p := range params {
+		legacy.Shapes = append(legacy.Shapes, p.Shape())
+		legacy.Params = append(legacy.Params, p.Data())
+	}
+	path := filepath.Join(t.TempDir(), "legacy.ckpt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gob.NewEncoder(f).Encode(&legacy); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	dst := buildStore(t, 1, 0, 4)
+	if err := dst.RestoreCheckpoint(path); err != nil {
+		t.Fatalf("restore without state: %v", err)
+	}
+	assertStoresEqual(t, src, dst, "stateless restore")
+}
+
+func TestRestoreMissingCheckpointFails(t *testing.T) {
+	st := buildStore(t, 1, 0, 1)
+	if err := st.RestoreCheckpoint(filepath.Join(t.TempDir(), "nope.ckpt")); err == nil {
+		t.Fatal("restoring a missing checkpoint succeeded")
+	}
+}
+
+// TestServerCheckpointsPeriodicallyAndOnStop drives checkpoints through the
+// server: pushes trigger interval saves, Stop writes the final state, and a
+// fresh store restored from the file resumes at the stopped version.
+func TestServerCheckpointsPeriodicallyAndOnStop(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewStore([]*tensor.Tensor{tensor.New(4)}, optimizer.NewSGD(1.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	policy := core.MustNewASP(1)
+	srv, err := NewServer(ServerConfig{
+		Workers:    1,
+		Policy:     policy,
+		Store:      st,
+		Checkpoint: CheckpointConfig{Dir: dir, Every: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	listener := transport.NewChanListener()
+	go func() { _ = srv.Serve(listener) }()
+
+	conn, err := listener.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(conn, 0)
+	if err := c.Register(); err != nil {
+		t.Fatal(err)
+	}
+	grad := []*tensor.Tensor{tensor.FromSlice([]float32{1, 2, 3, 4}, 4)}
+	for i := 0; i < 5; i++ {
+		if err := c.PushAndWait(grad, int64(i), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Close()
+	srv.Stop()
+	listener.Close()
+	if err := srv.CheckpointError(); err != nil {
+		t.Fatalf("checkpoint error: %v", err)
+	}
+
+	restored, err := NewStore([]*tensor.Tensor{tensor.New(4)}, optimizer.NewSGD(1.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.RestoreCheckpoint(CheckpointFile(dir)); err != nil {
+		t.Fatal(err)
+	}
+	// Stop's final save captured all 5 updates.
+	if got := restored.Version(); got != 5 {
+		t.Fatalf("restored version = %d, want 5", got)
+	}
+	assertStoresEqual(t, st, restored, "server checkpoint")
+}

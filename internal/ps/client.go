@@ -2,6 +2,8 @@ package ps
 
 import (
 	"fmt"
+	"sync"
+	"time"
 
 	"dssp/internal/compress"
 	"dssp/internal/tensor"
@@ -71,9 +73,23 @@ func (c *Client) Traffic() (pushed, pulled int64) { return c.pushedBytes, c.pull
 // with the server's is rejected with an error; a worker registering with
 // compress.Auto adopts the server's configuration.
 func (c *Client) Register() error {
+	return c.register(transport.MsgRegister, 0)
+}
+
+// Rejoin re-registers a worker that previously crashed or lost its
+// connection, carrying the last store version it saw. The server re-enters
+// the worker into synchronization accounting (Policy.OnJoin) and replies
+// like a registration; training resumes with the next Pull.
+func (c *Client) Rejoin(lastVersion int64) error {
+	return c.register(transport.MsgRejoin, lastVersion)
+}
+
+// register implements Register and Rejoin.
+func (c *Client) register(msgType transport.MessageType, lastVersion int64) error {
 	err := c.conn.Send(transport.Message{
-		Type:      transport.MsgRegister,
+		Type:      msgType,
 		Worker:    c.worker,
+		Version:   lastVersion,
 		Codec:     c.cfg.Codec,
 		CodecTopK: c.cfg.TopK,
 		CodecPull: c.cfg.Pull,
@@ -235,6 +251,44 @@ func (c *Client) Done() error {
 		return fmt.Errorf("ps: done from worker %d: %w", c.worker, err)
 	}
 	return nil
+}
+
+// Leave deregisters the worker gracefully: the server removes it from
+// synchronization accounting immediately instead of waiting for the
+// connection to die or the lease to expire. The connection is unusable for
+// training afterwards; Rejoin on a fresh connection re-enters the run.
+func (c *Client) Leave() error {
+	if err := c.conn.Send(transport.Message{Type: transport.MsgLeave, Worker: c.worker}); err != nil {
+		return fmt.Errorf("ps: leave from worker %d: %w", c.worker, err)
+	}
+	return nil
+}
+
+// StartHeartbeats begins sending liveness heartbeats every interval on a
+// background goroutine, and returns a function that stops them. Heartbeats
+// are one-way — the server refreshes the session lease and never replies —
+// so they interleave safely with the lock-step request/reply protocol
+// (Conn.Send is safe for concurrent use). The goroutine also exits when a
+// heartbeat send fails, which means the connection is gone and the main
+// protocol loop is about to find out.
+func (c *Client) StartHeartbeats(interval time.Duration) (stop func()) {
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+				if c.conn.Send(transport.Message{Type: transport.MsgHeartbeat, Worker: c.worker}) != nil {
+					return
+				}
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
 }
 
 // Close releases the underlying connection.

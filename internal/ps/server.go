@@ -3,6 +3,7 @@ package ps
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dssp/internal/compress"
@@ -14,10 +15,15 @@ import (
 
 // ServerConfig configures a parameter server.
 type ServerConfig struct {
-	// Workers is the number of workers expected to register.
+	// Workers is the number of worker slots: worker IDs live in [0, Workers).
+	// All slots are expected to register for a classic fixed-membership run;
+	// with Elastic set the population may shrink and grow during the run.
 	Workers int
 	// Policy is the synchronization paradigm deciding when pushed workers are
-	// released (BSP, ASP, SSP, DSSP, ...).
+	// released (BSP, ASP, SSP, DSSP, ...). Its membership hooks
+	// (OnJoin/OnLeave) are driven by the session layer: a dead connection or
+	// an expired lease removes the worker from barrier and staleness
+	// accounting so its peers never deadlock on a crash.
 	Policy core.Policy
 	// Store holds the global weights and applies updates.
 	Store *Store
@@ -26,15 +32,38 @@ type ServerConfig struct {
 	// rejected. With Compression.Pull set, weight chunks on the pull path
 	// are compressed too.
 	Compression compress.Config
+	// Elastic enables lease monitoring (sessions that miss heartbeats for
+	// HeartbeatTimeout are evicted) and completes AllWorkersDone when every
+	// live worker has finished even if some slots departed for good.
+	// Regardless of Elastic, a dead connection always notifies the policy.
+	Elastic bool
+	// HeartbeatTimeout is how long a session may stay silent before the lease
+	// monitor evicts it. Zero selects DefaultHeartbeatTimeout when Elastic is
+	// set.
+	HeartbeatTimeout time.Duration
+	// Checkpoint periodically snapshots the store to disk so a restarted
+	// server resumes where this one stopped.
+	Checkpoint CheckpointConfig
 	// Clock supplies timestamps for the policy; nil means time.Now. The
 	// trainer injects an accelerated clock when it simulates heterogeneous
 	// hardware.
 	Clock func() time.Time
 }
 
+// DefaultHeartbeatTimeout is the lease length used when an elastic server
+// does not specify one.
+const DefaultHeartbeatTimeout = 5 * time.Second
+
 // Server is the parameter server: it accepts worker connections, applies
 // pushed gradients to the store, and releases workers according to the
 // configured synchronization policy.
+//
+// Worker identity is a session, not an array slot: registration creates a
+// session, every message refreshes its lease, and a Recv error, a graceful
+// MsgLeave, or a missed-heartbeat eviction deregisters it and tells the
+// policy the worker left — releasing any peers its departure unblocks. A
+// worker may later rejoin (MsgRejoin) and re-enter synchronization
+// accounting without restarting the run.
 //
 // Requests are handled on the connection goroutines themselves rather than
 // being funneled through a central run loop. Pulls touch only the store's
@@ -51,25 +80,44 @@ type Server struct {
 	// of truth for what the wire speaks.
 	compression compress.Config
 	clock       func() time.Time
+	hbTimeout   time.Duration
 
-	mu       sync.Mutex
-	outboxes map[int]chan transport.Message
+	sessions *sessionTable
+
+	mu sync.Mutex
+	// joined records every worker slot that registered at least once.
+	joined   map[int]bool
 	finished map[int]bool
-	done     int
-	stopOnce sync.Once
-	stopped  chan struct{}
-	allDone  chan struct{}
-	wg       sync.WaitGroup
+	// departedAt records when an unfinished worker's session last ended; a
+	// worker inside the rejoin grace window (one heartbeat timeout) is
+	// treated as "coming back", not gone, by elastic completion.
+	departedAt map[int]time.Time
+	done       int
+	// allDoneClosed latches the completion broadcast.
+	allDoneClosed bool
+	ckptErr       error
+	stopOnce      sync.Once
+	stopped       chan struct{}
+	allDone       chan struct{}
+	wg            sync.WaitGroup
 
-	// policyMu serializes push handling: the policy decision, the store
-	// update, the metrics derived from them, and the choice of workers to
-	// release.
+	// policyMu serializes membership and push handling: the policy decision,
+	// the store update, the metrics derived from them, and the choice of
+	// workers to release.
 	policyMu  sync.Mutex
 	staleness *metrics.Histogram
 	waits     *metrics.WaitTracker
 	pushes    int
 	dropped   int
+	rejoins   int
+	departs   int
 	pushedAt  map[int]time.Time
+
+	ckptBusy atomic.Bool
+	// ckptMu serializes checkpoint writes: an async interval save that
+	// snapshotted older state must not land its rename after the final save
+	// from Stop.
+	ckptMu sync.Mutex
 }
 
 // NewServer returns a parameter server with the given configuration.
@@ -92,18 +140,39 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if clock == nil {
 		clock = time.Now
 	}
-	return &Server{
+	hbTimeout := cfg.HeartbeatTimeout
+	if hbTimeout <= 0 {
+		hbTimeout = DefaultHeartbeatTimeout
+	}
+	s := &Server{
 		cfg:         cfg,
 		compression: compression,
 		clock:       clock,
-		outboxes:    make(map[int]chan transport.Message),
+		hbTimeout:   hbTimeout,
+		sessions:    newSessionTable(),
+		joined:      make(map[int]bool),
 		finished:    make(map[int]bool),
+		departedAt:  make(map[int]time.Time),
 		stopped:     make(chan struct{}),
 		allDone:     make(chan struct{}),
 		staleness:   metrics.NewHistogram(),
 		waits:       metrics.NewWaitTracker(cfg.Workers),
 		pushedAt:    make(map[int]time.Time),
-	}, nil
+	}
+	if cfg.Elastic {
+		// An elastic server starts with an empty active set: policies assume
+		// every slot participates from construction, but here membership is
+		// what registration says it is. Without this, a restarted server
+		// would wait on phantom workers that finished against its
+		// predecessor and will never join.
+		now := clock()
+		for w := 0; w < cfg.Workers; w++ {
+			cfg.Policy.OnLeave(core.WorkerID(w), now)
+		}
+		s.wg.Add(1)
+		go s.leaseMonitor()
+	}
+	return s, nil
 }
 
 // Serve accepts worker connections from the listener until Stop is called or
@@ -135,14 +204,39 @@ func (s *Server) HandleConn(conn transport.Conn) {
 	s.handleConn(conn)
 }
 
-// Stop shuts the server down: connection writers exit and pending work is
-// abandoned. It is safe to call multiple times.
+// Stop shuts the server down: every live session ends and its connection is
+// closed — a worker blocked on a release sees the failure immediately and
+// can reconnect to a successor server instead of hanging on a half-dead
+// socket — and pending work is abandoned. When checkpointing is configured a
+// final checkpoint is written before Stop returns. It is safe to call
+// multiple times.
 func (s *Server) Stop() {
-	s.stopOnce.Do(func() { close(s.stopped) })
+	s.stopOnce.Do(func() {
+		close(s.stopped)
+		for _, sess := range s.sessions.list() {
+			sess.end()
+			_ = sess.conn.Close()
+		}
+		if s.cfg.Checkpoint.Enabled() {
+			s.saveCheckpoint()
+		}
+	})
 }
 
-// AllWorkersDone returns a channel that is closed once every expected worker
-// has sent MsgDone.
+// saveCheckpoint writes one checkpoint, serialized against concurrent saves
+// so the file always ends up holding the newest snapshot taken: the store
+// version only moves forward, each save snapshots at call time, and the
+// mutex forces their renames into call order.
+func (s *Server) saveCheckpoint() {
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+	s.recordCheckpointErr(s.cfg.Store.SaveCheckpoint(CheckpointFile(s.cfg.Checkpoint.Dir)))
+}
+
+// AllWorkersDone returns a channel that is closed once training is complete:
+// every worker slot sent MsgDone, or — on an elastic server — every worker
+// that ever joined has either finished or departed for good (at least one
+// must have finished).
 func (s *Server) AllWorkersDone() <-chan struct{} { return s.allDone }
 
 // handleConn reads messages from one worker connection and services them on
@@ -151,70 +245,65 @@ func (s *Server) AllWorkersDone() <-chan struct{} { return s.allDone }
 // from different workers run fully in parallel.
 func (s *Server) handleConn(conn transport.Conn) {
 	defer conn.Close()
-	var workerID = -1
+	var sess *session
 	for {
 		msg, err := conn.Recv()
 		if err != nil {
+			// A dead connection is a departure: deregister the session and
+			// tell the policy, so peers blocked on this worker are released
+			// instead of deadlocking.
+			if sess != nil {
+				s.leave(sess)
+			}
 			return
 		}
-		switch msg.Type {
-		case transport.MsgRegister:
-			workerID = msg.Worker
-			if workerID < 0 || workerID >= s.cfg.Workers {
+		if sess != nil {
+			if !s.sessions.current(sess) {
+				// The session was superseded by a new registration or evicted
+				// by the lease monitor while this request was in flight. Tell
+				// the worker to rejoin rather than leave it waiting on
+				// replies that will never come.
 				_ = conn.Send(transport.Message{
 					Type:  transport.MsgError,
-					Error: fmt.Sprintf("worker id %d out of range [0,%d)", workerID, s.cfg.Workers),
+					Error: fmt.Sprintf("session for worker %d expired; rejoin", sess.worker),
 				})
 				return
 			}
-			// Codec negotiation: the worker either adopts the server's
-			// configuration (compress.Auto) or must match it exactly —
-			// mixed-codec streams would silently corrupt staleness-critical
-			// state, so mismatches are rejected before any payload flows.
-			requested := compress.Config{Codec: msg.Codec, TopK: msg.CodecTopK, Pull: msg.CodecPull}.Normalized()
-			if requested.Codec != compress.Auto && !requested.Equal(s.compression) {
-				_ = conn.Send(transport.Message{
-					Type: transport.MsgError,
-					Error: fmt.Sprintf("compression mismatch: worker %d registered with codec %s, server speaks %s",
-						workerID, requested, s.compression),
-				})
+			sess.touch(s.clock())
+		}
+		switch msg.Type {
+		case transport.MsgRegister, transport.MsgRejoin:
+			sess = s.handleRegister(conn, msg)
+			if sess == nil {
 				return
 			}
-			outbox := make(chan transport.Message, 64)
-			s.mu.Lock()
-			s.outboxes[workerID] = outbox
-			s.mu.Unlock()
-			s.wg.Add(1)
-			go func() {
-				defer s.wg.Done()
-				s.writer(conn, outbox)
-			}()
-			s.enqueueOut(workerID, transport.Message{
-				Type:        transport.MsgRegistered,
-				Worker:      workerID,
-				Codec:       s.compression.Codec,
-				CodecTopK:   s.compression.TopK,
-				CodecPull:   s.compression.Pull,
-				StoreShards: s.cfg.Store.Shards(),
-			})
+
+		case transport.MsgHeartbeat:
+			// Liveness only; touch above already refreshed the lease.
 
 		case transport.MsgPush:
-			if workerID < 0 {
+			if sess == nil {
 				return
 			}
-			s.handlePush(workerID, msg)
+			s.handlePush(sess, msg)
 
 		case transport.MsgPull:
-			if workerID < 0 {
+			if sess == nil {
 				return
 			}
-			s.handlePull(workerID)
+			s.handlePull(sess.worker)
 
 		case transport.MsgDone:
-			if workerID < 0 {
+			if sess == nil {
 				return
 			}
-			s.handleDone(workerID)
+			s.handleDone(sess.worker)
+
+		case transport.MsgLeave:
+			if sess != nil {
+				s.leave(sess)
+			}
+			return
 
 		case transport.MsgShutdown:
 			return
@@ -226,35 +315,201 @@ func (s *Server) handleConn(conn transport.Conn) {
 	}
 }
 
-// writer drains one worker's outbox onto its connection.
-func (s *Server) writer(conn transport.Conn, outbox <-chan transport.Message) {
+// handleRegister services MsgRegister and MsgRejoin: it negotiates the
+// codec, installs a session (superseding a stale one for the same slot),
+// notifies the policy of the join, and acknowledges with the store's current
+// version. It returns nil when the worker was rejected.
+func (s *Server) handleRegister(conn transport.Conn, msg transport.Message) *session {
+	worker := msg.Worker
+	if worker < 0 || worker >= s.cfg.Workers {
+		_ = conn.Send(transport.Message{
+			Type:  transport.MsgError,
+			Error: fmt.Sprintf("worker id %d out of range [0,%d)", worker, s.cfg.Workers),
+		})
+		return nil
+	}
+	// Codec negotiation: the worker either adopts the server's
+	// configuration (compress.Auto) or must match it exactly —
+	// mixed-codec streams would silently corrupt staleness-critical
+	// state, so mismatches are rejected before any payload flows.
+	requested := compress.Config{Codec: msg.Codec, TopK: msg.CodecTopK, Pull: msg.CodecPull}.Normalized()
+	if requested.Codec != compress.Auto && !requested.Equal(s.compression) {
+		_ = conn.Send(transport.Message{
+			Type: transport.MsgError,
+			Error: fmt.Sprintf("compression mismatch: worker %d registered with codec %s, server speaks %s",
+				worker, requested, s.compression),
+		})
+		return nil
+	}
+	rejoined := msg.Type == transport.MsgRejoin
+	sess, old := s.sessions.register(worker, conn, rejoined, s.clock())
+	// Registration racing Stop: a worker that lands on a dying server (the
+	// listener stays open for the final checkpoint write) must be turned
+	// away, or it waits forever on a writer that exited with the server.
+	// Whichever of Stop's teardown loop and this check runs second sees the
+	// session and ends it.
+	select {
+	case <-s.stopped:
+		s.sessions.drop(sess)
+		sess.end()
+		_ = conn.Send(transport.Message{Type: transport.MsgError, Error: "server stopped; find its successor"})
+		return nil
+	default:
+	}
+	if old != nil {
+		// The slot had a live session — a zombie connection or a worker that
+		// reconnected before its crash was detected. End it so its writer
+		// goroutine exits now rather than leaking until server stop, and
+		// close its connection so its reader unblocks; drop compares session
+		// identity, so the zombie's death cannot deregister the new session.
+		old.end()
+		_ = old.conn.Close()
+	}
+	s.mu.Lock()
+	s.joined[worker] = true
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.writer(sess)
+	}()
+
+	now := s.clock()
+	s.policyMu.Lock()
+	if rejoined {
+		s.rejoins++
+	}
+	decision := s.cfg.Policy.OnJoin(core.WorkerID(worker), now)
+	s.recordReleases(decision.Release, now)
+	s.policyMu.Unlock()
+	s.sendReleases(decision.Release)
+
+	s.enqueueSession(sess, transport.Message{
+		Type:        transport.MsgRegistered,
+		Worker:      worker,
+		Version:     s.cfg.Store.Version(),
+		Codec:       s.compression.Codec,
+		CodecTopK:   s.compression.TopK,
+		CodecPull:   s.compression.Pull,
+		StoreShards: s.cfg.Store.Shards(),
+	})
+	return sess
+}
+
+// leave deregisters a session (if it is still current) and tells the policy
+// the worker left, releasing any peers the departure unblocks. A worker that
+// disconnects after reporting Done is an orderly exit, not a departure worth
+// counting: the metric should distinguish churn from healthy runs.
+func (s *Server) leave(sess *session) {
+	if !s.sessions.drop(sess) {
+		return
+	}
+	sess.end()
+	now := s.clock()
+	s.mu.Lock()
+	finished := s.finished[sess.worker]
+	if !finished {
+		s.departedAt[sess.worker] = now
+	}
+	s.mu.Unlock()
+	s.policyMu.Lock()
+	if !finished {
+		s.departs++
+	}
+	decision := s.cfg.Policy.OnLeave(core.WorkerID(sess.worker), now)
+	delete(s.pushedAt, sess.worker)
+	s.recordReleases(decision.Release, now)
+	s.policyMu.Unlock()
+	s.sendReleases(decision.Release)
+	s.checkAllDone()
+}
+
+// leaseMonitor evicts sessions whose lease expired: a worker that stops
+// heartbeating (hung, partitioned, SIGKILLed without the TCP stack noticing)
+// is deregistered exactly like one whose connection died.
+func (s *Server) leaseMonitor() {
+	defer s.wg.Done()
+	tick := s.hbTimeout / 4
+	if tick < 10*time.Millisecond {
+		tick = 10 * time.Millisecond
+	}
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
 	for {
 		select {
-		case msg, ok := <-outbox:
-			if !ok {
+		case <-s.stopped:
+			return
+		case <-ticker.C:
+			now := s.clock()
+			for _, sess := range s.sessions.list() {
+				if now.Sub(sess.seen()) > s.hbTimeout {
+					s.leave(sess)
+					_ = sess.conn.Close()
+				}
+			}
+			// A departure inside the rejoin grace window defers completion;
+			// nothing else re-evaluates it once the window elapses, so the
+			// monitor does.
+			s.checkAllDone()
+		}
+	}
+}
+
+// writer drains one worker's outbox onto its connection until the session
+// ends or the server stops.
+func (s *Server) writer(sess *session) {
+	for {
+		select {
+		case msg := <-sess.outbox:
+			if err := sess.conn.Send(msg); err != nil {
 				return
 			}
-			if err := conn.Send(msg); err != nil {
-				return
-			}
+		case <-sess.gone:
+			return
 		case <-s.stopped:
 			return
 		}
 	}
 }
 
-// enqueueOut places a message on a worker's outbox, dropping it if the worker
-// never registered or the server is stopping.
+// enqueueOut places a message on a worker's current session outbox, dropping
+// it if the worker has no live session.
 func (s *Server) enqueueOut(worker int, msg transport.Message) {
-	s.mu.Lock()
-	outbox, ok := s.outboxes[worker]
-	s.mu.Unlock()
-	if !ok {
+	sess := s.sessions.get(worker)
+	if sess == nil {
 		return
 	}
+	s.enqueueSession(sess, msg)
+}
+
+// enqueueSession places a message on a specific session's outbox. It never
+// blocks indefinitely: a session that ends or a server that stops unblocks
+// the send.
+func (s *Server) enqueueSession(sess *session, msg transport.Message) {
 	select {
-	case outbox <- msg:
+	case sess.outbox <- msg:
+	case <-sess.gone:
 	case <-s.stopped:
+	}
+}
+
+// recordReleases records waiting-time metrics for released workers. Callers
+// hold policyMu.
+func (s *Server) recordReleases(release []core.WorkerID, now time.Time) {
+	for _, id := range release {
+		w := int(id)
+		if at, ok := s.pushedAt[w]; ok {
+			s.waits.Record(w, now.Sub(at))
+			delete(s.pushedAt, w)
+		}
+	}
+}
+
+// sendReleases delivers the OK signal to every released worker.
+func (s *Server) sendReleases(release []core.WorkerID) {
+	for _, id := range release {
+		w := int(id)
+		s.enqueueOut(w, transport.Message{Type: transport.MsgOK, Worker: w})
 	}
 }
 
@@ -262,20 +517,27 @@ func (s *Server) enqueueOut(worker int, msg transport.Message) {
 // Decoding the wire tensors — including codec decompression — happens
 // outside policyMu so that payload conversion from many workers overlaps;
 // the policy decision and the store update hold the lock.
-func (s *Server) handlePush(worker int, msg transport.Message) {
+func (s *Server) handlePush(sess *session, msg transport.Message) {
+	worker := sess.worker
 	baseVersion := msg.Version
 	grads, decodeErr := s.decodePush(msg)
 
 	now := s.clock()
 	s.policyMu.Lock()
+	if !s.sessions.current(sess) {
+		// The session was evicted while the payload was decoding; the
+		// policy already counted the worker out, so the push is void.
+		s.policyMu.Unlock()
+		return
+	}
 	decision := s.cfg.Policy.OnPush(core.WorkerID(worker), now)
 
 	var pushErr error
+	var applied int64
 	if decision.Drop {
 		s.dropped++
 	} else {
 		err := decodeErr
-		var applied int64
 		if err == nil {
 			applied, err = s.cfg.Store.Apply(grads)
 		}
@@ -292,13 +554,7 @@ func (s *Server) handlePush(worker int, msg transport.Message) {
 	}
 
 	s.pushedAt[worker] = now
-	for _, id := range decision.Release {
-		w := int(id)
-		if at, ok := s.pushedAt[w]; ok {
-			s.waits.Record(w, now.Sub(at))
-			delete(s.pushedAt, w)
-		}
-	}
+	s.recordReleases(decision.Release, now)
 	s.policyMu.Unlock()
 
 	for _, id := range decision.Release {
@@ -313,6 +569,47 @@ func (s *Server) handlePush(worker int, msg transport.Message) {
 	if pushErr != nil {
 		s.enqueueOut(worker, transport.Message{Type: transport.MsgError, Error: pushErr.Error()})
 	}
+	if applied > 0 {
+		s.maybeCheckpoint(applied)
+	}
+}
+
+// maybeCheckpoint writes a checkpoint when the applied version crosses the
+// configured interval. The save runs on its own goroutine — checkpointing
+// must never stall push handling — with at most one save in flight; an
+// interval tick arriving mid-save is skipped (the next one covers it).
+func (s *Server) maybeCheckpoint(version int64) {
+	every := s.cfg.Checkpoint.Every
+	if !s.cfg.Checkpoint.Enabled() || every <= 0 || version%int64(every) != 0 {
+		return
+	}
+	if !s.ckptBusy.CompareAndSwap(false, true) {
+		return
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer s.ckptBusy.Store(false)
+		s.saveCheckpoint()
+	}()
+}
+
+// recordCheckpointErr remembers the most recent checkpoint failure.
+func (s *Server) recordCheckpointErr(err error) {
+	if err == nil {
+		return
+	}
+	s.mu.Lock()
+	s.ckptErr = err
+	s.mu.Unlock()
+}
+
+// CheckpointError returns the most recent checkpoint write failure, if any.
+// Checkpoint saves are best-effort: a failure never interrupts training.
+func (s *Server) CheckpointError() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ckptErr
 }
 
 // decodePush converts a push message's payload into gradient tensors,
@@ -380,19 +677,52 @@ func (s *Server) packShard(params []*tensor.Tensor) []compress.Packed {
 	return compress.Pack(params, s.compression)
 }
 
-// handleDone records a worker's completion and closes AllWorkersDone once
-// every expected worker reported in.
+// handleDone records a worker's completion.
 func (s *Server) handleDone(worker int) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.finished[worker] {
-		return
+	if !s.finished[worker] {
+		s.finished[worker] = true
+		s.done++
 	}
-	s.finished[worker] = true
-	s.done++
-	if s.done == s.cfg.Workers {
-		close(s.allDone)
+	s.mu.Unlock()
+	s.checkAllDone()
+}
+
+// checkAllDone closes AllWorkersDone when training is complete. The classic
+// condition is every worker slot reporting Done. An elastic server also
+// completes when every slot that ever joined is finished or has departed
+// for good — a permanently gone worker must not keep the server alive —
+// provided at least one worker actually finished. "For good" means its
+// session has been gone for longer than one heartbeat timeout: a worker
+// mid-reconnect (redialing with backoff after a transient failure) must not
+// be counted out, so departures inside that grace window defer completion
+// and the lease monitor re-checks once the window elapses.
+func (s *Server) checkAllDone() {
+	complete := false
+	s.mu.Lock()
+	if !s.allDoneClosed {
+		switch {
+		case s.done == s.cfg.Workers:
+			complete = true
+		case s.cfg.Elastic && s.done > 0:
+			complete = true
+			now := s.clock()
+			for w := range s.joined {
+				if s.finished[w] {
+					continue
+				}
+				if s.sessions.get(w) != nil || now.Sub(s.departedAt[w]) <= s.hbTimeout {
+					complete = false
+					break
+				}
+			}
+		}
+		if complete {
+			s.allDoneClosed = true
+			close(s.allDone)
+		}
 	}
+	s.mu.Unlock()
 }
 
 // Staleness returns the histogram of staleness values of applied updates
@@ -418,4 +748,19 @@ func (s *Server) Dropped() int {
 	s.policyMu.Lock()
 	defer s.policyMu.Unlock()
 	return s.dropped
+}
+
+// Rejoins returns the number of MsgRejoin registrations accepted.
+func (s *Server) Rejoins() int {
+	s.policyMu.Lock()
+	defer s.policyMu.Unlock()
+	return s.rejoins
+}
+
+// Departures returns the number of sessions deregistered — connection
+// failures, graceful leaves and lease evictions combined.
+func (s *Server) Departures() int {
+	s.policyMu.Lock()
+	defer s.policyMu.Unlock()
+	return s.departs
 }

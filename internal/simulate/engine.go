@@ -21,8 +21,22 @@ type RunConfig struct {
 	Policy core.PolicyConfig
 	// IterationsPerWorker is how many mini-batches each worker processes.
 	IterationsPerWorker int
+	// Failures schedules worker crashes during the run, exercising the
+	// policies' membership semantics (Policy.OnLeave) under the same
+	// event-driven driver the real parameter server shares.
+	Failures []WorkerFailure
 	// Seed drives compute-time jitter.
 	Seed int64
+}
+
+// WorkerFailure is a scheduled crash: at time At the worker stops computing,
+// its in-flight push (if any) is lost, and the policy is told it left. A
+// failure scheduled after the worker already finished is ignored.
+type WorkerFailure struct {
+	// Worker is the crashing worker's ID.
+	Worker int
+	// At is the elapsed simulated time of the crash.
+	At time.Duration
 }
 
 // UpdateEvent records one gradient update applied to the global weights.
@@ -88,6 +102,8 @@ const (
 	// evPullDone fires when a released worker has finished pulling the
 	// fresh global weights.
 	evPullDone
+	// evFail fires when a worker crashes (RunConfig.Failures).
+	evFail
 )
 
 // event is one entry of the simulation's time-ordered queue.
@@ -136,6 +152,7 @@ type simulation struct {
 	baseVersion   []int
 	pushArrivedAt []time.Duration
 	waiting       []bool
+	failed        []bool
 	finishedAt    []time.Duration
 	version       int
 
@@ -181,6 +198,7 @@ func Run(cfg RunConfig) (*RunResult, error) {
 		baseVersion:   make([]int, workers),
 		pushArrivedAt: make([]time.Duration, workers),
 		waiting:       make([]bool, workers),
+		failed:        make([]bool, workers),
 		finishedAt:    make([]time.Duration, workers),
 
 		result: &RunResult{
@@ -191,6 +209,12 @@ func Run(cfg RunConfig) (*RunResult, error) {
 	}
 	_, sim.result.Bounded = policy.(core.StalenessBounder)
 
+	for _, f := range cfg.Failures {
+		if f.Worker < 0 || f.Worker >= workers {
+			return nil, fmt.Errorf("simulate: failure names worker %d outside [0,%d)", f.Worker, workers)
+		}
+		sim.schedule(f.At, evFail, f.Worker)
+	}
 	for w := 0; w < workers; w++ {
 		sim.remaining[w] = cfg.IterationsPerWorker
 		sim.schedule(sim.computeTime(w), evComputeDone, w)
@@ -233,10 +257,14 @@ func acquire(freeAt *time.Duration, now, cost time.Duration) time.Duration {
 	return end
 }
 
-// run drains the event queue.
+// run drains the event queue. Events of a crashed worker are discarded: its
+// in-flight push or pull died with it.
 func (s *simulation) run() {
 	for s.queue.Len() > 0 {
 		ev := heap.Pop(s.queue).(event)
+		if s.failed[ev.worker] {
+			continue
+		}
 		switch ev.kind {
 		case evComputeDone:
 			s.onComputeDone(ev)
@@ -244,6 +272,8 @@ func (s *simulation) run() {
 			s.onPushArrive(ev)
 		case evPullDone:
 			s.onPullDone(ev)
+		case evFail:
+			s.onFail(ev)
 		}
 	}
 }
@@ -306,9 +336,33 @@ func (s *simulation) onPushArrive(ev event) {
 		}
 	}
 
-	for _, id := range decision.Release {
+	s.releaseWorkers(decision.Release, readyAt)
+}
+
+// onFail crashes a worker: it stops computing, any queued events for it are
+// discarded by run, and the policy is told it left so that peers blocked on
+// it are re-evaluated — exactly what the real server does when a connection
+// dies or a lease expires.
+func (s *simulation) onFail(ev event) {
+	w := ev.worker
+	if s.remaining[w] <= 0 && !s.waiting[w] {
+		// Already finished; the crash is moot.
+		return
+	}
+	s.failed[w] = true
+	s.waiting[w] = false
+	s.remaining[w] = 0
+	s.finishedAt[w] = ev.at
+	decision := s.policy.OnLeave(core.WorkerID(w), time.Unix(0, 0).Add(ev.at))
+	s.releaseWorkers(decision.Release, ev.at)
+}
+
+// releaseWorkers processes a policy release list: waiting workers resume
+// (pull then compute) or finish, and their synchronization wait is recorded.
+func (s *simulation) releaseWorkers(release []core.WorkerID, readyAt time.Duration) {
+	for _, id := range release {
 		r := int(id)
-		if !s.waiting[r] {
+		if !s.waiting[r] || s.failed[r] {
 			continue
 		}
 		s.waiting[r] = false

@@ -60,6 +60,27 @@ type Config struct {
 	// Compression selects the gradient codec on the worker↔server path;
 	// the zero value trains uncompressed.
 	Compression compress.Config
+	// Elastic enables session-lease monitoring on the server: workers that
+	// stay silent past HeartbeatTimeout are evicted from synchronization
+	// accounting instead of stalling their peers. Elastic runs should set
+	// HeartbeatInterval (or a HeartbeatTimeout comfortably above the longest
+	// iteration): in-process workers have no reconnect loop, so an evicted
+	// worker fails the run.
+	Elastic bool
+	// HeartbeatInterval is how often each worker proves liveness; 0 sends no
+	// heartbeats (a dead connection is still detected through Recv errors).
+	HeartbeatInterval time.Duration
+	// HeartbeatTimeout is the server-side lease length in elastic mode; 0
+	// picks the default (5s).
+	HeartbeatTimeout time.Duration
+	// Checkpoint periodically snapshots the parameter store so a later run
+	// can resume from it.
+	Checkpoint ps.CheckpointConfig
+	// CrashAt injects faults for elasticity tests and demos: a worker listed
+	// here abruptly drops its connection before pushing the given iteration
+	// (0-based) — no Done, no Leave, exactly like a process kill. The run is
+	// expected to complete without it; a crashed worker is not an error.
+	CrashAt map[int]int
 	// Seed makes model initialization and batching deterministic.
 	Seed int64
 }
@@ -78,6 +99,13 @@ type Result struct {
 	Waits *metrics.WaitTracker
 	// Updates is the number of gradient updates applied.
 	Updates int
+	// Dropped is the number of pushed updates the policy discarded — the
+	// backup-worker baseline's defining metric (straggler gradients thrown
+	// away).
+	Dropped int
+	// Crashed lists the workers that dropped out mid-run (fault injection
+	// via Config.CrashAt, or a worker goroutine dying on a closed server).
+	Crashed []int
 	// Duration is the total wall-clock training time.
 	Duration time.Duration
 	// FinalAccuracy is the test accuracy of the final model.
@@ -137,10 +165,13 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	server, err := ps.NewServer(ps.ServerConfig{
-		Workers:     cfg.Workers,
-		Policy:      policy,
-		Store:       store,
-		Compression: cfg.Compression,
+		Workers:          cfg.Workers,
+		Policy:           policy,
+		Store:            store,
+		Compression:      cfg.Compression,
+		Elastic:          cfg.Elastic,
+		HeartbeatTimeout: cfg.HeartbeatTimeout,
+		Checkpoint:       cfg.Checkpoint,
 	})
 	if err != nil {
 		return nil, err
@@ -179,6 +210,8 @@ func Run(cfg Config) (*Result, error) {
 	var pushedBytes, pulledBytes int64
 
 	var wg sync.WaitGroup
+	var crashedMu sync.Mutex
+	var crashed []int
 	errCh := make(chan error, cfg.Workers)
 	for w := 0; w < cfg.Workers; w++ {
 		wg.Add(1)
@@ -188,6 +221,11 @@ func Run(cfg Config) (*Result, error) {
 			if err != nil {
 				errCh <- fmt.Errorf("worker %d: %w", workerID, err)
 				return
+			}
+			if report.crashed {
+				crashedMu.Lock()
+				crashed = append(crashed, workerID)
+				crashedMu.Unlock()
 			}
 			lossMu.Lock()
 			lastLoss = report.loss
@@ -260,6 +298,10 @@ poll:
 	result.Staleness = server.Staleness()
 	result.Waits = server.Waits()
 	result.Updates = server.Pushes()
+	result.Dropped = server.Dropped()
+	crashedMu.Lock()
+	result.Crashed = crashed
+	crashedMu.Unlock()
 	lossMu.Lock()
 	result.PushedBytes = pushedBytes
 	result.PulledBytes = pulledBytes
@@ -272,9 +314,10 @@ poll:
 
 // workerReport is what one worker goroutine hands back to Run.
 type workerReport struct {
-	loss   float64
-	pushed int64
-	pulled int64
+	loss    float64
+	pushed  int64
+	pulled  int64
+	crashed bool
 }
 
 // runWorker executes the worker side of Algorithm 1 for one worker.
@@ -292,6 +335,10 @@ func runWorker(cfg Config, listener *transport.ChanListener, workerID, totalIter
 	defer client.Close()
 	if err := client.Register(); err != nil {
 		return report, err
+	}
+	if cfg.HeartbeatInterval > 0 {
+		stop := client.StartHeartbeats(cfg.HeartbeatInterval)
+		defer stop()
 	}
 
 	shard, err := data.PartitionDataset(cfg.Train, workerID, cfg.Workers)
@@ -313,7 +360,16 @@ func runWorker(cfg Config, listener *transport.ChanListener, workerID, totalIter
 		delay = cfg.WorkerDelay[workerID]
 	}
 
+	crashAt, crashes := cfg.CrashAt[workerID]
+
 	for it := 0; it < totalIters; it++ {
+		if crashes && it == crashAt {
+			// Injected fault: drop the connection abruptly — no Done, no
+			// Leave — exactly like a killed process. The server must notice
+			// through the dead connection and release this worker's peers.
+			report.crashed = true
+			return report, nil
+		}
 		// Step 1 of the iteration: pull the global weights and adopt them.
 		params, version, err := client.Pull()
 		if err != nil {

@@ -37,6 +37,16 @@ const (
 	MsgShutdown
 	// MsgError carries an error description.
 	MsgError
+	// MsgHeartbeat is a one-way liveness proof from a worker; the server
+	// refreshes the worker's session lease and sends no reply.
+	MsgHeartbeat
+	// MsgRejoin re-registers a previously crashed or disconnected worker.
+	// Version carries the last store version the worker saw, letting the
+	// server account how far behind the returnee is.
+	MsgRejoin
+	// MsgLeave deregisters a worker gracefully: the server removes it from
+	// synchronization accounting without treating the departure as a crash.
+	MsgLeave
 )
 
 // String returns the message type name.
@@ -60,6 +70,12 @@ func (t MessageType) String() string {
 		return "Shutdown"
 	case MsgError:
 		return "Error"
+	case MsgHeartbeat:
+		return "Heartbeat"
+	case MsgRejoin:
+		return "Rejoin"
+	case MsgLeave:
+		return "Leave"
 	default:
 		return fmt.Sprintf("MessageType(%d)", int(t))
 	}
@@ -81,7 +97,9 @@ type Message struct {
 	Iteration int
 	// Version is the parameter-store version: on Push it is the version the
 	// worker's gradients were computed from (for staleness accounting), on
-	// Weights it is the version of the delivered weights.
+	// Weights it is the version of the delivered weights, on Rejoin the last
+	// version the returning worker saw, and on Registered the store's
+	// current version (so a restarted worker knows where training resumed).
 	Version int64
 	// Tensors carries gradients (Push) or weights (Weights).
 	Tensors []WireTensor
@@ -162,8 +180,9 @@ func FromWire(ws []WireTensor) ([]*tensor.Tensor, error) {
 }
 
 // Conn is a bidirectional, message-oriented connection between one worker
-// and the server. Send and Recv may be used concurrently with each other but
-// each must not be called concurrently with itself.
+// and the server. Send is safe for concurrent use from multiple goroutines
+// (a worker's heartbeat goroutine sends alongside the protocol goroutine);
+// Recv must not be called concurrently with itself.
 type Conn interface {
 	// Send transmits one message.
 	Send(Message) error

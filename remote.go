@@ -3,11 +3,13 @@ package dssp
 import (
 	"fmt"
 	"math/rand"
+	"os"
 	"time"
 
 	"dssp/internal/compress"
 	"dssp/internal/core"
 	"dssp/internal/data"
+	"dssp/internal/nn"
 	"dssp/internal/optimizer"
 	"dssp/internal/ps"
 	"dssp/internal/transport"
@@ -37,6 +39,19 @@ type ServerConfig struct {
 	// must register with a matching configuration (or CompressAuto) or are
 	// rejected at registration.
 	Compression Compression
+	// Elastic makes the worker set dynamic: sessions are lease-monitored
+	// (HeartbeatTimeout), a silent or crashed worker is evicted from
+	// synchronization accounting so its peers keep training, and the run
+	// completes once every live worker finished. A dead connection notifies
+	// the policy regardless of this flag.
+	Elastic bool
+	// HeartbeatTimeout is how long a worker session may stay silent before
+	// eviction; 0 selects the default (5s) when Elastic is set.
+	HeartbeatTimeout time.Duration
+	// Checkpoint periodically snapshots weights + optimizer state + version
+	// to disk. When the directory already holds a checkpoint, Serve restores
+	// it and the run resumes where the previous server stopped.
+	Checkpoint Checkpoint
 	// Seed determines the initial weights; it must match the workers' seed.
 	Seed int64
 }
@@ -45,23 +60,67 @@ type ServerConfig struct {
 type Server struct {
 	inner    *ps.Server
 	listener transport.Listener
+	store    *ps.Store
+	spec     nn.ModelSpec
+	cfg      TrainConfig
+	restored bool
 }
 
 // Addr returns the address the server is listening on.
 func (s *Server) Addr() string { return s.listener.Addr() }
 
-// Done returns a channel closed once every expected worker reported
-// completion.
+// Done returns a channel closed once training is complete: every worker
+// reported completion, or — on an elastic server — every live worker did.
 func (s *Server) Done() <-chan struct{} { return s.inner.AllWorkersDone() }
 
-// Stop shuts the server down.
+// Stop shuts the server down, writing a final checkpoint when configured.
+// The listener closes first so reconnecting workers dial the successor
+// server rather than this dying one.
 func (s *Server) Stop() {
-	s.inner.Stop()
 	_ = s.listener.Close()
+	s.inner.Stop()
 }
 
 // Updates returns the number of gradient updates applied so far.
 func (s *Server) Updates() int { return s.inner.Pushes() }
+
+// Dropped returns the number of pushed updates the policy discarded — the
+// backup-worker baseline's defining metric (0 elsewhere).
+func (s *Server) Dropped() int { return s.inner.Dropped() }
+
+// Rejoins returns the number of worker rejoins accepted so far.
+func (s *Server) Rejoins() int { return s.inner.Rejoins() }
+
+// Departures returns the number of worker sessions deregistered so far —
+// crashes, graceful leaves and lease evictions combined.
+func (s *Server) Departures() int { return s.inner.Departures() }
+
+// Version returns the parameter-store version (applied updates, including
+// any restored from a checkpoint).
+func (s *Server) Version() int64 { return s.store.Version() }
+
+// Restored reports whether Serve resumed from an existing checkpoint.
+func (s *Server) Restored() bool { return s.restored }
+
+// CheckpointError returns the most recent checkpoint write failure, if any.
+func (s *Server) CheckpointError() error { return s.inner.CheckpointError() }
+
+// Evaluate measures the current global model's accuracy on the held-out
+// split of the configured dataset. It snapshots the store without stopping
+// training, so it may be called mid-run.
+func (s *Server) Evaluate() (float64, error) {
+	_, test, err := s.cfg.buildDatasets()
+	if err != nil {
+		return 0, err
+	}
+	model := s.spec.Build(rand.New(rand.NewSource(s.cfg.Seed)))
+	params, _ := s.store.Snapshot()
+	if err := model.SetParams(params); err != nil {
+		return 0, err
+	}
+	x, labels := test.All()
+	return model.Accuracy(x, labels), nil
+}
 
 // Serve starts a parameter server listening on cfg.Addr and returns
 // immediately; the server runs until Stop is called or all workers finish.
@@ -90,11 +149,24 @@ func Serve(cfg ServerConfig) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	restored := false
+	if cfg.Checkpoint.Dir != "" {
+		path := ps.CheckpointFile(cfg.Checkpoint.Dir)
+		if _, err := os.Stat(path); err == nil {
+			if err := store.RestoreCheckpoint(path); err != nil {
+				return nil, fmt.Errorf("dssp: restore checkpoint: %w", err)
+			}
+			restored = true
+		}
+	}
 	server, err := ps.NewServer(ps.ServerConfig{
-		Workers:     cfg2.Workers,
-		Policy:      policy,
-		Store:       store,
-		Compression: cfg.Compression.internal(),
+		Workers:          cfg2.Workers,
+		Policy:           policy,
+		Store:            store,
+		Compression:      cfg.Compression.internal(),
+		Elastic:          cfg.Elastic,
+		HeartbeatTimeout: cfg.HeartbeatTimeout,
+		Checkpoint:       cfg.Checkpoint.internal(),
 	})
 	if err != nil {
 		return nil, err
@@ -104,7 +176,14 @@ func Serve(cfg ServerConfig) (*Server, error) {
 		return nil, err
 	}
 	go func() { _ = server.Serve(listener) }()
-	return &Server{inner: server, listener: listener}, nil
+	return &Server{
+		inner:    server,
+		listener: listener,
+		store:    store,
+		spec:     spec,
+		cfg:      cfg2,
+		restored: restored,
+	}, nil
 }
 
 // WorkerConfig configures one TCP worker process (used by cmd/psworker).
@@ -132,6 +211,23 @@ type WorkerConfig struct {
 	// expects the server to run with; a mismatch aborts at registration.
 	// Zero accepts any layout (the server streams it per pull anyway).
 	Shards int
+	// Reconnect makes the worker ride through connection failures: on any
+	// transport error it redials the server (with backoff, for up to
+	// ReconnectTimeout), rejoins carrying the last store version it saw, and
+	// retries the interrupted iteration from a fresh pull. This is what lets
+	// a worker survive a parameter-server restart.
+	Reconnect bool
+	// ReconnectTimeout bounds each reconnection attempt sequence; 0 means
+	// the default 30s.
+	ReconnectTimeout time.Duration
+	// HeartbeatInterval is how often the worker proves liveness to an
+	// elastic server; 0 disables heartbeats.
+	HeartbeatInterval time.Duration
+	// FailAfter > 0 injects a fault for demos and tests: the worker drops
+	// its connection abruptly — no Done, no Leave, like a process kill —
+	// before starting iteration FailAfter, and RunWorker returns a report
+	// with Crashed set.
+	FailAfter int
 }
 
 // WorkerReport summarizes one worker's run.
@@ -148,10 +244,31 @@ type WorkerReport struct {
 	// PushedBytes and PulledBytes approximate this worker's wire traffic.
 	PushedBytes int64
 	PulledBytes int64
+	// Reconnects is how many times the worker redialed and rejoined after
+	// losing its connection.
+	Reconnects int
+	// Crashed reports that the run ended through FailAfter fault injection.
+	Crashed bool
+}
+
+// workerLink is one live connection to the server: the client plus the
+// heartbeat stopper tied to its lifetime.
+type workerLink struct {
+	client *ps.Client
+	stopHB func()
+}
+
+// close tears the link down without deregistering (an abrupt close is how a
+// crash looks to the server; a graceful end sends Done first).
+func (l *workerLink) close() {
+	l.stopHB()
+	_ = l.client.Close()
 }
 
 // RunWorker connects to a parameter server over TCP and runs the worker side
-// of Algorithm 1 until the configured number of epochs completes.
+// of Algorithm 1 until the configured number of epochs completes. With
+// Reconnect set it survives server restarts and transient network failures
+// by redialing and rejoining mid-run.
 func RunWorker(cfg WorkerConfig) (*WorkerReport, error) {
 	base := TrainConfig{Model: cfg.Model, Dataset: cfg.Dataset, Workers: cfg.Workers,
 		BatchSize: cfg.BatchSize, Epochs: cfg.Epochs, Seed: cfg.Seed}.withDefaults()
@@ -182,22 +299,112 @@ func RunWorker(cfg WorkerConfig) (*WorkerReport, error) {
 		ccfg.Codec = compress.Auto
 	}
 
-	conn, err := transport.Dial(cfg.ServerAddr)
+	// connect dials, registers (or rejoins) and starts heartbeats.
+	connect := func(rejoin bool, lastVersion int64) (*workerLink, error) {
+		conn, err := transport.Dial(cfg.ServerAddr)
+		if err != nil {
+			return nil, err
+		}
+		client, err := ps.NewClientCompressed(conn, cfg.WorkerID, ccfg)
+		if err != nil {
+			conn.Close()
+			return nil, err
+		}
+		if rejoin {
+			err = client.Rejoin(lastVersion)
+		} else {
+			err = client.Register()
+		}
+		if err != nil {
+			client.Close()
+			return nil, err
+		}
+		if cfg.Shards > 0 && client.ServerShards() != cfg.Shards {
+			client.Close()
+			return nil, fmt.Errorf("dssp: worker %d expects %d parameter-store shards, server runs %d",
+				cfg.WorkerID, cfg.Shards, client.ServerShards())
+		}
+		stopHB := func() {}
+		if cfg.HeartbeatInterval > 0 {
+			stopHB = client.StartHeartbeats(cfg.HeartbeatInterval)
+		}
+		return &workerLink{client: client, stopHB: stopHB}, nil
+	}
+
+	// connectWithBackoff retries connect until ReconnectTimeout. With
+	// Reconnect set it also covers the first connection: a worker launched
+	// during the very server outage Reconnect exists to survive (a restart
+	// window, an orchestrator racing the server up) keeps dialing instead of
+	// failing on arrival.
+	connectWithBackoff := func(rejoin bool, lastVersion int64, cause error) (*workerLink, error) {
+		budget := cfg.ReconnectTimeout
+		if budget <= 0 {
+			budget = 30 * time.Second
+		}
+		deadline := time.Now().Add(budget)
+		backoff := 100 * time.Millisecond
+		for {
+			next, err := connect(rejoin, lastVersion)
+			if err == nil {
+				return next, nil
+			}
+			if time.Now().After(deadline) {
+				if cause != nil {
+					return nil, fmt.Errorf("dssp: worker %d gave up reconnecting after %v (last error %v; cause %w)",
+						cfg.WorkerID, budget, err, cause)
+				}
+				return nil, fmt.Errorf("dssp: worker %d gave up connecting after %v: %w", cfg.WorkerID, budget, err)
+			}
+			time.Sleep(backoff)
+			if backoff < 2*time.Second {
+				backoff *= 2
+			}
+		}
+	}
+
+	report := &WorkerReport{}
+	lastVersion := int64(0)
+
+	var link *workerLink
+	if cfg.Reconnect {
+		link, err = connectWithBackoff(false, 0, nil)
+	} else {
+		link, err = connect(false, 0)
+	}
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("dssp: worker %d connect: %w", cfg.WorkerID, err)
 	}
-	client, err := ps.NewClientCompressed(conn, cfg.WorkerID, ccfg)
-	if err != nil {
-		conn.Close()
-		return nil, err
+	// accountAndClose folds the link's traffic into the report before
+	// discarding it, so bytes moved before a reconnect are not lost. The
+	// link is nilled so the deferred cleanup never double-counts one that a
+	// failed reconnect already retired.
+	accountAndClose := func() {
+		if link == nil {
+			return
+		}
+		pushed, pulled := link.client.Traffic()
+		report.PushedBytes += pushed
+		report.PulledBytes += pulled
+		report.Codec = link.client.Compression().Codec
+		link.close()
+		link = nil
 	}
-	defer client.Close()
-	if err := client.Register(); err != nil {
-		return nil, err
-	}
-	if cfg.Shards > 0 && client.ServerShards() != cfg.Shards {
-		return nil, fmt.Errorf("dssp: worker %d expects %d parameter-store shards, server runs %d",
-			cfg.WorkerID, cfg.Shards, client.ServerShards())
+	defer func() { accountAndClose() }()
+
+	// reconnect replaces a failed link, redialing with backoff and rejoining
+	// with the last seen version.
+	reconnect := func(cause error) error {
+		if !cfg.Reconnect {
+			return cause
+		}
+		accountAndClose()
+		next, err := connectWithBackoff(true, lastVersion, cause)
+		if err != nil {
+			return err
+		}
+		link = next
+		report.Reconnects++
+		return nil
 	}
 
 	replica := spec.Build(rand.New(rand.NewSource(base.Seed)))
@@ -206,11 +413,23 @@ func RunWorker(cfg WorkerConfig) (*WorkerReport, error) {
 
 	start := time.Now()
 	lastLoss := 0.0
-	for it := 0; it < totalIters; it++ {
-		params, version, err := client.Pull()
-		if err != nil {
-			return nil, err
+	for it := 0; it < totalIters; {
+		if cfg.FailAfter > 0 && it == cfg.FailAfter-1 {
+			// Injected fault: vanish without a word mid-run.
+			report.Crashed = true
+			report.Iterations = it
+			report.FinalLoss = lastLoss
+			report.Duration = time.Since(start)
+			return report, nil
 		}
+		params, version, err := link.client.Pull()
+		if err != nil {
+			if err = reconnect(err); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		lastVersion = version
 		if err := replica.SetParams(params); err != nil {
 			return nil, err
 		}
@@ -221,20 +440,26 @@ func RunWorker(cfg WorkerConfig) (*WorkerReport, error) {
 		if cfg.Delay > 0 {
 			time.Sleep(cfg.Delay)
 		}
-		if err := client.PushAndWait(replica.CloneGrads(), version, it); err != nil {
+		if err := link.client.PushAndWait(replica.CloneGrads(), version, it); err != nil {
+			// The push (or the release it waits for) died with the
+			// connection; after rejoining, redo the iteration from a fresh
+			// pull so the gradient matches the weights it updates.
+			if err = reconnect(err); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		it++
+	}
+	for {
+		if err := link.client.Done(); err == nil {
+			break
+		} else if err = reconnect(err); err != nil {
 			return nil, err
 		}
 	}
-	if err := client.Done(); err != nil {
-		return nil, err
-	}
-	pushed, pulled := client.Traffic()
-	return &WorkerReport{
-		Iterations:  totalIters,
-		FinalLoss:   lastLoss,
-		Duration:    time.Since(start),
-		Codec:       client.Compression().Codec,
-		PushedBytes: pushed,
-		PulledBytes: pulled,
-	}, nil
+	report.Iterations = totalIters
+	report.FinalLoss = lastLoss
+	report.Duration = time.Since(start)
+	return report, nil
 }

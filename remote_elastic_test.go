@@ -1,0 +1,148 @@
+package dssp
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// freePort reserves a TCP port for a server we will start (and restart)
+// during the test.
+func freePort(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// elasticServerConfig is a tiny DSSP cluster over real TCP.
+func elasticServerConfig(addr, ckptDir string, workers int) ServerConfig {
+	return ServerConfig{
+		Addr:             addr,
+		Workers:          workers,
+		Sync:             Sync{Paradigm: DSSP, Staleness: 2, Range: 4},
+		Model:            ModelSmallMLP,
+		Dataset:          DatasetConfig{Examples: 240, Classes: 3, ImageSize: 12, Noise: 0.3, Seed: 3},
+		LearningRate:     0.1,
+		Elastic:          true,
+		HeartbeatTimeout: 2 * time.Second,
+		Checkpoint:       Checkpoint{Dir: ckptDir, Every: 10},
+		Seed:             3,
+	}
+}
+
+func elasticWorkerConfig(addr string, id, workers int) WorkerConfig {
+	return WorkerConfig{
+		ServerAddr:        addr,
+		WorkerID:          id,
+		Workers:           workers,
+		Model:             ModelSmallMLP,
+		Dataset:           DatasetConfig{Examples: 240, Classes: 3, ImageSize: 12, Noise: 0.3, Seed: 3},
+		BatchSize:         12,
+		Epochs:            3,
+		Seed:              3,
+		Reconnect:         true,
+		ReconnectTimeout:  30 * time.Second,
+		HeartbeatInterval: 200 * time.Millisecond,
+	}
+}
+
+// TestTCPWorkerCrashRejoinAndServerRestart is the end-to-end elasticity
+// test over real TCP: one worker crashes via fault injection and is
+// restarted (rejoining mid-run), and the server itself is killed and
+// brought back from its checkpoint while the surviving workers ride through
+// on their reconnect loops.
+func TestTCPWorkerCrashRejoinAndServerRestart(t *testing.T) {
+	const workers = 2
+	addr := freePort(t)
+	ckptDir := t.TempDir()
+
+	server, err := Serve(elasticServerConfig(addr, ckptDir, workers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer server.Stop()
+
+	// Worker 0 runs the whole course with a small per-iteration delay so the
+	// run is still in flight when we bounce the server.
+	var wg sync.WaitGroup
+	var w0report *WorkerReport
+	var w0err error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		cfg := elasticWorkerConfig(addr, 0, workers)
+		cfg.Delay = 25 * time.Millisecond
+		w0report, w0err = RunWorker(cfg)
+	}()
+
+	// Worker 1 crashes a few iterations in...
+	crashCfg := elasticWorkerConfig(addr, 1, workers)
+	crashCfg.FailAfter = 5
+	report, err := RunWorker(crashCfg)
+	if err != nil {
+		t.Fatalf("crashing worker: %v", err)
+	}
+	if !report.Crashed {
+		t.Fatal("FailAfter did not crash the worker")
+	}
+
+	// ...and is restarted, rejoining the same run.
+	var w1report *WorkerReport
+	var w1err error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		cfg := elasticWorkerConfig(addr, 1, workers)
+		cfg.Delay = 20 * time.Millisecond
+		w1report, w1err = RunWorker(cfg)
+	}()
+
+	// Give the run a moment, then kill the server and restore it from its
+	// checkpoint on the same address. The workers' reconnect loops must
+	// carry them across the outage.
+	time.Sleep(300 * time.Millisecond)
+	versionBefore := server.Version()
+	server.Stop()
+	server, err = Serve(elasticServerConfig(addr, ckptDir, workers))
+	if err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	defer server.Stop()
+	if !server.Restored() {
+		t.Fatal("restarted server did not restore the checkpoint")
+	}
+	if server.Version() == 0 || server.Version() > versionBefore {
+		t.Fatalf("restored version %d, expected in (0, %d]", server.Version(), versionBefore)
+	}
+
+	wg.Wait()
+	if w0err != nil {
+		t.Fatalf("worker 0: %v", w0err)
+	}
+	if w1err != nil {
+		t.Fatalf("worker 1 (rejoined): %v", w1err)
+	}
+	if w0report.Reconnects == 0 {
+		t.Error("worker 0 never reconnected across the server restart")
+	}
+	if w0report.Iterations == 0 || w1report.Iterations == 0 {
+		t.Errorf("iterations: w0=%d w1=%d", w0report.Iterations, w1report.Iterations)
+	}
+
+	select {
+	case <-server.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatal("server never completed after workers finished")
+	}
+	if acc, err := server.Evaluate(); err != nil {
+		t.Errorf("evaluate: %v", err)
+	} else if acc < 0.5 {
+		t.Errorf("final accuracy %.3f after crash + restart never converged", acc)
+	}
+}

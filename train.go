@@ -9,6 +9,7 @@ import (
 	"dssp/internal/metrics"
 	"dssp/internal/nn"
 	"dssp/internal/optimizer"
+	"dssp/internal/ps"
 	"dssp/internal/trainer"
 )
 
@@ -125,8 +126,38 @@ type TrainConfig struct {
 	// Compression selects the gradient codec on the worker↔server wire; the
 	// zero value trains uncompressed.
 	Compression Compression
+	// Elastic enables worker-churn tolerance: sessions are lease-monitored
+	// and a silent worker is evicted from synchronization accounting instead
+	// of stalling its peers. A dead connection always notifies the policy,
+	// Elastic or not.
+	Elastic bool
+	// HeartbeatInterval is how often workers prove liveness; 0 disables
+	// heartbeats. Set it on elastic runs — a worker silent past
+	// HeartbeatTimeout is evicted.
+	HeartbeatInterval time.Duration
+	// HeartbeatTimeout is the server-side session lease in elastic mode; 0
+	// picks the default (5s).
+	HeartbeatTimeout time.Duration
+	// Checkpoint periodically snapshots the parameter store to disk.
+	Checkpoint Checkpoint
 	// Seed controls model initialization and batch order.
 	Seed int64
+}
+
+// Checkpoint configures parameter-store snapshots: atomic files the server
+// writes every Every applied updates (and on shutdown) so a restarted server
+// resumes the run where it stopped.
+type Checkpoint struct {
+	// Dir is the checkpoint directory; empty disables checkpointing.
+	Dir string
+	// Every is the checkpoint interval in applied updates; 0 (with Dir set)
+	// checkpoints only on shutdown.
+	Every int
+}
+
+// internal converts the public knob into the ps-layer configuration.
+func (c Checkpoint) internal() ps.CheckpointConfig {
+	return ps.CheckpointConfig{Dir: c.Dir, Every: c.Every}
 }
 
 // TrainResult reports the outcome of a local training run.
@@ -139,6 +170,9 @@ type TrainResult struct {
 	Accuracy *metrics.TimeSeries
 	// Updates is the number of gradient updates applied by the server.
 	Updates int
+	// DroppedUpdates is the number of pushed updates the policy discarded
+	// (the backup-worker baseline's defining metric; 0 elsewhere).
+	DroppedUpdates int
 	// Duration is the wall-clock training time.
 	Duration time.Duration
 	// MeanStaleness and MaxStaleness summarize the staleness of applied
@@ -287,22 +321,26 @@ func Train(cfg TrainConfig) (*TrainResult, error) {
 	}
 
 	res, err := trainer.Run(trainer.Config{
-		Model:        spec,
-		Train:        train,
-		Test:         test,
-		Workers:      cfg.Workers,
-		BatchSize:    cfg.BatchSize,
-		Epochs:       cfg.Epochs,
-		Policy:       cfg.Sync.policyConfig(),
-		LearningRate: cfg.LearningRate,
-		Momentum:     cfg.Momentum,
-		WeightDecay:  cfg.WeightDecay,
-		Schedule:     schedule,
-		WorkerDelay:  cfg.WorkerDelays,
-		Augment:      augment,
-		Shards:       cfg.Shards,
-		Compression:  cfg.Compression.internal(),
-		Seed:         cfg.Seed,
+		Model:             spec,
+		Train:             train,
+		Test:              test,
+		Workers:           cfg.Workers,
+		BatchSize:         cfg.BatchSize,
+		Epochs:            cfg.Epochs,
+		Policy:            cfg.Sync.policyConfig(),
+		LearningRate:      cfg.LearningRate,
+		Momentum:          cfg.Momentum,
+		WeightDecay:       cfg.WeightDecay,
+		Schedule:          schedule,
+		WorkerDelay:       cfg.WorkerDelays,
+		Augment:           augment,
+		Shards:            cfg.Shards,
+		Compression:       cfg.Compression.internal(),
+		Elastic:           cfg.Elastic,
+		HeartbeatInterval: cfg.HeartbeatInterval,
+		HeartbeatTimeout:  cfg.HeartbeatTimeout,
+		Checkpoint:        cfg.Checkpoint.internal(),
+		Seed:              cfg.Seed,
 	})
 	if err != nil {
 		return nil, err
@@ -313,6 +351,7 @@ func Train(cfg TrainConfig) (*TrainResult, error) {
 		FinalAccuracy:  res.FinalAccuracy,
 		Accuracy:       res.Accuracy,
 		Updates:        res.Updates,
+		DroppedUpdates: res.Dropped,
 		Duration:       res.Duration,
 		MeanStaleness:  res.Staleness.Mean(),
 		MaxStaleness:   res.Staleness.Max(),

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke bench-json bench-baseline fmt fmt-check vet ci
+.PHONY: all build test race bench bench-smoke bench-json bench-baseline proto-bench fuzz-seeds fmt fmt-check vet ci
 
 all: build
 
@@ -40,6 +40,21 @@ bench-baseline:
 	$(GO) test -run '^$$' -bench=. -benchtime=10x -benchmem ./... > bench-baseline.txt
 	$(GO) run ./cmd/benchjson -in bench-baseline.txt -out BENCH_baseline.json
 
+# Gob-vs-binary wire protocol comparison (encode/decode microbenchmarks and
+# the full TCP push+pull iteration under both formats). CI appends
+# proto-bench.txt to the bench-smoke artifact. Plain redirection rather than
+# tee, same reason as bench-json: make's sh has no pipefail, and a benchmark
+# failure must stop the recipe instead of emitting a partial file.
+proto-bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkWire|BenchmarkCompressedTCPPushPull' -benchmem \
+		./internal/transport/ ./internal/ps/ > proto-bench.txt
+	@cat proto-bench.txt
+
+# Run the fuzz corpus seeds as plain regression tests (no fuzzing engine):
+# exactly what CI executes so a decoder regression fails fast everywhere.
+fuzz-seeds:
+	$(GO) test -run 'Fuzz' ./internal/transport/
+
 fmt:
 	gofmt -w .
 
@@ -54,4 +69,4 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: build fmt-check vet race bench-smoke
+ci: build fmt-check vet race fuzz-seeds bench-smoke proto-bench

@@ -8,11 +8,17 @@
 // flags) connect to it and train a shared model under the selected
 // synchronization paradigm.
 //
-// Gradient compression: -compress selects the wire codec (none, fp16, int8,
-// topk), -topk its keep fraction, and -compress-pull additionally compresses
-// the weights workers pull. Workers launched with their default -compress
-// auto adopt whatever the server speaks; an explicitly mismatched worker is
-// rejected at registration.
+// Wire format: -wire selects the TCP encoding — the versioned zero-copy
+// binary frame protocol (the default; docs/PROTOCOL.md specifies it byte by
+// byte) or the legacy gob stream. Workers must be started with the same
+// -wire setting; a mismatch is detected on the first frame and reported on
+// both sides instead of hanging.
+//
+// Gradient compression: -compress selects the gradient codec (none, fp16,
+// int8, topk), -topk its keep fraction, and -compress-pull additionally
+// compresses the weights workers pull. Workers launched with their default
+// -compress auto adopt whatever the server speaks; an explicitly mismatched
+// worker is rejected at registration.
 //
 // Fault tolerance: -elastic lease-monitors worker sessions (evicting any
 // silent for -heartbeat-timeout) and accepts mid-run rejoins from workers
@@ -35,6 +41,7 @@ import (
 func main() {
 	var (
 		addr         = flag.String("addr", ":7070", "TCP listen address")
+		wire         = flag.String("wire", dssp.WireBinary, "TCP wire format: binary (versioned zero-copy frames, see docs/PROTOCOL.md) or gob (legacy); workers must match")
 		workers      = flag.Int("workers", 2, "number of workers expected to join")
 		paradigm     = flag.String("paradigm", "DSSP", "synchronization paradigm: BSP, ASP, SSP, DSSP, BoundedDelay, BackupBSP")
 		staleness    = flag.Int("staleness", 3, "staleness threshold (SSP) or lower bound sL (DSSP)")
@@ -61,6 +68,7 @@ func main() {
 
 	cfg := dssp.ServerConfig{
 		Addr:             *addr,
+		Wire:             *wire,
 		Workers:          *workers,
 		Model:            dssp.Model(*model),
 		LearningRate:     *lr,
@@ -95,8 +103,8 @@ func run(cfg dssp.ServerConfig, paradigm string, staleness, rng int, enforce boo
 	if cfg.Elastic {
 		mode = "elastic"
 	}
-	fmt.Printf("parameter server listening on %s (%s, %d workers, codec %s, %s)\n",
-		server.Addr(), sync.Describe(), cfg.Workers, cfg.Compression, mode)
+	fmt.Printf("parameter server listening on %s (%s, %d workers, wire %s, codec %s, %s)\n",
+		server.Addr(), sync.Describe(), cfg.Workers, cfg.Wire, cfg.Compression, mode)
 	if server.Restored() {
 		fmt.Printf("restored checkpoint from %s at version %d\n", cfg.Checkpoint.Dir, server.Version())
 	}

@@ -9,10 +9,13 @@
 //
 // Its flags mirror cmd/psserver's where the two sides must agree: -model,
 // -classes, -examples, -image-size and -seed describe the shared model and
-// dataset; -compress/-topk/-compress-pull select the gradient codec (the
-// default "auto" adopts whatever the server speaks, anything else must match
-// the server or registration is rejected); -shards, when set, asserts the
-// server's parameter-store shard count and aborts on a mismatch.
+// dataset; -wire selects the TCP encoding (binary frames by default, gob as
+// the legacy escape hatch — it must match the server, and a mismatch fails
+// fast on the first frame); -compress/-topk/-compress-pull select the
+// gradient codec (the default "auto" adopts whatever the server speaks,
+// anything else must match the server or registration is rejected); -shards,
+// when set, asserts the server's parameter-store shard count and aborts on a
+// mismatch.
 //
 // Fault tolerance: -reconnect redials and rejoins on any connection loss
 // (surviving parameter-server restarts), -heartbeat proves liveness to an
@@ -31,6 +34,7 @@ import (
 func main() {
 	var (
 		server       = flag.String("server", "127.0.0.1:7070", "parameter server address")
+		wire         = flag.String("wire", dssp.WireBinary, "TCP wire format: binary or gob (must match the server)")
 		id           = flag.Int("id", 0, "worker id in [0, workers)")
 		workers      = flag.Int("workers", 2, "total number of workers")
 		model        = flag.String("model", string(dssp.ModelSmallMLP), "model: small-mlp, small-cnn, alexnet-small, resnet-8 (must match the server)")
@@ -55,6 +59,7 @@ func main() {
 	compression := dssp.Compression{Codec: *compressName, TopK: *topk, Pull: *compressPull}
 	report, err := dssp.RunWorker(dssp.WorkerConfig{
 		ServerAddr: *server,
+		Wire:       *wire,
 		WorkerID:   *id,
 		Workers:    *workers,
 		Model:      dssp.Model(*model),

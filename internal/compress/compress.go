@@ -259,34 +259,90 @@ func Pack(ts []*tensor.Tensor, cfg Config) []Packed {
 
 // Decompress reconstructs the dense tensor a Packed payload encodes.
 func Decompress(p Packed) (*tensor.Tensor, error) {
+	return DecompressReuse(p, nil)
+}
+
+// MaxPackedElements bounds the dense element count a Packed tensor may
+// declare — matching the transport layer's dense-tensor bound — so a hostile
+// shape cannot drive allocation beyond what a legal frame could carry.
+const MaxPackedElements = 1 << 26
+
+// DecompressReuse reconstructs p into dst when dst has exactly p's shape,
+// avoiding the allocation; otherwise (or with dst nil) a fresh tensor is
+// allocated. Either way the result never aliases p.Payload. The reuse path
+// serves receivers that decode the same parameter layout repeatedly — the
+// server's per-session gradient scratch.
+//
+// The shape and payload are fully validated — overflow-safe element count,
+// scheme-consistent payload length — before any allocation, because Packed
+// values arrive from the network: a corrupt shape must produce an error,
+// never a panic or an attacker-sized allocation.
+func DecompressReuse(p Packed, dst *tensor.Tensor) (*tensor.Tensor, error) {
 	n := 1
 	for _, d := range p.Shape {
 		if d <= 0 {
 			return nil, fmt.Errorf("compress: packed tensor has non-positive dimension %d", d)
 		}
+		if n > MaxPackedElements/d {
+			return nil, fmt.Errorf("compress: packed shape %v exceeds %d elements", p.Shape, MaxPackedElements)
+		}
 		n *= d
 	}
 	switch p.Scheme {
 	case SchemeF16:
-		return unpackF16(p, n)
+		if len(p.Payload) != 2*n {
+			return nil, fmt.Errorf("compress: fp16 payload holds %d bytes for %d values", len(p.Payload), n)
+		}
 	case SchemeQ8:
-		return unpackQ8(p, n)
+		if len(p.Payload) != n {
+			return nil, fmt.Errorf("compress: int8 payload holds %d bytes for %d values", len(p.Payload), n)
+		}
 	case SchemeTopK:
-		return unpackTopK(p, n)
+		if len(p.Payload)%8 != 0 {
+			return nil, fmt.Errorf("compress: topk payload of %d bytes is not index/value pairs", len(p.Payload))
+		}
+		if len(p.Payload)/8 > n {
+			return nil, fmt.Errorf("compress: topk payload holds %d entries for %d values", len(p.Payload)/8, n)
+		}
+	default:
+		return nil, fmt.Errorf("compress: unknown payload scheme %d", p.Scheme)
 	}
-	return nil, fmt.Errorf("compress: unknown payload scheme %d", p.Scheme)
+	if dst == nil || !dst.ShapeEquals(p.Shape) {
+		dst = tensor.New(p.Shape...)
+	}
+	switch p.Scheme {
+	case SchemeF16:
+		return dst, unpackF16(p, dst)
+	case SchemeQ8:
+		return dst, unpackQ8(p, dst)
+	default:
+		return dst, unpackTopK(p, dst)
+	}
 }
 
 // DecompressAll reconstructs a full tensor list, the inverse of
 // Compressor.Compress and Pack.
 func DecompressAll(ps []Packed) ([]*tensor.Tensor, error) {
-	out := make([]*tensor.Tensor, len(ps))
+	return DecompressAllReuse(ps, nil)
+}
+
+// DecompressAllReuse is DecompressAll writing into scratch where shapes
+// match; it returns the (possibly re-sliced) scratch. Callers own the
+// returned tensors until their next DecompressAllReuse with the same
+// scratch.
+func DecompressAllReuse(ps []Packed, scratch []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	if cap(scratch) < len(ps) {
+		grown := make([]*tensor.Tensor, len(ps))
+		copy(grown, scratch[:cap(scratch)])
+		scratch = grown
+	}
+	scratch = scratch[:len(ps)]
 	for i, p := range ps {
-		t, err := Decompress(p)
+		t, err := DecompressReuse(p, scratch[i])
 		if err != nil {
 			return nil, fmt.Errorf("compress: tensor %d: %w", i, err)
 		}
-		out[i] = t
+		scratch[i] = t
 	}
-	return out, nil
+	return scratch, nil
 }

@@ -2,7 +2,6 @@ package compress
 
 import (
 	"encoding/binary"
-	"fmt"
 	"math"
 
 	"dssp/internal/tensor"
@@ -24,17 +23,14 @@ func packF16(t *tensor.Tensor, residual bool) Packed {
 	return Packed{Scheme: SchemeF16, Shape: t.Shape(), Payload: payload}
 }
 
-// unpackF16 decodes a SchemeF16 payload into a dense tensor of n elements.
-func unpackF16(p Packed, n int) (*tensor.Tensor, error) {
-	if len(p.Payload) != 2*n {
-		return nil, fmt.Errorf("compress: fp16 payload holds %d bytes for %d values", len(p.Payload), n)
-	}
-	t := tensor.New(p.Shape...)
+// unpackF16 decodes a SchemeF16 payload into t. DecompressReuse — the only
+// caller — has already validated the payload length against t's shape.
+func unpackF16(p Packed, t *tensor.Tensor) error {
 	data := t.Data()
 	for i := range data {
 		data[i] = f16ToF32(binary.LittleEndian.Uint16(p.Payload[2*i:]))
 	}
-	return t, nil
+	return nil
 }
 
 // packQ8 encodes t with uniform 8-bit quantization: scale = maxAbs/127,
@@ -76,17 +72,14 @@ func packQ8(t *tensor.Tensor, residual bool) Packed {
 	return Packed{Scheme: SchemeQ8, Shape: t.Shape(), Scale: scale, Payload: payload}
 }
 
-// unpackQ8 decodes a SchemeQ8 payload into a dense tensor of n elements.
-func unpackQ8(p Packed, n int) (*tensor.Tensor, error) {
-	if len(p.Payload) != n {
-		return nil, fmt.Errorf("compress: int8 payload holds %d bytes for %d values", len(p.Payload), n)
-	}
-	t := tensor.New(p.Shape...)
+// unpackQ8 decodes a SchemeQ8 payload into t. DecompressReuse — the only
+// caller — has already validated the payload length against t's shape.
+func unpackQ8(p Packed, t *tensor.Tensor) error {
 	data := t.Data()
 	for i := range data {
 		data[i] = float32(int8(p.Payload[i])) * p.Scale
 	}
-	return t, nil
+	return nil
 }
 
 // f32ToF16 converts a float32 to IEEE 754 binary16 with round-to-nearest-even,

@@ -59,25 +59,23 @@ func packTopK(r *tensor.Tensor, frac float64) Packed {
 	return Packed{Scheme: SchemeTopK, Shape: r.Shape(), Payload: payload}
 }
 
-// unpackTopK decodes a SchemeTopK payload into a dense tensor of n elements.
-func unpackTopK(p Packed, n int) (*tensor.Tensor, error) {
-	if len(p.Payload)%8 != 0 {
-		return nil, fmt.Errorf("compress: topk payload of %d bytes is not index/value pairs", len(p.Payload))
-	}
-	k := len(p.Payload) / 8
-	if k > n {
-		return nil, fmt.Errorf("compress: topk payload holds %d entries for %d values", k, n)
-	}
-	t := tensor.New(p.Shape...)
+// unpackTopK decodes a SchemeTopK payload into t. DecompressReuse — the
+// only caller — has already validated the payload's pair structure and
+// entry count against t's shape; the per-entry index bound stays here
+// because only the payload contents can establish it. t is zeroed first:
+// the payload only names the surviving coordinates, and a reused t still
+// holds the previous decode.
+func unpackTopK(p Packed, t *tensor.Tensor) error {
+	t.Zero()
 	data := t.Data()
-	for e := 0; e < k; e++ {
+	for e := 0; e < len(p.Payload)/8; e++ {
 		idx := binary.LittleEndian.Uint32(p.Payload[8*e:])
-		if int(idx) >= n {
-			return nil, fmt.Errorf("compress: topk index %d outside tensor of %d values", idx, n)
+		if int(idx) < 0 || int(idx) >= len(data) {
+			return fmt.Errorf("compress: topk index %d outside tensor of %d values", idx, len(data))
 		}
 		data[idx] = math.Float32frombits(binary.LittleEndian.Uint32(p.Payload[8*e+4:]))
 	}
-	return t, nil
+	return nil
 }
 
 // kthLargestMagnitude returns the k-th largest absolute value in data

@@ -30,10 +30,20 @@ type Client struct {
 	serverShards int
 
 	// pushedBytes and pulledBytes approximate this client's traffic in wire
-	// payload bytes (tensor data plus small per-tensor headers; gob framing
-	// excluded). They let callers compare codecs without packet captures.
+	// payload bytes (tensor data plus small per-tensor headers; frame
+	// overhead excluded). They let callers compare codecs without packet
+	// captures.
 	pushedBytes int64
 	pulledBytes int64
+
+	// pushWire holds the dense push path's reusable wire buffers: the model
+	// layout never changes between pushes, so the tensor headers and data
+	// slabs are recycled instead of reallocated per iteration. Safe because
+	// the protocol is lock-step — the OK that unblocks the next push is only
+	// sent after the server has fully decoded and applied the previous one.
+	pushWire []transport.WireTensor
+	// pullParams is the chunk-reassembly buffer reused across Pulls.
+	pullParams []*tensor.Tensor
 }
 
 // NewClient wraps a connection for the given worker ID, speaking the
@@ -125,6 +135,10 @@ func (c *Client) register(msgType transport.MessageType, lastVersion int64) erro
 // reassembles them in arrival order and reports the smallest version seen
 // across chunks, the conservative choice for staleness accounting when a
 // gradient application lands mid-pull.
+//
+// The returned slice (not the tensors) is reused by the next Pull; callers
+// that hold onto the list across iterations must copy it. Every existing
+// caller adopts the weights into its own replica immediately.
 func (c *Client) Pull() ([]*tensor.Tensor, int64, error) {
 	if err := c.conn.Send(transport.Message{Type: transport.MsgPull, Worker: c.worker}); err != nil {
 		return nil, 0, fmt.Errorf("ps: pull request from worker %d: %w", c.worker, err)
@@ -150,7 +164,13 @@ func (c *Client) Pull() ([]*tensor.Tensor, int64, error) {
 	if total <= 0 {
 		return nil, 0, fmt.Errorf("ps: worker %d received chunked weights with total %d tensors", c.worker, total)
 	}
-	params := make([]*tensor.Tensor, total)
+	if cap(c.pullParams) < total {
+		c.pullParams = make([]*tensor.Tensor, total)
+	}
+	params := c.pullParams[:total]
+	for i := range params {
+		params[i] = nil
+	}
 	version := msg.Version
 	placed := 0
 	for chunk := 0; ; chunk++ {
@@ -207,6 +227,12 @@ func (c *Client) decodeWeights(msg transport.Message) ([]*tensor.Tensor, error) 
 		return compress.DecompressAll(msg.Packed)
 	}
 	c.pulledBytes += wireTensorBytes(msg.Tensors)
+	if msg.PayloadOwned() {
+		// The message owns its wire buffer (TCP transports), so the weights
+		// can alias it instead of being copied — the zero-copy half of the
+		// binary protocol's pull path.
+		return transport.FromWireOwned(msg.Tensors)
+	}
 	return transport.FromWire(msg.Tensors)
 }
 
@@ -229,7 +255,8 @@ func (c *Client) PushAndWait(grads []*tensor.Tensor, baseVersion int64, iteratio
 			c.pushedBytes += int64(p.WireSize())
 		}
 	} else {
-		msg.Tensors = transport.ToWire(grads)
+		c.pushWire = transport.ToWireInto(c.pushWire, grads)
+		msg.Tensors = c.pushWire
 		c.pushedBytes += wireTensorBytes(msg.Tensors)
 	}
 	if err := c.conn.Send(msg); err != nil {

@@ -520,7 +520,7 @@ func (s *Server) sendReleases(release []core.WorkerID) {
 func (s *Server) handlePush(sess *session, msg transport.Message) {
 	worker := sess.worker
 	baseVersion := msg.Version
-	grads, decodeErr := s.decodePush(msg)
+	grads, decodeErr := s.decodePush(sess, msg)
 
 	now := s.clock()
 	s.policyMu.Lock()
@@ -616,15 +616,29 @@ func (s *Server) CheckpointError() error {
 // decompressing packed payloads under the negotiated codec. A compressed
 // push arriving on an uncompressed server (or vice versa) is a protocol
 // violation — registration negotiates the codec — and fails the push.
-func (s *Server) decodePush(msg transport.Message) ([]*tensor.Tensor, error) {
+//
+// The decode reuses per-session buffers wherever ownership allows: packed
+// payloads decompress into the session's gradient scratch (the lock-step
+// protocol guarantees the previous push's tensors are no longer needed),
+// and a dense push whose message owns its wire buffer is aliased rather
+// than copied. Store.Apply only reads gradients, so neither reuse can leak
+// into the published weights.
+func (s *Server) decodePush(sess *session, msg transport.Message) ([]*tensor.Tensor, error) {
 	compressed := msg.Codec != "" || len(msg.Packed) > 0
 	switch {
 	case compressed && (!s.compression.Enabled() || msg.Codec != s.compression.Codec):
 		return nil, fmt.Errorf("push compressed with codec %q but server speaks %s", msg.Codec, s.compression)
 	case compressed:
-		return compress.DecompressAll(msg.Packed)
+		grads, err := compress.DecompressAllReuse(msg.Packed, sess.decodeScratch)
+		if err != nil {
+			return nil, err
+		}
+		sess.decodeScratch = grads
+		return grads, nil
 	case s.compression.Enabled():
 		return nil, fmt.Errorf("uncompressed push but server speaks %s", s.compression)
+	case msg.PayloadOwned():
+		return transport.FromWireOwned(msg.Tensors)
 	default:
 		return transport.FromWire(msg.Tensors)
 	}

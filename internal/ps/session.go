@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"dssp/internal/tensor"
 	"dssp/internal/transport"
 )
 
@@ -27,6 +28,14 @@ type session struct {
 
 	mu       sync.Mutex
 	lastSeen time.Time
+
+	// decodeScratch holds the gradient tensors a compressed push
+	// decompresses into, reused across pushes: the model layout is fixed
+	// for a session's lifetime, and the protocol is lock-step per worker,
+	// so the previous push's tensors are free again (decoded, applied,
+	// released) by the time the next push arrives on this session's
+	// connection goroutine. Only that goroutine touches the field.
+	decodeScratch []*tensor.Tensor
 }
 
 // end marks the session over, releasing its writer and any blocked enqueue.

@@ -45,7 +45,9 @@ func (t *Tensor) Encode(dst []byte) []byte {
 // EncodeTensors encodes a list of tensors back to back into one buffer,
 // sized exactly once — a compact frame for a whole parameter set, also handy
 // for comparing parameter lists byte for byte. Decode with DecodeTensors.
-// (The TCP transport currently speaks gob, not this format.)
+// (The TCP transport speaks its own framed format, docs/PROTOCOL.md, whose
+// tensor sections add alignment padding for zero-copy decode; this simpler
+// layout serves in-memory snapshots and comparisons.)
 func EncodeTensors(ts []*Tensor) []byte {
 	size := 0
 	for _, t := range ts {

@@ -45,6 +45,26 @@ func FromSlice(data []float32, shape ...int) *Tensor {
 	return t
 }
 
+// FromSliceOwned returns a tensor that aliases data directly — no copy. The
+// caller transfers ownership: mutating data afterwards mutates the tensor.
+// Its production use is the transport layer's zero-copy decode path, where
+// the slice is a view into a wire buffer owned by a single message.
+func FromSliceOwned(data []float32, shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			panic(fmt.Sprintf("tensor: non-positive dimension %d in shape %v", d, shape))
+		}
+		n *= d
+	}
+	if len(data) != n {
+		panic(fmt.Sprintf("tensor: %d values cannot fill shape %v (%d elements)", len(data), shape, n))
+	}
+	s := make([]int, len(shape))
+	copy(s, shape)
+	return &Tensor{shape: s, data: data}
+}
+
 // Full returns a tensor of the given shape with every element set to v.
 func Full(v float32, shape ...int) *Tensor {
 	t := New(shape...)
@@ -59,6 +79,20 @@ func (t *Tensor) Shape() []int {
 	s := make([]int, len(t.shape))
 	copy(s, t.shape)
 	return s
+}
+
+// ShapeEquals reports whether the tensor's shape equals the given
+// dimensions, without the copy Shape makes.
+func (t *Tensor) ShapeEquals(dims []int) bool {
+	if len(t.shape) != len(dims) {
+		return false
+	}
+	for i, d := range t.shape {
+		if d != dims[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Dims returns the number of dimensions.

@@ -1,0 +1,215 @@
+package transport
+
+import (
+	"bufio"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// crossWirePair connects a client of one wire format to a server of another
+// and returns both conns.
+func crossWirePair(t *testing.T, serverWire, clientWire WireFormat) (server, client Conn) {
+	t.Helper()
+	l, err := ListenWire("127.0.0.1:0", serverWire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+
+	accepted := make(chan Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	client, err = DialWire(l.Addr(), clientWire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close() })
+	select {
+	case server = <-accepted:
+	case <-time.After(5 * time.Second):
+		t.Fatal("accept timed out")
+	}
+	t.Cleanup(func() { server.Close() })
+	return server, client
+}
+
+// recvWithin runs one Recv under a deadline: the point of the cross-format
+// handshake is that a mismatch resolves quickly instead of hanging either
+// side.
+func recvWithin(t *testing.T, c Conn, d time.Duration) (Message, error) {
+	t.Helper()
+	type result struct {
+		m   Message
+		err error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		m, err := c.Recv()
+		ch <- result{m, err}
+	}()
+	select {
+	case r := <-ch:
+		return r.m, r.err
+	case <-time.After(d):
+		t.Fatal("Recv did not return; a wire mismatch is hanging the connection")
+		return Message{}, nil
+	}
+}
+
+// TestGobClientAgainstBinaryServerFailsFast pins the misconfiguration the
+// -wire flag makes possible: a legacy gob worker dialing a binary server
+// must receive an explicit gob-encoded error naming the fix — not hang
+// waiting for a registration reply it cannot parse.
+func TestGobClientAgainstBinaryServerFailsFast(t *testing.T) {
+	server, client := crossWirePair(t, WireBinary, WireGob)
+
+	serverErr := make(chan error, 1)
+	go func() {
+		_, err := server.Recv()
+		serverErr <- err
+	}()
+	if err := client.Send(Message{Type: MsgRegister, Worker: 0}); err != nil {
+		t.Fatal(err)
+	}
+
+	reply, err := recvWithin(t, client, 5*time.Second)
+	if err != nil {
+		t.Fatalf("gob client should receive a decodable error message, got transport error %v", err)
+	}
+	if reply.Type != MsgError || !strings.Contains(reply.Error, "binary wire protocol") {
+		t.Fatalf("gob client got %+v, want an Error naming the binary wire protocol", reply)
+	}
+
+	select {
+	case err := <-serverErr:
+		if err == nil {
+			t.Fatal("binary server decoded a gob stream successfully")
+		}
+		if !strings.Contains(err.Error(), "magic") {
+			t.Fatalf("server error %q does not identify the bad magic", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("binary server hung on the gob stream")
+	}
+}
+
+// TestBinaryClientAgainstGobServerFailsFast pins the opposite direction: the
+// gob server sniffs the binary magic on its first message and answers with a
+// binary Error frame, so the binary worker's registration fails with a clear
+// message instead of hanging.
+func TestBinaryClientAgainstGobServerFailsFast(t *testing.T) {
+	server, client := crossWirePair(t, WireGob, WireBinary)
+
+	serverErr := make(chan error, 1)
+	go func() {
+		_, err := server.Recv()
+		serverErr <- err
+	}()
+	if err := client.Send(Message{Type: MsgRegister, Worker: 0}); err != nil {
+		t.Fatal(err)
+	}
+
+	reply, err := recvWithin(t, client, 5*time.Second)
+	if err != nil {
+		t.Fatalf("binary client should receive a decodable error frame, got transport error %v", err)
+	}
+	if reply.Type != MsgError || !strings.Contains(reply.Error, "gob") {
+		t.Fatalf("binary client got %+v, want an Error naming the gob wire format", reply)
+	}
+
+	select {
+	case err := <-serverErr:
+		if err == nil {
+			t.Fatal("gob server decoded a binary frame successfully")
+		}
+		if !strings.Contains(err.Error(), "binary wire frame") {
+			t.Fatalf("server error %q does not identify the binary frame", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("gob server hung on the binary stream")
+	}
+}
+
+// TestFutureVersionClientRejectedExplicitly dials a binary server with a
+// hand-crafted frame claiming protocol version 2. The server must reply
+// with a version-1 Error frame naming both versions and close — the
+// version-negotiation rule of docs/PROTOCOL.md §6.
+func TestFutureVersionClientRejectedExplicitly(t *testing.T) {
+	l, err := ListenWire("127.0.0.1:0", WireBinary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		_, _ = conn.Recv() // fails on the version byte and replies
+	}()
+
+	raw, err := net.Dial("tcp", l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	frame, err := appendFrame(nil, &Message{Type: MsgRegister, Worker: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame[4] = 2 // claim a future protocol version
+	if _, err := raw.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+
+	_ = raw.SetReadDeadline(time.Now().Add(5 * time.Second))
+	fr := newFrameReader(bufio.NewReader(raw))
+	reply, err := fr.readFrame()
+	if err != nil {
+		t.Fatalf("expected a v1 error frame, got %v", err)
+	}
+	if reply.Type != MsgError || !strings.Contains(reply.Error, "version") {
+		t.Fatalf("got %+v, want an Error naming the version mismatch", reply)
+	}
+}
+
+// TestSameWireFormatsStillTalk sanity-checks both homogeneous pairings so
+// the cross tests above fail for the right reason.
+func TestSameWireFormatsStillTalk(t *testing.T) {
+	for _, wire := range []WireFormat{WireBinary, WireGob} {
+		t.Run(string(wire), func(t *testing.T) {
+			server, client := crossWirePair(t, wire, wire)
+			if err := client.Send(Message{Type: MsgRegister, Worker: 5}); err != nil {
+				t.Fatal(err)
+			}
+			got, err := recvWithin(t, server, 5*time.Second)
+			if err != nil || got.Type != MsgRegister || got.Worker != 5 {
+				t.Fatalf("register arrived as %+v (err %v)", got, err)
+			}
+			if err := server.Send(Message{Type: MsgRegistered, Worker: 5, Version: 8}); err != nil {
+				t.Fatal(err)
+			}
+			reply, err := recvWithin(t, client, 5*time.Second)
+			if err != nil || reply.Type != MsgRegistered || reply.Version != 8 {
+				t.Fatalf("reply arrived as %+v (err %v)", reply, err)
+			}
+		})
+	}
+}
+
+// TestParseWireFormat pins the flag-level validation.
+func TestParseWireFormat(t *testing.T) {
+	if w, err := ParseWireFormat(""); err != nil || w != WireBinary {
+		t.Errorf("empty format parsed as (%q, %v), want the binary default", w, err)
+	}
+	if _, err := ParseWireFormat("protobuf"); err == nil {
+		t.Error("unknown wire format accepted")
+	}
+}

@@ -1,8 +1,18 @@
-// Package transport defines the wire protocol spoken between parameter-server
-// workers and the server, and two interchangeable transports for it: an
-// in-process transport built on channels (used by tests, examples and the
-// single-process trainer) and a TCP transport (used by cmd/psserver and
-// cmd/psworker) with gob-encoded, length-delimited messages.
+// Package transport defines the message protocol spoken between
+// parameter-server workers and the server, and two interchangeable
+// transports for it: an in-process transport built on channels (used by
+// tests, examples and the single-process trainer) and a TCP transport (used
+// by cmd/psserver and cmd/psworker).
+//
+// On TCP the default encoding is a versioned, length-delimited binary frame
+// protocol (wire.go; byte-level specification in docs/PROTOCOL.md) whose
+// tensor payloads travel as raw little-endian float32 slabs: encoding is a
+// header write plus copy, and decoding aliases the read buffer so a weights
+// chunk costs one allocation regardless of size. The legacy gob encoding
+// remains available behind transport.WireGob (the -wire flag on cmd/psserver
+// and cmd/psworker) for A/B comparison; both ends of a connection must speak
+// the same format, and a mismatch fails fast with an explicit error in the
+// peer's own format rather than hanging either side.
 package transport
 
 import (
@@ -132,6 +142,35 @@ type Message struct {
 	StoreShards int
 	// Error carries a description on MsgError messages.
 	Error string
+
+	// ownedPayload marks a message whose Tensors data and Packed payloads
+	// are owned by the message alone — set by the TCP transports, whose
+	// decoders allocate (or alias a private read buffer) per message. The
+	// in-process channel transport passes messages by reference, where
+	// tensor data may still alias the sender's storage (e.g. the store's
+	// copy-on-write snapshots), so it leaves the flag unset and receivers
+	// must copy before mutating.
+	ownedPayload bool
+}
+
+// PayloadOwned reports whether the message exclusively owns its tensor data
+// and packed payloads. When true, FromWireOwned may wrap them without
+// copying; when false, use FromWire.
+func (m *Message) PayloadOwned() bool { return m.ownedPayload }
+
+// copyPayloads deep-copies the payload sections that may alias a shared
+// decode buffer, detaching the message from it.
+func (m *Message) copyPayloads() {
+	for i, t := range m.Tensors {
+		data := make([]float32, len(t.Data))
+		copy(data, t.Data)
+		m.Tensors[i].Data = data
+	}
+	for i, p := range m.Packed {
+		payload := make([]byte, len(p.Payload))
+		copy(payload, p.Payload)
+		m.Packed[i].Payload = payload
+	}
 }
 
 // ToWire converts tensors into their serializable form. Data slices are
@@ -160,8 +199,49 @@ func ToWireOwned(ts []*tensor.Tensor) []WireTensor {
 	return out
 }
 
-// FromWire converts serialized tensors back into tensor values.
+// ToWireInto is ToWire reusing dst's WireTensor headers and data buffers
+// when shapes allow, for callers that send the same parameter layout over
+// and over (the client's dense push path). The returned slice may alias dst.
+// The caller must not reuse dst until the message holding it has been fully
+// processed by the receiver — guaranteed for the lock-step push protocol,
+// where the OK release only arrives after the push was decoded and applied.
+func ToWireInto(dst []WireTensor, ts []*tensor.Tensor) []WireTensor {
+	if cap(dst) < len(ts) {
+		dst = make([]WireTensor, len(ts))
+	}
+	dst = dst[:len(ts)]
+	for i, t := range ts {
+		data := dst[i].Data
+		if cap(data) < t.Size() {
+			data = make([]float32, t.Size())
+		}
+		data = data[:t.Size()]
+		copy(data, t.Data())
+		shape := dst[i].Shape
+		if !t.ShapeEquals(shape) {
+			shape = t.Shape()
+		}
+		dst[i] = WireTensor{Shape: shape, Data: data}
+	}
+	return dst
+}
+
+// FromWire converts serialized tensors back into tensor values, copying the
+// data so the results are isolated from the wire message.
 func FromWire(ws []WireTensor) ([]*tensor.Tensor, error) {
+	return fromWire(ws, false)
+}
+
+// FromWireOwned converts serialized tensors into tensor values that alias
+// the wire data without copying. It is only valid on messages whose
+// PayloadOwned reports true, and transfers ownership: the message must not
+// be reused after the call.
+func FromWireOwned(ws []WireTensor) ([]*tensor.Tensor, error) {
+	return fromWire(ws, true)
+}
+
+// fromWire implements FromWire and FromWireOwned.
+func fromWire(ws []WireTensor, owned bool) ([]*tensor.Tensor, error) {
 	out := make([]*tensor.Tensor, len(ws))
 	for i, w := range ws {
 		n := 1
@@ -174,7 +254,11 @@ func FromWire(ws []WireTensor) ([]*tensor.Tensor, error) {
 		if n != len(w.Data) {
 			return nil, fmt.Errorf("transport: tensor %d has %d values for shape %v", i, len(w.Data), w.Shape)
 		}
-		out[i] = tensor.FromSlice(w.Data, w.Shape...)
+		if owned {
+			out[i] = tensor.FromSliceOwned(w.Data, w.Shape...)
+		} else {
+			out[i] = tensor.FromSlice(w.Data, w.Shape...)
+		}
 	}
 	return out, nil
 }

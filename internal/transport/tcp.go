@@ -4,13 +4,40 @@ import (
 	"bufio"
 	"encoding/gob"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 )
 
-// tcpBufferSize sizes the per-direction bufio buffers: large enough that a
-// typical message's many small gob writes coalesce into few syscalls, small
-// enough to be irrelevant against parameter-sized payloads.
+// WireFormat selects the encoding spoken on a TCP connection. Both ends of a
+// connection must agree; the handshake cannot negotiate the format itself
+// because the very first frame is already encoded in it. A mismatch fails
+// fast with an explicit error on both sides (see docs/PROTOCOL.md §6).
+type WireFormat string
+
+const (
+	// WireBinary is the versioned zero-copy binary frame protocol
+	// (docs/PROTOCOL.md) — the default.
+	WireBinary WireFormat = "binary"
+	// WireGob is the legacy gob stream, kept as an escape hatch behind the
+	// -wire flag and for A/B benchmarks against the binary protocol.
+	WireGob WireFormat = "gob"
+)
+
+// ParseWireFormat validates a wire format name; "" selects WireBinary.
+func ParseWireFormat(s string) (WireFormat, error) {
+	switch WireFormat(s) {
+	case "":
+		return WireBinary, nil
+	case WireBinary, WireGob:
+		return WireFormat(s), nil
+	}
+	return "", fmt.Errorf("transport: unknown wire format %q (want %q or %q)", s, WireBinary, WireGob)
+}
+
+// tcpBufferSize sizes the gob transport's per-direction bufio buffers: large
+// enough that a typical message's many small gob writes coalesce into few
+// syscalls, small enough to be irrelevant against parameter-sized payloads.
 const tcpBufferSize = 64 << 10
 
 // tcpConn is a Conn over a TCP socket using gob encoding over buffered I/O:
@@ -20,22 +47,31 @@ const tcpBufferSize = 64 << 10
 // direction allows Send and Recv to be used from different goroutines.
 type tcpConn struct {
 	conn net.Conn
+	// server marks the accepting side, which answers a first-message wire
+	// mismatch in the binary format so a misconfigured binary worker fails
+	// fast instead of waiting forever for a reply it cannot parse.
+	server bool
 
 	encMu sync.Mutex
 	bw    *bufio.Writer
 	enc   *gob.Encoder
 	decMu sync.Mutex
+	br    *bufio.Reader
 	dec   *gob.Decoder
+	recvs int
 }
 
-// newTCPConn wraps an established socket.
-func newTCPConn(c net.Conn) *tcpConn {
+// newTCPConn wraps an established socket in the legacy gob framing.
+func newTCPConn(c net.Conn, server bool) *tcpConn {
 	bw := bufio.NewWriterSize(c, tcpBufferSize)
+	br := bufio.NewReaderSize(c, tcpBufferSize)
 	return &tcpConn{
-		conn: c,
-		bw:   bw,
-		enc:  gob.NewEncoder(bw),
-		dec:  gob.NewDecoder(bufio.NewReaderSize(c, tcpBufferSize)),
+		conn:   c,
+		server: server,
+		bw:     bw,
+		enc:    gob.NewEncoder(bw),
+		br:     br,
+		dec:    gob.NewDecoder(br),
 	}
 }
 
@@ -54,32 +90,94 @@ func (c *tcpConn) Send(m Message) error {
 	return nil
 }
 
-// Recv implements Conn.
+// Recv implements Conn. Before decoding the first message on the accepting
+// side, the stream is sniffed for the binary protocol's magic: a worker
+// speaking the binary wire gets an explicit binary Error frame back and this
+// side reports the mismatch, instead of both ends exchanging opaque gob
+// errors and retries.
 func (c *tcpConn) Recv() (Message, error) {
 	c.decMu.Lock()
 	defer c.decMu.Unlock()
+	first := c.recvs == 0
+	c.recvs++
+	if first && c.server {
+		// Peek one byte past the magic so the diagnostic names the version
+		// the peer actually sent (a binary frame is always longer than 5
+		// bytes, so this never blocks on a legitimate binary peer).
+		if hdr, err := c.br.Peek(len(wireMagic) + 1); err == nil && string(hdr[:len(wireMagic)]) == wireMagic {
+			c.sendBinaryError(fmt.Sprintf(
+				"%s: server speaks the legacy gob wire format; restart the worker with -wire gob (it sent a binary v%d frame)",
+				wireMismatchToken, hdr[len(wireMagic)]))
+			return Message{}, fmt.Errorf("transport: recv: %w: peer sent a binary wire frame to a gob server", ErrWireMismatch)
+		}
+	}
 	var m Message
 	if err := c.dec.Decode(&m); err != nil {
+		if first {
+			return Message{}, fmt.Errorf("transport: recv: gob decode of the first message failed "+
+				"(the peer may be speaking the binary wire protocol; check -wire): %w", err)
+		}
 		return Message{}, fmt.Errorf("transport: recv: %w", err)
 	}
+	// A gob-decoded message owns all of its freshly allocated payload.
+	m.ownedPayload = true
 	return m, nil
+}
+
+// sendBinaryError writes one binary-framed MsgError onto the socket,
+// best-effort.
+func (c *tcpConn) sendBinaryError(text string) {
+	c.encMu.Lock()
+	defer c.encMu.Unlock()
+	writeBinaryError(c.conn, text)
 }
 
 // Close implements Conn.
 func (c *tcpConn) Close() error { return c.conn.Close() }
 
-// tcpListener adapts a net.Listener to the Listener interface.
-type tcpListener struct {
-	l net.Listener
+// writeGobError best-effort writes a gob-encoded MsgError to w — the reply a
+// binary server sends a gob peer so its decoder produces a readable error.
+func writeGobError(w io.Writer, text string) {
+	bw := bufio.NewWriterSize(w, 1<<10)
+	if err := gob.NewEncoder(bw).Encode(&Message{Type: MsgError, Error: text}); err == nil {
+		_ = bw.Flush()
+	}
 }
 
-// Listen starts a TCP listener on addr (e.g. ":7070" or "127.0.0.1:0").
+// writeBinaryError best-effort writes a binary-framed MsgError to w — the
+// reply a gob server sends a binary peer so its decoder produces a readable
+// error.
+func writeBinaryError(w io.Writer, text string) {
+	frame, err := appendFrame(nil, &Message{Type: MsgError, Error: text})
+	if err == nil {
+		_, _ = w.Write(frame)
+	}
+}
+
+// tcpListener adapts a net.Listener to the Listener interface, wrapping
+// accepted sockets in the configured wire format.
+type tcpListener struct {
+	l    net.Listener
+	wire WireFormat
+}
+
+// Listen starts a TCP listener on addr (e.g. ":7070" or "127.0.0.1:0")
+// speaking the default binary wire protocol.
 func Listen(addr string) (Listener, error) {
+	return ListenWire(addr, WireBinary)
+}
+
+// ListenWire starts a TCP listener speaking the given wire format.
+func ListenWire(addr string, wire WireFormat) (Listener, error) {
+	wire, err := ParseWireFormat(string(wire))
+	if err != nil {
+		return nil, err
+	}
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
 	}
-	return &tcpListener{l: l}, nil
+	return &tcpListener{l: l, wire: wire}, nil
 }
 
 // Accept implements Listener.
@@ -88,7 +186,10 @@ func (t *tcpListener) Accept() (Conn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: accept: %w", err)
 	}
-	return newTCPConn(c), nil
+	if t.wire == WireGob {
+		return newTCPConn(c, true), nil
+	}
+	return newBinaryConn(c, true), nil
 }
 
 // Close implements Listener.
@@ -97,11 +198,24 @@ func (t *tcpListener) Close() error { return t.l.Close() }
 // Addr implements Listener.
 func (t *tcpListener) Addr() string { return t.l.Addr().String() }
 
-// Dial connects to a parameter server listening on addr over TCP.
+// Dial connects to a parameter server listening on addr over TCP, speaking
+// the default binary wire protocol.
 func Dial(addr string) (Conn, error) {
+	return DialWire(addr, WireBinary)
+}
+
+// DialWire connects to a parameter server with the given wire format.
+func DialWire(addr string, wire WireFormat) (Conn, error) {
+	wire, err := ParseWireFormat(string(wire))
+	if err != nil {
+		return nil, err
+	}
 	c, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
 	}
-	return newTCPConn(c), nil
+	if wire == WireGob {
+		return newTCPConn(c, false), nil
+	}
+	return newBinaryConn(c, false), nil
 }

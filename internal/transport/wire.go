@@ -1,0 +1,736 @@
+package transport
+
+// The versioned binary wire protocol spoken on TCP connections.
+//
+// Every message travels as one frame: a fixed 12-byte little-endian header
+// (magic, protocol version, message type, body length) followed by a body of
+// tagged fields. Tensor payloads are written as raw float32 slabs, 4-byte
+// aligned relative to the body start, so encoding is a header write plus
+// copy and the decoder can alias the read buffer instead of allocating and
+// converting per value — the properties gob fundamentally cannot offer (it
+// re-encodes every float through reflection and a varint, costing ~6 bytes
+// and several allocations per float32).
+//
+// docs/PROTOCOL.md is the normative byte-level specification of everything
+// in this file; keep the two in sync.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"strings"
+	"sync"
+	"unsafe"
+
+	"dssp/internal/compress"
+)
+
+// Frame header constants. The header is 12 bytes:
+//
+//	offset size field
+//	0      4    magic "DSSP"
+//	4      1    protocol version (wireVersion)
+//	5      1    message type
+//	6      2    reserved, must be zero
+//	8      4    body length, uint32 little endian
+const (
+	wireMagic   = "DSSP"
+	wireVersion = 1
+	headerSize  = 12
+
+	// maxFrameBody caps the declared body length. It bounds what a decoder
+	// will ever read for one message (and, combined with chunked reads,
+	// what it allocates) against corrupt or hostile length fields.
+	maxFrameBody = 1 << 28
+
+	// bodyReadChunk is the allocation step while reading a body: the buffer
+	// grows as bytes actually arrive, so a forged multi-megabyte length
+	// header costs at most one chunk of memory, not the declared size.
+	bodyReadChunk = 1 << 20
+
+	// smallBodyMax is the largest body decoded into the connection's
+	// reusable scratch buffer. Control messages (Register, OK, Pull,
+	// Heartbeat, ...) all fit, making the steady-state protocol chatter
+	// allocation-free; payload messages get a private buffer their tensors
+	// may alias.
+	smallBodyMax = 4 << 10
+
+	// maxTensorDims bounds the rank of a wire tensor. The models top out at
+	// 4 (conv weights); 8 leaves headroom without letting a corrupt rank
+	// byte drive shape allocation.
+	maxTensorDims = 8
+)
+
+// Body field tags, ascending. A field whose value is the Go zero value is
+// omitted; present fields must appear in strictly ascending tag order, at
+// most once each.
+const (
+	tagWorker      = 0x01 // uint32 (two's-complement int32)
+	tagIteration   = 0x02 // uint32 (two's-complement int32)
+	tagVersion     = 0x03 // uint64 (two's-complement int64)
+	tagShard       = 0x04 // uint32 (two's-complement int32)
+	tagShards      = 0x05 // uint32 (two's-complement int32)
+	tagBase        = 0x06 // uint32 (two's-complement int32)
+	tagTotal       = 0x07 // uint32 (two's-complement int32)
+	tagStoreShards = 0x08 // uint32 (two's-complement int32)
+	tagCodec       = 0x09 // uint8 length + bytes
+	tagCodecTopK   = 0x0A // uint64 (IEEE 754 float64 bits)
+	tagCodecPull   = 0x0B // uint8, must be 1
+	tagError       = 0x0C // uint32 length + bytes
+	tagTensors     = 0x0D // tensor section
+	tagPacked      = 0x0E // packed section
+)
+
+// hostLittleEndian reports whether the running machine stores integers
+// little endian. On such hosts (every supported platform in practice) float
+// slabs are moved with a single copy / alias; a big-endian host falls back
+// to per-value conversion, keeping the wire format identical.
+var hostLittleEndian = func() bool {
+	var b [2]byte
+	binary.NativeEndian.PutUint16(b[:], 1)
+	return b[0] == 1
+}()
+
+// wireMismatchToken appears in every mismatch error this package produces —
+// the local sentinels below and the cross-format Error replies a server
+// sends a misconfigured peer — so IsWireMismatch can recognize the
+// condition even after the text crossed the wire as a plain string.
+const wireMismatchToken = "wire protocol mismatch"
+
+// ErrWireMismatch tags decode failures that look like the peer speaking a
+// different wire format (bad frame magic), and ErrWireVersion those where
+// the peer speaks the binary protocol at an unsupported version. Callers
+// fail fast with actionable advice instead of a generic parse error — and
+// the server answers each in the format the peer can actually decode.
+var (
+	ErrWireMismatch = errors.New("transport: " + wireMismatchToken)
+	ErrWireVersion  = errors.New("transport: " + wireMismatchToken + " (version)")
+)
+
+// IsWireMismatch reports whether err indicates a wire-format or
+// protocol-version mismatch — including one reported by the peer and
+// relayed as error text. The condition is permanent for a given pair of
+// configurations, so reconnect loops must treat it as fatal rather than
+// retrying it for their whole backoff budget.
+func IsWireMismatch(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, ErrWireMismatch) || errors.Is(err, ErrWireVersion) {
+		return true
+	}
+	return strings.Contains(err.Error(), wireMismatchToken)
+}
+
+// float32Bytes views a float32 slice as raw bytes (little-endian hosts only).
+func float32Bytes(f []float32) []byte {
+	if len(f) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&f[0])), 4*len(f))
+}
+
+// bytesFloat32 views a 4-byte-aligned byte slice as float32 values
+// (little-endian hosts only). The caller guarantees len(b) == 4*n and that
+// &b[0] is 4-byte aligned.
+func bytesFloat32(b []byte, n int) []float32 {
+	if n == 0 {
+		return nil
+	}
+	return unsafe.Slice((*float32)(unsafe.Pointer(&b[0])), n)
+}
+
+// --- Encoding ---------------------------------------------------------------
+
+// appendFrame appends the complete frame for m (header + body) to dst and
+// returns the extended slice. It is the single source of truth for what goes
+// on the wire; Send and the tests both route through it.
+func appendFrame(dst []byte, m *Message) ([]byte, error) {
+	if m.Type < 1 || m.Type > 255 {
+		return dst, fmt.Errorf("transport: message type %d outside the wire range [1,255]", m.Type)
+	}
+	start := len(dst)
+	// Header placeholder; the length lands after the body is assembled.
+	dst = append(dst, wireMagic...)
+	dst = append(dst, wireVersion, byte(m.Type), 0, 0, 0, 0, 0, 0)
+
+	bodyStart := len(dst)
+	var err error
+	if dst, err = appendBody(dst, bodyStart, m); err != nil {
+		return dst[:start], err
+	}
+	bodyLen := len(dst) - bodyStart
+	if bodyLen > maxFrameBody {
+		return dst[:start], fmt.Errorf("transport: %v frame body of %d bytes exceeds the %d-byte limit",
+			m.Type, bodyLen, maxFrameBody)
+	}
+	binary.LittleEndian.PutUint32(dst[start+8:], uint32(bodyLen))
+	return dst, nil
+}
+
+// appendBody appends m's tagged fields. bodyStart is the body's offset in
+// dst, the origin for slab alignment.
+func appendBody(dst []byte, bodyStart int, m *Message) ([]byte, error) {
+	var err error
+	if dst, err = appendIntField(dst, tagWorker, m.Worker, "Worker"); err != nil {
+		return dst, err
+	}
+	if dst, err = appendIntField(dst, tagIteration, m.Iteration, "Iteration"); err != nil {
+		return dst, err
+	}
+	if m.Version != 0 {
+		dst = append(dst, tagVersion)
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(m.Version))
+	}
+	if dst, err = appendIntField(dst, tagShard, m.Shard, "Shard"); err != nil {
+		return dst, err
+	}
+	if dst, err = appendIntField(dst, tagShards, m.Shards, "Shards"); err != nil {
+		return dst, err
+	}
+	if dst, err = appendIntField(dst, tagBase, m.Base, "Base"); err != nil {
+		return dst, err
+	}
+	if dst, err = appendIntField(dst, tagTotal, m.Total, "Total"); err != nil {
+		return dst, err
+	}
+	if dst, err = appendIntField(dst, tagStoreShards, m.StoreShards, "StoreShards"); err != nil {
+		return dst, err
+	}
+	if m.Codec != "" {
+		if len(m.Codec) > 255 {
+			return dst, fmt.Errorf("transport: codec name of %d bytes exceeds 255", len(m.Codec))
+		}
+		dst = append(dst, tagCodec, byte(len(m.Codec)))
+		dst = append(dst, m.Codec...)
+	}
+	if m.CodecTopK != 0 {
+		dst = append(dst, tagCodecTopK)
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(m.CodecTopK))
+	}
+	if m.CodecPull {
+		dst = append(dst, tagCodecPull, 1)
+	}
+	if m.Error != "" {
+		if len(m.Error) > maxFrameBody {
+			return dst, fmt.Errorf("transport: error text of %d bytes is unreasonable", len(m.Error))
+		}
+		dst = append(dst, tagError)
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(m.Error)))
+		dst = append(dst, m.Error...)
+	}
+	if len(m.Tensors) > 0 {
+		if dst, err = appendTensorSection(dst, bodyStart, m.Tensors); err != nil {
+			return dst, err
+		}
+	}
+	if len(m.Packed) > 0 {
+		if dst, err = appendPackedSection(dst, m.Packed); err != nil {
+			return dst, err
+		}
+	}
+	return dst, nil
+}
+
+// appendIntField appends a tagged uint32 field holding an int32
+// two's-complement value, omitting zero.
+func appendIntField(dst []byte, tag byte, v int, name string) ([]byte, error) {
+	if v == 0 {
+		return dst, nil
+	}
+	if v < math.MinInt32 || v > math.MaxInt32 {
+		return dst, fmt.Errorf("transport: field %s value %d outside the wire's int32 range", name, v)
+	}
+	dst = append(dst, tag)
+	return binary.LittleEndian.AppendUint32(dst, uint32(int32(v))), nil
+}
+
+// appendTensorSection appends the dense-tensor section: a count followed by
+// each tensor's rank, dimensions, element count, alignment padding, and raw
+// float32 slab.
+func appendTensorSection(dst []byte, bodyStart int, ts []WireTensor) ([]byte, error) {
+	dst = append(dst, tagTensors)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(ts)))
+	for i, t := range ts {
+		if len(t.Shape) > maxTensorDims {
+			return dst, fmt.Errorf("transport: tensor %d has rank %d, wire limit is %d", i, len(t.Shape), maxTensorDims)
+		}
+		n := 1
+		for _, d := range t.Shape {
+			if d <= 0 || d > maxFrameBody {
+				return dst, fmt.Errorf("transport: tensor %d has unencodable dimension %d", i, d)
+			}
+			n *= d
+		}
+		if n != len(t.Data) {
+			return dst, fmt.Errorf("transport: tensor %d has %d values for shape %v", i, len(t.Data), t.Shape)
+		}
+		dst = append(dst, byte(len(t.Shape)))
+		for _, d := range t.Shape {
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(d))
+		}
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(n))
+		// Pad so the slab starts 4-byte aligned relative to the body start,
+		// letting the decoder alias it as []float32 directly.
+		for (len(dst)-bodyStart)%4 != 0 {
+			dst = append(dst, 0)
+		}
+		if hostLittleEndian {
+			dst = append(dst, float32Bytes(t.Data)...)
+		} else {
+			for _, v := range t.Data {
+				dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(v))
+			}
+		}
+	}
+	return dst, nil
+}
+
+// appendPackedSection appends the compressed-tensor section; the per-tensor
+// layout is owned by compress.Packed.AppendBinary.
+func appendPackedSection(dst []byte, ps []compress.Packed) ([]byte, error) {
+	dst = append(dst, tagPacked)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(ps)))
+	for i, p := range ps {
+		var err error
+		if dst, err = p.AppendBinary(dst); err != nil {
+			return dst, fmt.Errorf("transport: packed tensor %d: %w", i, err)
+		}
+	}
+	return dst, nil
+}
+
+// --- Decoding ---------------------------------------------------------------
+
+// frameReader holds the per-connection decode state reused across messages.
+type frameReader struct {
+	br *bufio.Reader
+	// scratch is the reusable buffer for small (control-message) bodies.
+	scratch []byte
+	// frames counts successfully started reads, distinguishing the very
+	// first frame (where a mismatch means a misconfigured peer, not
+	// corruption) from mid-stream failures.
+	frames int
+}
+
+// newFrameReader sizes the buffered reader for shard-chunk payloads: one
+// reader per connection, reused for every message, large enough that a
+// weights chunk streams through in big reads instead of per-message
+// allocations or tiny kernel round trips.
+func newFrameReader(r *bufio.Reader) *frameReader {
+	return &frameReader{br: r, scratch: make([]byte, 0, smallBodyMax)}
+}
+
+// readFrame reads and decodes one frame. The returned message owns its
+// payload: tensor data may alias a buffer that belongs to the message alone.
+func (fr *frameReader) readFrame() (Message, error) {
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(fr.br, hdr[:]); err != nil {
+		return Message{}, err
+	}
+	first := fr.frames == 0
+	fr.frames++
+	if string(hdr[:4]) != wireMagic {
+		return Message{}, fmt.Errorf("%w: bad frame magic % x (want %q%s)", ErrWireMismatch, hdr[:4], wireMagic,
+			mismatchHint(first))
+	}
+	if hdr[4] != wireVersion {
+		return Message{}, fmt.Errorf("%w: peer speaks binary wire protocol version %d, this side speaks %d",
+			ErrWireVersion, hdr[4], wireVersion)
+	}
+	typ := hdr[5]
+	if typ == 0 {
+		return Message{}, fmt.Errorf("transport: frame carries message type 0")
+	}
+	if hdr[6] != 0 || hdr[7] != 0 {
+		return Message{}, fmt.Errorf("transport: reserved header bytes % x are not zero", hdr[6:8])
+	}
+	// Validate as uint32 before converting: on a 32-bit platform a length
+	// >= 2^31 would wrap int negative and slip past the limit check.
+	declared := binary.LittleEndian.Uint32(hdr[8:])
+	if declared > maxFrameBody {
+		return Message{}, fmt.Errorf("transport: declared body of %d bytes exceeds the %d-byte limit", declared, maxFrameBody)
+	}
+	bodyLen := int(declared)
+
+	var body []byte
+	reused := false
+	if bodyLen <= smallBodyMax {
+		body = fr.scratch[:0]
+		reused = true
+	}
+	body, err := readBody(fr.br, body, bodyLen)
+	if err != nil {
+		return Message{}, err
+	}
+	if reused {
+		fr.scratch = body[:0]
+	}
+
+	m, err := parseBody(typ, body)
+	if err != nil {
+		return Message{}, err
+	}
+	if reused {
+		// The scratch buffer is reused by the next Recv, so any payload
+		// parsed out of it must be copied before the message escapes.
+		// Control messages carry no payload, so this path never runs in the
+		// steady state.
+		m.copyPayloads()
+	}
+	m.ownedPayload = true
+	return m, nil
+}
+
+// readBody reads exactly n bytes into (a possibly grown) dst. The buffer
+// grows in bounded chunks as data actually arrives, so a forged length field
+// cannot drive a huge up-front allocation.
+func readBody(br *bufio.Reader, dst []byte, n int) ([]byte, error) {
+	if cap(dst) < n {
+		want := cap(dst)
+		if want < bodyReadChunk {
+			want = bodyReadChunk
+		}
+		if want > n {
+			want = n
+		}
+		// Fresh buffer: allocations are at least pointer-aligned, keeping
+		// 4-byte slab alignment guarantees intact.
+		dst = make([]byte, 0, want)
+	}
+	for len(dst) < n {
+		chunk := n - len(dst)
+		if chunk > bodyReadChunk {
+			chunk = bodyReadChunk
+		}
+		if cap(dst)-len(dst) < chunk {
+			// Grow geometrically, capped at the declared length: the copy
+			// cost stays linear in the body size, while capacity still only
+			// ever doubles what has actually arrived — a forged length
+			// cannot outrun real input by more than 2x plus one chunk.
+			newCap := 2 * cap(dst)
+			if newCap < len(dst)+chunk {
+				newCap = len(dst) + chunk
+			}
+			if newCap > n {
+				newCap = n
+			}
+			grown := make([]byte, len(dst), newCap)
+			copy(grown, dst)
+			dst = grown
+		}
+		start := len(dst)
+		dst = dst[:start+chunk]
+		if _, err := io.ReadFull(br, dst[start:]); err != nil {
+			return nil, fmt.Errorf("transport: body truncated at %d of %d bytes: %w", start, n, err)
+		}
+	}
+	return dst, nil
+}
+
+// parseBody decodes the tagged fields of one frame body into a Message.
+// WireTensor data and Packed payloads alias body.
+func parseBody(typ byte, body []byte) (Message, error) {
+	m := Message{Type: MessageType(typ)}
+	off := 0
+	prevTag := 0
+	for off < len(body) {
+		tag := int(body[off])
+		off++
+		if tag <= prevTag {
+			return Message{}, fmt.Errorf("transport: field tag 0x%02x out of order after 0x%02x", tag, prevTag)
+		}
+		prevTag = tag
+		var err error
+		switch tag {
+		case tagWorker:
+			m.Worker, off, err = parseIntField(body, off)
+		case tagIteration:
+			m.Iteration, off, err = parseIntField(body, off)
+		case tagVersion:
+			if off+8 > len(body) {
+				err = errTruncatedField
+			} else {
+				m.Version = int64(binary.LittleEndian.Uint64(body[off:]))
+				off += 8
+			}
+		case tagShard:
+			m.Shard, off, err = parseIntField(body, off)
+		case tagShards:
+			m.Shards, off, err = parseIntField(body, off)
+		case tagBase:
+			m.Base, off, err = parseIntField(body, off)
+		case tagTotal:
+			m.Total, off, err = parseIntField(body, off)
+		case tagStoreShards:
+			m.StoreShards, off, err = parseIntField(body, off)
+		case tagCodec:
+			if off >= len(body) || off+1+int(body[off]) > len(body) {
+				err = errTruncatedField
+			} else {
+				n := int(body[off])
+				m.Codec = string(body[off+1 : off+1+n])
+				off += 1 + n
+			}
+		case tagCodecTopK:
+			if off+8 > len(body) {
+				err = errTruncatedField
+			} else {
+				m.CodecTopK = math.Float64frombits(binary.LittleEndian.Uint64(body[off:]))
+				off += 8
+			}
+		case tagCodecPull:
+			if off >= len(body) {
+				err = errTruncatedField
+			} else if body[off] != 1 {
+				err = fmt.Errorf("transport: CodecPull byte is %d, want 1", body[off])
+			} else {
+				m.CodecPull = true
+				off++
+			}
+		case tagError:
+			if off+4 > len(body) {
+				err = errTruncatedField
+			} else {
+				// Compare against the remaining bytes rather than computing
+				// off+4+n, which could overflow int on 32-bit platforms.
+				n := int(binary.LittleEndian.Uint32(body[off:]))
+				if n < 0 || n > len(body)-off-4 {
+					err = errTruncatedField
+				} else {
+					m.Error = string(body[off+4 : off+4+n])
+					off += 4 + n
+				}
+			}
+		case tagTensors:
+			m.Tensors, off, err = parseTensorSection(body, off)
+		case tagPacked:
+			m.Packed, off, err = parsePackedSection(body, off)
+		default:
+			err = fmt.Errorf("transport: unknown field tag 0x%02x in a version-%d frame", tag, wireVersion)
+		}
+		if err != nil {
+			return Message{}, fmt.Errorf("transport: decode %v frame: %w", MessageType(typ), err)
+		}
+	}
+	return m, nil
+}
+
+var errTruncatedField = fmt.Errorf("field truncated")
+
+// parseIntField decodes a uint32 field as a sign-extended int.
+func parseIntField(body []byte, off int) (int, int, error) {
+	if off+4 > len(body) {
+		return 0, off, errTruncatedField
+	}
+	return int(int32(binary.LittleEndian.Uint32(body[off:]))), off + 4, nil
+}
+
+// parseTensorSection decodes the dense-tensor section. Each tensor's data
+// aliases body when the host is little endian and the slab is 4-byte aligned
+// (the encoder guarantees alignment, so conversion only runs on corrupt
+// input or exotic hosts).
+func parseTensorSection(body []byte, off int) ([]WireTensor, int, error) {
+	if off+4 > len(body) {
+		return nil, off, errTruncatedField
+	}
+	count := int(binary.LittleEndian.Uint32(body[off:]))
+	off += 4
+	// Minimum encoding per tensor: rank byte + element count + slab of at
+	// least one aligned float32. Capping count against the bytes actually
+	// present keeps a forged count from driving the slice allocation.
+	if count < 0 || count > (len(body)-off)/9+1 {
+		return nil, off, fmt.Errorf("tensor count %d cannot fit in %d remaining bytes", count, len(body)-off)
+	}
+	ts := make([]WireTensor, count)
+	for i := range ts {
+		if off >= len(body) {
+			return nil, off, errTruncatedField
+		}
+		ndims := int(body[off])
+		off++
+		if ndims > maxTensorDims {
+			return nil, off, fmt.Errorf("tensor %d has rank %d, wire limit is %d", i, ndims, maxTensorDims)
+		}
+		if off+4*ndims+4 > len(body) {
+			return nil, off, errTruncatedField
+		}
+		shape := make([]int, ndims)
+		n := 1
+		for d := range shape {
+			dim := int(binary.LittleEndian.Uint32(body[off:]))
+			off += 4
+			if dim <= 0 || n > maxFrameBody/4/dim {
+				return nil, off, fmt.Errorf("tensor %d dimension %d overflows the frame limit", i, dim)
+			}
+			shape[d] = dim
+			n *= dim
+		}
+		declared := int(binary.LittleEndian.Uint32(body[off:]))
+		off += 4
+		if declared != n {
+			return nil, off, fmt.Errorf("tensor %d declares %d elements for shape %v (%d)", i, declared, shape, n)
+		}
+		for off%4 != 0 {
+			if off >= len(body) || body[off] != 0 {
+				return nil, off, fmt.Errorf("tensor %d has bad slab padding", i)
+			}
+			off++
+		}
+		if off+4*n > len(body) {
+			return nil, off, errTruncatedField
+		}
+		slab := body[off : off+4*n]
+		off += 4 * n
+		var data []float32
+		if hostLittleEndian && (n == 0 || uintptr(unsafe.Pointer(&slab[0]))%4 == 0) {
+			data = bytesFloat32(slab, n)
+		} else {
+			data = make([]float32, n)
+			for j := range data {
+				data[j] = math.Float32frombits(binary.LittleEndian.Uint32(slab[4*j:]))
+			}
+		}
+		ts[i] = WireTensor{Shape: shape, Data: data}
+	}
+	return ts, off, nil
+}
+
+// parsePackedSection decodes the compressed-tensor section; payload bytes
+// alias body.
+func parsePackedSection(body []byte, off int) ([]compress.Packed, int, error) {
+	if off+4 > len(body) {
+		return nil, off, errTruncatedField
+	}
+	count := int(binary.LittleEndian.Uint32(body[off:]))
+	off += 4
+	if count < 0 || count > (len(body)-off)/compress.PackedBinaryMinSize+1 {
+		return nil, off, fmt.Errorf("packed count %d cannot fit in %d remaining bytes", count, len(body)-off)
+	}
+	ps := make([]compress.Packed, count)
+	for i := range ps {
+		p, n, err := compress.DecodeBinary(body[off:])
+		if err != nil {
+			return nil, off, fmt.Errorf("packed tensor %d: %w", i, err)
+		}
+		ps[i] = p
+		off += n
+	}
+	return ps, off, nil
+}
+
+// mismatchHint explains a first-frame magic mismatch: the peer is almost
+// certainly a gob-wire build, not a corrupted stream.
+func mismatchHint(first bool) string {
+	if first {
+		return "; the peer may be speaking the legacy gob wire format — run both sides with the same -wire setting"
+	}
+	return ""
+}
+
+// --- The binary Conn --------------------------------------------------------
+
+// binaryConn is a Conn over a TCP socket speaking the versioned binary frame
+// protocol. Send assembles the frame into a reusable buffer and writes it
+// with a single syscall; Recv reuses a buffered reader sized for shard
+// chunks and a scratch buffer for control messages, so the steady-state
+// protocol allocates only the payload buffers that messages alias and own.
+// A mutex on each direction allows Send and Recv from different goroutines.
+type binaryConn struct {
+	conn net.Conn
+	// server marks the accepting side, which answers a first-frame wire
+	// mismatch in the legacy format so a misconfigured gob worker fails
+	// fast instead of waiting forever for a reply it cannot parse.
+	server bool
+
+	encMu  sync.Mutex
+	encBuf []byte
+
+	decMu sync.Mutex
+	fr    *frameReader
+}
+
+// binaryReadBuffer sizes the per-connection read buffer: big enough that a
+// typical weights shard chunk arrives in few reads, small enough to be
+// irrelevant against the payloads themselves.
+const binaryReadBuffer = 256 << 10
+
+// newBinaryConn wraps an established socket.
+func newBinaryConn(c net.Conn, server bool) *binaryConn {
+	return &binaryConn{
+		conn:   c,
+		server: server,
+		fr:     newFrameReader(bufio.NewReaderSize(c, binaryReadBuffer)),
+	}
+}
+
+// Send implements Conn. The frame is assembled in a reusable buffer and
+// written with one Write call, so a sent message is never stranded in user
+// space and steady-state sends allocate nothing.
+func (c *binaryConn) Send(m Message) error {
+	c.encMu.Lock()
+	defer c.encMu.Unlock()
+	buf, err := appendFrame(c.encBuf[:0], &m)
+	if err != nil {
+		return fmt.Errorf("transport: send %v: %w", m.Type, err)
+	}
+	c.encBuf = buf[:0]
+	if _, err := c.conn.Write(buf); err != nil {
+		return fmt.Errorf("transport: send %v: %w", m.Type, err)
+	}
+	return nil
+}
+
+// Recv implements Conn.
+func (c *binaryConn) Recv() (Message, error) {
+	c.decMu.Lock()
+	defer c.decMu.Unlock()
+	first := c.fr.frames == 0
+	m, err := c.fr.readFrame()
+	if err != nil {
+		switch {
+		case c.server && first && errors.Is(err, ErrWireMismatch):
+			// Answer in the legacy format: a gob worker that dialed a
+			// binary server decodes this cleanly and reports it, instead of
+			// hanging on a registration reply that will never come.
+			c.sendLegacyError(fmt.Sprintf(
+				"server speaks the binary wire protocol v%d; restart the worker with a matching -wire setting (%v)",
+				wireVersion, err))
+		case c.server && first && errors.Is(err, ErrWireVersion):
+			// A binary peer at another version: answer with a v1 Error
+			// frame — the header layout is fixed across versions precisely
+			// so that a version-mismatch report stays decodable.
+			c.encMu.Lock()
+			writeBinaryError(c.conn, fmt.Sprintf(
+				"%s: server speaks binary wire protocol version %d; %v", wireMismatchToken, wireVersion, err))
+			c.encMu.Unlock()
+		}
+		if first && isConnClosed(err) {
+			return Message{}, fmt.Errorf("transport: recv: connection closed before any frame arrived; "+
+				"the server may be speaking a different wire format (-wire): %w", err)
+		}
+		return Message{}, fmt.Errorf("transport: recv: %w", err)
+	}
+	return m, nil
+}
+
+// sendLegacyError writes one gob-encoded MsgError onto the socket,
+// best-effort.
+func (c *binaryConn) sendLegacyError(text string) {
+	c.encMu.Lock()
+	defer c.encMu.Unlock()
+	writeGobError(c.conn, text)
+}
+
+// Close implements Conn.
+func (c *binaryConn) Close() error { return c.conn.Close() }
+
+// isConnClosed reports whether err is a connection teardown rather than a
+// parse failure.
+func isConnClosed(err error) bool {
+	return errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed)
+}

@@ -1,0 +1,126 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/gob"
+	"io"
+	"testing"
+)
+
+// benchPush is the message both wire benchmarks move: a realistic dense push
+// (the PR 2 gradient set, ~97 KiB of float32 payload).
+func benchPush() Message {
+	return Message{Type: MsgPush, Worker: 1, Iteration: 9, Version: 17, Tensors: ToWire(testGrads(42))}
+}
+
+// BenchmarkWireEncode compares encoding one dense push per wire format,
+// reporting the encoded size. The binary encoder reuses its frame buffer the
+// way a connection does; gob gets the same courtesy of a reused stream.
+func BenchmarkWireEncode(b *testing.B) {
+	m := benchPush()
+	b.Run("binary", func(b *testing.B) {
+		var buf []byte
+		var err error
+		for i := 0; i < b.N; i++ {
+			if buf, err = appendFrame(buf[:0], &m); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(len(buf)), "wire-B/op")
+	})
+	b.Run("gob", func(b *testing.B) {
+		var n countingWriter
+		enc := gob.NewEncoder(&n)
+		for i := 0; i < b.N; i++ {
+			before := n.n
+			if err := enc.Encode(&m); err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				b.ReportMetric(float64(n.n-before), "wire-B/op")
+			}
+		}
+	})
+}
+
+// BenchmarkWireDecode compares decoding one dense push per wire format.
+func BenchmarkWireDecode(b *testing.B) {
+	m := benchPush()
+	b.Run("binary", func(b *testing.B) {
+		frame, err := appendFrame(nil, &m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			if _, err := parseBody(frame[5], frame[headerSize:]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("gob", func(b *testing.B) {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(&m); err != nil {
+			b.Fatal(err)
+		}
+		raw := buf.Bytes()
+		for i := 0; i < b.N; i++ {
+			var out Message
+			if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&out); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkWireRoundTripTCP moves a dense push over a real loopback socket
+// and back per wire format — syscalls, framing and decode included.
+func BenchmarkWireRoundTripTCP(b *testing.B) {
+	for _, wire := range []WireFormat{WireBinary, WireGob} {
+		b.Run(string(wire), func(b *testing.B) {
+			l, err := ListenWire("127.0.0.1:0", wire)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer l.Close()
+			go func() {
+				conn, err := l.Accept()
+				if err != nil {
+					return
+				}
+				defer conn.Close()
+				for {
+					msg, err := conn.Recv()
+					if err != nil {
+						return
+					}
+					if conn.Send(msg) != nil {
+						return
+					}
+				}
+			}()
+			conn, err := DialWire(l.Addr(), wire)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer conn.Close()
+
+			m := benchPush()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := conn.Send(m); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := conn.Recv(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// countingWriter counts bytes discarded.
+type countingWriter struct{ n int }
+
+func (w *countingWriter) Write(p []byte) (int, error) { w.n += len(p); return len(p), nil }
+
+var _ io.Writer = (*countingWriter)(nil)

@@ -15,11 +15,27 @@ import (
 	"dssp/internal/transport"
 )
 
+// Wire format names accepted by ServerConfig.Wire and WorkerConfig.Wire
+// (the -wire flag on cmd/psserver and cmd/psworker). Both ends of a
+// connection must speak the same format; a mismatch fails fast at
+// registration with an explicit error instead of hanging either side.
+const (
+	// WireBinary is the versioned zero-copy binary frame protocol
+	// (docs/PROTOCOL.md) — the default.
+	WireBinary = string(transport.WireBinary)
+	// WireGob is the legacy gob encoding, kept as an escape hatch and for
+	// A/B benchmarking against the binary protocol.
+	WireGob = string(transport.WireGob)
+)
+
 // ServerConfig configures a stand-alone parameter server reachable over TCP
 // (used by cmd/psserver). Workers built with RunWorker connect to it.
 type ServerConfig struct {
 	// Addr is the TCP listen address, e.g. ":7070".
 	Addr string
+	// Wire selects the TCP wire format, WireBinary or WireGob; empty means
+	// WireBinary. Workers must be configured to match.
+	Wire string
 	// Workers is the number of workers expected to join.
 	Workers int
 	// Sync selects the synchronization paradigm.
@@ -171,7 +187,7 @@ func Serve(cfg ServerConfig) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	listener, err := transport.Listen(cfg.Addr)
+	listener, err := transport.ListenWire(cfg.Addr, transport.WireFormat(cfg.Wire))
 	if err != nil {
 		return nil, err
 	}
@@ -190,6 +206,9 @@ func Serve(cfg ServerConfig) (*Server, error) {
 type WorkerConfig struct {
 	// ServerAddr is the parameter server's address.
 	ServerAddr string
+	// Wire selects the TCP wire format, WireBinary or WireGob; empty means
+	// WireBinary. It must match the server's.
+	Wire string
 	// WorkerID is this worker's index in [0, Workers).
 	WorkerID int
 	// Workers is the total number of workers (determines the data shard).
@@ -275,6 +294,11 @@ func RunWorker(cfg WorkerConfig) (*WorkerReport, error) {
 	if cfg.WorkerID < 0 || cfg.WorkerID >= base.Workers {
 		return nil, fmt.Errorf("dssp: worker id %d out of range [0,%d)", cfg.WorkerID, base.Workers)
 	}
+	// Validate the wire format up front: a typo must fail immediately, not
+	// spin inside the reconnect backoff loop.
+	if _, err := transport.ParseWireFormat(cfg.Wire); err != nil {
+		return nil, err
+	}
 	spec, err := base.modelSpec()
 	if err != nil {
 		return nil, err
@@ -301,7 +325,7 @@ func RunWorker(cfg WorkerConfig) (*WorkerReport, error) {
 
 	// connect dials, registers (or rejoins) and starts heartbeats.
 	connect := func(rejoin bool, lastVersion int64) (*workerLink, error) {
-		conn, err := transport.Dial(cfg.ServerAddr)
+		conn, err := transport.DialWire(cfg.ServerAddr, transport.WireFormat(cfg.Wire))
 		if err != nil {
 			return nil, err
 		}
@@ -347,6 +371,12 @@ func RunWorker(cfg WorkerConfig) (*WorkerReport, error) {
 			next, err := connect(rejoin, lastVersion)
 			if err == nil {
 				return next, nil
+			}
+			if transport.IsWireMismatch(err) {
+				// A wire-format or protocol-version mismatch is permanent
+				// for this configuration pair: retrying it would spam both
+				// sides for the whole backoff budget and then fail anyway.
+				return nil, fmt.Errorf("dssp: worker %d: %w", cfg.WorkerID, err)
 			}
 			if time.Now().After(deadline) {
 				if cause != nil {

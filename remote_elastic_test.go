@@ -146,3 +146,42 @@ func TestTCPWorkerCrashRejoinAndServerRestart(t *testing.T) {
 		t.Errorf("final accuracy %.3f after crash + restart never converged", acc)
 	}
 }
+
+// TestReconnectWorkerFailsFastOnWireMismatch pins that a Reconnect worker
+// treats a wire-format mismatch as permanent: the error surfaces in well
+// under the reconnect budget instead of being redialed for all of it.
+func TestReconnectWorkerFailsFastOnWireMismatch(t *testing.T) {
+	server, err := Serve(ServerConfig{
+		Addr:    "127.0.0.1:0",
+		Wire:    WireGob,
+		Workers: 1,
+		Sync:    Sync{Paradigm: ASP},
+		Dataset: DatasetConfig{Examples: 32, Classes: 2, ImageSize: 8, Seed: 1},
+		Seed:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer server.Stop()
+
+	start := time.Now()
+	_, err = RunWorker(WorkerConfig{
+		ServerAddr:       server.Addr(),
+		Wire:             WireBinary,
+		WorkerID:         0,
+		Workers:          1,
+		Dataset:          DatasetConfig{Examples: 32, Classes: 2, ImageSize: 8, Seed: 1},
+		BatchSize:        8,
+		Epochs:           1,
+		Seed:             1,
+		Reconnect:        true,
+		ReconnectTimeout: 30 * time.Second,
+	})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("binary worker registered against a gob server")
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("wire mismatch took %v to surface under Reconnect; must fail fast, not retry", elapsed)
+	}
+}

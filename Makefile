@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke bench-json bench-baseline proto-bench fuzz-seeds fmt fmt-check vet ci
+.PHONY: all build test race bench bench-smoke bench-json bench-baseline bench-gate proto-bench fuzz-seeds fmt fmt-check vet ci
 
 all: build
 
@@ -32,13 +32,39 @@ bench-json:
 	$(GO) test -run '^$$' -bench=. -benchmem ./... > bench-local.txt
 	$(GO) run ./cmd/benchjson -in bench-local.txt -out BENCH_local.json
 
+# The bench-gate allowlist, shared by bench-baseline (which must record the
+# pinned benchmarks at the same -benchtime the gate re-measures them at —
+# 10 iterations of a 16-goroutine benchmark is setup noise, not a number
+# you can hold to 25%). Only benchmarks that repeat within a few percent on
+# an otherwise-busy machine belong here; jittery paths (e.g. BenchmarkDeltaPull,
+# whose regression risk is pinned by TestDeltaPullSkipsUnchangedShardBytes
+# instead) stay informational.
+BENCH_GATE_PATTERN = BenchmarkStoreConcurrentPushPull/sharded|BenchmarkStoreConcurrentPull/sharded
+BENCH_GATE_PINS = BenchmarkStoreConcurrentPushPull/sharded,BenchmarkStoreConcurrentPull/sharded
+BENCH_GATE_TIME = 1s
+
 # Refresh the committed benchmark baseline (BENCH_baseline.json at the repo
 # root). A short fixed -benchtime keeps the full suite to a couple of
 # minutes; the baseline is a trajectory record that CI compares smoke
-# numbers against informationally, not a precision measurement.
+# numbers against informationally, not a precision measurement. The pinned
+# gate benchmarks are then re-measured at the gate's own benchtime and
+# appended — benchjson keeps the last entry per name, so the gated numbers
+# in the baseline are like-for-like with what bench-gate measures.
 bench-baseline:
 	$(GO) test -run '^$$' -bench=. -benchtime=10x -benchmem ./... > bench-baseline.txt
+	$(GO) test -run '^$$' -bench '$(BENCH_GATE_PATTERN)' -benchtime=$(BENCH_GATE_TIME) ./internal/ps/ >> bench-baseline.txt
 	$(GO) run ./cmd/benchjson -in bench-baseline.txt -out BENCH_baseline.json
+
+# Pinned-benchmark regression gate: re-measure the allowlisted macro
+# benchmarks at the same fixed benchtime the baseline recorded them at and
+# fail when any regressed by more than 25% ns/op. Everything outside the
+# allowlist stays informational (see bench-json / the CI baseline step);
+# the pins are chosen to be long-running and one-sided — faster hardware
+# passes trivially, only a real slowdown of the hot paths trips them.
+bench-gate:
+	$(GO) test -run '^$$' -bench '$(BENCH_GATE_PATTERN)' -benchtime=$(BENCH_GATE_TIME) ./internal/ps/ > bench-pinned.txt
+	$(GO) run ./cmd/benchjson -in bench-pinned.txt -out BENCH_pinned.json \
+		-baseline BENCH_baseline.json -threshold 0.25 -pin '$(BENCH_GATE_PINS)'
 
 # Gob-vs-binary wire protocol comparison (encode/decode microbenchmarks and
 # the full TCP push+pull iteration under both formats). CI appends

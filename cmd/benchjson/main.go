@@ -6,6 +6,16 @@
 //
 // Non-benchmark lines (package headers, PASS/ok trailers) are ignored, so
 // the raw `go test` stream can be piped in unfiltered.
+//
+// With -baseline the document is compared against a previous one. By
+// default the comparison is informational; adding -threshold and -pin turns
+// it into a regression gate for an allowlisted set of benchmarks:
+//
+//	benchjson -in bench.txt -out BENCH.json -baseline BENCH_baseline.json \
+//	    -threshold 0.25 -pin BenchmarkStoreConcurrentPushPull/sharded,BenchmarkWireEncode
+//
+// exits non-zero when any pinned benchmark's ns/op regressed by more than
+// 25% against the baseline; every other benchmark stays informational.
 package main
 
 import (
@@ -40,7 +50,9 @@ type Document struct {
 func main() {
 	in := flag.String("in", "", "bench output file to read (default stdin)")
 	out := flag.String("out", "", "JSON file to write (default stdout)")
-	baseline := flag.String("baseline", "", "baseline JSON to compare ns/op against (informational; never fails)")
+	baseline := flag.String("baseline", "", "baseline JSON to compare ns/op against (informational unless -threshold gates it)")
+	threshold := flag.Float64("threshold", 0, "fail (exit 1) when a pinned benchmark's ns/op regresses by more than this fraction vs -baseline (e.g. 0.25 = 25%); 0 keeps the comparison informational")
+	pinned := flag.String("pin", "", "comma-separated benchmark name prefixes the -threshold gate applies to; all other benchmarks stay informational")
 	flag.Parse()
 
 	r := io.Reader(os.Stdin)
@@ -74,24 +86,58 @@ func main() {
 		fmt.Printf("benchjson: wrote %d results to %s\n", len(doc.Results), *out)
 	}
 	if *baseline != "" {
-		compareBaseline(doc, *baseline)
+		regressions := compareBaseline(doc, *baseline, *threshold, parsePins(*pinned))
+		if len(regressions) > 0 {
+			for _, line := range regressions {
+				fmt.Fprintf(os.Stderr, "benchjson: REGRESSION %s\n", line)
+			}
+			os.Exit(1)
+		}
 	}
 }
 
-// compareBaseline prints an informational ns/op comparison of doc against a
-// previously written baseline document. It never exits non-zero: smoke runs
-// on shared CI hardware are noisy, and the perf trajectory is a record, not
-// a merge gate. Missing files or unknown benchmarks just shrink the table.
-func compareBaseline(doc *Document, path string) {
+// parsePins splits the -pin allowlist into cleaned, non-empty prefixes.
+func parsePins(s string) []string {
+	var pins []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			pins = append(pins, p)
+		}
+	}
+	return pins
+}
+
+// pinnedName reports whether a benchmark name falls under the -pin
+// allowlist. Prefix matching lets one pin cover a sub-benchmark family
+// (`BenchmarkStoreConcurrentPushPull/sharded` pins every worker count).
+func pinnedName(name string, pins []string) bool {
+	for _, p := range pins {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// compareBaseline prints an ns/op comparison of doc against a previously
+// written baseline document and returns the threshold violations. Without a
+// threshold (or pins) it never reports any: smoke runs on shared CI hardware
+// are noisy, and the perf trajectory is a record, not a merge gate. With
+// -threshold and -pin set, the small allowlisted set of macro benchmarks is
+// gated — a pinned benchmark whose ns/op regressed by more than the
+// threshold fraction is returned for the caller to fail on, while everything
+// off the allowlist stays informational. Missing files or unknown benchmarks
+// just shrink the table.
+func compareBaseline(doc *Document, path string, threshold float64, pins []string) []string {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		fmt.Printf("benchjson: no baseline comparison (%v)\n", err)
-		return
+		return nil
 	}
 	var base Document
 	if err := json.Unmarshal(raw, &base); err != nil {
 		fmt.Printf("benchjson: no baseline comparison (%v)\n", err)
-		return
+		return nil
 	}
 	baseNs := make(map[string]float64, len(base.Results))
 	for _, r := range base.Results {
@@ -99,8 +145,15 @@ func compareBaseline(doc *Document, path string) {
 			baseNs[r.Name] = ns
 		}
 	}
-	fmt.Printf("benchjson: comparison against baseline %s (informational)\n", path)
+	gated := threshold > 0 && len(pins) > 0
+	mode := "informational"
+	if gated {
+		mode = fmt.Sprintf("threshold %.0f%% on %d pins", threshold*100, len(pins))
+	}
+	fmt.Printf("benchjson: comparison against baseline %s (%s)\n", path, mode)
 	compared := 0
+	pinMatched := make(map[string]bool, len(pins))
+	var regressions []string
 	for _, r := range doc.Results {
 		ns, ok := r.Metrics["ns/op"]
 		old, okBase := baseNs[r.Name]
@@ -109,17 +162,45 @@ func compareBaseline(doc *Document, path string) {
 		}
 		compared++
 		ratio := ns / old
+		pinnedHere := gated && pinnedName(r.Name, pins)
+		if gated {
+			for _, p := range pins {
+				if strings.HasPrefix(r.Name, p) {
+					pinMatched[p] = true
+				}
+			}
+		}
 		marker := ""
 		switch {
+		case pinnedHere && ratio > 1+threshold:
+			marker = "  <-- REGRESSION (pinned)"
+			regressions = append(regressions, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (%.2fx > %.2fx allowed)",
+				r.Name, ns, old, ratio, 1+threshold))
 		case ratio >= 1.5:
 			marker = "  <-- slower"
 		case ratio <= 0.67:
 			marker = "  <-- faster"
 		}
+		if pinnedHere && marker == "" {
+			marker = "  (pinned)"
+		}
 		fmt.Printf("  %-70s %12.0f ns/op  baseline %12.0f  ratio %.2fx%s\n", r.Name, ns, old, ratio, marker)
+	}
+	// A pin that gated nothing is itself a failure: a renamed or dropped
+	// benchmark (or a -bench pattern drifting out of sync with the
+	// allowlist) must not silently un-gate the exact measurement the gate
+	// exists to protect.
+	if gated {
+		for _, p := range pins {
+			if !pinMatched[p] {
+				regressions = append(regressions, fmt.Sprintf(
+					"pin %q matched no benchmark present in both the run and the baseline", p))
+			}
+		}
 	}
 	fmt.Printf("benchjson: compared %d of %d benchmarks against %d baseline entries\n",
 		compared, len(doc.Results), len(baseNs))
+	return regressions
 }
 
 // parse scans go test output for benchmark result lines and context headers.

@@ -20,6 +20,11 @@
 // -compress auto adopt whatever the server speaks; an explicitly mismatched
 // worker is rejected at registration.
 //
+// Delta pulls: -delta-pull (default on) grants version-gated delta pulls to
+// workers that request them — each pull re-sends only the parameter-store
+// shards that changed since that worker's previous pull (docs/PROTOCOL.md
+// §5a). Set -delta-pull=false to force full pulls for A/B measurement.
+//
 // Fault tolerance: -elastic lease-monitors worker sessions (evicting any
 // silent for -heartbeat-timeout) and accepts mid-run rejoins from workers
 // started with -reconnect; -checkpoint-dir/-checkpoint-every persist the
@@ -58,6 +63,7 @@ func main() {
 		compressName = flag.String("compress", dssp.CompressNone, "gradient codec on the wire: none, fp16, int8, topk")
 		topk         = flag.Float64("topk", 0, "fraction of gradient entries the topk codec keeps (0 = default 0.1)")
 		compressPull = flag.Bool("compress-pull", false, "also compress pulled weights (fp16/int8 codecs only)")
+		deltaPull    = flag.Bool("delta-pull", true, "grant version-gated delta pulls to workers that request them (send only changed shards)")
 		elastic      = flag.Bool("elastic", false, "tolerate worker churn: lease-monitor sessions, accept rejoins, finish when live workers finish")
 		hbTimeout    = flag.Duration("heartbeat-timeout", 5*time.Second, "evict a session silent for this long (elastic mode)")
 		ckptDir      = flag.String("checkpoint-dir", "", "directory for store checkpoints (restored on startup when present; empty = off)")
@@ -75,6 +81,7 @@ func main() {
 		Momentum:         *momentum,
 		Shards:           *shards,
 		Compression:      dssp.Compression{Codec: *compressName, TopK: *topk, Pull: *compressPull},
+		DisableDeltaPull: !*deltaPull,
 		Elastic:          *elastic,
 		HeartbeatTimeout: *hbTimeout,
 		Checkpoint:       dssp.Checkpoint{Dir: *ckptDir, Every: *ckptEvery},

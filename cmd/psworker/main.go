@@ -17,6 +17,13 @@
 // when set, asserts the server's parameter-store shard count and aborts on a
 // mismatch.
 //
+// Delta pulls: -delta-pull (default on) requests version-gated delta pulls —
+// the worker echoes the per-shard versions it already holds and the server
+// re-sends only shards that changed (docs/PROTOCOL.md §5a). A server that
+// refuses (or predates the feature, over gob) downgrades the worker to full
+// pulls; against a pre-v2 binary server run with -delta-pull=false so the
+// worker speaks pure v1 frames.
+//
 // Fault tolerance: -reconnect redials and rejoins on any connection loss
 // (surviving parameter-server restarts), -heartbeat proves liveness to an
 // -elastic server, and -fail-after injects a crash for demos.
@@ -48,6 +55,7 @@ func main() {
 		compressName = flag.String("compress", dssp.CompressAuto, "gradient codec: auto (adopt the server's), none, fp16, int8, topk")
 		topk         = flag.Float64("topk", 0, "fraction of gradient entries the topk codec keeps (0 = default 0.1; must match the server)")
 		compressPull = flag.Bool("compress-pull", false, "expect compressed weight pulls (must match the server; implied by -compress auto)")
+		deltaPull    = flag.Bool("delta-pull", true, "request version-gated delta pulls (the server re-sends only changed shards; falls back to full pulls if refused)")
 		reconnect    = flag.Bool("reconnect", false, "redial and rejoin on connection loss (survives server restarts)")
 		reconnectTO  = flag.Duration("reconnect-timeout", 30*time.Second, "give up after failing to reconnect for this long")
 		heartbeat    = flag.Duration("heartbeat", 0, "send liveness heartbeats at this interval (needed under an -elastic server; 0 = off)")
@@ -72,6 +80,7 @@ func main() {
 		Delay:             *delay,
 		Shards:            *shards,
 		Compression:       compression,
+		DeltaPull:         *deltaPull,
 		Reconnect:         *reconnect,
 		ReconnectTimeout:  *reconnectTO,
 		HeartbeatInterval: *heartbeat,

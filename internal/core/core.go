@@ -76,6 +76,27 @@ type Policy interface {
 	Name() string
 }
 
+// BatchObserver is an optional Policy extension: a policy that implements it
+// is told whenever the parameter store's applied version advances, with the
+// new version and the number of pushes that just became globally visible
+// (batch >= 1; batch > 1 means several queued pushes became visible at once
+// — coalesced into shared optimizer steps, or merged because the policy was
+// busy when they landed; the batch counts always sum to the version). The
+// parameter server delivers the calls from a dedicated goroutine under the
+// same lock that serializes OnPush/OnJoin/OnLeave, so implementations need
+// no extra synchronization — and a slow observer delays only its own
+// notifications, never gradient application.
+//
+// OnPush remains the per-push logical clock: batching never changes how
+// often it is called or what Decision it may return. BatchObserver exists
+// for policies that adapt to apply-side throughput — e.g. a DSSP-style
+// controller widening its staleness window when coalescing indicates the
+// appliers are saturated — without forcing that cost on paradigms that
+// do not care.
+type BatchObserver interface {
+	OnBatchApplied(version int64, batch int)
+}
+
 // StalenessBounder is implemented by policies that guarantee a bound on the
 // difference in iteration counts between the fastest and the slowest worker.
 type StalenessBounder interface {

@@ -3,6 +3,7 @@ package ps
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"dssp/internal/core"
@@ -237,6 +238,111 @@ func BenchmarkServerConcurrentPull(b *testing.B) {
 					b.Error(err)
 				}
 			})
+		})
+	}
+}
+
+// BenchmarkServerConcurrentPushPull measures full worker iterations —
+// push, wait for the release, pull — through the whole server with 1, 4
+// and 16 concurrent workers under ASP. Unlike the store-level benchmark,
+// this exercises the push pipeline end to end: the policy decision under
+// policyMu, ticket assignment, coalesced application on the per-shard
+// appliers, and gated release delivery through the sequencer.
+func BenchmarkServerConcurrentPushPull(b *testing.B) {
+	for _, workers := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			st, err := NewStoreSharded(benchModel(), optimizer.NewSGDMomentum(0.01, 0.9, 1e-4), 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			srv, err := NewServer(ServerConfig{Workers: workers, Policy: core.MustNewASP(workers), Store: st})
+			if err != nil {
+				b.Fatal(err)
+			}
+			listener := transport.NewChanListener()
+			go func() { _ = srv.Serve(listener) }()
+			defer func() {
+				srv.Stop()
+				listener.Close()
+			}()
+			clients := make([]*Client, workers)
+			grads := make([][]*tensor.Tensor, workers)
+			for w := range clients {
+				conn, err := listener.Dial()
+				if err != nil {
+					b.Fatal(err)
+				}
+				clients[w] = NewClient(conn, w)
+				if err := clients[w].Register(); err != nil {
+					b.Fatal(err)
+				}
+				grads[w] = benchGrads()
+			}
+			var errs atomic.Int64
+			runConcurrent(b, workers, func(w, i int) {
+				if err := clients[w].PushAndWait(grads[w], int64(i), i); err != nil {
+					errs.Add(1)
+					return
+				}
+				if _, _, err := clients[w].Pull(); err != nil {
+					errs.Add(1)
+				}
+			})
+			if errs.Load() > 0 {
+				b.Fatalf("%d worker iterations failed", errs.Load())
+			}
+		})
+	}
+}
+
+// BenchmarkDeltaPull measures repeated pulls of an unchanged store — the
+// workload version-gated delta pulls exist for (an evaluator, a worker
+// outrunning its peers, a BSP round fanning out weights nobody updated in
+// between) — with delta pulls off and on. pulled-B/op reports the payload
+// bytes per pull; delta pulls collapse it to near zero after the first.
+func BenchmarkDeltaPull(b *testing.B) {
+	for _, delta := range []bool{false, true} {
+		name := "full"
+		if delta {
+			name = "delta"
+		}
+		b.Run(name, func(b *testing.B) {
+			st, err := NewStoreSharded(benchModel(), optimizer.NewSGD(0.01), 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			srv, err := NewServer(ServerConfig{Workers: 1, Policy: core.MustNewASP(1), Store: st})
+			if err != nil {
+				b.Fatal(err)
+			}
+			listener := transport.NewChanListener()
+			go func() { _ = srv.Serve(listener) }()
+			defer func() {
+				srv.Stop()
+				listener.Close()
+			}()
+			conn, err := listener.Dial()
+			if err != nil {
+				b.Fatal(err)
+			}
+			client := NewClient(conn, 0)
+			client.SetDeltaPull(delta)
+			if err := client.Register(); err != nil {
+				b.Fatal(err)
+			}
+			if _, _, err := client.Pull(); err != nil { // prime the cache
+				b.Fatal(err)
+			}
+			_, primed := client.Traffic()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := client.Pull(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			_, pulled := client.Traffic()
+			b.ReportMetric(float64(pulled-primed)/float64(b.N), "pulled-B/op")
 		})
 	}
 }

@@ -142,6 +142,10 @@ func (s *Store) RestoreCheckpoint(path string) error {
 		}
 	}
 
+	// Quiesce the apply pipeline: any updates still queued behind the
+	// restore belong to the run being replaced, and the per-shard applied
+	// counters below must not race appliers.
+	s.Close()
 	for i, sh := range s.shards {
 		r := s.ranges[i]
 		params := make([]*tensor.Tensor, r.End-r.Start)
@@ -171,10 +175,17 @@ func (s *Store) RestoreCheckpoint(path string) error {
 		sh.params = params
 		sh.opt.LoadState(state)
 		// Bump the shard version past anything the packed-pull cache may have
-		// encoded so the next compressed pull repacks the restored weights.
+		// encoded so the next compressed pull repacks the restored weights —
+		// and so delta-pulling workers holding pre-restore chunks re-download
+		// the shard rather than trusting a matching version number.
 		sh.version++
 		sh.mu.Unlock()
+		// Re-base the applied counter: the store-wide applied version is the
+		// minimum over these, so all shards restart in agreement at the
+		// checkpoint's version.
+		sh.applied.Store(ck.Version)
 	}
+	s.reserved.Store(ck.Version)
 	s.version.Store(ck.Version)
 	if ck.LearningRate > 0 {
 		s.SetLearningRate(ck.LearningRate)

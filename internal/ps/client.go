@@ -44,6 +44,18 @@ type Client struct {
 	pushWire []transport.WireTensor
 	// pullParams is the chunk-reassembly buffer reused across Pulls.
 	pullParams []*tensor.Tensor
+
+	// wantDelta is the worker's request for version-gated delta pulls
+	// (SetDeltaPull, before Register); deltaOn is the negotiated outcome.
+	wantDelta bool
+	deltaOn   bool
+	// shardCache and shardVersions are the delta-pull state: the decoded
+	// tensors of the last full chunk received for each server shard, and the
+	// shard-local publication version they carry. Pull echoes the versions
+	// back to the server, which answers still-matching shards with a
+	// payload-free Unchanged chunk served from this cache.
+	shardCache    [][]*tensor.Tensor
+	shardVersions []int64
 }
 
 // NewClient wraps a connection for the given worker ID, speaking the
@@ -74,6 +86,17 @@ func (c *Client) Compression() compress.Config { return c.cfg }
 // at registration (0 before Register).
 func (c *Client) ServerShards() int { return c.serverShards }
 
+// SetDeltaPull requests version-gated delta pulls from the server: Pull
+// sends the per-shard versions of the weights this client already holds and
+// the server skips re-sending shards that have not changed since. Call it
+// before Register; the server may refuse (older builds, DisableDeltaPull),
+// in which case pulls stay full-fat and DeltaPull reports false.
+func (c *Client) SetDeltaPull(enabled bool) { c.wantDelta = enabled }
+
+// DeltaPull reports whether version-gated delta pulls were negotiated with
+// the server (always false before Register).
+func (c *Client) DeltaPull() bool { return c.deltaOn }
+
 // Traffic returns the approximate payload bytes this client pushed and
 // pulled so far.
 func (c *Client) Traffic() (pushed, pulled int64) { return c.pushedBytes, c.pulledBytes }
@@ -96,6 +119,12 @@ func (c *Client) Rejoin(lastVersion int64) error {
 
 // register implements Register and Rejoin.
 func (c *Client) register(msgType transport.MessageType, lastVersion int64) error {
+	// Any registration talks to a fresh server-side session — possibly a
+	// restarted server with different shard contents — so the delta-pull
+	// cache starts over.
+	c.deltaOn = false
+	c.shardCache = nil
+	c.shardVersions = nil
 	err := c.conn.Send(transport.Message{
 		Type:      msgType,
 		Worker:    c.worker,
@@ -103,6 +132,7 @@ func (c *Client) register(msgType transport.MessageType, lastVersion int64) erro
 		Codec:     c.cfg.Codec,
 		CodecTopK: c.cfg.TopK,
 		CodecPull: c.cfg.Pull,
+		DeltaPull: c.wantDelta,
 	})
 	if err != nil {
 		return fmt.Errorf("ps: register worker %d: %w", c.worker, err)
@@ -127,6 +157,7 @@ func (c *Client) register(msgType transport.MessageType, lastVersion int64) erro
 		}
 	}
 	c.serverShards = msg.StoreShards
+	c.deltaOn = c.wantDelta && msg.DeltaPull
 	return nil
 }
 
@@ -136,11 +167,23 @@ func (c *Client) register(msgType transport.MessageType, lastVersion int64) erro
 // across chunks, the conservative choice for staleness accounting when a
 // gradient application lands mid-pull.
 //
-// The returned slice (not the tensors) is reused by the next Pull; callers
-// that hold onto the list across iterations must copy it. Every existing
-// caller adopts the weights into its own replica immediately.
+// With delta pulls negotiated (SetDeltaPull before Register), every pull
+// after the first sends the per-shard versions this client already holds;
+// the server answers unchanged shards with payload-free chunks that Pull
+// satisfies from its cache, so a pull when nothing moved transfers almost
+// nothing.
+//
+// The returned slice (not the tensors) is reused by the next Pull, and with
+// delta pulls the tensors themselves may be returned again by later Pulls —
+// callers must treat both as read-only and copy what they keep. Every
+// existing caller adopts the weights into its own replica immediately
+// (Network.SetParams copies).
 func (c *Client) Pull() ([]*tensor.Tensor, int64, error) {
-	if err := c.conn.Send(transport.Message{Type: transport.MsgPull, Worker: c.worker}); err != nil {
+	req := transport.Message{Type: transport.MsgPull, Worker: c.worker}
+	if c.deltaOn && c.cacheComplete() {
+		req.PullVersions = c.shardVersions
+	}
+	if err := c.conn.Send(req); err != nil {
 		return nil, 0, fmt.Errorf("ps: pull request from worker %d: %w", c.worker, err)
 	}
 	msg, err := c.recv()
@@ -152,7 +195,7 @@ func (c *Client) Pull() ([]*tensor.Tensor, int64, error) {
 	}
 	if msg.Shards <= 1 {
 		// Unchunked reply from a single-shard store.
-		params, err := c.decodeWeights(msg)
+		params, err := c.chunkTensors(msg, 1)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -178,7 +221,7 @@ func (c *Client) Pull() ([]*tensor.Tensor, int64, error) {
 			return nil, 0, fmt.Errorf("ps: worker %d received inconsistent weight chunks (%d/%d shards, %d/%d tensors)",
 				c.worker, msg.Shards, chunks, msg.Total, total)
 		}
-		ts, err := c.decodeWeights(msg)
+		ts, err := c.chunkTensors(msg, chunks)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -210,6 +253,49 @@ func (c *Client) Pull() ([]*tensor.Tensor, int64, error) {
 		return nil, 0, fmt.Errorf("ps: worker %d reassembled %d of %d tensors", c.worker, placed, total)
 	}
 	return params, version, nil
+}
+
+// cacheComplete reports whether the delta cache holds a decoded copy of
+// every server shard — the precondition for echoing versions back. A shard
+// that has never applied an update publishes version 0, which would collide
+// with the zero value of an unfilled entry; checking the tensors themselves
+// removes the ambiguity.
+func (c *Client) cacheComplete() bool {
+	if len(c.shardCache) == 0 {
+		return false
+	}
+	for _, ts := range c.shardCache {
+		if ts == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// chunkTensors extracts the tensors of one Weights chunk: from the delta
+// cache for a payload-free Unchanged chunk, or by decoding the payload —
+// updating the cache when delta pulls are on — otherwise.
+func (c *Client) chunkTensors(msg transport.Message, shards int) ([]*tensor.Tensor, error) {
+	if msg.Unchanged {
+		if msg.Shard < 0 || msg.Shard >= len(c.shardCache) || c.shardCache[msg.Shard] == nil {
+			return nil, fmt.Errorf("ps: worker %d received an Unchanged chunk for shard %d it holds no copy of",
+				c.worker, msg.Shard)
+		}
+		return c.shardCache[msg.Shard], nil
+	}
+	ts, err := c.decodeWeights(msg)
+	if err != nil {
+		return nil, err
+	}
+	if c.deltaOn && msg.Shard >= 0 && msg.Shard < shards {
+		if len(c.shardCache) != shards {
+			c.shardCache = make([][]*tensor.Tensor, shards)
+			c.shardVersions = make([]int64, shards)
+		}
+		c.shardCache[msg.Shard] = ts
+		c.shardVersions[msg.Shard] = msg.ShardVersion
+	}
+	return ts, nil
 }
 
 // decodeWeights extracts the tensors of one Weights message, decompressing

@@ -1,0 +1,237 @@
+package ps
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"dssp/internal/compress"
+	"dssp/internal/core"
+	"dssp/internal/optimizer"
+	"dssp/internal/tensor"
+	"dssp/internal/transport"
+)
+
+// deltaTestCluster wires one server and one delta-requesting client over the
+// in-process transport.
+func deltaTestCluster(t *testing.T, shards int, serverCfg func(*ServerConfig), clientDelta bool) (*Server, *Store, *Client, *transport.ChanListener) {
+	t.Helper()
+	initial := pipelineModel(31)
+	st, err := NewStoreSharded(initial, optimizer.NewSGD(0.1), shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ServerConfig{Workers: 1, Policy: core.MustNewASP(1), Store: st}
+	if serverCfg != nil {
+		serverCfg(&cfg)
+	}
+	srv, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	listener := transport.NewChanListener()
+	go func() { _ = srv.Serve(listener) }()
+	t.Cleanup(func() {
+		srv.Stop()
+		listener.Close()
+	})
+	conn, err := listener.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var client *Client
+	if cfg.Compression.Enabled() {
+		client, err = NewClientCompressed(conn, 0, compress.Config{Codec: compress.Auto})
+		if err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		client = NewClient(conn, 0)
+	}
+	client.SetDeltaPull(clientDelta)
+	if err := client.Register(); err != nil {
+		t.Fatal(err)
+	}
+	return srv, st, client, listener
+}
+
+// TestDeltaPullServesCorrectWeightsAcrossUpdates interleaves pushes and
+// pulls and checks every delta pull returns exactly the store's snapshot —
+// cached unchanged shards included.
+func TestDeltaPullServesCorrectWeightsAcrossUpdates(t *testing.T) {
+	_, st, client, _ := deltaTestCluster(t, 3, nil, true)
+	if !client.DeltaPull() {
+		t.Fatal("server did not grant delta pulls")
+	}
+	rng := rand.New(rand.NewSource(2))
+	model := pipelineModel(31)
+	for round := 0; round < 6; round++ {
+		// Two pulls per round: the second hits the all-unchanged path.
+		for rep := 0; rep < 2; rep++ {
+			params, version, err := client.Pull()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, wantVersion := st.Snapshot()
+			if version != wantVersion {
+				t.Fatalf("round %d rep %d: pulled version %d, want %d", round, rep, version, wantVersion)
+			}
+			if !bytes.Equal(tensor.EncodeTensors(params), tensor.EncodeTensors(want)) {
+				t.Fatalf("round %d rep %d: pulled weights diverge from the store snapshot", round, rep)
+			}
+		}
+		if err := client.PushAndWait(pipelineGrads(rng, model), int64(round), round); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestDeltaPullSkipsUnchangedShardBytes pins the acceptance criterion: for
+// an unchanged-shard workload (repeated pulls with no pushes in between),
+// delta pulls move at least 2x fewer payload bytes than full pulls.
+func TestDeltaPullSkipsUnchangedShardBytes(t *testing.T) {
+	const pulls = 10
+	run := func(delta bool) int64 {
+		_, _, client, _ := deltaTestCluster(t, 3, nil, delta)
+		for i := 0; i < pulls; i++ {
+			if _, _, err := client.Pull(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		_, pulled := client.Traffic()
+		return pulled
+	}
+	full := run(false)
+	deltaed := run(true)
+	if deltaed <= 0 || full <= 0 {
+		t.Fatalf("degenerate byte counts: full %d, delta %d", full, deltaed)
+	}
+	if full < 2*deltaed {
+		t.Fatalf("delta pulls moved %d bytes vs %d full — want at least a 2x reduction on an unchanged workload",
+			deltaed, full)
+	}
+	t.Logf("unchanged-shard workload over %d pulls: full %d bytes, delta %d bytes (%.1fx)",
+		pulls, full, deltaed, float64(full)/float64(deltaed))
+}
+
+// TestDeltaPullWithCompressedPullPath runs the same correctness check with
+// pull compression negotiated, so Unchanged gating rides the packed cache.
+func TestDeltaPullWithCompressedPullPath(t *testing.T) {
+	_, st, client, _ := deltaTestCluster(t, 2, func(cfg *ServerConfig) {
+		cfg.Compression = compress.Config{Codec: compress.FP16, Pull: true}
+	}, true)
+	if !client.DeltaPull() {
+		t.Fatal("server did not grant delta pulls")
+	}
+	rng := rand.New(rand.NewSource(6))
+	model := pipelineModel(31)
+	var lastPulled int64
+	for round := 0; round < 4; round++ {
+		first, _, err := client.Pull()
+		if err != nil {
+			t.Fatal(err)
+		}
+		firstBytes := tensor.EncodeTensors(first)
+		_, afterFirst := client.Traffic()
+		again, _, err := client.Pull()
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, afterSecond := client.Traffic()
+		if !bytes.Equal(firstBytes, tensor.EncodeTensors(again)) {
+			t.Fatalf("round %d: repeated pull of an unchanged store returned different weights", round)
+		}
+		if afterSecond != afterFirst {
+			t.Fatalf("round %d: unchanged compressed pull still moved %d payload bytes", round, afterSecond-afterFirst)
+		}
+		lastPulled = afterSecond
+		if err := client.PushAndWait(pipelineGrads(rng, model), st.Version(), round); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if lastPulled == 0 {
+		t.Fatal("no pull traffic recorded at all")
+	}
+}
+
+// TestDeltaPullRefusedFallsBackToFullPulls pins the negotiation downgrade: a
+// server with DisableDeltaPull answers requests without the grant and the
+// client keeps issuing full pulls that work.
+func TestDeltaPullRefusedFallsBackToFullPulls(t *testing.T) {
+	_, st, client, _ := deltaTestCluster(t, 2, func(cfg *ServerConfig) {
+		cfg.DisableDeltaPull = true
+	}, true)
+	if client.DeltaPull() {
+		t.Fatal("client believes delta pulls are on against a refusing server")
+	}
+	var bytesPerPull []int64
+	var last int64
+	for i := 0; i < 3; i++ {
+		params, _, err := client.Pull()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := st.Snapshot()
+		if !bytes.Equal(tensor.EncodeTensors(params), tensor.EncodeTensors(want)) {
+			t.Fatalf("pull %d diverged from the snapshot", i)
+		}
+		_, pulled := client.Traffic()
+		bytesPerPull = append(bytesPerPull, pulled-last)
+		last = pulled
+	}
+	if bytesPerPull[1] != bytesPerPull[0] || bytesPerPull[2] != bytesPerPull[0] {
+		t.Fatalf("refused delta negotiation still changed pull sizes: %v", bytesPerPull)
+	}
+}
+
+// TestDeltaPullSurvivesRejoin pins delta behaviour across a reconnect: a
+// rejoining worker (fresh connection, fresh session — the real reconnect
+// flow) re-negotiates the grant, its first pull is necessarily full, and
+// the cached rounds resume correctly afterwards.
+func TestDeltaPullSurvivesRejoin(t *testing.T) {
+	srv, st, client, listener := deltaTestCluster(t, 2, nil, true)
+	if _, _, err := client.Pull(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := client.Pull(); err != nil { // cached round
+		t.Fatal(err)
+	}
+	client.Close()
+
+	// Reconnect the way remote.RunWorker does: new connection, new client,
+	// MsgRejoin.
+	conn, err := listener.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rejoined := NewClient(conn, 0)
+	rejoined.SetDeltaPull(true)
+	if err := rejoined.Rejoin(st.Version()); err != nil {
+		t.Fatal(err)
+	}
+	if !rejoined.DeltaPull() {
+		t.Fatal("rejoin lost the delta-pull grant")
+	}
+	params, _, err := rejoined.Pull()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, afterFirst := rejoined.Traffic()
+	if afterFirst == 0 {
+		t.Fatal("first pull after rejoin moved no bytes; a stale cache must have answered")
+	}
+	want, _ := st.Snapshot()
+	if !bytes.Equal(tensor.EncodeTensors(params), tensor.EncodeTensors(want)) {
+		t.Fatal("post-rejoin pull diverged from the snapshot")
+	}
+	if _, _, err := rejoined.Pull(); err != nil {
+		t.Fatal(err)
+	}
+	_, afterSecond := rejoined.Traffic()
+	if afterSecond != afterFirst {
+		t.Fatalf("second pull after rejoin moved %d bytes; the rebuilt cache should have answered", afterSecond-afterFirst)
+	}
+	if srv.Rejoins() != 1 {
+		t.Fatalf("server counted %d rejoins, want 1", srv.Rejoins())
+	}
+}

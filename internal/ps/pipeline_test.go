@@ -1,0 +1,511 @@
+package ps
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dssp/internal/compress"
+	"dssp/internal/core"
+	"dssp/internal/optimizer"
+	"dssp/internal/tensor"
+	"dssp/internal/transport"
+)
+
+// gateOpt wraps an optimizer so a test can hold the applier inside its first
+// Step call while more pushes pile up behind it — the deterministic way to
+// force coalescing. Clones share the gate and the counters, so it only suits
+// single-shard stores.
+type gateOpt struct {
+	optimizer.Optimizer
+	entered chan struct{} // closed when the first Step begins
+	resume  chan struct{} // first Step blocks until this closes
+	once    *sync.Once
+	steps   *atomic.Int64
+}
+
+func newGateOpt(inner optimizer.Optimizer) *gateOpt {
+	return &gateOpt{
+		Optimizer: inner,
+		entered:   make(chan struct{}),
+		resume:    make(chan struct{}),
+		once:      &sync.Once{},
+		steps:     &atomic.Int64{},
+	}
+}
+
+func (g *gateOpt) Step(params, grads []*tensor.Tensor) {
+	g.steps.Add(1)
+	g.once.Do(func() {
+		close(g.entered)
+		<-g.resume
+	})
+	g.Optimizer.Step(params, grads)
+}
+
+func (g *gateOpt) Clone() optimizer.Optimizer {
+	return &gateOpt{
+		Optimizer: g.Optimizer.Clone(),
+		entered:   g.entered,
+		resume:    g.resume,
+		once:      g.once,
+		steps:     g.steps,
+	}
+}
+
+// pipelineModel builds a small multi-tensor parameter set with seeded values.
+func pipelineModel(seed int64) []*tensor.Tensor {
+	rng := rand.New(rand.NewSource(seed))
+	return []*tensor.Tensor{
+		tensor.New(8, 6).RandNormal(rng, 0, 1),
+		tensor.New(11).RandNormal(rng, 0, 1),
+		tensor.New(4, 3).RandNormal(rng, 0, 1),
+	}
+}
+
+func pipelineGrads(rng *rand.Rand, model []*tensor.Tensor) []*tensor.Tensor {
+	grads := make([]*tensor.Tensor, len(model))
+	for i, p := range model {
+		grads[i] = tensor.New(p.Shape()...).RandNormal(rng, 0, 0.1)
+	}
+	return grads
+}
+
+// TestPipelinedApplyBitIdenticalToSerialReference pins the bit-identity
+// contract: on a deterministic schedule — each Apply waits before the next
+// starts, so no batch ever holds more than one push — the pipelined
+// per-shard appliers must produce exactly the bytes the serial path did.
+// The reference steps a single optimizer over cloned parameters by hand.
+func TestPipelinedApplyBitIdenticalToSerialReference(t *testing.T) {
+	initial := pipelineModel(7)
+	st, err := NewStoreSharded(initial, optimizer.NewSGDMomentum(0.05, 0.9, 1e-4), len(initial))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	ref := make([]*tensor.Tensor, len(initial))
+	for i, p := range initial {
+		ref[i] = p.Clone()
+	}
+	refOpt := optimizer.NewSGDMomentum(0.05, 0.9, 1e-4)
+
+	rng := rand.New(rand.NewSource(11))
+	for step := 0; step < 40; step++ {
+		grads := pipelineGrads(rng, initial)
+		v, err := st.Apply(grads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != int64(step+1) {
+			t.Fatalf("step %d: version %d, want %d", step, v, step+1)
+		}
+		refOpt.Step(ref, grads)
+	}
+
+	got, version := st.Snapshot()
+	if version != 40 {
+		t.Fatalf("final version %d, want 40", version)
+	}
+	if !bytes.Equal(tensor.EncodeTensors(got), tensor.EncodeTensors(ref)) {
+		t.Fatal("pipelined apply diverged bit-wise from the serial reference on a deterministic schedule")
+	}
+}
+
+// TestCoalescedApplyBatchesQueuedPushes holds the single applier inside its
+// first optimizer step while more pushes are enqueued, then proves the
+// backlog was absorbed in fewer steps than pushes (coalescing), that the
+// version advanced by the exact push count, and that the weights match the
+// summed-gradient semantics within float tolerance.
+func TestCoalescedApplyBatchesQueuedPushes(t *testing.T) {
+	initial := pipelineModel(3)
+	gate := newGateOpt(optimizer.NewSGD(0.5))
+	st, err := NewStoreSharded(initial, gate, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	rng := rand.New(rand.NewSource(5))
+	first := pipelineGrads(rng, initial)
+	t1, err := st.EnqueueApply(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-gate.entered // the applier is now stuck inside push 1's Step
+
+	const queued = 6
+	grads := make([][]*tensor.Tensor, queued)
+	for i := range grads {
+		grads[i] = pipelineGrads(rng, initial)
+		if _, err := st.EnqueueApply(grads[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := st.Reserved(); got != 1+queued {
+		t.Fatalf("reserved %d, want %d", got, 1+queued)
+	}
+	if got := st.Version(); got != 0 {
+		t.Fatalf("version %d before any apply finished, want 0", got)
+	}
+	close(gate.resume)
+	if !st.WaitApplied(1+queued, nil) {
+		t.Fatal("WaitApplied returned false without cancel")
+	}
+	if got := st.Version(); got != 1+queued {
+		t.Fatalf("version %d after drain, want %d", got, 1+queued)
+	}
+	_ = t1
+	steps := gate.steps.Load()
+	if steps >= 1+queued {
+		t.Fatalf("took %d optimizer steps for %d pushes; expected coalescing to batch the backlog", steps, 1+queued)
+	}
+	if steps < 2 {
+		t.Fatalf("took %d optimizer steps, want at least the gated one plus one batch", steps)
+	}
+
+	// Plain SGD: k serial steps and one summed step agree up to float
+	// associativity.
+	ref := make([]*tensor.Tensor, len(initial))
+	refOpt := optimizer.NewSGD(0.5)
+	for i, p := range initial {
+		ref[i] = p.Clone()
+	}
+	refOpt.Step(ref, first)
+	for _, g := range grads {
+		refOpt.Step(ref, g)
+	}
+	got, _ := st.Snapshot()
+	for i := range got {
+		if !got[i].ApproxEqual(ref[i], 1e-4) {
+			t.Fatalf("tensor %d diverged beyond tolerance from the serial reference under coalescing", i)
+		}
+	}
+}
+
+// TestStoreCloseDrainsAndRestarts pins Close's contract: every accepted
+// ticket is applied before Close returns, and a later apply restarts the
+// pipeline transparently.
+func TestStoreCloseDrainsAndRestarts(t *testing.T) {
+	initial := pipelineModel(9)
+	st, err := NewStoreSharded(initial, optimizer.NewSGD(0.1), len(initial))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10; i++ {
+		if _, err := st.EnqueueApply(pipelineGrads(rng, initial)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.Close()
+	if v, r := st.Version(), st.Reserved(); v != r || v != 10 {
+		t.Fatalf("after Close: version %d, reserved %d, want both 10", v, r)
+	}
+	st.Close() // idempotent
+	if v, err := st.Apply(pipelineGrads(rng, initial)); err != nil || v != 11 {
+		t.Fatalf("apply after Close: version %d, err %v, want 11, nil", v, err)
+	}
+	st.Close()
+}
+
+// TestWaitAppliedCancel pins the cancel path: a waiter whose target never
+// arrives unblocks when its cancel channel closes, reporting false.
+func TestWaitAppliedCancel(t *testing.T) {
+	st := testStore(t, 4)
+	cancel := make(chan struct{})
+	done := make(chan bool, 1)
+	go func() { done <- st.WaitApplied(5, cancel) }()
+	select {
+	case <-done:
+		t.Fatal("WaitApplied returned before cancel with nothing applied")
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(cancel)
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("cancelled WaitApplied reported success")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("WaitApplied ignored cancel")
+	}
+}
+
+// TestStalenessObserveOffByOne pins the staleness formula — Observe(applied
+// - 1 - baseVersion), where applied is the push's assigned version — under
+// the serial path (each push applied before the next arrives). Worker 0
+// pushes against base 0 twice: the first lands at version 1 (staleness 0),
+// the second still claims base 0 but lands at version 2 (staleness 1).
+func TestStalenessObserveOffByOne(t *testing.T) {
+	st := testStore(t, 4)
+	srv, clients := startTestServer(t, core.MustNewASP(1), st)
+	grad := []*tensor.Tensor{tensor.Full(0.1, 4)}
+	if err := clients[0].PushAndWait(grad, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := clients[0].PushAndWait(grad, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	values, counts := srv.Staleness().Buckets()
+	if len(values) != 2 || values[0] != 0 || values[1] != 1 || counts[0] != 1 || counts[1] != 1 {
+		t.Fatalf("staleness buckets %v/%v, want exactly one 0 and one 1", values, counts)
+	}
+}
+
+// TestStalenessObserveOffByOneCoalesced repeats the off-by-one pin with the
+// applier gated so both pushes sit in one coalesced batch: tickets are
+// assigned under the policy lock before any apply completes, so the
+// histogram must be identical to the serial path's.
+func TestStalenessObserveOffByOneCoalesced(t *testing.T) {
+	initial := []*tensor.Tensor{tensor.New(4)}
+	gate := newGateOpt(optimizer.NewSGD(1.0))
+	st, err := NewStoreSharded(initial, gate, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, clients := startTestServer(t, core.MustNewASP(2), st)
+
+	grad := []*tensor.Tensor{tensor.Full(0.1, 4)}
+	// Worker 0's push enters the gated Step; worker 1's push queues behind
+	// it. Base versions are both 0, so the assigned tickets 1 and 2 must
+	// observe staleness 0 and 1 exactly as if applied serially.
+	push := func(c *Client, it int) chan error {
+		ch := make(chan error, 1)
+		go func() { ch <- c.PushAndWait(grad, 0, it) }()
+		return ch
+	}
+	done0 := push(clients[0], 0)
+	<-gate.entered
+	done1 := push(clients[1], 0)
+	// The second ticket is assigned under policyMu before the release goes
+	// out; wait until the server has counted both pushes.
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.Pushes() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("server never counted the queued push")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate.resume)
+	if err := <-done0; err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done1; err != nil {
+		t.Fatal(err)
+	}
+	if steps := gate.steps.Load(); steps != 2 {
+		t.Fatalf("optimizer ran %d steps, want 2 (one gated, one coalesced batch)", steps)
+	}
+	values, counts := srv.Staleness().Buckets()
+	if len(values) != 2 || values[0] != 0 || values[1] != 1 || counts[0] != 1 || counts[1] != 1 {
+		t.Fatalf("coalesced staleness buckets %v/%v, want exactly one 0 and one 1", values, counts)
+	}
+}
+
+// TestPushErrorStillReleasesPeers pins the error-release interaction through
+// the unified delivery helper: under BSP, a worker whose push fails to apply
+// must receive the error (not an OK), while the peers its round released
+// still get their OKs — a single bad payload must not deadlock the barrier.
+func TestPushErrorStillReleasesPeers(t *testing.T) {
+	st := testStore(t, 4)
+	bsp, err := core.NewBSP(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, clients := startTestServer(t, bsp, st)
+
+	// Worker 0 pushes a structurally valid message whose tensor count does
+	// not match the store: decode succeeds, EnqueueApply rejects, and the
+	// policy has already counted the push toward the barrier.
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- clients[0].PushAndWait([]*tensor.Tensor{tensor.New(4), tensor.New(2)}, 0, 0)
+	}()
+	okCh := make(chan error, 1)
+	go func() {
+		okCh <- clients[1].PushAndWait([]*tensor.Tensor{tensor.Full(0.1, 4)}, 0, 0)
+	}()
+
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Fatal("worker 0's bad push reported success")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("worker 0 never heard back about its bad push")
+	}
+	select {
+	case err := <-okCh:
+		if err != nil {
+			t.Fatalf("worker 1's good push failed: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("worker 1 deadlocked behind worker 0's bad push")
+	}
+	if st.Version() != 1 {
+		t.Fatalf("store version %d, want 1 (only the good push applied)", st.Version())
+	}
+}
+
+// TestBatchObserverSeesCoalescedAdvances wires a policy implementing
+// core.BatchObserver and verifies it observes every version advance with
+// batch sizes that sum to the push count.
+func TestBatchObserverSeesCoalescedAdvances(t *testing.T) {
+	st := testStore(t, 4)
+	policy := &observingPolicy{Policy: core.MustNewASP(1)}
+	srv, err := NewServer(ServerConfig{Workers: 1, Policy: policy, Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	listener := transport.NewChanListener()
+	go func() { _ = srv.Serve(listener) }()
+	defer func() {
+		srv.Stop()
+		listener.Close()
+	}()
+	conn, err := listener.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := NewClient(conn, 0)
+	if err := client.Register(); err != nil {
+		t.Fatal(err)
+	}
+	grad := []*tensor.Tensor{tensor.Full(0.1, 4)}
+	const pushes = 5
+	for i := 0; i < pushes; i++ {
+		if err := client.PushAndWait(grad, int64(i), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.WaitApplied(pushes, nil)
+	// The observer pump runs on its own goroutine; give it a moment to
+	// deliver the final advance.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		total, last := policy.observed()
+		if total == pushes && last == pushes {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("observer saw batches summing to %d at version %d, want %d/%d", total, last, pushes, pushes)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	total, last := policy.observed()
+	if total != pushes || last != pushes {
+		t.Fatalf("observer saw %d/%d, want %d/%d", total, last, pushes, pushes)
+	}
+}
+
+// observingPolicy decorates a Policy with core.BatchObserver, recording the
+// batched advances it is shown.
+type observingPolicy struct {
+	core.Policy
+	mu          sync.Mutex
+	batchTotal  int
+	lastVersion int64
+}
+
+func (p *observingPolicy) OnBatchApplied(version int64, batch int) {
+	p.mu.Lock()
+	p.batchTotal += batch
+	p.lastVersion = version
+	p.mu.Unlock()
+}
+
+func (p *observingPolicy) observed() (int, int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.batchTotal, p.lastVersion
+}
+
+// TestPackShardCacheNeverStaleUnderCoalescedApplies hammers the packed-pull
+// cache from many readers while the applier pipeline lands coalesced
+// batches, then quiesces and verifies the cache serves exactly the final
+// published snapshot at the final shard version. Run under -race this also
+// proves the cache fill, the COW publication and the batched version bumps
+// never touch shared state unsynchronized.
+func TestPackShardCacheNeverStaleUnderCoalescedApplies(t *testing.T) {
+	initial := pipelineModel(21)
+	st, err := NewStoreSharded(initial, optimizer.NewSGD(0.05), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	cfg := compress.Config{Codec: compress.FP16}.Normalized()
+	pack := func(params []*tensor.Tensor) []compress.Packed { return compress.Pack(params, cfg) }
+
+	const pushes = 200
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			var lastV int64 = -1
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				packed, _, _, shardV, unchanged := st.PackShardDelta(shard%st.Shards(), lastV, pack)
+				if unchanged {
+					continue
+				}
+				if shardV < lastV {
+					t.Errorf("shard version went backwards: %d after %d", shardV, lastV)
+					return
+				}
+				lastV = shardV
+				if _, err := compress.DecompressAll(packed); err != nil {
+					t.Errorf("cache served undecodable payload: %v", err)
+					return
+				}
+			}
+		}(r)
+	}
+	rng := rand.New(rand.NewSource(77))
+	gradSets := make([][]*tensor.Tensor, pushes)
+	for i := range gradSets {
+		gradSets[i] = pipelineGrads(rng, initial)
+	}
+	for _, g := range gradSets {
+		if _, err := st.EnqueueApply(g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.WaitApplied(pushes, nil)
+	close(stop)
+	wg.Wait()
+
+	// Quiesced: the cache must now serve the final snapshot, never anything
+	// the batched version bumps left behind.
+	for i := 0; i < st.Shards(); i++ {
+		packed, _, version, _, unchanged := st.PackShardDelta(i, -1, pack)
+		if unchanged {
+			t.Fatalf("shard %d reported unchanged against have=-1", i)
+		}
+		if version != pushes {
+			t.Fatalf("shard %d packed at aggregate version %d, want %d", i, version, pushes)
+		}
+		got, err := compress.DecompressAll(packed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _, _ := st.SnapshotShard(i)
+		wantPacked := compress.Pack(want, cfg)
+		wantRT, err := compress.DecompressAll(wantPacked)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(tensor.EncodeTensors(got), tensor.EncodeTensors(wantRT)) {
+			t.Fatalf("shard %d packed cache does not match the final published snapshot", i)
+		}
+	}
+}

@@ -44,6 +44,12 @@ type ServerConfig struct {
 	// Checkpoint periodically snapshots the store to disk so a restarted
 	// server resumes where this one stopped.
 	Checkpoint CheckpointConfig
+	// DisableDeltaPull refuses workers' requests for version-gated delta
+	// pulls, forcing every pull to carry full weight chunks. The zero value
+	// grants delta pulls to any worker that asks (workers that never ask are
+	// unaffected); disabling exists for A/B measurement and for debugging
+	// suspected cache-consistency issues.
+	DisableDeltaPull bool
 	// Clock supplies timestamps for the policy; nil means time.Now. The
 	// trainer injects an accelerated clock when it simulates heterogeneous
 	// hardware.
@@ -69,11 +75,19 @@ const DefaultHeartbeatTimeout = 5 * time.Second
 // being funneled through a central run loop. Pulls touch only the store's
 // per-shard read locks, so any number of workers pull concurrently and a
 // pull streams each shard to the wire as soon as that shard is unlocked.
-// Pushes serialize on policyMu — the release decision and the gradient
-// application must form one atomic step for the paradigm semantics (a BSP
-// round's updates are all applied before any worker is released) — but the
-// application itself is shard-parallel inside the store, so a push uses
-// multiple cores and blocks concurrent pulls only shard by shard.
+//
+// The push path is a pipeline. Only the cheap, ordering-sensitive step runs
+// under policyMu: the policy decision, the ticket (version) assignment via
+// Store.EnqueueApply, and the staleness and wait accounting derived from
+// them. The gradient application itself happens on the store's persistent
+// per-shard applier goroutines, so pushes from N workers overlap — shard i
+// of push A applies concurrently with shard j of push B, and queued pushes
+// coalesce into shared optimizer steps. Paradigm semantics survive because
+// release delivery is gated, not the application: every release decision is
+// queued to a sequencer that waits until the store's applied version reaches
+// what was reserved at decision time before sending a single OK (a BSP
+// round's updates are therefore all visible before any worker is released,
+// exactly as when the application ran under the lock).
 type Server struct {
 	cfg ServerConfig
 	// compression is cfg.Compression in normalized form, the single source
@@ -101,9 +115,15 @@ type Server struct {
 	allDone       chan struct{}
 	wg            sync.WaitGroup
 
+	// releases feeds the release sequencer: decisions enter in policyMu
+	// order (enqueued while holding it), each gated on the pipeline depth
+	// reserved at decision time, so OKs leave in decision order once the
+	// updates they depend on are visible.
+	releases chan releaseBatch
+
 	// policyMu serializes membership and push handling: the policy decision,
-	// the store update, the metrics derived from them, and the choice of
-	// workers to release.
+	// the ticket assignment that orders the update, the metrics derived from
+	// them, and the choice of workers to release.
 	policyMu  sync.Mutex
 	staleness *metrics.Histogram
 	waits     *metrics.WaitTracker
@@ -113,6 +133,7 @@ type Server struct {
 	departs   int
 	pushedAt  map[int]time.Time
 
+	// ckptBusy limits checkpoint saves to one in flight.
 	ckptBusy atomic.Bool
 	// ckptMu serializes checkpoint writes: an async interval save that
 	// snapshotted older state must not land its rename after the final save
@@ -155,10 +176,26 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		departedAt:  make(map[int]time.Time),
 		stopped:     make(chan struct{}),
 		allDone:     make(chan struct{}),
+		releases:    make(chan releaseBatch, 256),
 		staleness:   metrics.NewHistogram(),
 		waits:       metrics.NewWaitTracker(cfg.Workers),
 		pushedAt:    make(map[int]time.Time),
 	}
+	// The seam between coalesced application and the paradigms: a policy
+	// that wants to observe batched version advances gets them under
+	// policyMu, interleaved consistently with its OnPush/OnJoin/OnLeave
+	// calls, from a dedicated pump goroutine. The pump — never the store's
+	// appliers — takes policyMu, so gradient application can outrun a busy
+	// policy instead of deadlocking behind it.
+	if bo, ok := cfg.Policy.(core.BatchObserver); ok {
+		s.wg.Add(1)
+		// The observation baseline is read here, synchronously: every
+		// advance past the version the server was constructed at is
+		// delivered, even ones landing before the pump goroutine first runs.
+		go s.observerPump(bo, cfg.Store.Version())
+	}
+	s.wg.Add(1)
+	go s.releaser()
 	if cfg.Elastic {
 		// An elastic server starts with an empty active set: policies assume
 		// every slot participates from construction, but here membership is
@@ -217,6 +254,9 @@ func (s *Server) Stop() {
 			sess.end()
 			_ = sess.conn.Close()
 		}
+		// Drain the apply pipeline so the final checkpoint holds every
+		// accepted update, then park the store's applier goroutines.
+		s.cfg.Store.Close()
 		if s.cfg.Checkpoint.Enabled() {
 			s.saveCheckpoint()
 		}
@@ -291,7 +331,7 @@ func (s *Server) handleConn(conn transport.Conn) {
 			if sess == nil {
 				return
 			}
-			s.handlePull(sess.worker)
+			s.handlePull(sess, msg)
 
 		case transport.MsgDone:
 			if sess == nil {
@@ -343,6 +383,10 @@ func (s *Server) handleRegister(conn transport.Conn, msg transport.Message) *ses
 	}
 	rejoined := msg.Type == transport.MsgRejoin
 	sess, old := s.sessions.register(worker, conn, rejoined, s.clock())
+	// Delta-pull negotiation: granted whenever the worker asks and the
+	// server is not configured to refuse. Workers that never ask (v1 binary
+	// peers, old gob builds, -delta-pull=false) keep full pulls.
+	sess.deltaPull = msg.DeltaPull && !s.cfg.DisableDeltaPull
 	// Registration racing Stop: a worker that lands on a dying server (the
 	// listener stays open for the final checkpoint write) must be turned
 	// away, or it waits forever on a writer that exited with the server.
@@ -381,8 +425,8 @@ func (s *Server) handleRegister(conn transport.Conn, msg transport.Message) *ses
 	}
 	decision := s.cfg.Policy.OnJoin(core.WorkerID(worker), now)
 	s.recordReleases(decision.Release, now)
+	s.queueReleases(releaseBatch{release: decision.Release, gate: s.cfg.Store.Reserved(), errWorker: -1})
 	s.policyMu.Unlock()
-	s.sendReleases(decision.Release)
 
 	s.enqueueSession(sess, transport.Message{
 		Type:        transport.MsgRegistered,
@@ -392,6 +436,7 @@ func (s *Server) handleRegister(conn transport.Conn, msg transport.Message) *ses
 		CodecTopK:   s.compression.TopK,
 		CodecPull:   s.compression.Pull,
 		StoreShards: s.cfg.Store.Shards(),
+		DeltaPull:   sess.deltaPull,
 	})
 	return sess
 }
@@ -419,8 +464,10 @@ func (s *Server) leave(sess *session) {
 	decision := s.cfg.Policy.OnLeave(core.WorkerID(sess.worker), now)
 	delete(s.pushedAt, sess.worker)
 	s.recordReleases(decision.Release, now)
+	// A departure can complete a barrier whose updates are still in the
+	// apply pipeline; its releases gate like any push's.
+	s.queueReleases(releaseBatch{release: decision.Release, gate: s.cfg.Store.Reserved(), errWorker: -1})
 	s.policyMu.Unlock()
-	s.sendReleases(decision.Release)
 	s.checkAllDone()
 }
 
@@ -455,13 +502,40 @@ func (s *Server) leaseMonitor() {
 	}
 }
 
+// writerBatchMax bounds how many queued outbox messages one write coalesces:
+// enough to cover a full multi-shard pull reply plus interleaved releases,
+// small enough that a batch's assembled frames stay cache- and
+// buffer-friendly.
+const writerBatchMax = 32
+
 // writer drains one worker's outbox onto its connection until the session
-// ends or the server stops.
+// ends or the server stops. When several messages are queued — a chunked
+// pull reply, a barrier release landing behind one — and the connection can
+// batch (transport.BatchSender), everything waiting is sent with one
+// write/flush instead of one per message.
 func (s *Server) writer(sess *session) {
+	batcher, _ := sess.conn.(transport.BatchSender)
+	var batch []transport.Message
 	for {
 		select {
 		case msg := <-sess.outbox:
-			if err := sess.conn.Send(msg); err != nil {
+			if batcher == nil {
+				if err := sess.conn.Send(msg); err != nil {
+					return
+				}
+				continue
+			}
+			batch = append(batch[:0], msg)
+			for len(batch) < writerBatchMax {
+				select {
+				case more := <-sess.outbox:
+					batch = append(batch, more)
+					continue
+				default:
+				}
+				break
+			}
+			if err := batcher.SendBatch(batch); err != nil {
 				return
 			}
 		case <-sess.gone:
@@ -505,18 +579,108 @@ func (s *Server) recordReleases(release []core.WorkerID, now time.Time) {
 	}
 }
 
-// sendReleases delivers the OK signal to every released worker.
-func (s *Server) sendReleases(release []core.WorkerID) {
+// releaseBatch is one release decision queued for delivery: the workers to
+// send OK to, the pipeline depth (Store.Reserved) at decision time that must
+// be applied before any of them goes out, and — when the triggering push
+// failed — the worker that gets an error instead of its OK. ticket is the
+// push's version for checkpoint-interval accounting (0 when the batch did
+// not apply an update).
+type releaseBatch struct {
+	release   []core.WorkerID
+	gate      int64
+	errWorker int // -1 when no worker errored
+	err       error
+	ticket    int64
+}
+
+// releaser is the release sequencer: it delivers queued release decisions in
+// the order they were made, each only after the store's applied version has
+// reached the batch's gate. This is what preserves paradigm semantics now
+// that gradient application happens off policyMu — a worker released by a
+// decision can never pull weights missing an update that decision accounted
+// for, because its OK is held until those updates are visible on every
+// shard.
+func (s *Server) releaser() {
+	defer s.wg.Done()
+	for {
+		select {
+		case b := <-s.releases:
+			if b.gate > 0 && !s.cfg.Store.WaitApplied(b.gate, s.stopped) {
+				return // server stopped while waiting
+			}
+			s.sendReleases(b.release, b.errWorker)
+			if b.err != nil && b.errWorker >= 0 {
+				// The erroring worker gets the error, not an OK that would
+				// let it train on as if the push had landed.
+				s.enqueueOut(b.errWorker, transport.Message{Type: transport.MsgError, Error: b.err.Error()})
+			}
+			if b.ticket > 0 {
+				s.maybeCheckpoint(b.ticket)
+			}
+		case <-s.stopped:
+			return
+		}
+	}
+}
+
+// observerPump follows the store's applied version and reports every
+// advance to a policy implementing core.BatchObserver, under policyMu so
+// the calls interleave consistently with the policy's other hooks. Advances
+// that land while the policy is busy merge into one call whose batch is the
+// sum — the version stream stays gapless and monotone.
+func (s *Server) observerPump(bo core.BatchObserver, seen int64) {
+	defer s.wg.Done()
+	for {
+		if !s.cfg.Store.WaitApplied(seen+1, s.stopped) {
+			return // server stopped
+		}
+		v := s.cfg.Store.Version()
+		s.policyMu.Lock()
+		bo.OnBatchApplied(v, int(v-seen))
+		s.policyMu.Unlock()
+		seen = v
+	}
+}
+
+// queueReleases hands one release decision to the sequencer. Callers hold
+// policyMu, which is what keeps the queue in decision order and the gates
+// monotone; a full queue blocks the caller, never the sequencer. Batches
+// that would deliver nothing are dropped at the door.
+func (s *Server) queueReleases(b releaseBatch) {
+	if len(b.release) == 0 && b.err == nil && b.ticket == 0 {
+		return
+	}
+	select {
+	case s.releases <- b:
+	case <-s.stopped:
+	}
+}
+
+// sendReleases delivers the OK signal to every released worker except skip
+// (use a negative skip to exclude nobody) — the single implementation of
+// release delivery for push, join and leave decisions. skip carves out a
+// worker whose push failed: it must not receive an OK that would let it
+// train on as if the push had landed.
+func (s *Server) sendReleases(release []core.WorkerID, skip int) {
 	for _, id := range release {
 		w := int(id)
+		if w == skip {
+			continue
+		}
 		s.enqueueOut(w, transport.Message{Type: transport.MsgOK, Worker: w})
 	}
 }
 
-// handlePush applies a pushed gradient and releases workers per the policy.
-// Decoding the wire tensors — including codec decompression — happens
-// outside policyMu so that payload conversion from many workers overlaps;
-// the policy decision and the store update hold the lock.
+// handlePush accepts a pushed gradient and queues the policy's release
+// decision. Decoding the wire tensors — including codec decompression —
+// happens outside policyMu so payload conversion from many workers overlaps.
+// Under the lock only the ordering-sensitive step runs: the policy decision,
+// the ticket assignment (Store.EnqueueApply hands the gradients to the
+// per-shard applier pipeline without waiting), and the staleness accounting,
+// which observes the ticket — the version the push lands at — and therefore
+// matches the serial path exactly. The release decision is queued to the
+// sequencer gated on everything reserved so far, so no released worker can
+// outrun the application of the updates its release depends on.
 func (s *Server) handlePush(sess *session, msg transport.Message) {
 	worker := sess.worker
 	baseVersion := msg.Version
@@ -533,45 +697,40 @@ func (s *Server) handlePush(sess *session, msg transport.Message) {
 	decision := s.cfg.Policy.OnPush(core.WorkerID(worker), now)
 
 	var pushErr error
-	var applied int64
+	var ticket int64
 	if decision.Drop {
 		s.dropped++
 	} else {
 		err := decodeErr
 		if err == nil {
-			applied, err = s.cfg.Store.Apply(grads)
+			ticket, err = s.cfg.Store.EnqueueApply(grads)
 		}
 		if err != nil {
 			// The policy has already counted this push and may have decided
 			// to release other workers — their releases must still go out
-			// below or a barrier paradigm deadlocks on a single bad payload.
-			// Only the pushing worker learns of the failure.
+			// or a barrier paradigm deadlocks on a single bad payload. Only
+			// the pushing worker learns of the failure.
 			pushErr = err
 		} else {
 			s.pushes++
-			s.staleness.Observe(int(applied - 1 - baseVersion))
+			s.staleness.Observe(int(ticket - 1 - baseVersion))
 		}
 	}
 
 	s.pushedAt[worker] = now
 	s.recordReleases(decision.Release, now)
-	s.policyMu.Unlock()
-
-	for _, id := range decision.Release {
-		w := int(id)
-		if pushErr != nil && w == worker {
-			// The erroring worker gets the error, not an OK that would let
-			// it train on as if the push had landed.
-			continue
-		}
-		s.enqueueOut(w, transport.Message{Type: transport.MsgOK, Worker: w})
-	}
+	errWorker := -1
 	if pushErr != nil {
-		s.enqueueOut(worker, transport.Message{Type: transport.MsgError, Error: pushErr.Error()})
+		errWorker = worker
 	}
-	if applied > 0 {
-		s.maybeCheckpoint(applied)
-	}
+	s.queueReleases(releaseBatch{
+		release:   decision.Release,
+		gate:      s.cfg.Store.Reserved(),
+		errWorker: errWorker,
+		err:       pushErr,
+		ticket:    ticket,
+	})
+	s.policyMu.Unlock()
 }
 
 // maybeCheckpoint writes a checkpoint when the applied version crosses the
@@ -655,12 +814,30 @@ func (s *Server) decodePush(sess *session, msg transport.Message) ([]*tensor.Ten
 // packed form from the store's per-shard cache: the quantization pass runs
 // once per shard update, not once per pull, so fan-out to many workers
 // stays cheap.
-func (s *Server) handlePull(worker int) {
+//
+// A session that negotiated delta pulls may send its cached per-shard
+// versions (PullVersions); shards still at the version the worker holds are
+// answered with a payload-free Unchanged chunk, so a worker that pulls when
+// little or nothing has changed re-downloads only what did. Every chunk
+// carries its shard-local publication version for the worker's next request.
+func (s *Server) handlePull(sess *session, req transport.Message) {
+	worker := sess.worker
 	st := s.cfg.Store
 	shards := st.Shards()
 	total := st.NumTensors()
 	compressPull := s.compression.Pull && s.compression.Enabled()
+	have := req.PullVersions
+	if !sess.deltaPull || len(have) != shards {
+		// Un-negotiated, first-pull, or malformed gating state: serve full
+		// chunks. A length mismatch cannot happen with a well-behaved client
+		// (the shard count is fixed per server) but must not gate wrongly.
+		have = nil
+	}
 	for i := 0; i < shards; i++ {
+		haveV := int64(-1)
+		if have != nil {
+			haveV = have[i]
+		}
 		msg := transport.Message{
 			Type:   transport.MsgWeights,
 			Worker: worker,
@@ -669,16 +846,26 @@ func (s *Server) handlePull(worker int) {
 			Total:  total,
 		}
 		if compressPull {
-			packed, base, version := st.PackShard(i, s.packShard)
-			msg.Codec = s.compression.Codec
-			msg.Packed = packed
+			packed, base, version, shardV, unchanged := st.PackShardDelta(i, haveV, s.packShard)
 			msg.Base = base
 			msg.Version = version
+			msg.ShardVersion = shardV
+			if unchanged {
+				msg.Unchanged = true
+			} else {
+				msg.Codec = s.compression.Codec
+				msg.Packed = packed
+			}
 		} else {
-			params, base, version := st.ViewShard(i)
-			msg.Tensors = transport.ToWireOwned(params)
+			params, base, version, shardV, unchanged := st.ViewShardDelta(i, haveV)
 			msg.Base = base
 			msg.Version = version
+			msg.ShardVersion = shardV
+			if unchanged {
+				msg.Unchanged = true
+			} else {
+				msg.Tensors = transport.ToWireOwned(params)
+			}
 		}
 		s.enqueueOut(worker, msg)
 	}

@@ -3,6 +3,7 @@ package ps
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"dssp/internal/compress"
 	"dssp/internal/optimizer"
@@ -16,11 +17,39 @@ import (
 // Each shard has its own optimizer clone so that lazily allocated
 // per-parameter state (momentum velocity) is indexed by position within the
 // shard, never by global tensor index.
+//
+// Updates are not applied by the pushing goroutine: EnqueueApply appends the
+// shard's gradient slice to pending, and a persistent per-shard applier
+// goroutine (Store.applier) drains the queue. When several pushes are queued
+// the applier coalesces them — it sums the gradient slices and takes one
+// optimizer step with one copy-on-write publication, bumping version and
+// applied by the batch size so version semantics are indistinguishable from
+// applying the pushes one at a time.
 type shard struct {
 	mu      sync.RWMutex
 	params  []*tensor.Tensor
 	opt     optimizer.Optimizer
 	version int64
+
+	// applied counts the pushes this shard has absorbed; the store-wide
+	// applied version is the minimum over shards. Unlike version (which the
+	// checkpoint restore path also bumps, to invalidate the packed cache) it
+	// counts exactly the pushes routed through the appliers since the last
+	// restore.
+	applied atomic.Int64
+
+	// pendingMu guards pending, the queue feeding this shard's applier; wake
+	// has one slot and is signalled after every enqueue. spare is the
+	// drained-out queue slice from the previous batch, recycled so the
+	// steady state allocates no queue storage.
+	pendingMu sync.Mutex
+	pending   [][]*tensor.Tensor
+	spare     [][]*tensor.Tensor
+	wake      chan struct{}
+
+	// sumBuf is the applier's coalescing scratch: the summed gradient slices
+	// of one batch, reused across batches. Only the applier touches it.
+	sumBuf []*tensor.Tensor
 
 	// packed caches the compressed form of the published snapshot for the
 	// compressed pull path; packedVersion is the shard version it encodes.
@@ -29,6 +58,77 @@ type shard struct {
 	packedMu      sync.Mutex
 	packed        []compress.Packed
 	packedVersion int64
+}
+
+// enqueue appends one push's gradient slice to the shard's apply queue and
+// wakes the applier. The tensors must stay unmodified until the push's
+// ticket is applied (Store.WaitApplied); the server's release gating
+// guarantees that for every wire path.
+func (sh *shard) enqueue(grads []*tensor.Tensor) {
+	sh.pendingMu.Lock()
+	sh.pending = append(sh.pending, grads)
+	sh.pendingMu.Unlock()
+	select {
+	case sh.wake <- struct{}{}:
+	default:
+	}
+}
+
+// takePending swaps out the current queue contents, returning them as one
+// batch (nil when the queue is empty). The swapped-in slice is the previous
+// batch's storage, so two batches' worth of queue capacity is reused
+// indefinitely.
+func (sh *shard) takePending() [][]*tensor.Tensor {
+	sh.pendingMu.Lock()
+	batch := sh.pending
+	sh.pending = sh.spare[:0]
+	sh.pendingMu.Unlock()
+	sh.spare = batch
+	return batch
+}
+
+// applyBatch absorbs one batch of queued gradient slices under the shard's
+// write lock, copy-on-write: one fresh copy of the shard's tensors takes one
+// optimizer step — with the batch's summed gradients when it holds more than
+// one push — and is published. Tensors already handed out by view are never
+// mutated. version and applied advance by the batch size, so readers observe
+// the same counts as k serial applies.
+func (sh *shard) applyBatch(batch [][]*tensor.Tensor) {
+	grads := batch[0]
+	if len(batch) > 1 {
+		grads = sh.sum(batch)
+	}
+	sh.mu.Lock()
+	next := make([]*tensor.Tensor, len(sh.params))
+	for i, p := range sh.params {
+		next[i] = p.Clone()
+	}
+	sh.opt.Step(next, grads)
+	sh.params = next
+	sh.version += int64(len(batch))
+	sh.mu.Unlock()
+	sh.applied.Add(int64(len(batch)))
+}
+
+// sum coalesces a batch into the shard's reused summation scratch. The
+// queued gradient slices themselves are read-only.
+func (sh *shard) sum(batch [][]*tensor.Tensor) []*tensor.Tensor {
+	first := batch[0]
+	if sh.sumBuf == nil {
+		sh.sumBuf = make([]*tensor.Tensor, len(first))
+		for i, g := range first {
+			sh.sumBuf[i] = tensor.New(g.Shape()...)
+		}
+	}
+	for i, g := range first {
+		copy(sh.sumBuf[i].Data(), g.Data())
+	}
+	for _, grads := range batch[1:] {
+		for i, g := range grads {
+			sh.sumBuf[i].Add(g)
+		}
+	}
+	return sh.sumBuf
 }
 
 // viewVersioned returns the shard's currently published tensors together

@@ -7,6 +7,7 @@ package ps
 
 import (
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 
@@ -31,8 +32,21 @@ import (
 // push uses multiple cores on large models. The shard layout is fixed at
 // construction and immutable afterwards.
 //
+// Gradient application is pipelined: EnqueueApply assigns the push a ticket
+// (its serial position, taken from reserved) and appends its gradient slices
+// to the per-shard apply queues; persistent per-shard applier goroutines
+// drain the queues, coalescing whatever is waiting into one optimizer step
+// per batch (see shard.applyBatch). version — the applied version readers
+// and staleness accounting see — trails reserved by the in-flight pushes
+// and advances to the minimum over shards' applied counts, so version v
+// still means "all of pushes 1..v are in every shard". WaitApplied blocks
+// until a ticket's update is globally visible; Apply is the synchronous
+// enqueue+wait composition with exactly the old semantics. Appliers start
+// lazily on the first enqueue and park when idle; Close drains and stops
+// them (a later enqueue restarts them).
+//
 // Concurrency semantics: each shard is always internally consistent, but a
-// read taken while an Apply is in flight may see the update on some shards
+// read taken while an apply is in flight may see the update on some shards
 // and not yet on others. This is the same relaxation the asynchronous
 // paradigms (ASP/SSP/DSSP) already embrace. It is, however, weaker than the
 // old fully serialized store even under BSP: a slow worker still pulling
@@ -47,11 +61,37 @@ type Store struct {
 	version atomic.Int64
 	scalars int // total scalar parameter count, immutable
 
+	// reserved is the ticket counter: the number of pushes accepted into the
+	// pipeline. version <= reserved always; they are equal when the pipeline
+	// is drained.
+	reserved atomic.Int64
+
+	// applyMu fences the apply pipeline's lifecycle: EnqueueApply holds the
+	// read side across ticket assignment and queue insertion, Close and the
+	// lazy start take the write side, so stopping appliers cannot race an
+	// enqueue and strand a ticket.
+	applyMu   sync.RWMutex
+	running   bool
+	stop      chan struct{}
+	applierWG sync.WaitGroup
+
+	// waitMu guards the applied-version waiters and serializes advances, so
+	// waiter wakeups see version move through every batch in order.
+	waitMu  sync.Mutex
+	waiters []applyWaiter
+
 	// proto is the optimizer the store was built from. The shards step their
 	// own clones; proto is only kept so that SetLearningRate stays visible on
 	// the instance the caller handed in.
 	protoMu sync.Mutex
 	proto   optimizer.Optimizer
+}
+
+// applyWaiter is one WaitApplied registration: ch is closed when the applied
+// version reaches target.
+type applyWaiter struct {
+	target int64
+	ch     chan struct{}
 }
 
 // NewStore returns a store initialized with deep copies of the given
@@ -101,7 +141,7 @@ func NewStoreSharded(initial []*tensor.Tensor, opt optimizer.Optimizer, shards i
 		for j := range params {
 			params[j] = initial[r.Start+j].Clone()
 		}
-		st.shards[i] = &shard{params: params, opt: opt.Clone()}
+		st.shards[i] = &shard{params: params, opt: opt.Clone(), wake: make(chan struct{}, 1)}
 	}
 	return st, nil
 }
@@ -119,10 +159,31 @@ func (s *Store) ShardRange(i int) (start, end int) {
 	return r.Start, r.End
 }
 
-// Apply updates the parameters with one set of gradients and returns the new
-// version. Shards are updated in parallel; the aggregate version is bumped
-// once after every shard has absorbed its slice of the gradients.
+// Apply updates the parameters with one set of gradients, blocking until the
+// update is visible on every shard, and returns the push's version — its
+// serial position in the update sequence. It is EnqueueApply followed by
+// WaitApplied: concurrent Apply calls therefore ride the same per-shard
+// applier pipeline and may be coalesced into shared optimizer steps.
 func (s *Store) Apply(grads []*tensor.Tensor) (int64, error) {
+	ticket, err := s.EnqueueApply(grads)
+	if err != nil {
+		return 0, err
+	}
+	s.WaitApplied(ticket, nil)
+	return ticket, nil
+}
+
+// EnqueueApply validates one set of gradients, assigns it the next ticket
+// and hands its per-shard slices to the applier pipeline, without waiting
+// for the update to be applied. The returned ticket is the push's serial
+// position — exactly the version Apply would have returned — and becomes
+// readable once Version reaches it (WaitApplied).
+//
+// The caller must keep the gradient tensors unmodified until the ticket is
+// applied. The parameter server guarantees that through release gating: a
+// worker only learns its push completed (and so only reuses its gradient
+// buffers) after every ticket the release decision covered is applied.
+func (s *Store) EnqueueApply(grads []*tensor.Tensor) (int64, error) {
 	if len(grads) != len(s.shapes) {
 		return 0, fmt.Errorf("ps: push carries %d tensors, store has %d", len(grads), len(s.shapes))
 	}
@@ -132,36 +193,155 @@ func (s *Store) Apply(grads []*tensor.Tensor) (int64, error) {
 				i, g.Shape(), s.shapes[i])
 		}
 	}
-	if len(s.shards) == 1 {
-		s.shards[0].apply(grads)
-	} else {
-		var wg sync.WaitGroup
-		for i, sh := range s.shards {
-			wg.Add(1)
-			go func(sh *shard, grads []*tensor.Tensor) {
-				defer wg.Done()
-				sh.apply(grads)
-			}(sh, grads[s.ranges[i].Start:s.ranges[i].End])
-		}
-		wg.Wait()
+	s.applyMu.RLock()
+	for !s.running {
+		s.applyMu.RUnlock()
+		s.startAppliers()
+		s.applyMu.RLock()
 	}
-	return s.version.Add(1), nil
+	ticket := s.reserved.Add(1)
+	for i, sh := range s.shards {
+		r := s.ranges[i]
+		sh.enqueue(grads[r.Start:r.End])
+	}
+	s.applyMu.RUnlock()
+	return ticket, nil
 }
 
-// apply absorbs one gradient slice under the shard's write lock,
-// copy-on-write: the optimizer steps a fresh copy of the shard's tensors and
-// the copy is published. Tensors already handed out by ViewShard are never
-// mutated.
-func (sh *shard) apply(grads []*tensor.Tensor) {
-	sh.mu.Lock()
-	next := make([]*tensor.Tensor, len(sh.params))
-	for i, p := range sh.params {
-		next[i] = p.Clone()
+// startAppliers spawns the per-shard applier goroutines if they are not
+// already running.
+func (s *Store) startAppliers() {
+	s.applyMu.Lock()
+	defer s.applyMu.Unlock()
+	if s.running {
+		return
 	}
-	sh.opt.Step(next, grads)
-	sh.params = next
-	sh.version++
-	sh.mu.Unlock()
+	s.stop = make(chan struct{})
+	s.running = true
+	s.applierWG.Add(len(s.shards))
+	for i := range s.shards {
+		go s.applier(s.shards[i], s.stop)
+	}
+}
+
+// applier is one shard's persistent apply loop: it drains the shard's queue
+// in batches — coalescing everything waiting into one optimizer step — and
+// advances the store's applied version after each batch. It parks on the
+// shard's wake channel when idle and exits, after a final drain, when stop
+// closes.
+func (s *Store) applier(sh *shard, stop <-chan struct{}) {
+	defer s.applierWG.Done()
+	for {
+		if batch := sh.takePending(); len(batch) > 0 {
+			sh.applyBatch(batch)
+			s.advanceApplied()
+			continue
+		}
+		select {
+		case <-sh.wake:
+		case <-stop:
+			// Everything enqueued before Close's fence is in the queue by
+			// now; drain it so no accepted ticket is lost.
+			for {
+				batch := sh.takePending()
+				if len(batch) == 0 {
+					return
+				}
+				sh.applyBatch(batch)
+				s.advanceApplied()
+			}
+		}
+	}
+}
+
+// advanceApplied publishes the new applied version — the minimum over
+// shards' applied push counts — waking every waiter it satisfies. Appliers
+// call nothing beyond this: they must never block on locks outside the
+// store, or Close's drain (and anything waiting on it) could deadlock
+// against a store client holding such a lock.
+func (s *Store) advanceApplied() {
+	min := int64(math.MaxInt64)
+	for _, sh := range s.shards {
+		if v := sh.applied.Load(); v < min {
+			min = v
+		}
+	}
+	s.waitMu.Lock()
+	prev := s.version.Load()
+	if min <= prev {
+		// Another applier already published at least this far, or this
+		// shard is ahead of a sibling still catching up.
+		s.waitMu.Unlock()
+		return
+	}
+	s.version.Store(min)
+	kept := s.waiters[:0]
+	for _, w := range s.waiters {
+		if w.target <= min {
+			close(w.ch)
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	s.waiters = kept
+	s.waitMu.Unlock()
+}
+
+// WaitApplied blocks until the applied version reaches ticket (returning
+// true) or cancel closes (returning false). A nil cancel waits forever —
+// safe whenever the ticket came from EnqueueApply on this store, because
+// accepted tickets are always eventually applied, even across Close.
+func (s *Store) WaitApplied(ticket int64, cancel <-chan struct{}) bool {
+	if s.version.Load() >= ticket {
+		return true
+	}
+	s.waitMu.Lock()
+	if s.version.Load() >= ticket {
+		s.waitMu.Unlock()
+		return true
+	}
+	ch := make(chan struct{})
+	s.waiters = append(s.waiters, applyWaiter{target: ticket, ch: ch})
+	s.waitMu.Unlock()
+	if cancel == nil {
+		<-ch
+		return true
+	}
+	select {
+	case <-ch:
+		return true
+	case <-cancel:
+		// The waiter entry stays registered until the version catches up (or
+		// the store is dropped); it holds one channel, nothing else.
+		return false
+	}
+}
+
+// Reserved returns the number of pushes accepted into the apply pipeline so
+// far; Reserved() - Version() of them are still in flight.
+func (s *Store) Reserved() int64 { return s.reserved.Load() }
+
+// Close drains the apply pipeline — every accepted ticket is applied — and
+// stops the per-shard applier goroutines. It is idempotent, and not final: a
+// later EnqueueApply restarts the appliers. Callers that only ever read the
+// store never start appliers and never need Close; a store whose pipeline
+// was started holds one parked goroutine per shard until Close runs
+// (Server.Stop closes the store it serves).
+//
+// The applier drain happens while holding the lifecycle lock: an
+// EnqueueApply racing Close either lands its tickets before the drain (and
+// they are applied by it) or blocks until Close returns and restarts fresh
+// appliers — two applier generations can never run concurrently on one
+// shard.
+func (s *Store) Close() {
+	s.applyMu.Lock()
+	defer s.applyMu.Unlock()
+	if !s.running {
+		return
+	}
+	s.running = false
+	close(s.stop)
+	s.applierWG.Wait()
 }
 
 // view returns the shard's currently published tensors. The returned slice
@@ -210,8 +390,24 @@ func (s *Store) SnapshotShard(i int) (params []*tensor.Tensor, base int, version
 // handler streams to the wire; workers receive isolated copies because the
 // wire decode (transport.FromWire) copies the data.
 func (s *Store) ViewShard(i int) (params []*tensor.Tensor, base int, version int64) {
+	params, base, version, _, _ = s.ViewShardDelta(i, -1)
+	return params, base, version
+}
+
+// ViewShardDelta is ViewShard extended for version-gated delta pulls: it
+// additionally returns the shard-local publication version of the returned
+// snapshot, and — when have matches it — reports the shard unchanged with a
+// nil params slice, letting the caller skip the payload entirely. have is
+// the shard version from the reader's previous pull; pass a negative value
+// to always receive the snapshot.
+func (s *Store) ViewShardDelta(i int, have int64) (params []*tensor.Tensor, base int, version, shardVersion int64, unchanged bool) {
 	version = s.version.Load()
-	return s.shards[i].view(), s.ranges[i].Start, version
+	base = s.ranges[i].Start
+	params, shardVersion = s.shards[i].viewVersioned()
+	if have >= 0 && have == shardVersion {
+		return nil, base, version, shardVersion, true
+	}
+	return params, base, version, shardVersion, false
 }
 
 // PackShard returns shard i's published parameters in the compressed form
@@ -226,7 +422,17 @@ func (s *Store) ViewShard(i int) (params []*tensor.Tensor, base int, version int
 // keyed on the shard version only, which is exactly the pull path's shape —
 // one server, one negotiated codec.
 func (s *Store) PackShard(i int, pack func([]*tensor.Tensor) []compress.Packed) (packed []compress.Packed, base int, version int64) {
+	packed, base, version, _, _ = s.PackShardDelta(i, -1, pack)
+	return packed, base, version
+}
+
+// PackShardDelta is PackShard extended for version-gated delta pulls: it
+// additionally returns the shard version the served packed form encodes,
+// and — when have matches it — reports the shard unchanged with a nil
+// packed slice. Pass a negative have to always receive the packed form.
+func (s *Store) PackShardDelta(i int, have int64, pack func([]*tensor.Tensor) []compress.Packed) (packed []compress.Packed, base int, version, shardVersion int64, unchanged bool) {
 	version = s.version.Load()
+	base = s.ranges[i].Start
 	sh := s.shards[i]
 	params, local := sh.viewVersioned()
 	sh.packedMu.Lock()
@@ -236,10 +442,14 @@ func (s *Store) PackShard(i int, pack func([]*tensor.Tensor) []compress.Packed) 
 	}
 	// When another goroutine cached an even newer snapshot between our view
 	// and the lock, serve that one: pulls always get the freshest published
-	// state available.
-	packed = sh.packed
+	// state available. The reported shard version names the snapshot
+	// actually served, so delta gating and the payload can never disagree.
+	packed, shardVersion = sh.packed, sh.packedVersion
 	sh.packedMu.Unlock()
-	return packed, s.ranges[i].Start, version
+	if have >= 0 && have == shardVersion {
+		return nil, base, version, shardVersion, true
+	}
+	return packed, base, version, shardVersion, false
 }
 
 // Version returns the number of updates applied so far.

@@ -1,0 +1,42 @@
+package trainer
+
+import (
+	"testing"
+
+	"dssp/internal/core"
+)
+
+// TestRunWithDeltaPullConverges trains under SSP and BSP with version-gated
+// delta pulls on and checks the runs behave exactly like full-pull runs:
+// same update count, same convergence band, and no more pulled bytes than
+// the full-pull configuration (strictly fewer whenever any pull caught an
+// unchanged shard).
+func TestRunWithDeltaPullConverges(t *testing.T) {
+	for _, paradigm := range []core.PolicyConfig{
+		{Paradigm: core.ParadigmSSP, Staleness: 2},
+		{Paradigm: core.ParadigmBSP},
+	} {
+		cfg := smallConfig(paradigm)
+		full, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%v full pulls: %v", paradigm.Paradigm, err)
+		}
+		cfg.DeltaPull = true
+		delta, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%v delta pulls: %v", paradigm.Paradigm, err)
+		}
+		if delta.FinalAccuracy < 0.6 {
+			t.Fatalf("%v with delta pulls converged to %v, want >= 0.6", paradigm.Paradigm, delta.FinalAccuracy)
+		}
+		if delta.Updates != full.Updates {
+			t.Fatalf("%v: delta run applied %d updates, full run %d", paradigm.Paradigm, delta.Updates, full.Updates)
+		}
+		if delta.PulledBytes > full.PulledBytes {
+			t.Fatalf("%v: delta pulls moved more bytes (%d) than full pulls (%d)",
+				paradigm.Paradigm, delta.PulledBytes, full.PulledBytes)
+		}
+		t.Logf("%v: pulled %d bytes with delta pulls vs %d full (%.2fx)", paradigm.Paradigm,
+			delta.PulledBytes, full.PulledBytes, float64(full.PulledBytes)/float64(max64(delta.PulledBytes, 1)))
+	}
+}

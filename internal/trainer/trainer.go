@@ -60,6 +60,11 @@ type Config struct {
 	// Compression selects the gradient codec on the worker↔server path;
 	// the zero value trains uncompressed.
 	Compression compress.Config
+	// DeltaPull makes workers request version-gated delta pulls: each pull
+	// sends the per-shard versions the worker already holds and the server
+	// skips shards unchanged since, trimming pull traffic whenever a worker
+	// pulls before any new update landed.
+	DeltaPull bool
 	// Elastic enables session-lease monitoring on the server: workers that
 	// stay silent past HeartbeatTimeout are evicted from synchronization
 	// accounting instead of stalling their peers. Elastic runs should set
@@ -333,6 +338,7 @@ func runWorker(cfg Config, listener *transport.ChanListener, workerID, totalIter
 		return report, err
 	}
 	defer client.Close()
+	client.SetDeltaPull(cfg.DeltaPull)
 	if err := client.Register(); err != nil {
 		return report, err
 	}

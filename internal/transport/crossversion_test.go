@@ -137,9 +137,10 @@ func TestBinaryClientAgainstGobServerFailsFast(t *testing.T) {
 }
 
 // TestFutureVersionClientRejectedExplicitly dials a binary server with a
-// hand-crafted frame claiming protocol version 2. The server must reply
-// with a version-1 Error frame naming both versions and close — the
-// version-negotiation rule of docs/PROTOCOL.md §6.
+// hand-crafted frame claiming a protocol version newer than any this build
+// speaks. The server must reply with an Error frame in its own version
+// naming both versions and close — the version-negotiation rule of
+// docs/PROTOCOL.md §6.
 func TestFutureVersionClientRejectedExplicitly(t *testing.T) {
 	l, err := ListenWire("127.0.0.1:0", WireBinary)
 	if err != nil {
@@ -164,7 +165,7 @@ func TestFutureVersionClientRejectedExplicitly(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	frame[4] = 2 // claim a future protocol version
+	frame[4] = wireVersion + 1 // claim a future protocol version
 	if _, err := raw.Write(frame); err != nil {
 		t.Fatal(err)
 	}

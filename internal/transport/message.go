@@ -142,6 +142,28 @@ type Message struct {
 	StoreShards int
 	// Error carries a description on MsgError messages.
 	Error string
+	// PullVersions, on MsgPull, carries the worker's cached per-shard
+	// publication versions for version-gated delta pulls: entry i is the
+	// ShardVersion of the last full chunk the worker decoded for store shard
+	// i. The server answers shards still at that version with an Unchanged
+	// chunk instead of re-sending the payload. Only sent after both ends
+	// negotiated DeltaPull. Binary wire tag 0x0F (protocol v2).
+	PullVersions []int64
+	// ShardVersion, on MsgWeights, is the shard-local publication version of
+	// this chunk's payload — the key the worker echoes back in PullVersions
+	// on its next pull. It is distinct from Version, the store-wide aggregate
+	// used for staleness accounting. Binary wire tag 0x10 (protocol v2).
+	ShardVersion int64
+	// Unchanged marks a MsgWeights chunk carrying no payload: the shard is
+	// still at the version the worker sent in PullVersions, so the worker
+	// reuses its cached tensors. Binary wire tag 0x11 (protocol v2).
+	Unchanged bool
+	// DeltaPull requests (on MsgRegister/MsgRejoin) or grants (on
+	// MsgRegistered) version-gated delta pulls. Binary wire tag 0x12
+	// (protocol v2); a v1 peer can neither request nor be granted it, which
+	// is what keeps v1 interop intact. Gob peers that predate the field
+	// ignore it, which downgrades to full pulls.
+	DeltaPull bool
 
 	// ownedPayload marks a message whose Tensors data and Packed payloads
 	// are owned by the message alone — set by the TCP transports, whose
@@ -261,6 +283,17 @@ func fromWire(ws []WireTensor, owned bool) ([]*tensor.Tensor, error) {
 		}
 	}
 	return out, nil
+}
+
+// BatchSender is an optional Conn extension for senders that can coalesce
+// several messages into one underlying write: the TCP transports implement
+// it by assembling every frame before touching the socket (binary) or
+// flushing the buffered writer once after the last encode (gob), so a
+// barrier release fanning out to many queued messages costs one syscall
+// instead of one per message. SendBatch has Send's delivery and concurrency
+// semantics; an empty batch is a no-op.
+type BatchSender interface {
+	SendBatch([]Message) error
 }
 
 // Conn is a bidirectional, message-oriented connection between one worker

@@ -90,6 +90,26 @@ func (c *tcpConn) Send(m Message) error {
 	return nil
 }
 
+// SendBatch implements BatchSender: all messages are encoded into the write
+// buffer and flushed together, coalescing gob's many small writes across the
+// whole batch into as few syscalls as the buffer allows.
+func (c *tcpConn) SendBatch(ms []Message) error {
+	if len(ms) == 0 {
+		return nil
+	}
+	c.encMu.Lock()
+	defer c.encMu.Unlock()
+	for i := range ms {
+		if err := c.enc.Encode(&ms[i]); err != nil {
+			return fmt.Errorf("transport: send %v: %w", ms[i].Type, err)
+		}
+	}
+	if err := c.bw.Flush(); err != nil {
+		return fmt.Errorf("transport: flush batch of %d: %w", len(ms), err)
+	}
+	return nil
+}
+
 // Recv implements Conn. Before decoding the first message on the accepting
 // side, the stream is sniffed for the binary protocol's magic: a worker
 // speaking the binary wire gets an explicit binary Error frame back and this

@@ -33,14 +33,22 @@ import (
 //
 //	offset size field
 //	0      4    magic "DSSP"
-//	4      1    protocol version (wireVersion)
+//	4      1    protocol version (wireVersionMin..wireVersion)
 //	5      1    message type
 //	6      2    reserved, must be zero
 //	8      4    body length, uint32 little endian
 const (
-	wireMagic   = "DSSP"
-	wireVersion = 1
-	headerSize  = 12
+	wireMagic = "DSSP"
+	// wireVersion is the newest protocol version this build speaks; version
+	// 2 added the delta-pull fields (tags 0x0F..0x12). Every frame is
+	// stamped with the lowest version able to express it (frameVersion), so
+	// a conversation that never uses v2 fields is byte-identical to a v1
+	// conversation — that is what keeps v1 peers interoperable with a v2
+	// server: the fields a v2 server would need v2 for are negotiation-gated
+	// and a v1 peer can never negotiate them.
+	wireVersion    = 2
+	wireVersionMin = 1
+	headerSize     = 12
 
 	// maxFrameBody caps the declared body length. It bounds what a decoder
 	// will ever read for one message (and, combined with chunked reads,
@@ -83,7 +91,25 @@ const (
 	tagError       = 0x0C // uint32 length + bytes
 	tagTensors     = 0x0D // tensor section
 	tagPacked      = 0x0E // packed section
+
+	// Version-2 tags (delta pulls). A frame carrying any of these is stamped
+	// protocol version 2; decoders reject them inside a version-1 frame.
+	tagPullVersions = 0x0F // uint32 count + count × uint64 (two's-complement int64)
+	tagShardVersion = 0x10 // uint64 (two's-complement int64)
+	tagUnchanged    = 0x11 // uint8, must be 1
+	tagDeltaPull    = 0x12 // uint8, must be 1
 )
+
+// frameVersion returns the lowest protocol version able to express m: 2 when
+// any delta-pull field is present, 1 otherwise. Encoding at the minimum keeps
+// frames canonical and lets a v2 build interoperate with v1 peers for every
+// conversation that never negotiates v2 features.
+func frameVersion(m *Message) byte {
+	if len(m.PullVersions) > 0 || m.ShardVersion != 0 || m.Unchanged || m.DeltaPull {
+		return 2
+	}
+	return 1
+}
 
 // hostLittleEndian reports whether the running machine stores integers
 // little endian. On such hosts (every supported platform in practice) float
@@ -156,7 +182,7 @@ func appendFrame(dst []byte, m *Message) ([]byte, error) {
 	start := len(dst)
 	// Header placeholder; the length lands after the body is assembled.
 	dst = append(dst, wireMagic...)
-	dst = append(dst, wireVersion, byte(m.Type), 0, 0, 0, 0, 0, 0)
+	dst = append(dst, frameVersion(m), byte(m.Type), 0, 0, 0, 0, 0, 0)
 
 	bodyStart := len(dst)
 	var err error
@@ -232,6 +258,26 @@ func appendBody(dst []byte, bodyStart int, m *Message) ([]byte, error) {
 		if dst, err = appendPackedSection(dst, m.Packed); err != nil {
 			return dst, err
 		}
+	}
+	if len(m.PullVersions) > 0 {
+		if len(m.PullVersions) > maxFrameBody/8 {
+			return dst, fmt.Errorf("transport: %d pull versions exceed the frame limit", len(m.PullVersions))
+		}
+		dst = append(dst, tagPullVersions)
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(m.PullVersions)))
+		for _, v := range m.PullVersions {
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(v))
+		}
+	}
+	if m.ShardVersion != 0 {
+		dst = append(dst, tagShardVersion)
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(m.ShardVersion))
+	}
+	if m.Unchanged {
+		dst = append(dst, tagUnchanged, 1)
+	}
+	if m.DeltaPull {
+		dst = append(dst, tagDeltaPull, 1)
 	}
 	return dst, nil
 }
@@ -338,9 +384,10 @@ func (fr *frameReader) readFrame() (Message, error) {
 		return Message{}, fmt.Errorf("%w: bad frame magic % x (want %q%s)", ErrWireMismatch, hdr[:4], wireMagic,
 			mismatchHint(first))
 	}
-	if hdr[4] != wireVersion {
-		return Message{}, fmt.Errorf("%w: peer speaks binary wire protocol version %d, this side speaks %d",
-			ErrWireVersion, hdr[4], wireVersion)
+	version := hdr[4]
+	if version < wireVersionMin || version > wireVersion {
+		return Message{}, fmt.Errorf("%w: peer speaks binary wire protocol version %d, this side speaks %d-%d",
+			ErrWireVersion, version, wireVersionMin, wireVersion)
 	}
 	typ := hdr[5]
 	if typ == 0 {
@@ -371,7 +418,7 @@ func (fr *frameReader) readFrame() (Message, error) {
 		fr.scratch = body[:0]
 	}
 
-	m, err := parseBody(typ, body)
+	m, err := parseBody(typ, version, body)
 	if err != nil {
 		return Message{}, err
 	}
@@ -433,8 +480,10 @@ func readBody(br *bufio.Reader, dst []byte, n int) ([]byte, error) {
 }
 
 // parseBody decodes the tagged fields of one frame body into a Message.
-// WireTensor data and Packed payloads alias body.
-func parseBody(typ byte, body []byte) (Message, error) {
+// WireTensor data and Packed payloads alias body. version is the frame
+// header's protocol version: tags introduced after it are rejected, so a v1
+// frame still decodes under exactly the v1 rules.
+func parseBody(typ, version byte, body []byte) (Message, error) {
 	m := Message{Type: MessageType(typ)}
 	off := 0
 	prevTag := 0
@@ -443,6 +492,10 @@ func parseBody(typ byte, body []byte) (Message, error) {
 		off++
 		if tag <= prevTag {
 			return Message{}, fmt.Errorf("transport: field tag 0x%02x out of order after 0x%02x", tag, prevTag)
+		}
+		if tag >= tagPullVersions && tag <= tagDeltaPull && version < 2 {
+			return Message{}, fmt.Errorf("transport: decode %v frame: field tag 0x%02x requires protocol version 2 but the frame is version %d",
+				MessageType(typ), tag, version)
 		}
 		prevTag = tag
 		var err error
@@ -510,8 +563,49 @@ func parseBody(typ byte, body []byte) (Message, error) {
 			m.Tensors, off, err = parseTensorSection(body, off)
 		case tagPacked:
 			m.Packed, off, err = parsePackedSection(body, off)
+		case tagPullVersions:
+			if off+4 > len(body) {
+				err = errTruncatedField
+			} else {
+				n := int(binary.LittleEndian.Uint32(body[off:]))
+				if n < 0 || n > (len(body)-off-4)/8 {
+					err = fmt.Errorf("transport: %d pull versions cannot fit in %d remaining bytes", n, len(body)-off-4)
+				} else {
+					off += 4
+					m.PullVersions = make([]int64, n)
+					for i := range m.PullVersions {
+						m.PullVersions[i] = int64(binary.LittleEndian.Uint64(body[off:]))
+						off += 8
+					}
+				}
+			}
+		case tagShardVersion:
+			if off+8 > len(body) {
+				err = errTruncatedField
+			} else {
+				m.ShardVersion = int64(binary.LittleEndian.Uint64(body[off:]))
+				off += 8
+			}
+		case tagUnchanged:
+			if off >= len(body) {
+				err = errTruncatedField
+			} else if body[off] != 1 {
+				err = fmt.Errorf("transport: Unchanged byte is %d, want 1", body[off])
+			} else {
+				m.Unchanged = true
+				off++
+			}
+		case tagDeltaPull:
+			if off >= len(body) {
+				err = errTruncatedField
+			} else if body[off] != 1 {
+				err = fmt.Errorf("transport: DeltaPull byte is %d, want 1", body[off])
+			} else {
+				m.DeltaPull = true
+				off++
+			}
 		default:
-			err = fmt.Errorf("transport: unknown field tag 0x%02x in a version-%d frame", tag, wireVersion)
+			err = fmt.Errorf("transport: unknown field tag 0x%02x in a version-%d frame", tag, version)
 		}
 		if err != nil {
 			return Message{}, fmt.Errorf("transport: decode %v frame: %w", MessageType(typ), err)
@@ -659,6 +753,21 @@ type binaryConn struct {
 // irrelevant against the payloads themselves.
 const binaryReadBuffer = 256 << 10
 
+// maxRetainedEncBuf caps the encode buffer kept between sends: reuse makes
+// the steady state allocation-free, but an occasional outsized batch (a
+// multi-shard pull reply coalesced into one write) must not pin its
+// high-water mark on the connection forever.
+const maxRetainedEncBuf = 4 << 20
+
+// retainEncBuf returns the buffer to keep for the next send: buf recycled
+// when reasonable, nothing when it ballooned.
+func retainEncBuf(buf []byte) []byte {
+	if cap(buf) > maxRetainedEncBuf {
+		return nil
+	}
+	return buf[:0]
+}
+
 // newBinaryConn wraps an established socket.
 func newBinaryConn(c net.Conn, server bool) *binaryConn {
 	return &binaryConn{
@@ -678,9 +787,33 @@ func (c *binaryConn) Send(m Message) error {
 	if err != nil {
 		return fmt.Errorf("transport: send %v: %w", m.Type, err)
 	}
-	c.encBuf = buf[:0]
+	c.encBuf = retainEncBuf(buf)
 	if _, err := c.conn.Write(buf); err != nil {
 		return fmt.Errorf("transport: send %v: %w", m.Type, err)
+	}
+	return nil
+}
+
+// SendBatch implements BatchSender: every frame is assembled back to back in
+// the reusable buffer and the whole batch goes to the kernel in one Write,
+// so releasing a barrier's worth of queued messages costs one syscall
+// instead of one per message.
+func (c *binaryConn) SendBatch(ms []Message) error {
+	if len(ms) == 0 {
+		return nil
+	}
+	c.encMu.Lock()
+	defer c.encMu.Unlock()
+	buf := c.encBuf[:0]
+	var err error
+	for i := range ms {
+		if buf, err = appendFrame(buf, &ms[i]); err != nil {
+			return fmt.Errorf("transport: send %v: %w", ms[i].Type, err)
+		}
+	}
+	c.encBuf = retainEncBuf(buf)
+	if _, err := c.conn.Write(buf); err != nil {
+		return fmt.Errorf("transport: send batch of %d: %w", len(ms), err)
 	}
 	return nil
 }

@@ -52,7 +52,7 @@ func BenchmarkWireDecode(b *testing.B) {
 			b.Fatal(err)
 		}
 		for i := 0; i < b.N; i++ {
-			if _, err := parseBody(frame[5], frame[headerSize:]); err != nil {
+			if _, err := parseBody(frame[5], frame[4], frame[headerSize:]); err != nil {
 				b.Fatal(err)
 			}
 		}

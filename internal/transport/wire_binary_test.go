@@ -207,7 +207,7 @@ func TestBinaryWireAllocationReduction(t *testing.T) {
 	})
 	frame := encodeFrame(t, m)
 	binDec := testing.AllocsPerRun(20, func() {
-		if _, err := parseBody(frame[5], frame[headerSize:]); err != nil {
+		if _, err := parseBody(frame[5], frame[4], frame[headerSize:]); err != nil {
 			t.Fatal(err)
 		}
 	})

@@ -68,6 +68,10 @@ type ServerConfig struct {
 	// to disk. When the directory already holds a checkpoint, Serve restores
 	// it and the run resumes where the previous server stopped.
 	Checkpoint Checkpoint
+	// DisableDeltaPull refuses workers' requests for version-gated delta
+	// pulls (the default grants them), forcing full weight chunks on every
+	// pull — an A/B and debugging knob.
+	DisableDeltaPull bool
 	// Seed determines the initial weights; it must match the workers' seed.
 	Seed int64
 }
@@ -183,6 +187,7 @@ func Serve(cfg ServerConfig) (*Server, error) {
 		Elastic:          cfg.Elastic,
 		HeartbeatTimeout: cfg.HeartbeatTimeout,
 		Checkpoint:       cfg.Checkpoint.internal(),
+		DisableDeltaPull: cfg.DisableDeltaPull,
 	})
 	if err != nil {
 		return nil, err
@@ -230,6 +235,12 @@ type WorkerConfig struct {
 	// expects the server to run with; a mismatch aborts at registration.
 	// Zero accepts any layout (the server streams it per pull anyway).
 	Shards int
+	// DeltaPull requests version-gated delta pulls: every pull after the
+	// first sends the per-shard versions this worker already holds, and the
+	// server skips the shards that have not changed since. Servers that
+	// predate the feature, or run with -delta-pull=false, simply do not
+	// grant it and pulls stay full.
+	DeltaPull bool
 	// Reconnect makes the worker ride through connection failures: on any
 	// transport error it redials the server (with backoff, for up to
 	// ReconnectTimeout), rejoins carrying the last store version it saw, and
@@ -334,6 +345,7 @@ func RunWorker(cfg WorkerConfig) (*WorkerReport, error) {
 			conn.Close()
 			return nil, err
 		}
+		client.SetDeltaPull(cfg.DeltaPull)
 		if rejoin {
 			err = client.Rejoin(lastVersion)
 		} else {

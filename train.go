@@ -126,6 +126,10 @@ type TrainConfig struct {
 	// Compression selects the gradient codec on the worker↔server wire; the
 	// zero value trains uncompressed.
 	Compression Compression
+	// DeltaPull makes workers request version-gated delta pulls, skipping
+	// the re-download of parameter-store shards that have not changed since
+	// the worker's previous pull.
+	DeltaPull bool
 	// Elastic enables worker-churn tolerance: sessions are lease-monitored
 	// and a silent worker is evicted from synchronization accounting instead
 	// of stalling its peers. A dead connection always notifies the policy,
@@ -336,6 +340,7 @@ func Train(cfg TrainConfig) (*TrainResult, error) {
 		Augment:           augment,
 		Shards:            cfg.Shards,
 		Compression:       cfg.Compression.internal(),
+		DeltaPull:         cfg.DeltaPull,
 		Elastic:           cfg.Elastic,
 		HeartbeatInterval: cfg.HeartbeatInterval,
 		HeartbeatTimeout:  cfg.HeartbeatTimeout,

@@ -184,6 +184,114 @@ func TestDeltaPullRefusedFallsBackToFullPulls(t *testing.T) {
 	}
 }
 
+// recvWeightsChunks reads one chunked pull reply — exactly shards Weights
+// messages — off a raw connection.
+func recvWeightsChunks(t *testing.T, conn transport.Conn, shards int) []transport.Message {
+	t.Helper()
+	chunks := make([]transport.Message, 0, shards)
+	for i := 0; i < shards; i++ {
+		msg, err := conn.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if msg.Type != transport.MsgWeights {
+			t.Fatalf("chunk %d: got %v, want Weights", i, msg.Type)
+		}
+		chunks = append(chunks, msg)
+	}
+	return chunks
+}
+
+// TestNonDeltaSessionPullRepliesStayV1 pins the cross-version interop rule of
+// docs/PROTOCOL.md §5a: pull replies to a session that never negotiated
+// delta pulls must carry no v2 wire field — even after a push has moved
+// every shard's publication version — because any v2 field promotes the
+// frame to protocol version 2 and a v1-only binary decoder rejects such
+// frames outright. A second session that did negotiate shows the gate
+// discriminates per session instead of dropping ShardVersion globally.
+func TestNonDeltaSessionPullRepliesStayV1(t *testing.T) {
+	for _, tc := range []struct {
+		name       string
+		compressed bool
+	}{{"plain", false}, {"compressedPull", true}} {
+		t.Run(tc.name, func(t *testing.T) {
+			initial := pipelineModel(13)
+			st, err := NewStoreSharded(initial, optimizer.NewSGD(0.1), 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := ServerConfig{Workers: 2, Policy: core.MustNewASP(2), Store: st}
+			if tc.compressed {
+				cfg.Compression = compress.Config{Codec: compress.FP16, Pull: true}
+			}
+			srv, err := NewServer(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			listener := transport.NewChanListener()
+			go func() { _ = srv.Serve(listener) }()
+			t.Cleanup(func() {
+				srv.Stop()
+				listener.Close()
+			})
+
+			register := func(worker int, delta bool) transport.Conn {
+				conn, err := listener.Dial()
+				if err != nil {
+					t.Fatal(err)
+				}
+				err = conn.Send(transport.Message{
+					Type: transport.MsgRegister, Worker: worker,
+					Codec: compress.Auto, DeltaPull: delta,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				reg, err := conn.Recv()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if reg.Type != transport.MsgRegistered || reg.DeltaPull != delta {
+					t.Fatalf("worker %d registered as %+v, want Registered with DeltaPull=%v", worker, reg, delta)
+				}
+				if reg.StoreShards != st.Shards() {
+					t.Fatalf("registration reported %d shards, store has %d", reg.StoreShards, st.Shards())
+				}
+				return conn
+			}
+			v1conn := register(0, false)
+			v2conn := register(1, true)
+
+			// A push moves every shard's publication version past zero — the
+			// state in which an ungated ShardVersion would leak onto the wire.
+			if _, err := st.Apply(pipelineGrads(rand.New(rand.NewSource(4)), initial)); err != nil {
+				t.Fatal(err)
+			}
+
+			if err := v1conn.Send(transport.Message{Type: transport.MsgPull, Worker: 0}); err != nil {
+				t.Fatal(err)
+			}
+			for _, msg := range recvWeightsChunks(t, v1conn, st.Shards()) {
+				if msg.ShardVersion != 0 || msg.Unchanged || len(msg.PullVersions) > 0 {
+					t.Fatalf("non-delta session's chunk for shard %d carries v2 fields: %+v", msg.Shard, msg)
+				}
+				if v := transport.FrameVersion(msg); v != 1 {
+					t.Fatalf("non-delta session's chunk for shard %d would encode as a version-%d frame; a v1-only peer rejects it", msg.Shard, v)
+				}
+			}
+
+			if err := v2conn.Send(transport.Message{Type: transport.MsgPull, Worker: 1}); err != nil {
+				t.Fatal(err)
+			}
+			for _, msg := range recvWeightsChunks(t, v2conn, st.Shards()) {
+				if msg.ShardVersion == 0 {
+					t.Fatalf("negotiated session's chunk for shard %d lost its ShardVersion — delta gating has no version feed", msg.Shard)
+				}
+			}
+		})
+	}
+}
+
 // TestDeltaPullSurvivesRejoin pins delta behaviour across a reconnect: a
 // rejoining worker (fresh connection, fresh session — the real reconnect
 // flow) re-negotiates the grant, its first pull is necessarily full, and

@@ -235,6 +235,89 @@ func TestWaitAppliedCancel(t *testing.T) {
 	}
 }
 
+// TestApplyReturnPermitsBufferReuseUnderConcurrency pins EnqueueApply's
+// ordering contract under concurrent direct Store.Apply callers (the server
+// path is additionally serialized by policyMu; checkpoint restore and
+// library users are not): ticket assignment and per-shard queue insertion
+// are one atomic step, so queues hold pushes in ticket order and a returned
+// Apply means that push is absorbed on every shard. Each worker therefore
+// poisons its gradient buffers the moment Apply returns; if an interleaved
+// enqueue ever let a later ticket's apply wake an earlier, still-queued
+// ticket, a poisoned buffer would reach an optimizer step (and under -race
+// the poisoning write would race the applier's read).
+func TestApplyReturnPermitsBufferReuseUnderConcurrency(t *testing.T) {
+	initial := []*tensor.Tensor{tensor.New(16, 4), tensor.New(33), tensor.New(7, 3)}
+	st, err := NewStoreSharded(initial, optimizer.NewSGD(1.0), len(initial))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	const workers = 8
+	const rounds = 60
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			grads := make([]*tensor.Tensor, len(initial))
+			for i, p := range initial {
+				grads[i] = tensor.New(p.Shape()...)
+			}
+			for r := 0; r < rounds; r++ {
+				for _, g := range grads {
+					g.Fill(1)
+				}
+				if _, err := st.Apply(grads); err != nil {
+					t.Error(err)
+					return
+				}
+				for _, g := range grads {
+					g.Fill(1e6)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	st.Close()
+
+	params, version := st.Snapshot()
+	if version != workers*rounds {
+		t.Fatalf("final version %d, want %d", version, workers*rounds)
+	}
+	// lr=1 plain SGD over all-ones gradients: every element moved by exactly
+	// -1 per push (sums of small integers are exact in float32).
+	want := float32(-(workers * rounds))
+	for i, p := range params {
+		for j, v := range p.Data() {
+			if v != want {
+				t.Fatalf("param %d[%d] = %v, want %v — a reused gradient buffer reached an optimizer step", i, j, v, want)
+			}
+		}
+	}
+}
+
+// TestWaitAppliedCancelDeregistersWaiter pins that a cancelled wait leaves
+// no entry behind: retries with cancels against a target that never arrives
+// (a stopped server, say) must not accumulate registrations for the store's
+// lifetime.
+func TestWaitAppliedCancelDeregistersWaiter(t *testing.T) {
+	st := testStore(t, 4)
+	cancel := make(chan struct{})
+	close(cancel)
+	for i := 0; i < 64; i++ {
+		if st.WaitApplied(int64(100+i), cancel) {
+			t.Fatalf("retry %d: WaitApplied reported success with nothing applied", i)
+		}
+	}
+	st.waitMu.Lock()
+	n := len(st.waiters)
+	st.waitMu.Unlock()
+	if n != 0 {
+		t.Fatalf("%d waiter entries left registered after cancelled waits, want 0", n)
+	}
+}
+
 // TestStalenessObserveOffByOne pins the staleness formula — Observe(applied
 // - 1 - baseVersion), where applied is the push's assigned version — under
 // the serial path (each push applied before the next arrives). Worker 0
@@ -348,6 +431,112 @@ func TestPushErrorStillReleasesPeers(t *testing.T) {
 	}
 	if st.Version() != 1 {
 		t.Fatalf("store version %d, want 1 (only the good push applied)", st.Version())
+	}
+}
+
+// TestStaleGatedReleaseNeverReachesSuccessorSession pins release delivery to
+// the sessions the decision accounted for: an OK that waits on its apply
+// gate while its worker leaves and rejoins must die with the old session,
+// never land on the successor — a rejoined worker has not pushed on its new
+// session, so a stale OK would surface as an out-of-turn message on its
+// next Pull. The applier is held inside the optimizer step so the
+// leave/rejoin deterministically happens while the release is gated.
+func TestStaleGatedReleaseNeverReachesSuccessorSession(t *testing.T) {
+	initial := []*tensor.Tensor{tensor.New(4)}
+	gate := newGateOpt(optimizer.NewSGD(1.0))
+	st, err := NewStoreSharded(initial, gate, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bsp, err := core.NewBSP(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(ServerConfig{Workers: 2, Policy: bsp, Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	listener := transport.NewChanListener()
+	go func() { _ = srv.Serve(listener) }()
+	t.Cleanup(func() {
+		srv.Stop()
+		listener.Close()
+	})
+	clients := make([]*Client, 2)
+	for w := range clients {
+		conn, err := listener.Dial()
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients[w] = NewClient(conn, w)
+		if err := clients[w].Register(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	grad := []*tensor.Tensor{tensor.Full(0.1, 4)}
+	push := func(c *Client) chan error {
+		ch := make(chan error, 1)
+		go func() { ch <- c.PushAndWait(grad, 0, 0) }()
+		return ch
+	}
+	// Worker 0's push enters the gated optimizer step; worker 1's completes
+	// the barrier, queueing a release for both workers gated on both applies.
+	done0 := push(clients[0])
+	<-gate.entered
+	done1 := push(clients[1])
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.Pushes() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("server never counted the second push")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// With the release still gated, worker 1 leaves and rejoins on a fresh
+	// connection — the real reconnect flow.
+	if err := clients[1].Leave(); err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.Now().Add(2 * time.Second)
+	for srv.Departures() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("server never processed the leave")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	conn, err := listener.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rejoined := NewClient(conn, 1)
+	if err := rejoined.Rejoin(st.Version()); err != nil {
+		t.Fatal(err)
+	}
+
+	close(gate.resume)
+	select {
+	case err := <-done0:
+		if err != nil {
+			t.Fatalf("worker 0's barrier release never arrived: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("worker 0 still blocked after the gate opened")
+	}
+	// The rejoined session's first reply must be the pull's weights — with
+	// delivery keyed on worker IDs it would be worker 1's stale pre-departure
+	// OK instead.
+	params, version, err := rejoined.Pull()
+	if err != nil {
+		t.Fatalf("rejoined worker's first pull failed: %v", err)
+	}
+	if version != 2 || len(params) != 1 {
+		t.Fatalf("rejoined pull returned version %d with %d tensors, want version 2 with 1", version, len(params))
+	}
+	select {
+	case <-done1: // leave tore down the old connection; any outcome is fine
+	case <-time.After(5 * time.Second):
+		t.Fatal("worker 1's abandoned push never unblocked")
 	}
 }
 

@@ -425,7 +425,7 @@ func (s *Server) handleRegister(conn transport.Conn, msg transport.Message) *ses
 	}
 	decision := s.cfg.Policy.OnJoin(core.WorkerID(worker), now)
 	s.recordReleases(decision.Release, now)
-	s.queueReleases(releaseBatch{release: decision.Release, gate: s.cfg.Store.Reserved(), errWorker: -1})
+	s.queueReleases(releaseBatch{release: decision.Release, gate: s.cfg.Store.Reserved()})
 	s.policyMu.Unlock()
 
 	s.enqueueSession(sess, transport.Message{
@@ -466,7 +466,7 @@ func (s *Server) leave(sess *session) {
 	s.recordReleases(decision.Release, now)
 	// A departure can complete a barrier whose updates are still in the
 	// apply pipeline; its releases gate like any push's.
-	s.queueReleases(releaseBatch{release: decision.Release, gate: s.cfg.Store.Reserved(), errWorker: -1})
+	s.queueReleases(releaseBatch{release: decision.Release, gate: s.cfg.Store.Reserved()})
 	s.policyMu.Unlock()
 	s.checkAllDone()
 }
@@ -538,6 +538,13 @@ func (s *Server) writer(sess *session) {
 			if err := batcher.SendBatch(batch); err != nil {
 				return
 			}
+			// Drop the payload references: a pull reply's chunks alias the
+			// store's published snapshots, and a shorter next batch would
+			// otherwise pin the tail entries (up to a model's worth of old
+			// tensors) for the session's lifetime.
+			for i := range batch {
+				batch[i] = transport.Message{}
+			}
 		case <-sess.gone:
 			return
 		case <-s.stopped:
@@ -582,15 +589,19 @@ func (s *Server) recordReleases(release []core.WorkerID, now time.Time) {
 // releaseBatch is one release decision queued for delivery: the workers to
 // send OK to, the pipeline depth (Store.Reserved) at decision time that must
 // be applied before any of them goes out, and — when the triggering push
-// failed — the worker that gets an error instead of its OK. ticket is the
+// failed — the session that gets an error instead of its OK. ticket is the
 // push's version for checkpoint-interval accounting (0 when the batch did
-// not apply an update).
+// not apply an update). queueReleases resolves release to targets, the
+// sessions the decision accounted for; delivery goes to exactly those
+// sessions, never to a successor that registered while the batch waited on
+// its gate.
 type releaseBatch struct {
-	release   []core.WorkerID
-	gate      int64
-	errWorker int // -1 when no worker errored
-	err       error
-	ticket    int64
+	release []core.WorkerID // decision's worker IDs, as the policy emitted them
+	targets []*session      // release resolved to sessions at decision time
+	gate    int64
+	errSess *session // the session whose push failed; nil when none
+	err     error
+	ticket  int64
 }
 
 // releaser is the release sequencer: it delivers queued release decisions in
@@ -608,11 +619,12 @@ func (s *Server) releaser() {
 			if b.gate > 0 && !s.cfg.Store.WaitApplied(b.gate, s.stopped) {
 				return // server stopped while waiting
 			}
-			s.sendReleases(b.release, b.errWorker)
-			if b.err != nil && b.errWorker >= 0 {
+			s.sendReleases(b.targets, b.errSess)
+			if b.err != nil && b.errSess != nil {
 				// The erroring worker gets the error, not an OK that would
-				// let it train on as if the push had landed.
-				s.enqueueOut(b.errWorker, transport.Message{Type: transport.MsgError, Error: b.err.Error()})
+				// let it train on as if the push had landed — on the session
+				// that pushed; a successor session never sees a stale error.
+				s.enqueueSession(b.errSess, transport.Message{Type: transport.MsgError, Error: b.err.Error()})
 			}
 			if b.ticket > 0 {
 				s.maybeCheckpoint(b.ticket)
@@ -642,13 +654,25 @@ func (s *Server) observerPump(bo core.BatchObserver, seen int64) {
 	}
 }
 
-// queueReleases hands one release decision to the sequencer. Callers hold
-// policyMu, which is what keeps the queue in decision order and the gates
-// monotone; a full queue blocks the caller, never the sequencer. Batches
-// that would deliver nothing are dropped at the door.
+// queueReleases resolves a release decision's workers to their current
+// sessions and hands the batch to the sequencer. Callers hold policyMu,
+// which is what keeps the queue in decision order and the gates monotone —
+// and what makes the resolution exact: membership hooks run under the same
+// lock, so the sessions captured here are precisely the ones the decision
+// accounted for. Pinning sessions now, instead of re-resolving worker IDs
+// at send time, means a worker that leaves and rejoins while the batch
+// waits on its apply gate can never receive a stale OK on its successor
+// session — enqueueSession drops messages for ended sessions. A full queue
+// blocks the caller, never the sequencer; batches that would deliver
+// nothing are dropped at the door.
 func (s *Server) queueReleases(b releaseBatch) {
 	if len(b.release) == 0 && b.err == nil && b.ticket == 0 {
 		return
+	}
+	for _, id := range b.release {
+		if sess := s.sessions.get(int(id)); sess != nil {
+			b.targets = append(b.targets, sess)
+		}
 	}
 	select {
 	case s.releases <- b:
@@ -656,18 +680,17 @@ func (s *Server) queueReleases(b releaseBatch) {
 	}
 }
 
-// sendReleases delivers the OK signal to every released worker except skip
-// (use a negative skip to exclude nobody) — the single implementation of
-// release delivery for push, join and leave decisions. skip carves out a
-// worker whose push failed: it must not receive an OK that would let it
-// train on as if the push had landed.
-func (s *Server) sendReleases(release []core.WorkerID, skip int) {
-	for _, id := range release {
-		w := int(id)
-		if w == skip {
+// sendReleases delivers the OK signal to every released session except skip
+// (nil excludes nobody) — the single implementation of release delivery for
+// push, join and leave decisions. skip carves out the session whose push
+// failed: it must not receive an OK that would let it train on as if the
+// push had landed.
+func (s *Server) sendReleases(targets []*session, skip *session) {
+	for _, sess := range targets {
+		if sess == skip {
 			continue
 		}
-		s.enqueueOut(w, transport.Message{Type: transport.MsgOK, Worker: w})
+		s.enqueueSession(sess, transport.Message{Type: transport.MsgOK, Worker: sess.worker})
 	}
 }
 
@@ -719,16 +742,16 @@ func (s *Server) handlePush(sess *session, msg transport.Message) {
 
 	s.pushedAt[worker] = now
 	s.recordReleases(decision.Release, now)
-	errWorker := -1
+	var errSess *session
 	if pushErr != nil {
-		errWorker = worker
+		errSess = sess
 	}
 	s.queueReleases(releaseBatch{
-		release:   decision.Release,
-		gate:      s.cfg.Store.Reserved(),
-		errWorker: errWorker,
-		err:       pushErr,
-		ticket:    ticket,
+		release: decision.Release,
+		gate:    s.cfg.Store.Reserved(),
+		errSess: errSess,
+		err:     pushErr,
+		ticket:  ticket,
 	})
 	s.policyMu.Unlock()
 }
@@ -818,8 +841,11 @@ func (s *Server) decodePush(sess *session, msg transport.Message) ([]*tensor.Ten
 // A session that negotiated delta pulls may send its cached per-shard
 // versions (PullVersions); shards still at the version the worker holds are
 // answered with a payload-free Unchanged chunk, so a worker that pulls when
-// little or nothing has changed re-downloads only what did. Every chunk
-// carries its shard-local publication version for the worker's next request.
+// little or nothing has changed re-downloads only what did. For such
+// sessions — and only such sessions, the fields being protocol-v2 — every
+// chunk carries its shard-local publication version for the worker's next
+// request; replies to un-negotiated sessions use no v2 field and stay
+// decodable by v1-only peers.
 func (s *Server) handlePull(sess *session, req transport.Message) {
 	worker := sess.worker
 	st := s.cfg.Store
@@ -849,7 +875,13 @@ func (s *Server) handlePull(sess *session, req transport.Message) {
 			packed, base, version, shardV, unchanged := st.PackShardDelta(i, haveV, s.packShard)
 			msg.Base = base
 			msg.Version = version
-			msg.ShardVersion = shardV
+			if sess.deltaPull {
+				// ShardVersion is a v2 wire field scoped to negotiated
+				// sessions (PROTOCOL.md §5a): stamping it on every reply
+				// would promote the frame to protocol v2 and break v1-only
+				// peers that never asked for delta pulls.
+				msg.ShardVersion = shardV
+			}
 			if unchanged {
 				msg.Unchanged = true
 			} else {
@@ -860,7 +892,9 @@ func (s *Server) handlePull(sess *session, req transport.Message) {
 			params, base, version, shardV, unchanged := st.ViewShardDelta(i, haveV)
 			msg.Base = base
 			msg.Version = version
-			msg.ShardVersion = shardV
+			if sess.deltaPull {
+				msg.ShardVersion = shardV
+			}
 			if unchanged {
 				msg.Unchanged = true
 			} else {

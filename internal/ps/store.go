@@ -75,6 +75,16 @@ type Store struct {
 	stop      chan struct{}
 	applierWG sync.WaitGroup
 
+	// enqMu serializes ticket assignment with queue insertion (both under
+	// applyMu's read side), so per-shard queue order always matches ticket
+	// order. That is what makes "applied version >= ticket" mean "this push
+	// is applied": without it two concurrent EnqueueApply calls could
+	// interleave, letting the later ticket be enqueued and applied first and
+	// waking the earlier ticket's waiter while its gradients still sit in a
+	// queue — breaking Apply's visibility guarantee and the gradient-buffer
+	// reuse contract.
+	enqMu sync.Mutex
+
 	// waitMu guards the applied-version waiters and serializes advances, so
 	// waiter wakeups see version move through every batch in order.
 	waitMu  sync.Mutex
@@ -199,11 +209,15 @@ func (s *Store) EnqueueApply(grads []*tensor.Tensor) (int64, error) {
 		s.startAppliers()
 		s.applyMu.RLock()
 	}
+	// enqMu makes the ticket and the queue insertions one atomic step, so
+	// every shard's queue holds pushes in ticket order (see the field doc).
+	s.enqMu.Lock()
 	ticket := s.reserved.Add(1)
 	for i, sh := range s.shards {
 		r := s.ranges[i]
 		sh.enqueue(grads[r.Start:r.End])
 	}
+	s.enqMu.Unlock()
 	s.applyMu.RUnlock()
 	return ticket, nil
 }
@@ -311,9 +325,24 @@ func (s *Store) WaitApplied(ticket int64, cancel <-chan struct{}) bool {
 	case <-ch:
 		return true
 	case <-cancel:
-		// The waiter entry stays registered until the version catches up (or
-		// the store is dropped); it holds one channel, nothing else.
-		return false
+		// Deregister so abandoned waiters don't accumulate across retries
+		// (the slice would otherwise only shrink when the version catches
+		// up, which for a stopped server is never).
+		s.waitMu.Lock()
+		for i, w := range s.waiters {
+			if w.ch == ch {
+				last := len(s.waiters) - 1
+				s.waiters[i] = s.waiters[last]
+				s.waiters[last] = applyWaiter{}
+				s.waiters = s.waiters[:last]
+				s.waitMu.Unlock()
+				return false
+			}
+		}
+		// Not found: advanceApplied already closed ch, so the target was in
+		// fact reached before the cancel won the select.
+		s.waitMu.Unlock()
+		return true
 	}
 }
 

@@ -111,6 +111,13 @@ func frameVersion(m *Message) byte {
 	return 1
 }
 
+// FrameVersion reports the binary protocol version the wire encoder would
+// stamp on m (docs/PROTOCOL.md §3): 2 when any delta-pull field is present,
+// 1 otherwise. A v1-only peer rejects version-2 frames, so higher layers use
+// this to pin that messages bound for un-negotiated sessions stay expressible
+// in protocol version 1.
+func FrameVersion(m Message) byte { return frameVersion(&m) }
+
 // hostLittleEndian reports whether the running machine stores integers
 // little endian. On such hosts (every supported platform in practice) float
 // slabs are moved with a single copy / alias; a big-endian host falls back

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke bench-json bench-baseline bench-gate proto-bench fuzz-seeds fmt fmt-check vet ci
+.PHONY: all build test race bench bench-smoke bench-json bench-baseline bench-gate proto-bench fuzz-seeds experiment-smoke fmt fmt-check vet ci
 
 all: build
 
@@ -81,6 +81,15 @@ proto-bench:
 fuzz-seeds:
 	$(GO) test -run 'Fuzz' ./internal/transport/
 
+# Robustness scenario-matrix smoke: the 2x2 grid (clean / 1-of-4 gradient
+# attacker x plain sum / trimmed-mean+guard) on real training, plus the
+# simulated hostile-network timing sweep. Fails when any cell expected to
+# converge drops below the accuracy floor; experiment-report.json is the CI
+# artifact.
+experiment-smoke:
+	$(GO) run ./cmd/dsspsim -experiment -paradigm SSP -trials 2 \
+		-accuracy-floor 0.6 -out experiment-report.json
+
 fmt:
 	gofmt -w .
 
@@ -95,4 +104,4 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: build fmt-check vet race fuzz-seeds bench-smoke proto-bench
+ci: build fmt-check vet race fuzz-seeds experiment-smoke bench-smoke proto-bench

@@ -6,16 +6,31 @@
 // Example:
 //
 //	dsspsim -model resnet-110 -cluster het -paradigm DSSP -epochs 100
+//
+// Experiment mode: -experiment swaps the single simulation for the
+// robustness scenario matrix (internal/experiment) — real training runs
+// crossing {clean, 1-of-4 gradient-scale attacker} with {plain sum,
+// trimmed-mean+guard}, plus a simulated hostile-network timing sweep. The
+// aggregate detection/robustness table prints to stdout, -out writes the
+// JSON report, -trials sets runs per cell, and -accuracy-floor makes the
+// process exit nonzero when any cell that should converge (every cell
+// except the deliberately undefended attacked one) falls below the floor —
+// the CI smoke gate.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"dssp/internal/core"
+	"dssp/internal/data"
+	"dssp/internal/experiment"
+	"dssp/internal/nn"
 	"dssp/internal/simulate"
+	"dssp/internal/trainer"
 )
 
 func main() {
@@ -29,11 +44,113 @@ func main() {
 		enforce   = flag.Bool("enforce-bound", false, "DSSP Theorem-2 mode")
 		epochs    = flag.Int("epochs", 100, "training epochs to simulate")
 		seed      = flag.Int64("seed", 1, "jitter seed")
+		experFlag = flag.Bool("experiment", false, "run the robustness scenario matrix instead of a single simulation")
+		trials    = flag.Int("trials", 1, "experiment mode: training runs per matrix cell")
+		out       = flag.String("out", "", "experiment mode: write the JSON report to this file")
+		accFloor  = flag.Float64("accuracy-floor", 0, "experiment mode: exit 1 if any cell expected to converge falls below this accuracy")
 	)
 	flag.Parse()
 
+	if *experFlag {
+		if err := runExperiment(*paradigm, *staleness, *rng, *enforce, *trials, *seed, *out, *accFloor); err != nil {
+			log.Fatalf("dsspsim: %v", err)
+		}
+		return
+	}
 	if err := run(*model, *cluster, *workers, *paradigm, *staleness, *rng, *enforce, *epochs, *seed); err != nil {
 		log.Fatalf("dsspsim: %v", err)
+	}
+}
+
+// runExperiment executes the scenario matrix: the 2x2 robustness grid on
+// real training plus the simulated hostile-network timing sweep.
+func runExperiment(paradigm string, staleness, rng int, enforce bool, trials int, seed int64, out string, accFloor float64) error {
+	p, err := core.ParseParadigm(paradigm)
+	if err != nil {
+		return err
+	}
+	policy := core.PolicyConfig{Paradigm: p, Staleness: staleness, Range: rng, EnforceBound: enforce, Backups: 1}
+
+	report, err := experiment.Run(experiment.ScenarioConfig{
+		Name:   fmt.Sprintf("robustness matrix (%s)", policy.Describe()),
+		Base:   experimentBase(policy, seed),
+		Trials: trials,
+		Attacks: []experiment.Attack{
+			experiment.CleanBaseline(),
+			experiment.GradScaleAttack(-10, 3),
+		},
+		Defenses: []experiment.Defense{
+			experiment.SumDefense(),
+			experiment.GuardedDefense(experiment.TrimmedMeanDefense()),
+		},
+	})
+	if err != nil {
+		return err
+	}
+	report.Timing, err = experiment.TimingMatrix(experiment.TimingMatrixConfig{
+		Policies: []core.PolicyConfig{policy},
+		Trials:   trials,
+		Seed:     seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Print(report.Table())
+	if out != "" {
+		raw, err := report.JSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(out, append(raw, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("report written to %s\n", out)
+	}
+
+	if accFloor > 0 {
+		// Every cell except the deliberately undefended attacked one must
+		// clear the floor: the clean cells prove training works, the
+		// defended attacked cell proves the defense does.
+		for _, c := range report.Cells {
+			sacrificial := c.Attackers > 0 && c.Defense == experiment.SumDefense().Name
+			if sacrificial {
+				continue
+			}
+			if c.MeanAccuracy < accFloor {
+				return fmt.Errorf("cell (%s, %s) accuracy %.4f below floor %.4f", c.Attack, c.Defense, c.MeanAccuracy, accFloor)
+			}
+		}
+		fmt.Printf("all convergent cells above accuracy floor %.2f\n", accFloor)
+	}
+	return nil
+}
+
+// experimentBase is the real-training workload behind every matrix cell: a
+// four-worker run on the easy synthetic task, sized to finish a cell in
+// tens of milliseconds.
+func experimentBase(policy core.PolicyConfig, seed int64) trainer.Config {
+	full := data.MustSynthetic(data.SyntheticConfig{
+		Examples: 176, Classes: 3, Channels: 1, Size: 12, Noise: 0.4, Flat: true, Seed: 11,
+	})
+	trainIdx := make([]int, 128)
+	testIdx := make([]int, 48)
+	for i := range trainIdx {
+		trainIdx[i] = i
+	}
+	for i := range testIdx {
+		testIdx[i] = 128 + i
+	}
+	return trainer.Config{
+		Model:        nn.SpecSmallMLP(12, 16, 3),
+		Train:        full.Subset(trainIdx),
+		Test:         full.Subset(testIdx),
+		Workers:      4,
+		BatchSize:    8,
+		Epochs:       6,
+		Policy:       policy,
+		LearningRate: 0.1,
+		Seed:         seed,
 	}
 }
 

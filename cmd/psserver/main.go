@@ -64,6 +64,9 @@ func main() {
 		topk         = flag.Float64("topk", 0, "fraction of gradient entries the topk codec keeps (0 = default 0.1)")
 		compressPull = flag.Bool("compress-pull", false, "also compress pulled weights (fp16/int8 codecs only)")
 		deltaPull    = flag.Bool("delta-pull", true, "grant version-gated delta pulls to workers that request them (send only changed shards)")
+		aggName      = flag.String("aggregator", dssp.AggregateSum, "gradient aggregation: sum, clipped, trimmed-mean, median (robust kinds tolerate Byzantine workers)")
+		clipNorm     = flag.Float64("clip-norm", 0, "per-tensor L2 cap for the clipped aggregator (required with -aggregator clipped)")
+		guard        = flag.Bool("guard", false, "screen pushes for anomalies (norm outliers, lying clocks, floods) and evict repeat offenders")
 		elastic      = flag.Bool("elastic", false, "tolerate worker churn: lease-monitor sessions, accept rejoins, finish when live workers finish")
 		hbTimeout    = flag.Duration("heartbeat-timeout", 5*time.Second, "evict a session silent for this long (elastic mode)")
 		ckptDir      = flag.String("checkpoint-dir", "", "directory for store checkpoints (restored on startup when present; empty = off)")
@@ -73,18 +76,22 @@ func main() {
 	flag.Parse()
 
 	cfg := dssp.ServerConfig{
-		Addr:             *addr,
-		Wire:             *wire,
-		Workers:          *workers,
-		Model:            dssp.Model(*model),
-		LearningRate:     *lr,
-		Momentum:         *momentum,
-		Shards:           *shards,
-		Compression:      dssp.Compression{Codec: *compressName, TopK: *topk, Pull: *compressPull},
+		Addr:         *addr,
+		Wire:         *wire,
+		Workers:      *workers,
+		Model:        dssp.Model(*model),
+		LearningRate: *lr,
+		Momentum:     *momentum,
+		Options: dssp.Options{
+			Shards:           *shards,
+			Compression:      dssp.Compression{Codec: *compressName, TopK: *topk, Pull: *compressPull},
+			Aggregator:       dssp.Aggregator{Kind: *aggName, ClipNorm: *clipNorm},
+			Guard:            dssp.Guard{Enabled: *guard},
+			Elastic:          *elastic,
+			HeartbeatTimeout: *hbTimeout,
+			Checkpoint:       dssp.Checkpoint{Dir: *ckptDir, Every: *ckptEvery},
+		},
 		DisableDeltaPull: !*deltaPull,
-		Elastic:          *elastic,
-		HeartbeatTimeout: *hbTimeout,
-		Checkpoint:       dssp.Checkpoint{Dir: *ckptDir, Every: *ckptEvery},
 		Seed:             *seed,
 		Dataset: dssp.DatasetConfig{
 			Examples: *examples, Classes: *classes, ImageSize: *imageSize, Noise: 0.5, Seed: *seed,
@@ -110,8 +117,8 @@ func run(cfg dssp.ServerConfig, paradigm string, staleness, rng int, enforce boo
 	if cfg.Elastic {
 		mode = "elastic"
 	}
-	fmt.Printf("parameter server listening on %s (%s, %d workers, wire %s, codec %s, %s)\n",
-		server.Addr(), sync.Describe(), cfg.Workers, cfg.Wire, cfg.Compression, mode)
+	fmt.Printf("parameter server listening on %s (%s, %d workers, wire %s, codec %s, aggregator %s, %s)\n",
+		server.Addr(), sync.Describe(), cfg.Workers, cfg.Wire, cfg.Compression, cfg.Aggregator, mode)
 	if server.Restored() {
 		fmt.Printf("restored checkpoint from %s at version %d\n", cfg.Checkpoint.Dir, server.Version())
 	}

@@ -56,6 +56,7 @@ func main() {
 		topk         = flag.Float64("topk", 0, "fraction of gradient entries the topk codec keeps (0 = default 0.1; must match the server)")
 		compressPull = flag.Bool("compress-pull", false, "expect compressed weight pulls (must match the server; implied by -compress auto)")
 		deltaPull    = flag.Bool("delta-pull", true, "request version-gated delta pulls (the server re-sends only changed shards; falls back to full pulls if refused)")
+		adversary    = flag.Float64("adversary", 0, "Byzantine gradient-scale factor for robustness experiments (0 or 1 = honest; e.g. -10 pushes scaled ascent)")
 		reconnect    = flag.Bool("reconnect", false, "redial and rejoin on connection loss (survives server restarts)")
 		reconnectTO  = flag.Duration("reconnect-timeout", 30*time.Second, "give up after failing to reconnect for this long")
 		heartbeat    = flag.Duration("heartbeat", 0, "send liveness heartbeats at this interval (needed under an -elastic server; 0 = off)")
@@ -74,17 +75,20 @@ func main() {
 		Dataset: dssp.DatasetConfig{
 			Examples: *examples, Classes: *classes, ImageSize: *imageSize, Noise: 0.5, Seed: *seed,
 		},
-		BatchSize:         *batch,
-		Epochs:            *epochs,
-		Seed:              *seed,
-		Delay:             *delay,
-		Shards:            *shards,
-		Compression:       compression,
-		DeltaPull:         *deltaPull,
-		Reconnect:         *reconnect,
-		ReconnectTimeout:  *reconnectTO,
-		HeartbeatInterval: *heartbeat,
-		FailAfter:         *failAfter,
+		BatchSize: *batch,
+		Epochs:    *epochs,
+		Seed:      *seed,
+		Delay:     *delay,
+		Options: dssp.Options{
+			Shards:            *shards,
+			Compression:       compression,
+			DeltaPull:         *deltaPull,
+			HeartbeatInterval: *heartbeat,
+		},
+		Adversary:        *adversary,
+		Reconnect:        *reconnect,
+		ReconnectTimeout: *reconnectTO,
+		FailAfter:        *failAfter,
 	})
 	if err != nil {
 		log.Fatalf("psworker %d: %v", *id, err)

@@ -222,7 +222,7 @@ func TestServeAndRunWorkerOverTCP(t *testing.T) {
 				// A mixed fleet: worker 0 requests version-gated delta pulls
 				// (v2 frames on the wire), worker 1 stays on full v1-style
 				// pulls — both must interoperate with the same server.
-				DeltaPull: w == 0,
+				Options: Options{DeltaPull: w == 0},
 			})
 			if err != nil {
 				errs <- err
@@ -263,7 +263,7 @@ func TestServeAndRunWorkerCompressedOverTCP(t *testing.T) {
 		Model:        ModelSmallMLP,
 		Dataset:      dataset,
 		LearningRate: 0.1,
-		Compression:  Compression{Codec: CompressTopK, TopK: 0.25},
+		Options:      Options{Compression: Compression{Codec: CompressTopK, TopK: 0.25}},
 		Seed:         7,
 	})
 	if err != nil {
@@ -273,15 +273,15 @@ func TestServeAndRunWorkerCompressedOverTCP(t *testing.T) {
 
 	// A worker with a conflicting explicit codec must be rejected cleanly.
 	if _, err := RunWorker(WorkerConfig{
-		ServerAddr:  server.Addr(),
-		WorkerID:    0,
-		Workers:     workers,
-		Model:       ModelSmallMLP,
-		Dataset:     dataset,
-		BatchSize:   16,
-		Epochs:      1,
-		Seed:        7,
-		Compression: Compression{Codec: CompressInt8},
+		ServerAddr: server.Addr(),
+		WorkerID:   0,
+		Workers:    workers,
+		Model:      ModelSmallMLP,
+		Dataset:    dataset,
+		BatchSize:  16,
+		Epochs:     1,
+		Seed:       7,
+		Options:    Options{Compression: Compression{Codec: CompressInt8}},
 	}); err == nil {
 		t.Fatal("int8 worker joined a topk server")
 	}
@@ -294,16 +294,16 @@ func TestServeAndRunWorkerCompressedOverTCP(t *testing.T) {
 	for w := 0; w < workers; w++ {
 		go func(w int) {
 			rep, err := RunWorker(WorkerConfig{
-				ServerAddr:  server.Addr(),
-				WorkerID:    w,
-				Workers:     workers,
-				Model:       ModelSmallMLP,
-				Dataset:     dataset,
-				BatchSize:   16,
-				Epochs:      3,
-				Seed:        7,
-				Compression: configs[w],
-				Shards:      0, // accept the server's layout
+				ServerAddr: server.Addr(),
+				WorkerID:   w,
+				Workers:    workers,
+				Model:      ModelSmallMLP,
+				Dataset:    dataset,
+				BatchSize:  16,
+				Epochs:     3,
+				Seed:       7,
+				// Shards 0 accepts the server's layout.
+				Options: Options{Compression: configs[w]},
 			})
 			if err != nil {
 				errs <- err
@@ -349,7 +349,7 @@ func TestWorkerShardExpectationMismatch(t *testing.T) {
 		Model:        ModelSmallMLP,
 		Dataset:      dataset,
 		LearningRate: 0.1,
-		Shards:       2,
+		Options:      Options{Shards: 2},
 		Seed:         3,
 	})
 	if err != nil {
@@ -366,7 +366,7 @@ func TestWorkerShardExpectationMismatch(t *testing.T) {
 		BatchSize:  16,
 		Epochs:     1,
 		Seed:       3,
-		Shards:     5, // wrong on purpose
+		Options:    Options{Shards: 5}, // wrong on purpose
 	}); err == nil {
 		t.Fatal("worker accepted a shard-count mismatch it was told to assert")
 	}

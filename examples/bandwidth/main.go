@@ -35,7 +35,7 @@ func main() {
 			Epochs:       6,
 			Sync:         dssp.DefaultDSSP(),
 			LearningRate: 0.1,
-			Compression:  codec,
+			Options:      dssp.Options{Compression: codec},
 			Dataset: dssp.DatasetConfig{
 				Examples:  512,
 				Classes:   4,

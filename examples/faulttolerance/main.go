@@ -52,28 +52,30 @@ func serverConfig(addr, ckptDir string) dssp.ServerConfig {
 		Model:        dssp.ModelSmallMLP,
 		Dataset:      dataset,
 		LearningRate: 0.1,
-		Elastic:      true,
-		// A short lease so a hung worker is evicted quickly in the demo.
-		HeartbeatTimeout: 2 * time.Second,
-		Checkpoint:       dssp.Checkpoint{Dir: ckptDir, Every: 20},
-		Seed:             7,
+		Options: dssp.Options{
+			Elastic: true,
+			// A short lease so a hung worker is evicted quickly in the demo.
+			HeartbeatTimeout: 2 * time.Second,
+			Checkpoint:       dssp.Checkpoint{Dir: ckptDir, Every: 20},
+		},
+		Seed: 7,
 	}
 }
 
 func workerConfig(addr string, id int) dssp.WorkerConfig {
 	return dssp.WorkerConfig{
-		ServerAddr:        addr,
-		WorkerID:          id,
-		Workers:           workers,
-		Model:             dssp.ModelSmallMLP,
-		Dataset:           dataset,
-		BatchSize:         16,
-		Epochs:            10,
-		Seed:              7,
-		Delay:             25 * time.Millisecond,
-		Reconnect:         true,
-		ReconnectTimeout:  30 * time.Second,
-		HeartbeatInterval: 250 * time.Millisecond,
+		ServerAddr:       addr,
+		WorkerID:         id,
+		Workers:          workers,
+		Model:            dssp.ModelSmallMLP,
+		Dataset:          dataset,
+		BatchSize:        16,
+		Epochs:           10,
+		Seed:             7,
+		Delay:            25 * time.Millisecond,
+		Reconnect:        true,
+		ReconnectTimeout: 30 * time.Second,
+		Options:          dssp.Options{HeartbeatInterval: 250 * time.Millisecond},
 	}
 }
 

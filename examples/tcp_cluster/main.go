@@ -33,8 +33,8 @@ func main() {
 		LearningRate: 0.1,
 		// Four store shards: pulls stream the weights as four chunks, each
 		// sent as soon as its shard is read (0 would pick one per CPU).
-		Shards: 4,
-		Seed:   11,
+		Options: dssp.Options{Shards: 4},
+		Seed:    11,
 	})
 	if err != nil {
 		log.Fatal(err)

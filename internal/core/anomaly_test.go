@@ -1,0 +1,61 @@
+package core
+
+import "testing"
+
+func TestClockMonitorFutureVersion(t *testing.T) {
+	m := NewClockMonitor(2, 0)
+	m.ObservePull(0)
+	if a := m.ObservePush(0, 5, 10); len(a) != 0 {
+		t.Fatalf("stale push flagged: %v", a)
+	}
+	m.ObservePull(0)
+	a := m.ObservePush(0, 11, 10)
+	if len(a) != 1 || a[0] != AnomalyFutureVersion {
+		t.Fatalf("got %v, want [future-version]", a)
+	}
+	if m.Flags(0) != 1 || m.Flags(1) != 0 {
+		t.Fatalf("flags %v", m.FlagCounts())
+	}
+}
+
+func TestClockMonitorPushFlood(t *testing.T) {
+	m := NewClockMonitor(1, 2)
+	m.ObservePull(0)
+	for i := 0; i < 2; i++ {
+		if a := m.ObservePush(0, 0, 0); len(a) != 0 {
+			t.Fatalf("push %d within slack flagged: %v", i, a)
+		}
+	}
+	a := m.ObservePush(0, 0, 0)
+	if len(a) != 1 || a[0] != AnomalyPushFlood {
+		t.Fatalf("got %v, want [push-flood]", a)
+	}
+	// Pull resets the counter.
+	m.ObservePull(0)
+	if a := m.ObservePush(0, 0, 0); len(a) != 0 {
+		t.Fatalf("post-pull push flagged: %v", a)
+	}
+}
+
+func TestClockMonitorCombinedAnomalies(t *testing.T) {
+	m := NewClockMonitor(1, 1)
+	m.ObservePull(0)
+	m.ObservePush(0, 0, 0)
+	// Second push without a pull AND a future version: both anomalies fire.
+	a := m.ObservePush(0, 100, 0)
+	if len(a) != 2 {
+		t.Fatalf("got %v, want two anomalies", a)
+	}
+	if m.Flags(0) != 2 {
+		t.Fatalf("flags %d, want 2", m.Flags(0))
+	}
+}
+
+func TestAnomalyString(t *testing.T) {
+	if AnomalyFutureVersion.String() != "future-version" || AnomalyPushFlood.String() != "push-flood" {
+		t.Fatal("anomaly names changed")
+	}
+	if Anomaly(99).String() != "unknown" {
+		t.Fatal("unknown anomaly name")
+	}
+}

@@ -1,0 +1,165 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"dssp/internal/core"
+	"dssp/internal/simulate"
+)
+
+// timePrecision rounds simulated durations in the text table.
+const timePrecision = time.Millisecond
+
+// NetworkScenario is one hostile-network column of the timing matrix:
+// Markov-modulated link models, scheduled events, and clock-level
+// adversaries applied to a simulated run.
+type NetworkScenario struct {
+	// Name labels the scenario in reports.
+	Name string
+	// Links assigns delay models to worker links (see simulate.LinkModel).
+	Links map[int]simulate.LinkModel
+	// Events schedules crashes, rejoins, delay shifts and adversary
+	// toggles.
+	Events []simulate.Event
+	// Adversaries assigns initial clock-level behaviours.
+	Adversaries map[int]simulate.AdversaryKind
+	// Guard enables the simulated anomaly guard.
+	Guard simulate.GuardSpec
+}
+
+// Standard network columns.
+
+// CalmNetwork is the well-behaved baseline.
+func CalmNetwork() NetworkScenario { return NetworkScenario{Name: "calm"} }
+
+// FlappingNetwork degrades the listed workers' links in short 10x bursts.
+func FlappingNetwork(workers ...int) NetworkScenario {
+	return NetworkScenario{Name: "flapping", Links: linksFor(simulate.LinkFlapping(), workers)}
+}
+
+// SlowNetwork pins the listed workers behind permanently 4x-slower links.
+func SlowNetwork(workers ...int) NetworkScenario {
+	return NetworkScenario{Name: "slow", Links: linksFor(simulate.LinkSlow(), workers)}
+}
+
+// PartitionedNetwork subjects the listed workers to extended near-outages.
+func PartitionedNetwork(workers ...int) NetworkScenario {
+	return NetworkScenario{Name: "partitioned", Links: linksFor(simulate.LinkPartitioned(), workers)}
+}
+
+func linksFor(model simulate.LinkModel, workers []int) map[int]simulate.LinkModel {
+	m := make(map[int]simulate.LinkModel, len(workers))
+	for _, w := range workers {
+		m[w] = model
+	}
+	return m
+}
+
+// TimingCell is one aggregated (scenario, paradigm) cell of the timing
+// matrix.
+type TimingCell struct {
+	// Scenario and Paradigm name the cell's coordinates.
+	Scenario string `json:"scenario"`
+	Paradigm string `json:"paradigm"`
+	// MeanFinish is the mean simulated completion time.
+	MeanFinish time.Duration `json:"mean_finish_ns"`
+	// Throughput is the mean applied updates per simulated second.
+	Throughput float64 `json:"throughput"`
+	// MeanStaleness is the mean update staleness.
+	MeanStaleness float64 `json:"mean_staleness"`
+	// MeanDropped is the mean number of rejected updates per trial (policy
+	// drops plus guard rejections).
+	MeanDropped float64 `json:"mean_dropped"`
+	// MeanEvictions is the mean number of simulated guard evictions.
+	MeanEvictions float64 `json:"mean_evictions"`
+}
+
+// TimingMatrixConfig describes a simulator-backed sweep: every paradigm
+// crossed with every network scenario.
+type TimingMatrixConfig struct {
+	// Model and Cluster describe the simulated workload; zero values pick
+	// a small default (ResNet-8-class profile on 8 heterogeneous workers).
+	Model   simulate.ModelProfile
+	Cluster simulate.ClusterSpec
+	// Policies are the paradigms to sweep; empty defaults to BSP, SSP and
+	// DSSP.
+	Policies []core.PolicyConfig
+	// Scenarios are the network columns; empty defaults to calm, flapping
+	// and partitioned with worker 0 affected.
+	Scenarios []NetworkScenario
+	// Iterations is each worker's iteration budget; 0 picks 60.
+	Iterations int
+	// Trials is runs per cell; 0 means 1.
+	Trials int
+	// Seed decorrelates trials.
+	Seed int64
+}
+
+// withDefaults fills the sweep axes.
+func (c TimingMatrixConfig) withDefaults() TimingMatrixConfig {
+	if c.Model.Params == 0 {
+		c.Model = simulate.ModelProfile{Name: "tiny", Params: 1e5, ComputeTime: 10 * time.Millisecond, Layers: 4}
+	}
+	if c.Cluster.NumWorkers() == 0 {
+		c.Cluster = simulate.HeterogeneousCluster()
+	}
+	if len(c.Policies) == 0 {
+		c.Policies = []core.PolicyConfig{
+			{Paradigm: core.ParadigmBSP},
+			{Paradigm: core.ParadigmSSP, Staleness: 3},
+			{Paradigm: core.ParadigmDSSP, Staleness: 1, Range: 4},
+		}
+	}
+	if len(c.Scenarios) == 0 {
+		c.Scenarios = []NetworkScenario{CalmNetwork(), FlappingNetwork(0), PartitionedNetwork(0)}
+	}
+	if c.Iterations <= 0 {
+		c.Iterations = 60
+	}
+	if c.Trials <= 0 {
+		c.Trials = 1
+	}
+	return c
+}
+
+// TimingMatrix runs the simulator sweep and returns its cells, which the
+// caller typically attaches to a Report.
+func TimingMatrix(cfg TimingMatrixConfig) ([]TimingCell, error) {
+	cfg = cfg.withDefaults()
+	var cells []TimingCell
+	for _, sc := range cfg.Scenarios {
+		for _, pol := range cfg.Policies {
+			cell := TimingCell{Scenario: sc.Name, Paradigm: pol.Describe()}
+			for trial := 0; trial < cfg.Trials; trial++ {
+				res, err := simulate.Run(simulate.RunConfig{
+					Model:               cfg.Model,
+					Cluster:             cfg.Cluster,
+					Policy:              pol,
+					IterationsPerWorker: cfg.Iterations,
+					Events:              sc.Events,
+					Links:               sc.Links,
+					Adversaries:         sc.Adversaries,
+					Guard:               sc.Guard,
+					Seed:                cfg.Seed + int64(trial)*104729,
+				})
+				if err != nil {
+					return nil, fmt.Errorf("experiment: timing cell (%s, %s) trial %d: %w", sc.Name, cell.Paradigm, trial, err)
+				}
+				cell.MeanFinish += res.Finish
+				cell.Throughput += res.Throughput()
+				cell.MeanStaleness += res.MeanStaleness()
+				cell.MeanDropped += float64(res.DroppedUpdates + res.GuardDropped)
+				cell.MeanEvictions += float64(len(res.Evicted))
+			}
+			n := float64(cfg.Trials)
+			cell.MeanFinish = time.Duration(float64(cell.MeanFinish) / n)
+			cell.Throughput /= n
+			cell.MeanStaleness /= n
+			cell.MeanDropped /= n
+			cell.MeanEvictions /= n
+			cells = append(cells, cell)
+		}
+	}
+	return cells, nil
+}

@@ -178,10 +178,10 @@ func TestServerCheckpointsPeriodicallyAndOnStop(t *testing.T) {
 	}
 	policy := core.MustNewASP(1)
 	srv, err := NewServer(ServerConfig{
-		Workers:    1,
-		Policy:     policy,
-		Store:      st,
-		Checkpoint: CheckpointConfig{Dir: dir, Every: 2},
+		Workers: 1,
+		Policy:  policy,
+		Store:   st,
+		Options: Options{Checkpoint: CheckpointConfig{Dir: dir, Every: 2}},
 	})
 	if err != nil {
 		t.Fatal(err)

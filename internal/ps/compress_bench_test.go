@@ -29,10 +29,10 @@ func startBenchClient(b *testing.B, cfg compress.Config) *Client {
 		b.Fatal(err)
 	}
 	srv, err := NewServer(ServerConfig{
-		Workers:     1,
-		Policy:      core.MustNewASP(1),
-		Store:       st,
-		Compression: cfg,
+		Workers: 1,
+		Policy:  core.MustNewASP(1),
+		Store:   st,
+		Options: Options{Compression: cfg},
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -120,10 +120,10 @@ func BenchmarkCompressedTCPPushPull(b *testing.B) {
 					b.Fatal(err)
 				}
 				srv, err := NewServer(ServerConfig{
-					Workers:     1,
-					Policy:      core.MustNewASP(1),
-					Store:       st,
-					Compression: cfg,
+					Workers: 1,
+					Policy:  core.MustNewASP(1),
+					Store:   st,
+					Options: Options{Compression: cfg},
 				})
 				if err != nil {
 					b.Fatal(err)

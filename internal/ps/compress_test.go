@@ -19,10 +19,10 @@ import (
 func startCompressedServer(t *testing.T, workers int, cfg compress.Config, st *Store) (*Server, *transport.ChanListener) {
 	t.Helper()
 	srv, err := NewServer(ServerConfig{
-		Workers:     workers,
-		Policy:      core.MustNewASP(workers),
-		Store:       st,
-		Compression: cfg,
+		Workers: workers,
+		Policy:  core.MustNewASP(workers),
+		Store:   st,
+		Options: Options{Compression: cfg},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -63,7 +63,7 @@ func TestNewServerRejectsBadCompression(t *testing.T) {
 		{Codec: compress.Auto},
 		{Codec: compress.TopK, Pull: true},
 	} {
-		_, err := NewServer(ServerConfig{Workers: 1, Policy: core.MustNewASP(1), Store: st, Compression: cfg})
+		_, err := NewServer(ServerConfig{Workers: 1, Policy: core.MustNewASP(1), Store: st, Options: Options{Compression: cfg}})
 		if err == nil {
 			t.Errorf("NewServer accepted compression %v", cfg)
 		}

@@ -1,0 +1,221 @@
+package ps
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"dssp/internal/core"
+	"dssp/internal/tensor"
+)
+
+// Guard defaults.
+const (
+	// DefaultNormFactor flags a push whose total gradient L2 norm exceeds
+	// this multiple of the trailing median push norm. Honest gradients drift
+	// in magnitude across training; an 8× jump against the recent median is
+	// an attack or a numerical blow-up, both worth rejecting.
+	DefaultNormFactor = 8.0
+	// DefaultMaxStrikes is how many flagged pushes evict a worker.
+	DefaultMaxStrikes = 3
+	// normHistory is the length of the trailing window the median push norm
+	// is computed over.
+	normHistory = 64
+)
+
+// GuardConfig enables the server-side anomaly guard: every push is screened
+// for gradient-norm outliers, impossible version claims (lying clocks) and
+// push floods. A flagged push is dropped — the policy still releases workers
+// exactly as if it were applied, so barrier paradigms never deadlock on a
+// rejected payload — and a worker accumulating MaxStrikes flags is evicted
+// through the session lease layer, exactly like a worker whose lease
+// expired.
+type GuardConfig struct {
+	// Enabled turns the guard on. The zero value screens nothing.
+	Enabled bool
+	// NormFactor is the norm-outlier threshold relative to the trailing
+	// median push norm; 0 selects DefaultNormFactor. Negative disables the
+	// norm check (clock checks still run).
+	NormFactor float64
+	// MaxStrikes is how many flagged pushes evict the worker; 0 selects
+	// DefaultMaxStrikes.
+	MaxStrikes int
+	// FloodSlack is how many pushes per pull a worker may make before being
+	// flagged for flooding; 0 selects core.DefaultFloodSlack.
+	FloodSlack int
+}
+
+// Normalized maps zero values onto their explicit form.
+func (c GuardConfig) Normalized() GuardConfig {
+	if !c.Enabled {
+		return GuardConfig{}
+	}
+	if c.NormFactor == 0 {
+		c.NormFactor = DefaultNormFactor
+	}
+	if c.MaxStrikes <= 0 {
+		c.MaxStrikes = DefaultMaxStrikes
+	}
+	if c.FloodSlack <= 0 {
+		c.FloodSlack = core.DefaultFloodSlack
+	}
+	return c
+}
+
+// GuardStats is the guard's per-run accounting, the raw material for the
+// experiment harness's detection rates: who was flagged how often, who was
+// evicted, and how many pushes the guard rejected.
+type GuardStats struct {
+	// Flags is the number of anomaly flags per worker slot.
+	Flags []int
+	// Evicted lists the workers the guard evicted, in eviction order.
+	Evicted []int
+	// DroppedPushes is the number of pushes rejected by the guard.
+	DroppedPushes int
+}
+
+// guardVerdict is the outcome of screening one push.
+type guardVerdict struct {
+	drop  bool
+	evict bool
+}
+
+// guard is the server's per-run anomaly detector. All methods are
+// goroutine-safe: pushes from different workers screen concurrently on
+// their connection goroutines.
+type guard struct {
+	cfg GuardConfig
+
+	mu      sync.Mutex
+	clock   *core.ClockMonitor
+	strikes []int
+	evicted []int
+	dropped int
+	// norms is the trailing ring of accepted push norms; median over it is
+	// the baseline the outlier check compares against. Flagged pushes are
+	// excluded so an attacker cannot drag the baseline toward its own
+	// magnitude.
+	norms []float64
+	next  int
+	sort  []float64
+}
+
+// newGuard builds the guard for a normalized configuration; nil when the
+// guard is disabled.
+func newGuard(cfg GuardConfig, workers int) *guard {
+	cfg = cfg.Normalized()
+	if !cfg.Enabled {
+		return nil
+	}
+	return &guard{
+		cfg:     cfg,
+		clock:   core.NewClockMonitor(workers, cfg.FloodSlack),
+		strikes: make([]int, workers),
+	}
+}
+
+// observePull feeds a pull into the flood detector.
+func (g *guard) observePull(worker int) {
+	g.mu.Lock()
+	g.clock.ObservePull(core.WorkerID(worker))
+	g.mu.Unlock()
+}
+
+// checkPush screens one decoded push: claimedBase against the highest
+// version the server ever produced, and the gradient's total L2 norm
+// against the trailing median. grads may be nil (decode failure — already
+// an error path, nothing to screen beyond the clocks).
+func (g *guard) checkPush(worker int, claimedBase, serverVersion int64, grads []*tensor.Tensor) guardVerdict {
+	norm, normOK := pushNorm(grads)
+
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	flags := len(g.clock.ObservePush(core.WorkerID(worker), claimedBase, serverVersion))
+	if grads != nil {
+		switch {
+		case !normOK:
+			// NaN/Inf gradient: always anomalous, no baseline needed.
+			flags++
+		case g.cfg.NormFactor > 0:
+			if med, ok := g.medianNorm(); ok && norm > g.cfg.NormFactor*med && norm > 0 {
+				flags++
+			}
+		}
+	}
+	if flags == 0 {
+		if normOK && grads != nil {
+			g.recordNorm(norm)
+		}
+		return guardVerdict{}
+	}
+	g.strikes[worker] += flags
+	g.dropped++
+	v := guardVerdict{drop: true}
+	if g.strikes[worker] >= g.cfg.MaxStrikes {
+		v.evict = true
+		g.evicted = append(g.evicted, worker)
+	}
+	return v
+}
+
+// stats snapshots the guard's accounting.
+func (g *guard) stats() GuardStats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	// Clock flags and norm flags both land in strikes; report strikes, the
+	// union the eviction rule acts on.
+	st := GuardStats{
+		Flags:         make([]int, len(g.strikes)),
+		Evicted:       append([]int(nil), g.evicted...),
+		DroppedPushes: g.dropped,
+	}
+	copy(st.Flags, g.strikes)
+	return st
+}
+
+// recordNorm appends one accepted push norm to the trailing ring.
+func (g *guard) recordNorm(n float64) {
+	if len(g.norms) < normHistory {
+		g.norms = append(g.norms, n)
+		return
+	}
+	g.norms[g.next] = n
+	g.next = (g.next + 1) % normHistory
+}
+
+// medianNorm returns the median of the trailing accepted push norms. It
+// needs a few samples before it claims a baseline, so the first pushes of a
+// run are never flagged by magnitude alone.
+func (g *guard) medianNorm() (float64, bool) {
+	if len(g.norms) < 4 {
+		return 0, false
+	}
+	g.sort = append(g.sort[:0], g.norms...)
+	sort.Float64s(g.sort)
+	return g.sort[len(g.sort)/2], true
+}
+
+// pushNorm computes the total L2 norm over all of a push's tensors,
+// reporting false when any coordinate is NaN or Inf.
+func pushNorm(grads []*tensor.Tensor) (float64, bool) {
+	sum := 0.0
+	for _, g := range grads {
+		for _, v := range g.Data() {
+			sum += float64(v) * float64(v)
+		}
+	}
+	if math.IsNaN(sum) || math.IsInf(sum, 0) {
+		return 0, false
+	}
+	return math.Sqrt(sum), true
+}
+
+// String renders the configuration for logs.
+func (c GuardConfig) String() string {
+	if !c.Enabled {
+		return "off"
+	}
+	c = c.Normalized()
+	return fmt.Sprintf("norm>%gx,strikes=%d,flood>%d", c.NormFactor, c.MaxStrikes, c.FloodSlack)
+}

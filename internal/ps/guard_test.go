@@ -1,0 +1,132 @@
+package ps
+
+import (
+	"math"
+	"testing"
+
+	"dssp/internal/tensor"
+)
+
+func gradsOf(vals ...float32) []*tensor.Tensor {
+	return []*tensor.Tensor{tensor.FromSlice(append([]float32(nil), vals...), len(vals))}
+}
+
+func TestGuardDisabledIsNil(t *testing.T) {
+	if g := newGuard(GuardConfig{}, 4); g != nil {
+		t.Fatal("disabled guard must be nil")
+	}
+}
+
+// TestGuardNormOutlier walks the full strike sequence: honest pushes build
+// the baseline, outliers are flagged and dropped, and the third strike
+// evicts.
+func TestGuardNormOutlier(t *testing.T) {
+	g := newGuard(GuardConfig{Enabled: true}, 2)
+
+	// Build a baseline of honest norms (needs >= 4 samples).
+	for i := 0; i < 6; i++ {
+		g.observePull(0)
+		if v := g.checkPush(0, 0, 0, gradsOf(1, 1)); v.drop || v.evict {
+			t.Fatalf("honest push %d flagged: %+v", i, v)
+		}
+	}
+
+	// An 8x-median outlier (norm ~ sqrt(2)*100 vs median sqrt(2)).
+	for strike := 1; strike <= DefaultMaxStrikes; strike++ {
+		g.observePull(1)
+		v := g.checkPush(1, 0, 0, gradsOf(100, 100))
+		if !v.drop {
+			t.Fatalf("outlier push %d not dropped", strike)
+		}
+		wantEvict := strike == DefaultMaxStrikes
+		if v.evict != wantEvict {
+			t.Fatalf("strike %d: evict=%v, want %v", strike, v.evict, wantEvict)
+		}
+	}
+
+	st := g.stats()
+	if st.Flags[1] != DefaultMaxStrikes || st.Flags[0] != 0 {
+		t.Fatalf("flags %v, want worker 1 = %d", st.Flags, DefaultMaxStrikes)
+	}
+	if len(st.Evicted) != 1 || st.Evicted[0] != 1 {
+		t.Fatalf("evicted %v, want [1]", st.Evicted)
+	}
+	if st.DroppedPushes != DefaultMaxStrikes {
+		t.Fatalf("dropped %d, want %d", st.DroppedPushes, DefaultMaxStrikes)
+	}
+}
+
+// TestGuardOutlierDoesNotPoisonBaseline: flagged pushes must not enter the
+// norm ring, so an attacker cannot escalate its magnitude gradually by
+// dragging the median upward with accepted outliers.
+func TestGuardOutlierDoesNotPoisonBaseline(t *testing.T) {
+	g := newGuard(GuardConfig{Enabled: true, MaxStrikes: 100}, 1)
+	for i := 0; i < 6; i++ {
+		g.observePull(0)
+		g.checkPush(0, 0, 0, gradsOf(1))
+	}
+	for i := 0; i < 10; i++ {
+		g.observePull(0)
+		if v := g.checkPush(0, 0, 0, gradsOf(50)); !v.drop {
+			t.Fatalf("outlier %d accepted: baseline was poisoned", i)
+		}
+	}
+}
+
+func TestGuardLyingClock(t *testing.T) {
+	g := newGuard(GuardConfig{Enabled: true}, 1)
+	g.observePull(0)
+	// Claiming base 10 when the server has only reserved 5 is impossible.
+	if v := g.checkPush(0, 10, 5, gradsOf(1)); !v.drop {
+		t.Fatal("future-version push not dropped")
+	}
+	g.observePull(0)
+	// Staleness in the other direction is normal.
+	if v := g.checkPush(0, 3, 5, gradsOf(1)); v.drop {
+		t.Fatal("stale-but-honest push dropped")
+	}
+}
+
+func TestGuardPushFlood(t *testing.T) {
+	g := newGuard(GuardConfig{Enabled: true, FloodSlack: 2}, 1)
+	g.observePull(0)
+	for i := 0; i < 2; i++ {
+		if v := g.checkPush(0, 0, 0, gradsOf(1)); v.drop {
+			t.Fatalf("push %d within slack dropped", i)
+		}
+	}
+	if v := g.checkPush(0, 0, 0, gradsOf(1)); !v.drop {
+		t.Fatal("flood push not dropped")
+	}
+	// A pull resets the flood counter.
+	g.observePull(0)
+	if v := g.checkPush(0, 0, 0, gradsOf(1)); v.drop {
+		t.Fatal("post-pull push dropped")
+	}
+}
+
+func TestGuardNaNPush(t *testing.T) {
+	g := newGuard(GuardConfig{Enabled: true}, 1)
+	g.observePull(0)
+	// NaN needs no baseline: flagged from the very first push.
+	if v := g.checkPush(0, 0, 0, gradsOf(float32(math.NaN()))); !v.drop {
+		t.Fatal("NaN push not dropped")
+	}
+	g.observePull(0)
+	if v := g.checkPush(0, 0, 0, gradsOf(float32(math.Inf(-1)))); !v.drop {
+		t.Fatal("Inf push not dropped")
+	}
+}
+
+// TestGuardNilGrads: a decode failure screens clocks only.
+func TestGuardNilGrads(t *testing.T) {
+	g := newGuard(GuardConfig{Enabled: true}, 1)
+	g.observePull(0)
+	if v := g.checkPush(0, 0, 0, nil); v.drop {
+		t.Fatal("nil grads with honest clock dropped")
+	}
+	g.observePull(0)
+	if v := g.checkPush(0, 99, 0, nil); !v.drop {
+		t.Fatal("nil grads with lying clock not dropped")
+	}
+}

@@ -1,0 +1,60 @@
+package ps
+
+import (
+	"fmt"
+	"time"
+
+	"dssp/internal/compress"
+)
+
+// Options groups the serving knobs shared by every layer that stands up a
+// parameter server — ServerConfig here, trainer.Config in-process, and the
+// public dssp configs above them. They embed this struct, so a new knob
+// (like Aggregator) is declared once and reaches every surface; Normalized
+// is the one defaulting+validation helper all of them funnel through.
+type Options struct {
+	// Compression selects the gradient codec spoken on the wire. Workers
+	// must register with a matching configuration (or compress.Auto) or are
+	// rejected. With Compression.Pull set, weight chunks on the pull path
+	// are compressed too.
+	Compression compress.Config
+	// Aggregator selects how the per-shard appliers reduce queued pushes
+	// into optimizer steps: plain sum (the default), norm-clipped sum, or
+	// the windowed robust estimators (trimmed mean, coordinate median) that
+	// tolerate Byzantine gradients.
+	Aggregator AggregatorConfig
+	// Guard enables push screening and staleness-anomaly eviction: norm
+	// outliers, impossible version claims and push floods are dropped, and
+	// repeat offenders are evicted through the session lease layer.
+	Guard GuardConfig
+	// Elastic enables lease monitoring (sessions that miss heartbeats for
+	// HeartbeatTimeout are evicted) and completes the run when every live
+	// worker has finished even if some slots departed for good. Regardless
+	// of Elastic, a dead connection always notifies the policy.
+	Elastic bool
+	// HeartbeatTimeout is how long a session may stay silent before the
+	// lease monitor evicts it. Zero selects DefaultHeartbeatTimeout when
+	// Elastic is set.
+	HeartbeatTimeout time.Duration
+	// Checkpoint periodically snapshots the store to disk so a restarted
+	// server resumes where this one stopped.
+	Checkpoint CheckpointConfig
+}
+
+// Normalized validates the options and maps zero values onto their explicit
+// form — the single defaulting helper every config surface shares.
+func (o Options) Normalized() (Options, error) {
+	o.Compression = o.Compression.Normalized()
+	if err := o.Compression.Validate(false); err != nil {
+		return o, fmt.Errorf("ps: server compression: %w", err)
+	}
+	o.Aggregator = o.Aggregator.Normalized()
+	if err := o.Aggregator.Validate(); err != nil {
+		return o, err
+	}
+	o.Guard = o.Guard.Normalized()
+	if o.HeartbeatTimeout <= 0 {
+		o.HeartbeatTimeout = DefaultHeartbeatTimeout
+	}
+	return o, nil
+}

@@ -27,23 +27,11 @@ type ServerConfig struct {
 	Policy core.Policy
 	// Store holds the global weights and applies updates.
 	Store *Store
-	// Compression selects the gradient codec this server speaks. Workers
-	// must register with a matching configuration (or compress.Auto) or are
-	// rejected. With Compression.Pull set, weight chunks on the pull path
-	// are compressed too.
-	Compression compress.Config
-	// Elastic enables lease monitoring (sessions that miss heartbeats for
-	// HeartbeatTimeout are evicted) and completes AllWorkersDone when every
-	// live worker has finished even if some slots departed for good.
-	// Regardless of Elastic, a dead connection always notifies the policy.
-	Elastic bool
-	// HeartbeatTimeout is how long a session may stay silent before the lease
-	// monitor evicts it. Zero selects DefaultHeartbeatTimeout when Elastic is
-	// set.
-	HeartbeatTimeout time.Duration
-	// Checkpoint periodically snapshots the store to disk so a restarted
-	// server resumes where this one stopped.
-	Checkpoint CheckpointConfig
+	// Options is the shared serving-knob surface (compression, aggregator,
+	// guard, elasticity, heartbeat, checkpointing) — the same embedded struct
+	// the trainer and the public configs expose, so field names like
+	// cfg.Compression keep working unchanged.
+	Options
 	// DisableDeltaPull refuses workers' requests for version-gated delta
 	// pulls, forcing every pull to carry full weight chunks. The zero value
 	// grants delta pulls to any worker that asks (workers that never ask are
@@ -95,6 +83,15 @@ type Server struct {
 	compression compress.Config
 	clock       func() time.Time
 	hbTimeout   time.Duration
+
+	// guard screens pushes for anomalies and evicts repeat offenders; nil
+	// when GuardConfig.Enabled is unset.
+	guard *guard
+	// fullWindow is the configured aggregation window (0 when the classic
+	// per-push pipeline runs). As workers finish or depart for good the
+	// server shrinks the store's live window below it, so a thinning cohort
+	// never leaves partial windows waiting out the watchdog.
+	fullWindow int
 
 	sessions *sessionTable
 
@@ -153,21 +150,34 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		return nil, fmt.Errorf("ps: policy coordinates %d workers, server expects %d",
 			cfg.Policy.NumWorkers(), cfg.Workers)
 	}
-	compression := cfg.Compression.Normalized()
-	if err := compression.Validate(false); err != nil {
-		return nil, fmt.Errorf("ps: server compression: %w", err)
+	opts, err := cfg.Options.Normalized()
+	if err != nil {
+		return nil, err
+	}
+	cfg.Options = opts
+	// Install the aggregation strategy before any push can reach the store.
+	// Windowed robust kinds with no explicit window aggregate over the full
+	// cohort: the order statistics need the honest majority in-window to
+	// out-vote an attacker.
+	agg := cfg.Aggregator
+	if agg.Windowed() && agg.Window == 0 {
+		agg.Window = cfg.Workers
+	}
+	if agg.Kind != AggSum || agg.Window > 1 {
+		if err := cfg.Store.SetAggregator(agg); err != nil {
+			return nil, err
+		}
 	}
 	clock := cfg.Clock
 	if clock == nil {
 		clock = time.Now
 	}
 	hbTimeout := cfg.HeartbeatTimeout
-	if hbTimeout <= 0 {
-		hbTimeout = DefaultHeartbeatTimeout
-	}
 	s := &Server{
 		cfg:         cfg,
-		compression: compression,
+		compression: cfg.Compression,
+		guard:       newGuard(cfg.Guard, cfg.Workers),
+		fullWindow:  agg.Window,
 		clock:       clock,
 		hbTimeout:   hbTimeout,
 		sessions:    newSessionTable(),
@@ -412,6 +422,8 @@ func (s *Server) handleRegister(conn transport.Conn, msg transport.Message) *ses
 	s.mu.Lock()
 	s.joined[worker] = true
 	s.mu.Unlock()
+	// A rejoin restores the slot to the pushing cohort; re-derive the window.
+	s.shrinkWindow()
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
@@ -468,6 +480,7 @@ func (s *Server) leave(sess *session) {
 	// apply pipeline; its releases gate like any push's.
 	s.queueReleases(releaseBatch{release: decision.Release, gate: s.cfg.Store.Reserved()})
 	s.policyMu.Unlock()
+	s.shrinkWindow()
 	s.checkAllDone()
 }
 
@@ -709,6 +722,24 @@ func (s *Server) handlePush(sess *session, msg transport.Message) {
 	baseVersion := msg.Version
 	grads, decodeErr := s.decodePush(sess, msg)
 
+	var guardDrop bool
+	if s.guard != nil {
+		screened := grads
+		if decodeErr != nil {
+			screened = nil
+		}
+		verdict := s.guard.checkPush(worker, baseVersion, s.cfg.Store.Reserved(), screened)
+		if verdict.evict {
+			// Strikes exhausted: the worker departs through the same path as a
+			// lease eviction — the policy counts it out and releases any peers
+			// its absence unblocks, and the closed connection tells the worker.
+			s.leave(sess)
+			_ = sess.conn.Close()
+			return
+		}
+		guardDrop = verdict.drop
+	}
+
 	now := s.clock()
 	s.policyMu.Lock()
 	if !s.sessions.current(sess) {
@@ -721,7 +752,11 @@ func (s *Server) handlePush(sess *session, msg transport.Message) {
 
 	var pushErr error
 	var ticket int64
-	if decision.Drop {
+	if decision.Drop || guardDrop {
+		// Policy-dropped (backup-worker baseline) or guard-rejected: the
+		// gradients never reach the store, but the policy has counted the
+		// push, so its releases still flow — a barrier paradigm must not
+		// deadlock on a rejected payload.
 		s.dropped++
 	} else {
 		err := decodeErr
@@ -848,6 +883,9 @@ func (s *Server) decodePush(sess *session, msg transport.Message) ([]*tensor.Ten
 // decodable by v1-only peers.
 func (s *Server) handlePull(sess *session, req transport.Message) {
 	worker := sess.worker
+	if s.guard != nil {
+		s.guard.observePull(worker)
+	}
 	st := s.cfg.Store
 	shards := st.Shards()
 	total := st.NumTensors()
@@ -920,7 +958,43 @@ func (s *Server) handleDone(worker int) {
 		s.done++
 	}
 	s.mu.Unlock()
+	s.shrinkWindow()
 	s.checkAllDone()
+}
+
+// shrinkWindow adapts the store's aggregation window to the cohort still
+// pushing: finished workers and sessions gone past recall never contribute
+// again, so a window sized for the full cohort would leave every remaining
+// batch to the watchdog. It also flushes, so a partial window the departed
+// worker was the missing contributor to publishes now rather than at the
+// next tick. Never grows the window beyond the configured one.
+func (s *Server) shrinkWindow() {
+	if s.fullWindow <= 1 {
+		return
+	}
+	gone := 0
+	s.mu.Lock()
+	for w := range s.joined {
+		if s.finished[w] || (s.sessions.get(w) == nil && !s.departedAt[w].IsZero()) {
+			gone++
+		}
+	}
+	s.mu.Unlock()
+	w := s.fullWindow - gone
+	if w < 1 {
+		w = 1
+	}
+	s.cfg.Store.SetWindow(w)
+	s.cfg.Store.Flush()
+}
+
+// GuardStats snapshots the anomaly guard's accounting (zero when the guard
+// is disabled). Safe to call at any time; typically read after the run.
+func (s *Server) GuardStats() GuardStats {
+	if s.guard == nil {
+		return GuardStats{}
+	}
+	return s.guard.stats()
 }
 
 // checkAllDone closes AllWorkersDone when training is complete. The classic

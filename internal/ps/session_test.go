@@ -122,8 +122,10 @@ func TestDisconnectReleasesBarrierPeers(t *testing.T) {
 func TestLeaseExpiryEvictsSilentWorker(t *testing.T) {
 	policy := core.MustNewBSP(2)
 	srv, listener := startElasticServer(t, policy, ServerConfig{
-		Elastic:          true,
-		HeartbeatTimeout: 100 * time.Millisecond,
+		Options: Options{
+			Elastic:          true,
+			HeartbeatTimeout: 100 * time.Millisecond,
+		},
 	})
 
 	c0 := dialClient(t, listener, 0)
@@ -155,8 +157,10 @@ func TestLeaseExpiryEvictsSilentWorker(t *testing.T) {
 func TestHeartbeatsKeepSlowWorkerAlive(t *testing.T) {
 	policy := core.MustNewBSP(2)
 	srv, listener := startElasticServer(t, policy, ServerConfig{
-		Elastic:          true,
-		HeartbeatTimeout: 150 * time.Millisecond,
+		Options: Options{
+			Elastic:          true,
+			HeartbeatTimeout: 150 * time.Millisecond,
+		},
 	})
 
 	c0 := dialClient(t, listener, 0)
@@ -191,7 +195,7 @@ func TestHeartbeatsKeepSlowWorkerAlive(t *testing.T) {
 // connection: the policy re-admits it and both workers finish the run.
 func TestRejoinResumesTraining(t *testing.T) {
 	policy := core.MustNewBSP(2)
-	srv, listener := startElasticServer(t, policy, ServerConfig{Elastic: true})
+	srv, listener := startElasticServer(t, policy, ServerConfig{Options: Options{Elastic: true}})
 
 	grad := []*tensor.Tensor{tensor.FromSlice([]float32{1, 1, 1, 1}, 4)}
 	c0 := dialClient(t, listener, 0)
@@ -260,8 +264,10 @@ func TestRejoinResumesTraining(t *testing.T) {
 func TestElasticCompletionWithPermanentDeparture(t *testing.T) {
 	policy := core.MustNewASP(2)
 	srv, listener := startElasticServer(t, policy, ServerConfig{
-		Elastic:          true,
-		HeartbeatTimeout: 100 * time.Millisecond,
+		Options: Options{
+			Elastic:          true,
+			HeartbeatTimeout: 100 * time.Millisecond,
+		},
 	})
 
 	c0 := dialClient(t, listener, 0)
@@ -315,7 +321,7 @@ func TestGracefulLeaveNotifiesPolicy(t *testing.T) {
 // the stale connection — instead of hanging on replies that will never come.
 func TestStaleSessionIsToldToRejoin(t *testing.T) {
 	policy := core.MustNewASP(1)
-	_, listener := startElasticServer(t, policy, ServerConfig{Elastic: true})
+	_, listener := startElasticServer(t, policy, ServerConfig{Options: Options{Elastic: true}})
 
 	conn1, err := listener.Dial()
 	if err != nil {

@@ -31,6 +31,11 @@ type shard struct {
 	opt     optimizer.Optimizer
 	version int64
 
+	// agg replaces plain summation when a robust aggregator is configured
+	// (Store.SetAggregator); nil keeps the classic sum fast path. Only the
+	// applier reads it after configuration.
+	agg aggregator
+
 	// applied counts the pushes this shard has absorbed; the store-wide
 	// applied version is the minimum over shards. Unlike version (which the
 	// checkpoint restore path also bumps, to invalidate the packed cache) it
@@ -79,7 +84,22 @@ func (sh *shard) enqueue(grads []*tensor.Tensor) {
 // batch's storage, so two batches' worth of queue capacity is reused
 // indefinitely.
 func (sh *shard) takePending() [][]*tensor.Tensor {
+	return sh.takeBatch(1, 0)
+}
+
+// takeBatch is the window-aware queue drain: it returns the queued pushes as
+// one batch when the soft aggregation barrier is met — at least window
+// pushes are waiting, or a demanded ticket (a queued release, an explicit
+// flush) lies beyond what this shard has applied — and nil otherwise,
+// leaving the queue to keep filling. window 1 reproduces the classic
+// drain-whatever-is-there behaviour exactly.
+func (sh *shard) takeBatch(window, demand int64) [][]*tensor.Tensor {
 	sh.pendingMu.Lock()
+	n := int64(len(sh.pending))
+	if n == 0 || (n < window && demand <= sh.applied.Load()) {
+		sh.pendingMu.Unlock()
+		return nil
+	}
 	batch := sh.pending
 	sh.pending = sh.spare[:0]
 	sh.pendingMu.Unlock()
@@ -94,9 +114,18 @@ func (sh *shard) takePending() [][]*tensor.Tensor {
 // mutated. version and applied advance by the batch size, so readers observe
 // the same counts as k serial applies.
 func (sh *shard) applyBatch(batch [][]*tensor.Tensor) {
-	grads := batch[0]
-	if len(batch) > 1 {
+	// The aggregation seam: a configured robust aggregator reduces the batch
+	// in place of the classic sum. Both paths leave the queued gradient
+	// slices untouched — the result aliases batch[0] or aggregator-owned
+	// scratch.
+	var grads []*tensor.Tensor
+	switch {
+	case sh.agg != nil:
+		grads = sh.agg.combine(batch)
+	case len(batch) > 1:
 		grads = sh.sum(batch)
+	default:
+		grads = batch[0]
 	}
 	sh.mu.Lock()
 	next := make([]*tensor.Tensor, len(sh.params))

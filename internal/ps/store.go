@@ -10,6 +10,7 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dssp/internal/compress"
 	"dssp/internal/optimizer"
@@ -65,6 +66,18 @@ type Store struct {
 	// pipeline. version <= reserved always; they are equal when the pipeline
 	// is drained.
 	reserved atomic.Int64
+
+	// aggCfg and the soft aggregation barrier (SetAggregator): window is how
+	// many pushes an applier tries to collect before taking one aggregated
+	// step, and demand is the highest ticket someone is known to be waiting
+	// on (Flush raises it to reserved) — a shard publishes a partial window
+	// as soon as a demanded ticket is sitting in it, so windowed aggregation
+	// can delay releases but never deadlock them. Both stay at their
+	// defaults (window 1, demand 0) for the classic sum pipeline, making
+	// takeBatch's window check free in the fast path.
+	aggCfg AggregatorConfig
+	window atomic.Int64
+	demand atomic.Int64
 
 	// applyMu fences the apply pipeline's lifecycle: EnqueueApply holds the
 	// read side across ticket assignment and queue insertion, Close and the
@@ -153,7 +166,81 @@ func NewStoreSharded(initial []*tensor.Tensor, opt optimizer.Optimizer, shards i
 		}
 		st.shards[i] = &shard{params: params, opt: opt.Clone(), wake: make(chan struct{}, 1)}
 	}
+	st.window.Store(1)
+	st.aggCfg = AggregatorConfig{}.Normalized()
 	return st, nil
+}
+
+// SetAggregator installs the batch-reduction strategy the per-shard appliers
+// use (plain sum, norm-clipped sum, trimmed mean, coordinate median) and its
+// aggregation window. It must be called before the first push is enqueued —
+// swapping the estimator under a live pipeline would mix semantics within
+// one window — and is typically driven by ServerConfig.Aggregator.
+func (s *Store) SetAggregator(cfg AggregatorConfig) error {
+	cfg = cfg.Normalized()
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	s.applyMu.Lock()
+	defer s.applyMu.Unlock()
+	if s.running {
+		return fmt.Errorf("ps: SetAggregator requires an idle apply pipeline (configure before pushes)")
+	}
+	s.aggCfg = cfg
+	for _, sh := range s.shards {
+		sh.agg = newAggregator(cfg)
+	}
+	window := int64(cfg.Window)
+	if window < 1 {
+		window = 1
+	}
+	s.window.Store(window)
+	return nil
+}
+
+// AggregatorConfigured returns the normalized aggregator configuration in
+// effect (the zero AggregatorConfig — plain sum — unless SetAggregator ran).
+func (s *Store) AggregatorConfigured() AggregatorConfig { return s.aggCfg }
+
+// SetWindow adjusts the aggregation window at run time, clamped to at least
+// 1. The server shrinks it as workers finish or depart so a thinning cohort
+// does not leave every remaining push waiting out the watchdog; it never
+// grows the window beyond the configured one.
+func (s *Store) SetWindow(n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.window.Store(int64(n))
+	s.wakeAppliers()
+}
+
+// Flush asks the appliers to publish everything accepted so far without
+// waiting for aggregation windows to fill: it raises the demanded ticket to
+// reserved and wakes every shard. Callers that need the result visible
+// should WaitApplied on the ticket of interest afterwards; Flush itself does
+// not block.
+func (s *Store) Flush() {
+	r := s.reserved.Load()
+	if r <= s.version.Load() {
+		return
+	}
+	for {
+		d := s.demand.Load()
+		if d >= r || s.demand.CompareAndSwap(d, r) {
+			break
+		}
+	}
+	s.wakeAppliers()
+}
+
+// wakeAppliers nudges every shard's applier to re-evaluate its queue.
+func (s *Store) wakeAppliers() {
+	for _, sh := range s.shards {
+		select {
+		case sh.wake <- struct{}{}:
+		default:
+		}
+	}
 }
 
 // Shards returns the number of shards the parameters are partitioned into.
@@ -236,6 +323,38 @@ func (s *Store) startAppliers() {
 	for i := range s.shards {
 		go s.applier(s.shards[i], s.stop)
 	}
+	if s.aggCfg.Window > 1 || s.aggCfg.Windowed() {
+		// Windowed aggregation needs a liveness net: a partial window whose
+		// remaining contributors crashed, finished, or are simply slow would
+		// otherwise hold its tickets (and any release gated on them)
+		// forever. The watchdog force-flushes whenever a tick passes with
+		// tickets outstanding and no published progress.
+		s.applierWG.Add(1)
+		go s.watchdog(s.stop)
+	}
+}
+
+// watchdog force-publishes stalled partial aggregation windows: when a full
+// FlushInterval elapses with pushes reserved but the applied version not
+// moving, it flushes. Worst-case added release latency is therefore two
+// ticks; steady-state full windows never wait for it.
+func (s *Store) watchdog(stop <-chan struct{}) {
+	defer s.applierWG.Done()
+	ticker := time.NewTicker(s.aggCfg.FlushInterval)
+	defer ticker.Stop()
+	last := int64(-1)
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+			v := s.version.Load()
+			if v == last && s.reserved.Load() > v {
+				s.Flush()
+			}
+			last = v
+		}
+	}
 }
 
 // applier is one shard's persistent apply loop: it drains the shard's queue
@@ -246,7 +365,7 @@ func (s *Store) startAppliers() {
 func (s *Store) applier(sh *shard, stop <-chan struct{}) {
 	defer s.applierWG.Done()
 	for {
-		if batch := sh.takePending(); len(batch) > 0 {
+		if batch := sh.takeBatch(s.window.Load(), s.demand.Load()); len(batch) > 0 {
 			sh.applyBatch(batch)
 			s.advanceApplied()
 			continue

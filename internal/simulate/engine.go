@@ -21,10 +21,26 @@ type RunConfig struct {
 	Policy core.PolicyConfig
 	// IterationsPerWorker is how many mini-batches each worker processes.
 	IterationsPerWorker int
-	// Failures schedules worker crashes during the run, exercising the
-	// policies' membership semantics (Policy.OnLeave) under the same
-	// event-driven driver the real parameter server shares.
+	// Events schedules mid-run perturbations: crashes, rejoins, delay
+	// shifts and adversary toggles (see Event). It subsumes Failures.
+	Events []Event
+	// Failures schedules worker crashes during the run.
+	//
+	// Deprecated: Failures is the crash-only predecessor of Events; each
+	// entry behaves exactly like Crash(f.Worker, f.At). Both fields may be
+	// set; their events merge.
 	Failures []WorkerFailure
+	// Links assigns Markov-modulated delay models to worker links (see
+	// LinkModel and the Link* presets). Workers absent from the map have
+	// calm links.
+	Links map[int]LinkModel
+	// Adversaries assigns initial clock-level Byzantine behaviours to
+	// workers (toggled mid-run by EventAdversary).
+	Adversaries map[int]AdversaryKind
+	// Guard enables the simulated server's anomaly guard: flagged pushes
+	// are dropped and repeat offenders evicted, mirroring the real
+	// server's GuardConfig.
+	Guard GuardSpec
 	// Seed drives compute-time jitter.
 	Seed int64
 }
@@ -64,6 +80,15 @@ type RunResult struct {
 	Staleness *metrics.Histogram
 	// DroppedUpdates counts pushes discarded by the policy (backup workers).
 	DroppedUpdates int
+	// GuardDropped counts pushes rejected by the anomaly guard (zero
+	// unless RunConfig.Guard is enabled).
+	GuardDropped int
+	// Flags is the guard's per-worker anomaly count.
+	Flags []int
+	// Evicted lists workers the guard evicted, in eviction order.
+	Evicted []int
+	// Rejoins counts workers brought back by EventRejoin.
+	Rejoins int
 	// Bounded reports whether the paradigm guarantees any staleness bound
 	// (every paradigm except ASP).
 	Bounded bool
@@ -102,8 +127,14 @@ const (
 	// evPullDone fires when a released worker has finished pulling the
 	// fresh global weights.
 	evPullDone
-	// evFail fires when a worker crashes (RunConfig.Failures).
+	// evFail fires when a worker crashes (EventCrash / RunConfig.Failures).
 	evFail
+	// evRejoin fires when a crashed worker comes back (EventRejoin).
+	evRejoin
+	// evDelayShift rescales a worker's compute time (EventDelayShift).
+	evDelayShift
+	// evAdversary switches a worker's adversary behaviour (EventAdversary).
+	evAdversary
 )
 
 // event is one entry of the simulation's time-ordered queue.
@@ -112,6 +143,13 @@ type event struct {
 	seq    int
 	kind   eventKind
 	worker int
+	// extra marks a flood adversary's surplus pushes: they traverse the
+	// full push path but do not consume the worker's iteration budget.
+	extra bool
+	// factor carries the delay-shift multiplier.
+	factor float64
+	// adversary carries the behaviour an evAdversary event installs.
+	adversary AdversaryKind
 }
 
 // eventQueue is a min-heap of events ordered by time then insertion order.
@@ -155,6 +193,18 @@ type simulation struct {
 	failed        []bool
 	finishedAt    []time.Duration
 	version       int
+
+	// speedScale multiplies each worker's compute time (EventDelayShift).
+	speedScale []float64
+	// links is the per-worker Markov link state.
+	links []linkState
+	// adversary is each worker's current behaviour.
+	adversary []AdversaryKind
+
+	// Guard state (nil monitor when the guard is disabled).
+	guardCfg GuardSpec
+	monitor  *core.ClockMonitor
+	strikes  []int
 
 	linkFreeAt time.Duration
 	cpuFreeAt  time.Duration
@@ -209,11 +259,40 @@ func Run(cfg RunConfig) (*RunResult, error) {
 	}
 	_, sim.result.Bounded = policy.(core.StalenessBounder)
 
+	sim.speedScale = make([]float64, workers)
+	sim.links = make([]linkState, workers)
+	sim.adversary = make([]AdversaryKind, workers)
+	for w := 0; w < workers; w++ {
+		sim.speedScale[w] = 1
+		sim.links[w] = newLinkState(cfg.Links[w])
+		sim.adversary[w] = cfg.Adversaries[w]
+	}
+	sim.guardCfg = cfg.Guard.normalized()
+	if sim.guardCfg.Enabled {
+		sim.monitor = core.NewClockMonitor(workers, sim.guardCfg.FloodSlack)
+		sim.strikes = make([]int, workers)
+		sim.result.Flags = make([]int, workers)
+	}
+
+	events := make([]Event, 0, len(cfg.Events)+len(cfg.Failures))
+	events = append(events, cfg.Events...)
 	for _, f := range cfg.Failures {
-		if f.Worker < 0 || f.Worker >= workers {
-			return nil, fmt.Errorf("simulate: failure names worker %d outside [0,%d)", f.Worker, workers)
+		events = append(events, Crash(f.Worker, f.At))
+	}
+	for _, e := range events {
+		if err := e.validate(workers); err != nil {
+			return nil, err
 		}
-		sim.schedule(f.At, evFail, f.Worker)
+		switch e.Kind {
+		case EventCrash:
+			sim.schedule(e.At, evFail, e.Worker)
+		case EventRejoin:
+			sim.scheduleEvent(event{at: e.At, kind: evRejoin, worker: e.Worker})
+		case EventDelayShift:
+			sim.scheduleEvent(event{at: e.At, kind: evDelayShift, worker: e.Worker, factor: e.Factor})
+		case EventAdversary:
+			sim.scheduleEvent(event{at: e.At, kind: evAdversary, worker: e.Worker, adversary: e.Adversary})
+		}
 	}
 	for w := 0; w < workers; w++ {
 		sim.remaining[w] = cfg.IterationsPerWorker
@@ -231,13 +310,19 @@ func Run(cfg RunConfig) (*RunResult, error) {
 
 // schedule enqueues an event.
 func (s *simulation) schedule(at time.Duration, kind eventKind, worker int) {
-	heap.Push(s.queue, event{at: at, seq: s.seq, kind: kind, worker: worker})
+	s.scheduleEvent(event{at: at, kind: kind, worker: worker})
+}
+
+// scheduleEvent enqueues a fully specified event.
+func (s *simulation) scheduleEvent(ev event) {
+	ev.seq = s.seq
 	s.seq++
+	heap.Push(s.queue, ev)
 }
 
 // computeTime samples one mini-batch duration for the given worker.
 func (s *simulation) computeTime(w int) time.Duration {
-	mean := float64(s.cfg.Model.ComputeTime) / s.cfg.Cluster.Workers[w].Speed
+	mean := float64(s.cfg.Model.ComputeTime) / s.cfg.Cluster.Workers[w].Speed * s.speedScale[w]
 	jitter := 1 + s.cfg.Cluster.ComputeJitter*s.rng.NormFloat64()
 	if jitter < 0.3 {
 		jitter = 0.3
@@ -257,12 +342,13 @@ func acquire(freeAt *time.Duration, now, cost time.Duration) time.Duration {
 	return end
 }
 
-// run drains the event queue. Events of a crashed worker are discarded: its
-// in-flight push or pull died with it.
+// run drains the event queue. Events of a crashed worker are discarded —
+// its in-flight push or pull died with it — except rejoins and state
+// changes, which must survive the crash to take effect afterwards.
 func (s *simulation) run() {
 	for s.queue.Len() > 0 {
 		ev := heap.Pop(s.queue).(event)
-		if s.failed[ev.worker] {
+		if s.failed[ev.worker] && ev.kind != evRejoin && ev.kind != evDelayShift && ev.kind != evAdversary {
 			continue
 		}
 		switch ev.kind {
@@ -274,46 +360,88 @@ func (s *simulation) run() {
 			s.onPullDone(ev)
 		case evFail:
 			s.onFail(ev)
+		case evRejoin:
+			s.onRejoin(ev)
+		case evDelayShift:
+			s.speedScale[ev.worker] = ev.factor
+		case evAdversary:
+			s.adversary[ev.worker] = ev.adversary
 		}
 	}
 }
 
-// effectiveTransfer returns the transfer cost on the critical path: barrier
-// paradigms pay it in full, asynchronous-like paradigms hide CommOverlap of
-// it behind computation.
-func (s *simulation) effectiveTransfer() time.Duration {
-	if s.aggregated {
-		return s.transfer
+// effectiveTransfer returns worker w's transfer cost on the critical path at
+// time now: barrier paradigms pay it in full, asynchronous-like paradigms
+// hide CommOverlap of it behind computation, and the worker's link model
+// (if any) scales the result by its current Markov state.
+func (s *simulation) effectiveTransfer(w int, now time.Duration) time.Duration {
+	base := s.transfer
+	if !s.aggregated {
+		overlap := s.cfg.Cluster.CommOverlap
+		if overlap < 0 {
+			overlap = 0
+		}
+		if overlap > 1 {
+			overlap = 1
+		}
+		base = time.Duration(float64(s.transfer) * (1 - overlap))
 	}
-	overlap := s.cfg.Cluster.CommOverlap
-	if overlap < 0 {
-		overlap = 0
-	}
-	if overlap > 1 {
-		overlap = 1
-	}
-	return time.Duration(float64(s.transfer) * (1 - overlap))
+	return time.Duration(float64(base) * s.links[w].multiplier(now, s.rng))
 }
 
 // onComputeDone sends the worker's gradient to the server over the shared
-// link.
+// link. A flood adversary emits floodBurst copies back to back; only the
+// first consumes the worker's iteration budget.
 func (s *simulation) onComputeDone(ev event) {
-	arrival := acquire(&s.linkFreeAt, ev.at, s.effectiveTransfer())
-	s.schedule(arrival, evPushArrive, ev.worker)
+	arrival := acquire(&s.linkFreeAt, ev.at, s.effectiveTransfer(ev.worker, ev.at))
+	s.scheduleEvent(event{at: arrival, kind: evPushArrive, worker: ev.worker})
+	if s.adversary[ev.worker] == AdversaryPushFlood {
+		for i := 1; i < floodBurst; i++ {
+			arrival = acquire(&s.linkFreeAt, arrival, s.effectiveTransfer(ev.worker, arrival))
+			s.scheduleEvent(event{at: arrival, kind: evPushArrive, worker: ev.worker, extra: true})
+		}
+	}
 }
 
-// onPushArrive applies the update (unless dropped), consults the policy, and
-// starts the pull transfer of every released worker.
+// onPushArrive screens the push through the guard (if enabled), applies the
+// update (unless dropped), consults the policy, and starts the pull transfer
+// of every released worker. Mirroring the real server, an evicting push
+// never reaches the policy's OnPush — the worker leaves instead.
 func (s *simulation) onPushArrive(ev event) {
 	w := ev.worker
-	s.remaining[w]--
-	s.pushArrivedAt[w] = ev.at
-	s.waiting[w] = true
+	if !ev.extra {
+		s.remaining[w]--
+		s.pushArrivedAt[w] = ev.at
+		s.waiting[w] = true
+	}
+
+	guardDrop := false
+	if s.monitor != nil {
+		claimed := int64(s.baseVersion[w])
+		if s.adversary[w] == AdversaryLyingClock {
+			claimed = int64(s.version) + lieAhead
+		}
+		flags := len(s.monitor.ObservePush(core.WorkerID(w), claimed, int64(s.version)))
+		if flags > 0 {
+			s.result.Flags[w] += flags
+			s.strikes[w] += flags
+			s.result.GuardDropped++
+			guardDrop = true
+			if s.strikes[w] >= s.guardCfg.MaxStrikes {
+				s.result.Evicted = append(s.result.Evicted, w)
+				s.crashWorker(w, ev.at)
+				return
+			}
+		}
+	}
 
 	decision := s.policy.OnPush(core.WorkerID(w), time.Unix(0, 0).Add(ev.at))
 
 	readyAt := ev.at
-	if decision.Drop {
+	if guardDrop {
+		// Dropped by the guard; the policy's releases still flow so
+		// barrier paradigms never deadlock on a rejected payload.
+	} else if decision.Drop {
 		s.result.DroppedUpdates++
 	} else {
 		staleness := s.version - s.baseVersion[w]
@@ -342,19 +470,45 @@ func (s *simulation) onPushArrive(ev event) {
 // onFail crashes a worker: it stops computing, any queued events for it are
 // discarded by run, and the policy is told it left so that peers blocked on
 // it are re-evaluated — exactly what the real server does when a connection
-// dies or a lease expires.
+// dies or a lease expires. The worker's remaining iteration budget is
+// preserved so an EventRejoin can resume it.
 func (s *simulation) onFail(ev event) {
 	w := ev.worker
 	if s.remaining[w] <= 0 && !s.waiting[w] {
 		// Already finished; the crash is moot.
 		return
 	}
+	s.crashWorker(w, ev.at)
+}
+
+// crashWorker marks a worker dead (crash or guard eviction) and tells the
+// policy it left.
+func (s *simulation) crashWorker(w int, at time.Duration) {
 	s.failed[w] = true
 	s.waiting[w] = false
-	s.remaining[w] = 0
-	s.finishedAt[w] = ev.at
-	decision := s.policy.OnLeave(core.WorkerID(w), time.Unix(0, 0).Add(ev.at))
+	s.finishedAt[w] = at
+	decision := s.policy.OnLeave(core.WorkerID(w), time.Unix(0, 0).Add(at))
+	s.releaseWorkers(decision.Release, at)
+}
+
+// onRejoin resurrects a crashed worker: the policy admits it back, it pulls
+// fresh weights and resumes its remaining iterations.
+func (s *simulation) onRejoin(ev event) {
+	w := ev.worker
+	if !s.failed[w] || s.remaining[w] <= 0 {
+		return
+	}
+	s.failed[w] = false
+	s.finishedAt[w] = 0
+	s.result.Rejoins++
+	decision := s.policy.OnJoin(core.WorkerID(w), time.Unix(0, 0).Add(ev.at))
 	s.releaseWorkers(decision.Release, ev.at)
+	if s.monitor != nil {
+		s.monitor.ObservePull(core.WorkerID(w))
+	}
+	pullDone := acquire(&s.linkFreeAt, ev.at, s.effectiveTransfer(w, ev.at))
+	s.baseVersion[w] = s.version
+	s.schedule(pullDone, evPullDone, w)
 }
 
 // releaseWorkers processes a policy release list: waiting workers resume
@@ -374,12 +528,19 @@ func (s *simulation) releaseWorkers(release []core.WorkerID, readyAt time.Durati
 
 		if s.remaining[r] <= 0 {
 			// The worker has pushed its final gradient; it only needed the
-			// release to know the round completed.
+			// release to know the round completed. Mirroring the real
+			// server (Done then session close), it leaves the policy's
+			// accounting so laggards are not held to its frozen clock.
 			s.finishedAt[r] = releaseAt
+			d := s.policy.OnLeave(core.WorkerID(r), time.Unix(0, 0).Add(releaseAt))
+			s.releaseWorkers(d.Release, releaseAt)
 			continue
 		}
 		// Pull the fresh weights over the shared link, then start computing.
-		pullDone := acquire(&s.linkFreeAt, releaseAt, s.effectiveTransfer())
+		if s.monitor != nil {
+			s.monitor.ObservePull(core.WorkerID(r))
+		}
+		pullDone := acquire(&s.linkFreeAt, releaseAt, s.effectiveTransfer(r, releaseAt))
 		s.baseVersion[r] = s.version
 		s.schedule(pullDone, evPullDone, r)
 	}

@@ -1,0 +1,56 @@
+package trainer
+
+import "dssp/internal/tensor"
+
+// Adversary describes one Byzantine worker's behaviour. The worker computes
+// honest gradients from its data shard and then corrupts what it reports —
+// the standard model-poisoning threat model: the attacker controls its own
+// process, not the server or the network. The zero value is honest.
+type Adversary struct {
+	// GradScale multiplies every pushed gradient (applied after SignFlip);
+	// 0 means 1. Gradient-scaling poisoning uses large factors, e.g. 10; a
+	// negative factor combines scaling with ascent.
+	GradScale float64
+	// SignFlip negates every pushed gradient, turning the worker's descent
+	// contribution into ascent.
+	SignFlip bool
+	// LieVersion claims an impossibly fresh base version on every push — a
+	// lying clock that defeats staleness accounting (its updates look
+	// fresher than any honest worker's) unless the server's guard rejects
+	// the impossible claim.
+	LieVersion bool
+}
+
+// lieAhead is how far beyond the truth a lying clock claims its base
+// version: far enough that no real version catches up mid-run.
+const lieAhead = 1 << 20
+
+// active reports whether the adversary corrupts anything.
+func (a Adversary) active() bool {
+	return (a.GradScale != 0 && a.GradScale != 1) || a.SignFlip || a.LieVersion
+}
+
+// corrupt rewrites one push in place — the gradients are the worker's own
+// clone — returning the base version the adversary claims.
+func (a Adversary) corrupt(grads []*tensor.Tensor, version int64) int64 {
+	scale := a.GradScale
+	if scale == 0 {
+		scale = 1
+	}
+	if a.SignFlip {
+		scale = -scale
+	}
+	if scale != 1 {
+		f := float32(scale)
+		for _, g := range grads {
+			d := g.Data()
+			for i := range d {
+				d[i] *= f
+			}
+		}
+	}
+	if a.LieVersion {
+		return version + lieAhead
+	}
+	return version
+}

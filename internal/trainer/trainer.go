@@ -12,7 +12,6 @@ import (
 	"sync"
 	"time"
 
-	"dssp/internal/compress"
 	"dssp/internal/core"
 	"dssp/internal/data"
 	"dssp/internal/metrics"
@@ -57,30 +56,26 @@ type Config struct {
 	// parameter store; 0 picks one per CPU. More shards mean more
 	// pull/push concurrency on the server.
 	Shards int
-	// Compression selects the gradient codec on the worker↔server path;
-	// the zero value trains uncompressed.
-	Compression compress.Config
+	// Options is the server-side serving surface (compression, aggregation,
+	// guard, elasticity, heartbeat timeout, checkpointing), embedded so its
+	// fields read as they always did (cfg.Compression, cfg.Elastic, ...).
+	// Note for elastic runs: in-process workers have no reconnect loop, so
+	// set HeartbeatInterval or a HeartbeatTimeout comfortably above the
+	// longest iteration — an evicted honest worker fails the run.
+	ps.Options
 	// DeltaPull makes workers request version-gated delta pulls: each pull
 	// sends the per-shard versions the worker already holds and the server
 	// skips shards unchanged since, trimming pull traffic whenever a worker
 	// pulls before any new update landed.
 	DeltaPull bool
-	// Elastic enables session-lease monitoring on the server: workers that
-	// stay silent past HeartbeatTimeout are evicted from synchronization
-	// accounting instead of stalling their peers. Elastic runs should set
-	// HeartbeatInterval (or a HeartbeatTimeout comfortably above the longest
-	// iteration): in-process workers have no reconnect loop, so an evicted
-	// worker fails the run.
-	Elastic bool
 	// HeartbeatInterval is how often each worker proves liveness; 0 sends no
 	// heartbeats (a dead connection is still detected through Recv errors).
 	HeartbeatInterval time.Duration
-	// HeartbeatTimeout is the server-side lease length in elastic mode; 0
-	// picks the default (5s).
-	HeartbeatTimeout time.Duration
-	// Checkpoint periodically snapshots the parameter store so a later run
-	// can resume from it.
-	Checkpoint ps.CheckpointConfig
+	// Adversaries makes listed workers Byzantine: their honest gradients are
+	// corrupted per the Adversary before pushing. An adversary whose
+	// connection dies mid-run (guard eviction) is recorded as crashed, not
+	// as a run failure.
+	Adversaries map[int]Adversary
 	// CrashAt injects faults for elasticity tests and demos: a worker listed
 	// here abruptly drops its connection before pushing the given iteration
 	// (0-based) — no Done, no Leave, exactly like a process kill. The run is
@@ -109,8 +104,12 @@ type Result struct {
 	// away).
 	Dropped int
 	// Crashed lists the workers that dropped out mid-run (fault injection
-	// via Config.CrashAt, or a worker goroutine dying on a closed server).
+	// via Config.CrashAt, a guard-evicted adversary, or a worker goroutine
+	// dying on a closed server).
 	Crashed []int
+	// Guard is the anomaly guard's accounting (zero unless Options.Guard
+	// was enabled): per-worker flag counts, evictions, rejected pushes.
+	Guard ps.GuardStats
 	// Duration is the total wall-clock training time.
 	Duration time.Duration
 	// FinalAccuracy is the test accuracy of the final model.
@@ -170,13 +169,10 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	server, err := ps.NewServer(ps.ServerConfig{
-		Workers:          cfg.Workers,
-		Policy:           policy,
-		Store:            store,
-		Compression:      cfg.Compression,
-		Elastic:          cfg.Elastic,
-		HeartbeatTimeout: cfg.HeartbeatTimeout,
-		Checkpoint:       cfg.Checkpoint,
+		Workers: cfg.Workers,
+		Policy:  policy,
+		Store:   store,
+		Options: cfg.Options,
 	})
 	if err != nil {
 		return nil, err
@@ -304,6 +300,7 @@ poll:
 	result.Waits = server.Waits()
 	result.Updates = server.Pushes()
 	result.Dropped = server.Dropped()
+	result.Guard = server.GuardStats()
 	crashedMu.Lock()
 	result.Crashed = crashed
 	crashedMu.Unlock()
@@ -367,6 +364,7 @@ func runWorker(cfg Config, listener *transport.ChanListener, workerID, totalIter
 	}
 
 	crashAt, crashes := cfg.CrashAt[workerID]
+	adv := cfg.Adversaries[workerID]
 
 	for it := 0; it < totalIters; it++ {
 		if crashes && it == crashAt {
@@ -379,7 +377,7 @@ func runWorker(cfg Config, listener *transport.ChanListener, workerID, totalIter
 		// Step 1 of the iteration: pull the global weights and adopt them.
 		params, version, err := client.Pull()
 		if err != nil {
-			return report, err
+			return adversaryExit(adv, report, err)
 		}
 		if err := replica.SetParams(params); err != nil {
 			return report, err
@@ -396,16 +394,36 @@ func runWorker(cfg Config, listener *transport.ChanListener, workerID, totalIter
 		if delay > 0 {
 			time.Sleep(delay)
 		}
-		// Step 3: push the gradients and wait for the server's OK.
-		if err := client.PushAndWait(replica.CloneGrads(), version, it); err != nil {
-			return report, err
+		// Step 3: push the gradients and wait for the server's OK. A listed
+		// adversary corrupts the push first (and may lie about its base
+		// version); the tensors are this worker's own clone, so corruption
+		// never leaks into the replica.
+		grads := replica.CloneGrads()
+		claimed := version
+		if adv.active() {
+			claimed = adv.corrupt(grads, version)
+		}
+		if err := client.PushAndWait(grads, claimed, it); err != nil {
+			return adversaryExit(adv, report, err)
 		}
 	}
 	if err := client.Done(); err != nil {
-		return report, err
+		return adversaryExit(adv, report, err)
 	}
 	report.pushed, report.pulled = client.Traffic()
 	return report, nil
+}
+
+// adversaryExit classifies a worker's client error: for a listed adversary a
+// dying connection is the expected fate — the guard evicts it and closes the
+// socket — so it is recorded as a crash, like CrashAt fault injection, and
+// the run continues without it. Honest workers keep failing the run loudly.
+func adversaryExit(adv Adversary, report workerReport, err error) (workerReport, error) {
+	if adv.active() {
+		report.crashed = true
+		return report, nil
+	}
+	return report, err
 }
 
 // max64 returns the larger of two int64 values.

@@ -1,0 +1,166 @@
+package dssp
+
+import (
+	"time"
+
+	"dssp/internal/ps"
+	"dssp/internal/trainer"
+)
+
+// Adversary makes one worker Byzantine for robustness experiments: it still
+// computes honest gradients from its data shard, then corrupts what it tells
+// the server. The zero value is honest. An adversarial worker is expected to
+// be neutralized — its updates out-voted by a robust Aggregator, or the
+// worker evicted by the Guard — so its connection dying mid-run counts as a
+// crash, not an error.
+type Adversary struct {
+	// GradScale multiplies every pushed gradient (after sign flipping);
+	// 0 means 1. Large positive values model gradient-scaling poisoning,
+	// e.g. 10 or -10.
+	GradScale float64
+	// SignFlip negates every pushed gradient — ascent instead of descent.
+	SignFlip bool
+	// LieVersion claims an impossibly fresh base version on every push (a
+	// lying clock), defeating staleness accounting unless the Guard catches
+	// it.
+	LieVersion bool
+}
+
+// internalAdversaries converts the public adversary map into the trainer's.
+func internalAdversaries(m map[int]Adversary) map[int]trainer.Adversary {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make(map[int]trainer.Adversary, len(m))
+	for w, a := range m {
+		out[w] = trainer.Adversary{GradScale: a.GradScale, SignFlip: a.SignFlip, LieVersion: a.LieVersion}
+	}
+	return out
+}
+
+// Aggregator names for Aggregator.Kind.
+const (
+	// AggregateSum sums pushed gradients — the classic parameter-server
+	// update and the default. Undefended: one Byzantine worker scaling its
+	// gradients steers the whole model.
+	AggregateSum = ps.AggSum
+	// AggregateClipped caps each push's per-tensor L2 norm before summing,
+	// bounding any single worker's influence on an update.
+	AggregateClipped = ps.AggClipped
+	// AggregateTrimmedMean applies the coordinate-wise trimmed mean over a
+	// window of pushes, discarding the extremes each coordinate saw.
+	AggregateTrimmedMean = ps.AggTrimmedMean
+	// AggregateMedian applies the coordinate-wise median over a window of
+	// pushes — the most aggressive robust estimator.
+	AggregateMedian = ps.AggMedian
+)
+
+// Aggregator selects how the parameter server reduces pushed gradients into
+// optimizer steps. The zero value is plain summation, bit-identical to the
+// classic pipeline; the robust kinds trade a little aggregation latency for
+// tolerance of Byzantine (poisoned) gradients.
+type Aggregator struct {
+	// Kind is AggregateSum (""), AggregateClipped, AggregateTrimmedMean or
+	// AggregateMedian.
+	Kind string
+	// ClipNorm is the per-tensor L2 cap for AggregateClipped; required
+	// positive for that kind, ignored elsewhere.
+	ClipNorm float64
+	// Trim is the per-side trim fraction in [0, 0.5) for
+	// AggregateTrimmedMean; 0 selects the default (0.25).
+	Trim float64
+	// Window is how many pushes the windowed kinds aggregate per step; 0
+	// lets the server pick (the worker count). Partial windows are
+	// force-published whenever a release waits on them, so per-push
+	// paradigms (ASP/SSP/DSSP) stay live.
+	Window int
+}
+
+// internal converts the public knob into the ps-layer configuration.
+func (a Aggregator) internal() ps.AggregatorConfig {
+	return ps.AggregatorConfig{Kind: a.Kind, ClipNorm: a.ClipNorm, Trim: a.Trim, Window: a.Window}
+}
+
+// String renders the configuration, e.g. "trimmed-mean(0.25)/w4".
+func (a Aggregator) String() string { return a.internal().String() }
+
+// Guard configures server-side anomaly screening: pushes with outlier
+// gradient norms, impossible version claims, or flood-like cadence are
+// dropped, and workers that keep offending are evicted from the run exactly
+// like workers whose lease expired. The zero value screens nothing.
+type Guard struct {
+	// Enabled turns the guard on.
+	Enabled bool
+	// NormFactor flags pushes whose gradient norm exceeds this multiple of
+	// the trailing median; 0 selects the default (8). Negative disables the
+	// norm check while keeping the clock checks.
+	NormFactor float64
+	// MaxStrikes is how many flagged pushes evict a worker; 0 selects the
+	// default (3).
+	MaxStrikes int
+	// FloodSlack is how many pushes per pull a worker may make before being
+	// flagged; 0 selects the default (3).
+	FloodSlack int
+}
+
+// internal converts the public knob into the ps-layer configuration.
+func (g Guard) internal() ps.GuardConfig {
+	return ps.GuardConfig{Enabled: g.Enabled, NormFactor: g.NormFactor,
+		MaxStrikes: g.MaxStrikes, FloodSlack: g.FloodSlack}
+}
+
+// Options is the serving surface shared by every way of standing up a
+// cluster — TrainConfig (in-process), ServerConfig and WorkerConfig (TCP) —
+// which embed it, so cfg.Compression and friends read exactly as before the
+// consolidation. A few fields are one-sided and ignored by the other role:
+// Aggregator, Guard, Elastic, HeartbeatTimeout and Checkpoint act on the
+// server; DeltaPull and HeartbeatInterval act on workers. TrainConfig drives
+// both sides, so every field applies there.
+type Options struct {
+	// Shards is the number of independently locked parameter-store
+	// partitions (0 = one per CPU). Pulls from different workers read shards
+	// concurrently and gradient application parallelizes across shards. On
+	// WorkerConfig it is instead the expected server layout: positive values
+	// are checked at registration, 0 accepts any.
+	Shards int
+	// Compression selects the gradient codec on the worker↔server wire; the
+	// zero value trains uncompressed. On WorkerConfig an empty codec means
+	// "adopt whatever the server speaks".
+	Compression Compression
+	// Aggregator selects how the server reduces pushed gradients into
+	// optimizer steps; the zero value is plain summation.
+	Aggregator Aggregator
+	// Guard enables server-side anomaly screening and eviction.
+	Guard Guard
+	// DeltaPull makes workers request version-gated delta pulls, skipping
+	// the re-download of parameter-store shards unchanged since the
+	// worker's previous pull.
+	DeltaPull bool
+	// Elastic enables worker-churn tolerance on the server: sessions are
+	// lease-monitored and a silent worker is evicted from synchronization
+	// accounting instead of stalling its peers. A dead connection always
+	// notifies the policy, Elastic or not.
+	Elastic bool
+	// HeartbeatInterval is how often workers prove liveness; 0 disables
+	// heartbeats. Set it on elastic runs — a worker silent past
+	// HeartbeatTimeout is evicted.
+	HeartbeatInterval time.Duration
+	// HeartbeatTimeout is the server-side session lease in elastic mode; 0
+	// picks the default (5s).
+	HeartbeatTimeout time.Duration
+	// Checkpoint periodically snapshots the parameter store to disk.
+	Checkpoint Checkpoint
+}
+
+// serverOptions maps the public surface onto the ps-layer option set the
+// server consumes — the one defaulting+validation funnel for every caller.
+func (o Options) serverOptions() ps.Options {
+	return ps.Options{
+		Compression:      o.Compression.internal(),
+		Aggregator:       o.Aggregator.internal(),
+		Guard:            o.Guard.internal(),
+		Elastic:          o.Elastic,
+		HeartbeatTimeout: o.HeartbeatTimeout,
+		Checkpoint:       o.Checkpoint.internal(),
+	}
+}

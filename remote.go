@@ -48,26 +48,12 @@ type ServerConfig struct {
 	LearningRate float64
 	Momentum     float64
 	WeightDecay  float64
-	// Shards is the number of independently locked parameter-store
-	// partitions (0 = one per CPU); pulls stream one wire chunk per shard.
-	Shards int
-	// Compression selects the gradient codec this server speaks; workers
-	// must register with a matching configuration (or CompressAuto) or are
-	// rejected at registration.
-	Compression Compression
-	// Elastic makes the worker set dynamic: sessions are lease-monitored
-	// (HeartbeatTimeout), a silent or crashed worker is evicted from
-	// synchronization accounting so its peers keep training, and the run
-	// completes once every live worker finished. A dead connection notifies
-	// the policy regardless of this flag.
-	Elastic bool
-	// HeartbeatTimeout is how long a worker session may stay silent before
-	// eviction; 0 selects the default (5s) when Elastic is set.
-	HeartbeatTimeout time.Duration
-	// Checkpoint periodically snapshots weights + optimizer state + version
-	// to disk. When the directory already holds a checkpoint, Serve restores
-	// it and the run resumes where the previous server stopped.
-	Checkpoint Checkpoint
+	// Options is the shared serving surface (sharding, compression,
+	// aggregation, guard, elasticity, heartbeat timeout, checkpointing);
+	// its fields are embedded and read as they always did
+	// (cfg.Compression, cfg.Elastic, ...). DeltaPull and HeartbeatInterval
+	// are worker-side knobs and ignored here.
+	Options
 	// DisableDeltaPull refuses workers' requests for version-gated delta
 	// pulls (the default grants them), forcing full weight chunks on every
 	// pull — an A/B and debugging knob.
@@ -183,10 +169,7 @@ func Serve(cfg ServerConfig) (*Server, error) {
 		Workers:          cfg2.Workers,
 		Policy:           policy,
 		Store:            store,
-		Compression:      cfg.Compression.internal(),
-		Elastic:          cfg.Elastic,
-		HeartbeatTimeout: cfg.HeartbeatTimeout,
-		Checkpoint:       cfg.Checkpoint.internal(),
+		Options:          cfg.Options.serverOptions(),
 		DisableDeltaPull: cfg.DisableDeltaPull,
 	})
 	if err != nil {
@@ -227,20 +210,20 @@ type WorkerConfig struct {
 	Seed      int64
 	// Delay adds an artificial per-iteration delay to emulate a slower GPU.
 	Delay time.Duration
-	// Compression selects the gradient codec. The zero value (empty Codec)
-	// adopts whatever the server speaks; an explicit codec must match the
-	// server's exactly or registration fails.
-	Compression Compression
-	// Shards, when positive, is the parameter-store shard count this worker
-	// expects the server to run with; a mismatch aborts at registration.
-	// Zero accepts any layout (the server streams it per pull anyway).
-	Shards int
-	// DeltaPull requests version-gated delta pulls: every pull after the
-	// first sends the per-shard versions this worker already holds, and the
-	// server skips the shards that have not changed since. Servers that
-	// predate the feature, or run with -delta-pull=false, simply do not
-	// grant it and pulls stay full.
-	DeltaPull bool
+	// Options is the shared serving surface. For a worker the acting fields
+	// are Compression (the zero value adopts whatever the server speaks; an
+	// explicit codec must match the server's exactly), Shards (when
+	// positive, the store layout this worker expects — a mismatch aborts at
+	// registration; zero accepts any), DeltaPull (request version-gated
+	// delta pulls; ungranting servers keep pulls full) and
+	// HeartbeatInterval. The server-side fields are ignored here.
+	Options
+	// Adversary, when not 0 or 1, makes this worker Byzantine for robustness
+	// experiments: every pushed gradient is scaled by this factor (e.g. -10
+	// for scaled ascent). An adversarial worker losing its connection is
+	// reported as Crashed — the expected fate under a guarded server — not
+	// as an error.
+	Adversary float64
 	// Reconnect makes the worker ride through connection failures: on any
 	// transport error it redials the server (with backoff, for up to
 	// ReconnectTimeout), rejoins carrying the last store version it saw, and
@@ -250,9 +233,6 @@ type WorkerConfig struct {
 	// ReconnectTimeout bounds each reconnection attempt sequence; 0 means
 	// the default 30s.
 	ReconnectTimeout time.Duration
-	// HeartbeatInterval is how often the worker proves liveness to an
-	// elastic server; 0 disables heartbeats.
-	HeartbeatInterval time.Duration
 	// FailAfter > 0 injects a fault for demos and tests: the worker drops
 	// its connection abruptly — no Done, no Leave, like a process kill —
 	// before starting iteration FailAfter, and RunWorker returns a report
@@ -455,18 +435,28 @@ func RunWorker(cfg WorkerConfig) (*WorkerReport, error) {
 
 	start := time.Now()
 	lastLoss := 0.0
+	adversarial := cfg.Adversary != 0 && cfg.Adversary != 1
+	// crashReport finishes the run as a crash at iteration it — fault
+	// injection, or an adversarial worker whose connection the server's
+	// guard closed for good (its expected fate; not an error).
+	crashReport := func(it int) (*WorkerReport, error) {
+		report.Crashed = true
+		report.Iterations = it
+		report.FinalLoss = lastLoss
+		report.Duration = time.Since(start)
+		return report, nil
+	}
 	for it := 0; it < totalIters; {
 		if cfg.FailAfter > 0 && it == cfg.FailAfter-1 {
 			// Injected fault: vanish without a word mid-run.
-			report.Crashed = true
-			report.Iterations = it
-			report.FinalLoss = lastLoss
-			report.Duration = time.Since(start)
-			return report, nil
+			return crashReport(it)
 		}
 		params, version, err := link.client.Pull()
 		if err != nil {
 			if err = reconnect(err); err != nil {
+				if adversarial {
+					return crashReport(it)
+				}
 				return nil, err
 			}
 			continue
@@ -482,11 +472,26 @@ func RunWorker(cfg WorkerConfig) (*WorkerReport, error) {
 		if cfg.Delay > 0 {
 			time.Sleep(cfg.Delay)
 		}
-		if err := link.client.PushAndWait(replica.CloneGrads(), version, it); err != nil {
+		grads := replica.CloneGrads()
+		if adversarial {
+			// Gradient-scaling poisoning: the clone is this worker's own, so
+			// the corruption never reaches the local replica.
+			f := float32(cfg.Adversary)
+			for _, g := range grads {
+				d := g.Data()
+				for i := range d {
+					d[i] *= f
+				}
+			}
+		}
+		if err := link.client.PushAndWait(grads, version, it); err != nil {
 			// The push (or the release it waits for) died with the
 			// connection; after rejoining, redo the iteration from a fresh
 			// pull so the gradient matches the weights it updates.
 			if err = reconnect(err); err != nil {
+				if adversarial {
+					return crashReport(it)
+				}
 				return nil, err
 			}
 			continue
@@ -497,6 +502,9 @@ func RunWorker(cfg WorkerConfig) (*WorkerReport, error) {
 		if err := link.client.Done(); err == nil {
 			break
 		} else if err = reconnect(err); err != nil {
+			if adversarial {
+				return crashReport(totalIters)
+			}
 			return nil, err
 		}
 	}

@@ -23,32 +23,34 @@ func freePort(t *testing.T) string {
 // elasticServerConfig is a tiny DSSP cluster over real TCP.
 func elasticServerConfig(addr, ckptDir string, workers int) ServerConfig {
 	return ServerConfig{
-		Addr:             addr,
-		Workers:          workers,
-		Sync:             Sync{Paradigm: DSSP, Staleness: 2, Range: 4},
-		Model:            ModelSmallMLP,
-		Dataset:          DatasetConfig{Examples: 240, Classes: 3, ImageSize: 12, Noise: 0.3, Seed: 3},
-		LearningRate:     0.1,
-		Elastic:          true,
-		HeartbeatTimeout: 2 * time.Second,
-		Checkpoint:       Checkpoint{Dir: ckptDir, Every: 10},
-		Seed:             3,
+		Addr:         addr,
+		Workers:      workers,
+		Sync:         Sync{Paradigm: DSSP, Staleness: 2, Range: 4},
+		Model:        ModelSmallMLP,
+		Dataset:      DatasetConfig{Examples: 240, Classes: 3, ImageSize: 12, Noise: 0.3, Seed: 3},
+		LearningRate: 0.1,
+		Options: Options{
+			Elastic:          true,
+			HeartbeatTimeout: 2 * time.Second,
+			Checkpoint:       Checkpoint{Dir: ckptDir, Every: 10},
+		},
+		Seed: 3,
 	}
 }
 
 func elasticWorkerConfig(addr string, id, workers int) WorkerConfig {
 	return WorkerConfig{
-		ServerAddr:        addr,
-		WorkerID:          id,
-		Workers:           workers,
-		Model:             ModelSmallMLP,
-		Dataset:           DatasetConfig{Examples: 240, Classes: 3, ImageSize: 12, Noise: 0.3, Seed: 3},
-		BatchSize:         12,
-		Epochs:            3,
-		Seed:              3,
-		Reconnect:         true,
-		ReconnectTimeout:  30 * time.Second,
-		HeartbeatInterval: 200 * time.Millisecond,
+		ServerAddr:       addr,
+		WorkerID:         id,
+		Workers:          workers,
+		Model:            ModelSmallMLP,
+		Dataset:          DatasetConfig{Examples: 240, Classes: 3, ImageSize: 12, Noise: 0.3, Seed: 3},
+		BatchSize:        12,
+		Epochs:           3,
+		Seed:             3,
+		Reconnect:        true,
+		ReconnectTimeout: 30 * time.Second,
+		Options:          Options{HeartbeatInterval: 200 * time.Millisecond},
 	}
 }
 

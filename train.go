@@ -117,33 +117,15 @@ type TrainConfig struct {
 	WorkerDelays []time.Duration
 	// Augment enables the image distortions discussed in §V-C.
 	Augment bool
-	// Shards is the number of independently locked partitions of the
-	// parameter store (0 = one per CPU). Pulls from different workers read
-	// shards concurrently and gradient application parallelizes across
-	// shards, so the default is right for almost everyone; set 1 to force
-	// the classic fully serialized store.
-	Shards int
-	// Compression selects the gradient codec on the worker↔server wire; the
-	// zero value trains uncompressed.
-	Compression Compression
-	// DeltaPull makes workers request version-gated delta pulls, skipping
-	// the re-download of parameter-store shards that have not changed since
-	// the worker's previous pull.
-	DeltaPull bool
-	// Elastic enables worker-churn tolerance: sessions are lease-monitored
-	// and a silent worker is evicted from synchronization accounting instead
-	// of stalling its peers. A dead connection always notifies the policy,
-	// Elastic or not.
-	Elastic bool
-	// HeartbeatInterval is how often workers prove liveness; 0 disables
-	// heartbeats. Set it on elastic runs — a worker silent past
-	// HeartbeatTimeout is evicted.
-	HeartbeatInterval time.Duration
-	// HeartbeatTimeout is the server-side session lease in elastic mode; 0
-	// picks the default (5s).
-	HeartbeatTimeout time.Duration
-	// Checkpoint periodically snapshots the parameter store to disk.
-	Checkpoint Checkpoint
+	// Options is the shared serving surface — store sharding, compression,
+	// aggregation, guard, delta pulls, elasticity, heartbeats,
+	// checkpointing. Its fields are embedded, so they read exactly as they
+	// did when they were declared here (cfg.Compression, cfg.Elastic, ...).
+	Options
+	// Adversaries makes listed workers Byzantine for robustness experiments:
+	// the worker computes honest gradients, then misbehaves as configured
+	// before pushing. See Adversary for the available behaviours.
+	Adversaries map[int]Adversary
 	// Seed controls model initialization and batch order.
 	Seed int64
 }
@@ -190,6 +172,13 @@ type TrainResult struct {
 	// compression shrinks.
 	PushedBytes int64
 	PulledBytes int64
+	// GuardFlags is the per-worker anomaly-flag count and Evicted the
+	// workers the guard expelled, when Options.Guard is enabled — the raw
+	// material for attacker-detection rates. GuardDropped counts the pushes
+	// the guard rejected.
+	GuardFlags   []int
+	Evicted      []int
+	GuardDropped int
 }
 
 // TimeToAccuracy returns when the run first reached the target accuracy.
@@ -339,12 +328,10 @@ func Train(cfg TrainConfig) (*TrainResult, error) {
 		WorkerDelay:       cfg.WorkerDelays,
 		Augment:           augment,
 		Shards:            cfg.Shards,
-		Compression:       cfg.Compression.internal(),
+		Options:           cfg.Options.serverOptions(),
 		DeltaPull:         cfg.DeltaPull,
-		Elastic:           cfg.Elastic,
 		HeartbeatInterval: cfg.HeartbeatInterval,
-		HeartbeatTimeout:  cfg.HeartbeatTimeout,
-		Checkpoint:        cfg.Checkpoint.internal(),
+		Adversaries:       internalAdversaries(cfg.Adversaries),
 		Seed:              cfg.Seed,
 	})
 	if err != nil {
@@ -363,6 +350,9 @@ func Train(cfg TrainConfig) (*TrainResult, error) {
 		WorkerWaitTime: make([]time.Duration, cfg.Workers),
 		PushedBytes:    res.PushedBytes,
 		PulledBytes:    res.PulledBytes,
+		GuardFlags:     res.Guard.Flags,
+		Evicted:        res.Guard.Evicted,
+		GuardDropped:   res.Guard.DroppedPushes,
 	}
 	for w := 0; w < cfg.Workers; w++ {
 		out.WorkerWaitTime[w] = res.Waits.Total(w)

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke bench-json bench-baseline bench-gate proto-bench fuzz-seeds experiment-smoke fmt fmt-check vet ci
+.PHONY: all build test race bench bench-smoke bench-json bench-baseline bench-gate proto-bench fuzz-seeds experiment-smoke metrics-smoke profile fmt fmt-check vet ci
 
 all: build
 
@@ -90,6 +90,24 @@ experiment-smoke:
 	$(GO) run ./cmd/dsspsim -experiment -paradigm SSP -trials 2 \
 		-accuracy-floor 0.6 -out experiment-report.json
 
+# Observability smoke: a live 4-worker TCP run with the admin endpoint on,
+# scraped mid-training — every cataloged /metrics series (docs/METRICS.md)
+# must be present and the unified counters must agree with /statusz and
+# the push-lifecycle traces. -count=1 defeats the test cache: this is an
+# end-to-end network test, not a unit result worth memoizing.
+metrics-smoke:
+	$(GO) test -run 'TestMetricsEndpointDuringTCPRun|TestWorkerMetricsEndpoint' -count=1 -v .
+
+# Profile real training in-process: a fixed-time run of the small-CNN
+# training benchmark with CPU and allocation profiles. Inspect with
+#   go tool pprof cpu.pprof     (then: top, web)
+#   go tool pprof -sample_index=alloc_space mem.pprof
+# For live servers, the same profiles come from the -metrics-addr
+# listener's /debug/pprof/ endpoints.
+profile:
+	$(GO) test -run '^$$' -bench 'BenchmarkRealTrainingSmallCNN' -benchtime=30s \
+		-cpuprofile cpu.pprof -memprofile mem.pprof .
+
 fmt:
 	gofmt -w .
 
@@ -104,4 +122,4 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: build fmt-check vet race fuzz-seeds experiment-smoke bench-smoke proto-bench
+ci: build fmt-check vet race fuzz-seeds experiment-smoke metrics-smoke bench-smoke proto-bench

@@ -29,9 +29,17 @@
 // silent for -heartbeat-timeout) and accepts mid-run rejoins from workers
 // started with -reconnect; -checkpoint-dir/-checkpoint-every persist the
 // store so a restarted server resumes the run where it stopped.
+//
+// Observability: -metrics-addr starts an admin HTTP listener serving
+// Prometheus /metrics, /healthz, a /statusz JSON snapshot, and
+// net/http/pprof (docs/METRICS.md catalogs every series). -trace-every
+// samples the push lifecycle (receive → guard → apply → release) for one in
+// N pushes; -trace-dump prints the sampled traces as JSON lines at the end
+// of the run.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -71,6 +79,9 @@ func main() {
 		hbTimeout    = flag.Duration("heartbeat-timeout", 5*time.Second, "evict a session silent for this long (elastic mode)")
 		ckptDir      = flag.String("checkpoint-dir", "", "directory for store checkpoints (restored on startup when present; empty = off)")
 		ckptEvery    = flag.Int("checkpoint-every", 0, "checkpoint every N applied updates (0 = only on shutdown)")
+		metricsAddr  = flag.String("metrics-addr", "", "admin HTTP listen address serving /metrics, /healthz, /statusz and pprof (empty = off)")
+		traceEvery   = flag.Int("trace-every", 0, "sample the push lifecycle for 1 in N pushes (0 = default 64, negative = off)")
+		traceDump    = flag.Bool("trace-dump", false, "print sampled push-lifecycle traces as JSON lines at end of run")
 		seed         = flag.Int64("seed", 1, "seed for the initial weights (must match workers)")
 	)
 	flag.Parse()
@@ -92,17 +103,19 @@ func main() {
 			Checkpoint:       dssp.Checkpoint{Dir: *ckptDir, Every: *ckptEvery},
 		},
 		DisableDeltaPull: !*deltaPull,
+		MetricsAddr:      *metricsAddr,
+		TraceEvery:       *traceEvery,
 		Seed:             *seed,
 		Dataset: dssp.DatasetConfig{
 			Examples: *examples, Classes: *classes, ImageSize: *imageSize, Noise: 0.5, Seed: *seed,
 		},
 	}
-	if err := run(cfg, *paradigm, *staleness, *rng, *enforce, *backups); err != nil {
+	if err := run(cfg, *paradigm, *staleness, *rng, *enforce, *backups, *traceDump); err != nil {
 		log.Fatalf("psserver: %v", err)
 	}
 }
 
-func run(cfg dssp.ServerConfig, paradigm string, staleness, rng int, enforce bool, backups int) error {
+func run(cfg dssp.ServerConfig, paradigm string, staleness, rng int, enforce bool, backups int, traceDump bool) error {
 	sync, err := parseSync(paradigm, staleness, rng, enforce, backups)
 	if err != nil {
 		return err
@@ -122,18 +135,34 @@ func run(cfg dssp.ServerConfig, paradigm string, staleness, rng int, enforce boo
 	if server.Restored() {
 		fmt.Printf("restored checkpoint from %s at version %d\n", cfg.Checkpoint.Dir, server.Version())
 	}
+	if cfg.MetricsAddr != "" {
+		fmt.Printf("admin endpoint on http://%s (/metrics, /healthz, /statusz, /debug/pprof)\n", server.MetricsAddr())
+	}
 
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
 	select {
 	case <-server.Done():
-		fmt.Printf("all workers finished: %d updates applied, %d straggler updates dropped, %d departures, %d rejoins\n",
-			server.Updates(), server.Dropped(), server.Departures(), server.Rejoins())
+		// One consistent snapshot feeds the whole summary.
+		st := server.Status()
+		fmt.Printf("all workers finished: %d updates applied, %d straggler updates dropped, %d releases, %d departures, %d rejoins (store version %d)\n",
+			st.Pushes, st.Dropped, st.Releases, st.Departures, st.Rejoins, st.Version)
+		if st.Guard.DroppedPushes > 0 || len(st.Guard.Evicted) > 0 {
+			fmt.Printf("guard: %d pushes rejected, %d workers evicted\n", st.Guard.DroppedPushes, len(st.Guard.Evicted))
+		}
 		if acc, err := server.Evaluate(); err == nil {
 			fmt.Printf("final model accuracy on held-out data: %.4f\n", acc)
 		}
 	case s := <-sigs:
-		fmt.Printf("received %v; shutting down after %d updates (%d dropped)\n", s, server.Updates(), server.Dropped())
+		st := server.Status()
+		fmt.Printf("received %v; shutting down after %d updates (%d dropped)\n", s, st.Pushes, st.Dropped)
+	}
+	if traceDump {
+		for _, tr := range server.Traces() {
+			if line, err := json.Marshal(tr); err == nil {
+				fmt.Printf("trace: %s\n", line)
+			}
+		}
 	}
 	// Stop writes the final checkpoint (with -checkpoint-every 0 it is the
 	// only one), so the failure check must come after it.

@@ -27,6 +27,10 @@
 // Fault tolerance: -reconnect redials and rejoins on any connection loss
 // (surviving parameter-server restarts), -heartbeat proves liveness to an
 // -elastic server, and -fail-after injects a crash for demos.
+//
+// Observability: -metrics-addr starts an admin HTTP listener serving the
+// worker-side Prometheus /metrics (pull wait, push round-trip, iteration and
+// transport counters), /healthz and net/http/pprof.
 package main
 
 import (
@@ -61,6 +65,7 @@ func main() {
 		reconnectTO  = flag.Duration("reconnect-timeout", 30*time.Second, "give up after failing to reconnect for this long")
 		heartbeat    = flag.Duration("heartbeat", 0, "send liveness heartbeats at this interval (needed under an -elastic server; 0 = off)")
 		failAfter    = flag.Int("fail-after", 0, "fault injection for demos: crash (drop the connection) before this iteration (0 = never)")
+		metricsAddr  = flag.String("metrics-addr", "", "admin HTTP listen address serving worker-side /metrics, /healthz and pprof (empty = off)")
 		seed         = flag.Int64("seed", 1, "seed (must match the server)")
 	)
 	flag.Parse()
@@ -86,6 +91,7 @@ func main() {
 			HeartbeatInterval: *heartbeat,
 		},
 		Adversary:        *adversary,
+		MetricsAddr:      *metricsAddr,
 		Reconnect:        *reconnect,
 		ReconnectTimeout: *reconnectTO,
 		FailAfter:        *failAfter,

@@ -224,6 +224,12 @@ func (c *Cell) observe(res *trainer.Result, attackers map[int]bool, workers int)
 	}
 	c.MeanDropped += float64(res.Dropped + res.Guard.DroppedPushes)
 	c.MeanEvictions += float64(len(res.Guard.Evicted))
+	if c.Pipeline == nil {
+		c.Pipeline = make(map[string]float64, len(res.Metrics))
+	}
+	for k, v := range res.Metrics {
+		c.Pipeline[k] += v
+	}
 
 	// Detection rates count a worker as detected when the guard flagged it
 	// at least once. TPR averages over attacker slots, FPR over honest
@@ -253,5 +259,8 @@ func (c *Cell) finalize(trials int) {
 	}
 	if c.fpSlots > 0 {
 		c.FPR = float64(c.fpHits) / float64(c.fpSlots)
+	}
+	for k := range c.Pipeline {
+		c.Pipeline[k] /= n
 	}
 }

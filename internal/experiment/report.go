@@ -27,6 +27,11 @@ type Cell struct {
 	// over honest slots — the false-alarm rate.
 	TPR float64 `json:"tpr"`
 	FPR float64 `json:"fpr"`
+	// Pipeline is the server-side observability snapshot averaged over the
+	// cell's trials: every registry series (counters and gauges by name,
+	// histograms as _sum/_count; see docs/METRICS.md) as reported by
+	// trainer.Result.Metrics. JSON only — too wide for the text table.
+	Pipeline map[string]float64 `json:"pipeline,omitempty"`
 
 	// Accumulators (reset by finalize into the rates above).
 	tpHits, tpSlots int

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// AdminServer is the HTTP observability endpoint: /metrics (Prometheus
+// text exposition), /healthz, /statusz (JSON snapshot, ?traces=1 to
+// include completed push traces), and /debug/pprof. It runs on its own
+// mux so registering it never collides with an application's default mux.
+type AdminServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// StatusFunc produces the /statusz snapshot body; it must be safe to call
+// from the HTTP serving goroutine. TracesFunc likewise produces the
+// completed push traces.
+type (
+	StatusFunc func() any
+	TracesFunc func() []PushTrace
+)
+
+// ServeAdmin starts the admin listener on addr. status and traces may be
+// nil (the corresponding /statusz fields are omitted). The server runs
+// until Close.
+func ServeAdmin(addr string, reg *Registry, status StatusFunc, traces TracesFunc) (*AdminServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: admin listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WriteProm(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, r *http.Request) {
+		resp := map[string]any{"now": time.Now().Format(time.RFC3339Nano)}
+		if status != nil {
+			resp["status"] = status()
+		}
+		if traces != nil && r.URL.Query().Get("traces") == "1" {
+			ts := traces()
+			if ts == nil {
+				ts = []PushTrace{}
+			}
+			resp["traces"] = ts
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(resp)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return &AdminServer{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (a *AdminServer) Addr() string {
+	if a == nil {
+		return ""
+	}
+	return a.ln.Addr().String()
+}
+
+// Close stops the listener and any in-flight handlers. Nil-safe.
+func (a *AdminServer) Close() error {
+	if a == nil {
+		return nil
+	}
+	return a.srv.Close()
+}

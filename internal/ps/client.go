@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"dssp/internal/compress"
+	"dssp/internal/obs"
 	"dssp/internal/tensor"
 	"dssp/internal/transport"
 )
@@ -56,6 +57,10 @@ type Client struct {
 	// payload-free Unchanged chunk served from this cache.
 	shardCache    [][]*tensor.Tensor
 	shardVersions []int64
+
+	// metrics, when installed with Instrument, times the worker-observed
+	// pull and push-round-trip latencies. Nil costs one pointer test.
+	metrics *clientMetrics
 }
 
 // NewClient wraps a connection for the given worker ID, speaking the
@@ -100,6 +105,16 @@ func (c *Client) DeltaPull() bool { return c.deltaOn }
 // Traffic returns the approximate payload bytes this client pushed and
 // pulled so far.
 func (c *Client) Traffic() (pushed, pulled int64) { return c.pushedBytes, c.pulledBytes }
+
+// Instrument registers this worker's latency metrics (pull time, push
+// round-trip time, iteration count) on reg. Call before the training loop;
+// a nil registry is ignored.
+func (c *Client) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	c.metrics = newClientMetrics(reg)
+}
 
 // Register announces the worker to the server, negotiates the gradient
 // codec, and waits for the acknowledgement. A worker whose codec conflicts
@@ -179,6 +194,19 @@ func (c *Client) register(msgType transport.MessageType, lastVersion int64) erro
 // existing caller adopts the weights into its own replica immediately
 // (Network.SetParams copies).
 func (c *Client) Pull() ([]*tensor.Tensor, int64, error) {
+	if c.metrics == nil {
+		return c.pull()
+	}
+	start := time.Now()
+	params, version, err := c.pull()
+	if err == nil {
+		c.metrics.pullSeconds.Observe(time.Since(start).Seconds())
+	}
+	return params, version, err
+}
+
+// pull implements Pull.
+func (c *Client) pull() ([]*tensor.Tensor, int64, error) {
 	req := transport.Message{Type: transport.MsgPull, Worker: c.worker}
 	if c.deltaOn && c.cacheComplete() {
 		req.PullVersions = c.shardVersions
@@ -328,6 +356,20 @@ func (c *Client) decodeWeights(msg transport.Message) ([]*tensor.Tensor, error) 
 // Under a lossy codec the gradients are compressed with error feedback; the
 // caller's tensors are never mutated.
 func (c *Client) PushAndWait(grads []*tensor.Tensor, baseVersion int64, iteration int) error {
+	if c.metrics == nil {
+		return c.pushAndWait(grads, baseVersion, iteration)
+	}
+	start := time.Now()
+	err := c.pushAndWait(grads, baseVersion, iteration)
+	if err == nil {
+		c.metrics.pushRTTSeconds.Observe(time.Since(start).Seconds())
+		c.metrics.iterations.Inc()
+	}
+	return err
+}
+
+// pushAndWait implements PushAndWait.
+func (c *Client) pushAndWait(grads []*tensor.Tensor, baseVersion int64, iteration int) error {
 	msg := transport.Message{
 		Type:      transport.MsgPush,
 		Worker:    c.worker,

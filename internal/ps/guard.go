@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"dssp/internal/core"
+	"dssp/internal/obs"
 	"dssp/internal/tensor"
 )
 
@@ -87,6 +88,11 @@ type guardVerdict struct {
 type guard struct {
 	cfg GuardConfig
 
+	// flagsC and evictC mirror flag and eviction counts onto the server's
+	// metrics registry; nil (guards built outside a server) skips them.
+	flagsC *obs.Counter
+	evictC *obs.Counter
+
 	mu      sync.Mutex
 	clock   *core.ClockMonitor
 	strikes []int
@@ -151,10 +157,16 @@ func (g *guard) checkPush(worker int, claimedBase, serverVersion int64, grads []
 	}
 	g.strikes[worker] += flags
 	g.dropped++
+	if g.flagsC != nil {
+		g.flagsC.Add(uint64(flags))
+	}
 	v := guardVerdict{drop: true}
 	if g.strikes[worker] >= g.cfg.MaxStrikes {
 		v.evict = true
 		g.evicted = append(g.evicted, worker)
+		if g.evictC != nil {
+			g.evictC.Inc()
+		}
 	}
 	return v
 }

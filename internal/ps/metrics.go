@@ -1,0 +1,149 @@
+package ps
+
+import (
+	"time"
+
+	"dssp/internal/obs"
+)
+
+// serverMetrics is the server's live instrumentation bundle: every counter,
+// gauge and histogram the push/pull/session/checkpoint paths touch,
+// resolved once at construction so the hot paths pay only atomic updates.
+// The unified counters here are the single source of truth the public
+// accessors (Pushes, Dropped, Departures, Rejoins) and the /statusz
+// snapshot read — there is no second, ad-hoc set of fields to drift from.
+type serverMetrics struct {
+	pushes        *obs.Counter
+	droppedPolicy *obs.Counter
+	droppedGuard  *obs.Counter
+	releases      *obs.Counter
+	departures    *obs.Counter
+	rejoins       *obs.Counter
+
+	staleness   *obs.Histogram
+	phaseDecode *obs.Histogram
+	phaseGuard  *obs.Histogram
+	phasePolicy *obs.Histogram
+	releaseLag  *obs.Histogram
+
+	pulls           *obs.Counter
+	pullSeconds     *obs.Histogram
+	chunksFull      *obs.Counter
+	chunksUnchanged *obs.Counter
+
+	guardFlags     *obs.Counter
+	guardEvictions *obs.Counter
+
+	ckptTotal   *obs.Counter
+	ckptErrors  *obs.Counter
+	ckptFailed  *obs.Gauge
+	ckptSeconds *obs.Histogram
+}
+
+// newServerMetrics registers the server metric families on reg. Every
+// series — including labeled children — is created here, so a scrape
+// before any traffic already shows the full catalog at zero.
+func newServerMetrics(reg *obs.Registry) *serverMetrics {
+	dropped := reg.CounterVec("dssp_push_dropped_total",
+		"Pushes rejected without reaching the store, by reason.", "reason")
+	phase := reg.HistogramVec("dssp_push_phase_seconds",
+		"Push-handler stage latency by phase (decode, guard, policy).",
+		obs.LatencyBuckets, "phase")
+	chunks := reg.CounterVec("dssp_pull_shard_chunks_total",
+		"Pull reply chunks by result: full payload or delta-pull Unchanged.", "result")
+	return &serverMetrics{
+		pushes: reg.Counter("dssp_push_total",
+			"Gradient pushes accepted and applied to the store."),
+		droppedPolicy: dropped.With("policy"),
+		droppedGuard:  dropped.With("guard"),
+		releases: reg.Counter("dssp_release_total",
+			"OK release messages delivered to workers."),
+		departures: reg.Counter("dssp_departures_total",
+			"Sessions deregistered before finishing: connection failures, leaves, lease evictions."),
+		rejoins: reg.Counter("dssp_rejoins_total",
+			"MsgRejoin registrations accepted."),
+		staleness: reg.Histogram("dssp_push_staleness",
+			"Iteration staleness of applied pushes (apply version minus base version minus one).",
+			obs.StalenessBuckets),
+		phaseDecode: phase.With("decode"),
+		phaseGuard:  phase.With("guard"),
+		phasePolicy: phase.With("policy"),
+		releaseLag: reg.Histogram("dssp_release_lag_seconds",
+			"Time from release decision to delivery readiness: how long the sequencer waited on the apply gate.",
+			obs.LatencyBuckets),
+		pulls: reg.Counter("dssp_pull_total",
+			"Pull requests served."),
+		pullSeconds: reg.Histogram("dssp_pull_seconds",
+			"Pull handler latency: request arrival to last chunk enqueued.",
+			obs.LatencyBuckets),
+		chunksFull:      chunks.With("full"),
+		chunksUnchanged: chunks.With("unchanged"),
+		guardFlags: reg.Counter("dssp_guard_flags_total",
+			"Anomaly flags raised by the push guard."),
+		guardEvictions: reg.Counter("dssp_guard_evictions_total",
+			"Workers evicted by the push guard."),
+		ckptTotal: reg.Counter("dssp_checkpoint_total",
+			"Checkpoint save attempts."),
+		ckptErrors: reg.Counter("dssp_checkpoint_errors_total",
+			"Checkpoint save failures."),
+		ckptFailed: reg.Gauge("dssp_checkpoint_last_failed",
+			"1 when the most recent checkpoint save failed, 0 otherwise."),
+		ckptSeconds: reg.Histogram("dssp_checkpoint_seconds",
+			"Checkpoint save duration.", obs.LatencyBuckets),
+	}
+}
+
+// storeMetrics instruments the store's apply pipeline. The store carries
+// it only when a server installed it (Store.instrument): bare stores —
+// including the pinned hot-path benchmarks — keep nil and pay a single
+// pointer test per batch.
+type storeMetrics struct {
+	applyBatch   *obs.Histogram
+	applySeconds *obs.Histogram
+	cloneSeconds *obs.Histogram
+}
+
+// newStoreMetrics registers the store metric families on reg.
+func newStoreMetrics(reg *obs.Registry) *storeMetrics {
+	return &storeMetrics{
+		applyBatch: reg.Histogram("dssp_store_apply_batch_size",
+			"Pushes coalesced into one optimizer step by a shard applier.",
+			obs.SizeBuckets),
+		applySeconds: reg.Histogram("dssp_store_apply_seconds",
+			"Shard applier batch latency: aggregation, COW clone, and optimizer step.",
+			obs.LatencyBuckets),
+		cloneSeconds: reg.Histogram("dssp_store_clone_seconds",
+			"Copy-on-write clone time within a shard apply.",
+			obs.LatencyBuckets),
+	}
+}
+
+// clientMetrics instruments the worker side: how long pulls take
+// end-to-end and how long a push round-trip (send to OK) blocks the
+// training loop — the live form of the paper's waiting-time metric.
+type clientMetrics struct {
+	pullSeconds    *obs.Histogram
+	pushRTTSeconds *obs.Histogram
+	iterations     *obs.Counter
+}
+
+// newClientMetrics registers the worker metric families on reg.
+func newClientMetrics(reg *obs.Registry) *clientMetrics {
+	return &clientMetrics{
+		pullSeconds: reg.Histogram("dssp_worker_pull_seconds",
+			"Worker-observed pull latency (request to fully reassembled weights).",
+			obs.LatencyBuckets),
+		pushRTTSeconds: reg.Histogram("dssp_worker_push_rtt_seconds",
+			"Worker-observed push round-trip: gradients sent to OK received (includes policy wait).",
+			obs.LatencyBuckets),
+		iterations: reg.Counter("dssp_worker_iterations_total",
+			"Training iterations completed (push round-trips)."),
+	}
+}
+
+// observe is a nil-safe duration observation helper.
+func observeSince(h *obs.Histogram, start time.Time) {
+	if h != nil {
+		h.Observe(time.Since(start).Seconds())
+	}
+}

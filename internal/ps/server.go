@@ -9,6 +9,7 @@ import (
 	"dssp/internal/compress"
 	"dssp/internal/core"
 	"dssp/internal/metrics"
+	"dssp/internal/obs"
 	"dssp/internal/tensor"
 	"dssp/internal/transport"
 )
@@ -42,7 +43,21 @@ type ServerConfig struct {
 	// trainer injects an accelerated clock when it simulates heterogeneous
 	// hardware.
 	Clock func() time.Time
+	// Metrics is the registry the server's runtime instrumentation lives on
+	// (counters, gauges, histograms; see docs/METRICS.md). Nil creates a
+	// private registry — instrumentation is always on, and a caller that
+	// wants to scrape or snapshot it passes its own registry (or reads
+	// Server.Registry()).
+	Metrics *obs.Registry
+	// Trace configures sampled push-lifecycle tracing. The zero value keeps
+	// the default 1-in-DefaultTraceEvery sampling; Every < 0 disables
+	// tracing entirely.
+	Trace obs.TraceConfig
 }
+
+// DefaultTraceEvery is the push-lifecycle trace sampling period when
+// ServerConfig.Trace leaves Every at zero: one in every 64 pushes is traced.
+const DefaultTraceEvery = 64
 
 // DefaultHeartbeatTimeout is the lease length used when an elastic server
 // does not specify one.
@@ -118,16 +133,21 @@ type Server struct {
 	// updates they depend on are visible.
 	releases chan releaseBatch
 
+	// reg is the metrics registry (cfg.Metrics or a private one), sm the
+	// resolved instrument bundle, tracer the sampled push-lifecycle tracer
+	// (nil when disabled). The registry's atomics are the only counters the
+	// server keeps: the public accessors, the end-of-run summary and the
+	// /statusz snapshot all read the same series a /metrics scrape exports.
+	reg    *obs.Registry
+	sm     *serverMetrics
+	tracer *obs.PushTracer
+
 	// policyMu serializes membership and push handling: the policy decision,
 	// the ticket assignment that orders the update, the metrics derived from
 	// them, and the choice of workers to release.
 	policyMu  sync.Mutex
 	staleness *metrics.Histogram
 	waits     *metrics.WaitTracker
-	pushes    int
-	dropped   int
-	rejoins   int
-	departs   int
 	pushedAt  map[int]time.Time
 
 	// ckptBusy limits checkpoint saves to one in flight.
@@ -173,6 +193,15 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		clock = time.Now
 	}
 	hbTimeout := cfg.HeartbeatTimeout
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	trace := cfg.Trace
+	if trace.Every == 0 {
+		trace.Every = DefaultTraceEvery
+	}
+	tracer := obs.NewPushTracer(trace)
 	s := &Server{
 		cfg:         cfg,
 		compression: cfg.Compression,
@@ -190,7 +219,41 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		staleness:   metrics.NewHistogram(),
 		waits:       metrics.NewWaitTracker(cfg.Workers),
 		pushedAt:    make(map[int]time.Time),
+		reg:         reg,
+		sm:          newServerMetrics(reg),
+		tracer:      tracer,
 	}
+	// The store carries the apply-pipeline instrumentation only when serving
+	// (bare stores stay unmetered); the guard reports its flags and
+	// evictions onto the same registry.
+	cfg.Store.instrument(newStoreMetrics(reg), tracer)
+	if s.guard != nil {
+		s.guard.flagsC = s.sm.guardFlags
+		s.guard.evictC = s.sm.guardEvictions
+	}
+	// Liveness gauges are evaluated at scrape time, so they cost nothing
+	// between scrapes.
+	reg.GaugeFunc("dssp_sessions_active",
+		"Worker sessions currently registered.",
+		func() float64 { return float64(len(s.sessions.list())) })
+	reg.GaugeFunc("dssp_workers_finished",
+		"Worker slots that reported Done.",
+		func() float64 { s.mu.Lock(); defer s.mu.Unlock(); return float64(s.done) })
+	reg.GaugeFunc("dssp_store_version",
+		"Applied store version: updates visible on every shard.",
+		func() float64 { return float64(cfg.Store.Version()) })
+	reg.GaugeFunc("dssp_store_reserved",
+		"Push tickets accepted into the apply pipeline.",
+		func() float64 { return float64(cfg.Store.Reserved()) })
+	reg.GaugeFunc("dssp_store_queue_depth",
+		"Apply-pipeline backlog: tickets reserved but not yet globally visible.",
+		func() float64 { return float64(cfg.Store.QueueDepth()) })
+	reg.GaugeFunc("dssp_store_shards",
+		"Number of parameter shards.",
+		func() float64 { return float64(cfg.Store.Shards()) })
+	reg.GaugeFunc("dssp_store_window",
+		"Aggregation window currently in effect (1 = per-push pipeline).",
+		func() float64 { return float64(cfg.Store.Window()) })
 	// The seam between coalesced application and the paradigms: a policy
 	// that wants to observe batched version advances gets them under
 	// policyMu, interleaved consistently with its OnPush/OnJoin/OnLeave
@@ -280,7 +343,17 @@ func (s *Server) Stop() {
 func (s *Server) saveCheckpoint() {
 	s.ckptMu.Lock()
 	defer s.ckptMu.Unlock()
-	s.recordCheckpointErr(s.cfg.Store.SaveCheckpoint(CheckpointFile(s.cfg.Checkpoint.Dir)))
+	start := time.Now()
+	err := s.cfg.Store.SaveCheckpoint(CheckpointFile(s.cfg.Checkpoint.Dir))
+	s.sm.ckptSeconds.Observe(time.Since(start).Seconds())
+	s.sm.ckptTotal.Inc()
+	if err != nil {
+		s.sm.ckptErrors.Inc()
+		s.sm.ckptFailed.Set(1)
+	} else {
+		s.sm.ckptFailed.Set(0)
+	}
+	s.recordCheckpointErr(err)
 }
 
 // AllWorkersDone returns a channel that is closed once training is complete:
@@ -433,7 +506,7 @@ func (s *Server) handleRegister(conn transport.Conn, msg transport.Message) *ses
 	now := s.clock()
 	s.policyMu.Lock()
 	if rejoined {
-		s.rejoins++
+		s.sm.rejoins.Inc()
 	}
 	decision := s.cfg.Policy.OnJoin(core.WorkerID(worker), now)
 	s.recordReleases(decision.Release, now)
@@ -471,7 +544,7 @@ func (s *Server) leave(sess *session) {
 	s.mu.Unlock()
 	s.policyMu.Lock()
 	if !finished {
-		s.departs++
+		s.sm.departures.Inc()
 	}
 	decision := s.cfg.Policy.OnLeave(core.WorkerID(sess.worker), now)
 	delete(s.pushedAt, sess.worker)
@@ -615,6 +688,10 @@ type releaseBatch struct {
 	errSess *session // the session whose push failed; nil when none
 	err     error
 	ticket  int64
+	// queuedAt stamps the decision time for the release-lag histogram (how
+	// long the sequencer held the batch waiting on its apply gate); the zero
+	// value skips the observation.
+	queuedAt time.Time
 }
 
 // releaser is the release sequencer: it delivers queued release decisions in
@@ -632,7 +709,13 @@ func (s *Server) releaser() {
 			if b.gate > 0 && !s.cfg.Store.WaitApplied(b.gate, s.stopped) {
 				return // server stopped while waiting
 			}
+			if !b.queuedAt.IsZero() {
+				s.sm.releaseLag.Observe(time.Since(b.queuedAt).Seconds())
+			}
 			s.sendReleases(b.targets, b.errSess)
+			if b.ticket > 0 {
+				s.tracer.Released(b.ticket, time.Now())
+			}
 			if b.err != nil && b.errSess != nil {
 				// The erroring worker gets the error, not an OK that would
 				// let it train on as if the push had landed — on the session
@@ -704,6 +787,7 @@ func (s *Server) sendReleases(targets []*session, skip *session) {
 			continue
 		}
 		s.enqueueSession(sess, transport.Message{Type: transport.MsgOK, Worker: sess.worker})
+		s.sm.releases.Inc()
 	}
 }
 
@@ -720,32 +804,49 @@ func (s *Server) sendReleases(targets []*session, skip *session) {
 func (s *Server) handlePush(sess *session, msg transport.Message) {
 	worker := sess.worker
 	baseVersion := msg.Version
+	tr := s.tracer.Sample(worker, msg.Iteration)
+	if tr != nil {
+		tr.Base = baseVersion
+	}
+	decodeStart := time.Now()
 	grads, decodeErr := s.decodePush(sess, msg)
+	s.sm.phaseDecode.Observe(time.Since(decodeStart).Seconds())
 
 	var guardDrop bool
 	if s.guard != nil {
+		guardStart := time.Now()
 		screened := grads
 		if decodeErr != nil {
 			screened = nil
 		}
 		verdict := s.guard.checkPush(worker, baseVersion, s.cfg.Store.Reserved(), screened)
+		s.sm.phaseGuard.Observe(time.Since(guardStart).Seconds())
 		if verdict.evict {
 			// Strikes exhausted: the worker departs through the same path as a
 			// lease eviction — the policy counts it out and releases any peers
 			// its absence unblocks, and the closed connection tells the worker.
+			s.tracer.Abandon(tr, "guard")
 			s.leave(sess)
 			_ = sess.conn.Close()
 			return
 		}
 		guardDrop = verdict.drop
 	}
+	if tr != nil {
+		tr.ScreenedAt = time.Now()
+	}
 
 	now := s.clock()
+	// The policy phase is timed from before the lock, so contention on
+	// policyMu — the serialization cost the pipelined design exists to
+	// shrink — shows up in the histogram rather than hiding.
+	policyStart := time.Now()
 	s.policyMu.Lock()
 	if !s.sessions.current(sess) {
 		// The session was evicted while the payload was decoding; the
 		// policy already counted the worker out, so the push is void.
 		s.policyMu.Unlock()
+		s.tracer.Abandon(tr, "superseded")
 		return
 	}
 	decision := s.cfg.Policy.OnPush(core.WorkerID(worker), now)
@@ -757,7 +858,14 @@ func (s *Server) handlePush(sess *session, msg transport.Message) {
 		// gradients never reach the store, but the policy has counted the
 		// push, so its releases still flow — a barrier paradigm must not
 		// deadlock on a rejected payload.
-		s.dropped++
+		if guardDrop {
+			s.sm.droppedGuard.Inc()
+			s.tracer.Abandon(tr, "guard")
+		} else {
+			s.sm.droppedPolicy.Inc()
+			s.tracer.Abandon(tr, "policy")
+		}
+		tr = nil
 	} else {
 		err := decodeErr
 		if err == nil {
@@ -769,9 +877,19 @@ func (s *Server) handlePush(sess *session, msg transport.Message) {
 			// or a barrier paradigm deadlocks on a single bad payload. Only
 			// the pushing worker learns of the failure.
 			pushErr = err
+			s.tracer.Abandon(tr, "error")
+			tr = nil
 		} else {
-			s.pushes++
-			s.staleness.Observe(int(ticket - 1 - baseVersion))
+			s.sm.pushes.Inc()
+			stale := int(ticket - 1 - baseVersion)
+			s.staleness.Observe(stale)
+			s.sm.staleness.Observe(float64(stale))
+			if tr != nil {
+				tr.Ticket = ticket
+				tr.Staleness = stale
+				tr.EnqueuedAt = time.Now()
+				s.tracer.Track(tr)
+			}
 		}
 	}
 
@@ -782,13 +900,15 @@ func (s *Server) handlePush(sess *session, msg transport.Message) {
 		errSess = sess
 	}
 	s.queueReleases(releaseBatch{
-		release: decision.Release,
-		gate:    s.cfg.Store.Reserved(),
-		errSess: errSess,
-		err:     pushErr,
-		ticket:  ticket,
+		release:  decision.Release,
+		gate:     s.cfg.Store.Reserved(),
+		errSess:  errSess,
+		err:      pushErr,
+		ticket:   ticket,
+		queuedAt: time.Now(),
 	})
 	s.policyMu.Unlock()
+	s.sm.phasePolicy.Observe(time.Since(policyStart).Seconds())
 }
 
 // maybeCheckpoint writes a checkpoint when the applied version crosses the
@@ -883,6 +1003,9 @@ func (s *Server) decodePush(sess *session, msg transport.Message) ([]*tensor.Ten
 // decodable by v1-only peers.
 func (s *Server) handlePull(sess *session, req transport.Message) {
 	worker := sess.worker
+	s.sm.pulls.Inc()
+	pullStart := time.Now()
+	defer func() { s.sm.pullSeconds.Observe(time.Since(pullStart).Seconds()) }()
 	if s.guard != nil {
 		s.guard.observePull(worker)
 	}
@@ -922,9 +1045,11 @@ func (s *Server) handlePull(sess *session, req transport.Message) {
 			}
 			if unchanged {
 				msg.Unchanged = true
+				s.sm.chunksUnchanged.Inc()
 			} else {
 				msg.Codec = s.compression.Codec
 				msg.Packed = packed
+				s.sm.chunksFull.Inc()
 			}
 		} else {
 			params, base, version, shardV, unchanged := st.ViewShardDelta(i, haveV)
@@ -935,8 +1060,10 @@ func (s *Server) handlePull(sess *session, req transport.Message) {
 			}
 			if unchanged {
 				msg.Unchanged = true
+				s.sm.chunksUnchanged.Inc()
 			} else {
 				msg.Tensors = transport.ToWireOwned(params)
+				s.sm.chunksFull.Inc()
 			}
 		}
 		s.enqueueOut(worker, msg)
@@ -1045,31 +1172,103 @@ func (s *Server) Staleness() *metrics.Histogram { return s.staleness }
 func (s *Server) Waits() *metrics.WaitTracker { return s.waits }
 
 // Pushes returns the number of gradient updates applied.
-func (s *Server) Pushes() int {
-	s.policyMu.Lock()
-	defer s.policyMu.Unlock()
-	return s.pushes
-}
+func (s *Server) Pushes() int { return int(s.sm.pushes.Value()) }
 
-// Dropped returns the number of pushed updates dropped by the policy
-// (non-zero only for the backup-worker baseline).
+// Dropped returns the number of pushed updates rejected without reaching the
+// store — dropped by the policy (the backup-worker baseline) or by the
+// anomaly guard.
 func (s *Server) Dropped() int {
-	s.policyMu.Lock()
-	defer s.policyMu.Unlock()
-	return s.dropped
+	return int(s.sm.droppedPolicy.Value() + s.sm.droppedGuard.Value())
 }
 
 // Rejoins returns the number of MsgRejoin registrations accepted.
-func (s *Server) Rejoins() int {
-	s.policyMu.Lock()
-	defer s.policyMu.Unlock()
-	return s.rejoins
-}
+func (s *Server) Rejoins() int { return int(s.sm.rejoins.Value()) }
 
 // Departures returns the number of sessions deregistered — connection
 // failures, graceful leaves and lease evictions combined.
-func (s *Server) Departures() int {
-	s.policyMu.Lock()
-	defer s.policyMu.Unlock()
-	return s.departs
+func (s *Server) Departures() int { return int(s.sm.departures.Value()) }
+
+// Registry returns the metrics registry the server's instrumentation lives
+// on (the one passed via ServerConfig.Metrics, or the private one created in
+// its absence). Scrape it with obs.Registry.WriteProm or snapshot it with
+// Snapshot.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Traces returns the completed push-lifecycle traces, oldest first (nil when
+// tracing is disabled).
+func (s *Server) Traces() []obs.PushTrace { return s.tracer.Traces() }
+
+// SessionStatus describes one live worker session in a Status snapshot.
+type SessionStatus struct {
+	Worker    int       `json:"worker"`
+	Rejoined  bool      `json:"rejoined"`
+	DeltaPull bool      `json:"delta_pull"`
+	LastSeen  time.Time `json:"last_seen"`
+}
+
+// ServerStatus is a point-in-time introspection snapshot of the server — the
+// payload /statusz serves and the single consistent source the end-of-run
+// summary prints from.
+type ServerStatus struct {
+	Workers  int  `json:"workers"`
+	Elastic  bool `json:"elastic"`
+	Finished int  `json:"finished"`
+
+	Version       int64   `json:"version"`
+	Reserved      int64   `json:"reserved"`
+	QueueDepth    int64   `json:"queue_depth"`
+	ShardVersions []int64 `json:"shard_versions"`
+	Window        int64   `json:"window"`
+	FullWindow    int     `json:"full_window,omitempty"`
+
+	Pushes     uint64 `json:"pushes"`
+	Dropped    uint64 `json:"dropped"`
+	Releases   uint64 `json:"releases"`
+	Departures uint64 `json:"departures"`
+	Rejoins    uint64 `json:"rejoins"`
+
+	Guard           GuardStats      `json:"guard"`
+	CheckpointError string          `json:"checkpoint_error,omitempty"`
+	TracesCompleted uint64          `json:"traces_completed,omitempty"`
+	Sessions        []SessionStatus `json:"sessions"`
+}
+
+// Status snapshots the server's live state for /statusz and end-of-run
+// reporting. Counters come from the same registry series /metrics exports;
+// the snapshot is internally consistent per field, not atomic across fields.
+func (s *Server) Status() ServerStatus {
+	st := ServerStatus{
+		Workers:         s.cfg.Workers,
+		Elastic:         s.cfg.Elastic,
+		Version:         s.cfg.Store.Version(),
+		Reserved:        s.cfg.Store.Reserved(),
+		QueueDepth:      s.cfg.Store.QueueDepth(),
+		ShardVersions:   s.cfg.Store.ShardVersions(),
+		Window:          s.cfg.Store.Window(),
+		FullWindow:      s.fullWindow,
+		Pushes:          s.sm.pushes.Value(),
+		Dropped:         s.sm.droppedPolicy.Value() + s.sm.droppedGuard.Value(),
+		Releases:        s.sm.releases.Value(),
+		Departures:      s.sm.departures.Value(),
+		Rejoins:         s.sm.rejoins.Value(),
+		Guard:           s.GuardStats(),
+		TracesCompleted: s.tracer.Total(),
+	}
+	if err := s.CheckpointError(); err != nil {
+		st.CheckpointError = err.Error()
+	}
+	s.mu.Lock()
+	st.Finished = s.done
+	s.mu.Unlock()
+	sessions := s.sessions.list()
+	st.Sessions = make([]SessionStatus, 0, len(sessions))
+	for _, sess := range sessions {
+		st.Sessions = append(st.Sessions, SessionStatus{
+			Worker:    sess.worker,
+			Rejoined:  sess.rejoined,
+			DeltaPull: sess.deltaPull,
+			LastSeen:  sess.seen(),
+		})
+	}
+	return st
 }

@@ -4,8 +4,10 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dssp/internal/compress"
+	"dssp/internal/obs"
 	"dssp/internal/optimizer"
 	"dssp/internal/tensor"
 )
@@ -113,7 +115,14 @@ func (sh *shard) takeBatch(window, demand int64) [][]*tensor.Tensor {
 // one push — and is published. Tensors already handed out by view are never
 // mutated. version and applied advance by the batch size, so readers observe
 // the same counts as k serial applies.
-func (sh *shard) applyBatch(batch [][]*tensor.Tensor) {
+//
+// m and tr are the server-installed instrumentation (Store.instrument);
+// both may be nil, in which case the method takes no timestamps at all.
+func (sh *shard) applyBatch(batch [][]*tensor.Tensor, m *storeMetrics, tr *obs.PushTracer) {
+	var start time.Time
+	if m != nil {
+		start = time.Now()
+	}
 	// The aggregation seam: a configured robust aggregator reduces the batch
 	// in place of the classic sum. Both paths leave the queued gradient
 	// slices untouched — the result aliases batch[0] or aggregator-owned
@@ -128,15 +137,32 @@ func (sh *shard) applyBatch(batch [][]*tensor.Tensor) {
 		grads = batch[0]
 	}
 	sh.mu.Lock()
+	var cloneStart time.Time
+	if m != nil {
+		cloneStart = time.Now()
+	}
 	next := make([]*tensor.Tensor, len(sh.params))
 	for i, p := range sh.params {
 		next[i] = p.Clone()
+	}
+	if m != nil {
+		m.cloneSeconds.Observe(time.Since(cloneStart).Seconds())
 	}
 	sh.opt.Step(next, grads)
 	sh.params = next
 	sh.version += int64(len(batch))
 	sh.mu.Unlock()
-	sh.applied.Add(int64(len(batch)))
+	// Every push spans every shard, so this shard's applied counter walks
+	// the same ticket sequence the store hands out (the checkpoint restore
+	// path re-bases it); the batch covered tickets (to-len(batch), to].
+	to := sh.applied.Add(int64(len(batch)))
+	if m != nil {
+		m.applyBatch.Observe(float64(len(batch)))
+		m.applySeconds.Observe(time.Since(start).Seconds())
+	}
+	if tr != nil {
+		tr.Applied(to-int64(len(batch)), to, len(batch), time.Now())
+	}
 }
 
 // sum coalesces a batch into the shard's reused summation scratch. The

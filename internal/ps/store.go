@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"dssp/internal/compress"
+	"dssp/internal/obs"
 	"dssp/internal/optimizer"
 	"dssp/internal/tensor"
 )
@@ -108,6 +109,13 @@ type Store struct {
 	// the instance the caller handed in.
 	protoMu sync.Mutex
 	proto   optimizer.Optimizer
+
+	// metrics and tracer are nil unless a Server installed them (instrument):
+	// bare stores — including the pinned hot-path benchmarks — pay one
+	// pointer test per batch and nothing else. Both must be set before the
+	// first enqueue; appliers read them without synchronization.
+	metrics *storeMetrics
+	tracer  *obs.PushTracer
 }
 
 // applyWaiter is one WaitApplied registration: ch is closed when the applied
@@ -201,6 +209,37 @@ func (s *Store) SetAggregator(cfg AggregatorConfig) error {
 // AggregatorConfigured returns the normalized aggregator configuration in
 // effect (the zero AggregatorConfig — plain sum — unless SetAggregator ran).
 func (s *Store) AggregatorConfigured() AggregatorConfig { return s.aggCfg }
+
+// instrument installs apply-pipeline metrics and the push-lifecycle tracer.
+// Only NewServer calls it, before any push can be enqueued; either argument
+// may be nil.
+func (s *Store) instrument(m *storeMetrics, tr *obs.PushTracer) {
+	s.metrics = m
+	s.tracer = tr
+}
+
+// QueueDepth returns the number of push tickets accepted but not yet globally
+// visible — the apply pipeline's backlog.
+func (s *Store) QueueDepth() int64 {
+	d := s.reserved.Load() - s.version.Load()
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// ShardVersions returns each shard's local publication version (which the
+// checkpoint restore path also bumps), for status snapshots.
+func (s *Store) ShardVersions() []int64 {
+	out := make([]int64, len(s.shards))
+	for i, sh := range s.shards {
+		_, out[i] = sh.viewVersioned()
+	}
+	return out
+}
+
+// Window returns the aggregation window currently in effect.
+func (s *Store) Window() int64 { return s.window.Load() }
 
 // SetWindow adjusts the aggregation window at run time, clamped to at least
 // 1. The server shrinks it as workers finish or depart so a thinning cohort
@@ -366,7 +405,7 @@ func (s *Store) applier(sh *shard, stop <-chan struct{}) {
 	defer s.applierWG.Done()
 	for {
 		if batch := sh.takeBatch(s.window.Load(), s.demand.Load()); len(batch) > 0 {
-			sh.applyBatch(batch)
+			sh.applyBatch(batch, s.metrics, s.tracer)
 			s.advanceApplied()
 			continue
 		}
@@ -380,7 +419,7 @@ func (s *Store) applier(sh *shard, stop <-chan struct{}) {
 				if len(batch) == 0 {
 					return
 				}
-				sh.applyBatch(batch)
+				sh.applyBatch(batch, s.metrics, s.tracer)
 				s.advanceApplied()
 			}
 		}

@@ -16,6 +16,7 @@ import (
 	"dssp/internal/data"
 	"dssp/internal/metrics"
 	"dssp/internal/nn"
+	"dssp/internal/obs"
 	"dssp/internal/optimizer"
 	"dssp/internal/ps"
 	"dssp/internal/transport"
@@ -83,6 +84,14 @@ type Config struct {
 	CrashAt map[int]int
 	// Seed makes model initialization and batching deterministic.
 	Seed int64
+	// Metrics, when non-nil, is the observability registry the run's server
+	// (and transport) instrumentation lands on — the same registry an admin
+	// endpoint scrapes. Nil gives the server a private registry; either way
+	// Result.Metrics carries the end-of-run snapshot.
+	Metrics *obs.Registry
+	// Trace configures sampled push-lifecycle tracing on the server (zero =
+	// default sampling; Every < 0 disables).
+	Trace obs.TraceConfig
 }
 
 // Result collects the measurements of one run.
@@ -118,6 +127,14 @@ type Result struct {
 	// workers sent and received — the knob gradient compression turns.
 	PushedBytes int64
 	PulledBytes int64
+	// Metrics is the end-of-run snapshot of the server's observability
+	// registry (counters and gauges by series name, histograms as _sum and
+	// _count; see docs/METRICS.md) — the same numbers a /metrics scrape
+	// would have reported at that instant.
+	Metrics map[string]float64
+	// Traces is the run's sampled push-lifecycle traces, oldest first (nil
+	// when tracing was disabled).
+	Traces []obs.PushTrace
 }
 
 // TimeToAccuracy returns the elapsed time at which the run first reached the
@@ -173,11 +190,14 @@ func Run(cfg Config) (*Result, error) {
 		Policy:  policy,
 		Store:   store,
 		Options: cfg.Options,
+		Metrics: cfg.Metrics,
+		Trace:   cfg.Trace,
 	})
 	if err != nil {
 		return nil, err
 	}
 	listener := transport.NewChanListener()
+	listener.SetMeter(transport.NewMetrics(server.Registry()))
 	go func() { _ = server.Serve(listener) }()
 	defer func() {
 		server.Stop()
@@ -301,6 +321,8 @@ poll:
 	result.Updates = server.Pushes()
 	result.Dropped = server.Dropped()
 	result.Guard = server.GuardStats()
+	result.Metrics = server.Registry().Snapshot()
+	result.Traces = server.Traces()
 	crashedMu.Lock()
 	result.Crashed = crashed
 	crashedMu.Unlock()

@@ -14,6 +14,10 @@ type chanConn struct {
 	send chan<- Message
 	recv <-chan Message
 
+	// meter, when non-nil, counts frames per message type with approximate
+	// payload sizes — the channel transport moves references, not bytes.
+	meter *Metrics
+
 	closeOnce sync.Once
 	closed    chan struct{}
 	peer      *chanConn
@@ -49,6 +53,7 @@ func (c *chanConn) Send(m Message) error {
 	case <-c.peer.closed:
 		return ErrClosed
 	case c.send <- m:
+		c.meter.Sent(m.Type, approxSize(&m))
 		return nil
 	}
 }
@@ -62,12 +67,14 @@ func (c *chanConn) Recv() (Message, error) {
 		if !ok {
 			return Message{}, ErrClosed
 		}
+		c.meter.Received(m.Type, approxSize(&m))
 		return m, nil
 	case <-c.peer.closed:
 		// Drain any messages the peer sent before closing.
 		select {
 		case m, ok := <-c.recv:
 			if ok {
+				c.meter.Received(m.Type, approxSize(&m))
 				return m, nil
 			}
 		default:
@@ -89,6 +96,7 @@ type chanListener struct {
 	mu     sync.Mutex
 	closed bool
 	done   chan struct{}
+	meter  *Metrics
 }
 
 // NewChanListener returns an in-process listener. Call Dial to obtain the
@@ -108,16 +116,27 @@ type ChanListener struct {
 	inner *chanListener
 }
 
+// SetMeter installs a transport meter on the listener: the server end of
+// every connection created by a subsequent Dial counts its traffic into
+// meter. Call before serving; nil disables.
+func (l *ChanListener) SetMeter(m *Metrics) {
+	l.inner.mu.Lock()
+	l.inner.meter = m
+	l.inner.mu.Unlock()
+}
+
 // Dial creates a new in-process connection to the listener and returns the
 // worker endpoint.
 func (l *ChanListener) Dial() (Conn, error) {
 	l.inner.mu.Lock()
 	closed := l.inner.closed
+	meter := l.inner.meter
 	l.inner.mu.Unlock()
 	if closed {
 		return nil, ErrClosed
 	}
 	serverEnd, workerEnd := Pipe()
+	serverEnd.(*chanConn).meter = meter
 	select {
 	case l.inner.conns <- serverEnd:
 		return workerEnd, nil

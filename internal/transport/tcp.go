@@ -51,6 +51,12 @@ type tcpConn struct {
 	// mismatch in the binary format so a misconfigured binary worker fails
 	// fast instead of waiting forever for a reply it cannot parse.
 	server bool
+	// meter, when non-nil, counts frames and bytes per message type and
+	// direction. Gob has no frame header, so sizes are measured as exact
+	// stream consumption through the counting wrappers below.
+	meter *Metrics
+	cw    *meterWriter
+	cr    *meterReader
 
 	encMu sync.Mutex
 	bw    *bufio.Writer
@@ -63,11 +69,15 @@ type tcpConn struct {
 
 // newTCPConn wraps an established socket in the legacy gob framing.
 func newTCPConn(c net.Conn, server bool) *tcpConn {
-	bw := bufio.NewWriterSize(c, tcpBufferSize)
-	br := bufio.NewReaderSize(c, tcpBufferSize)
+	cw := &meterWriter{w: c}
+	cr := &meterReader{r: c}
+	bw := bufio.NewWriterSize(cw, tcpBufferSize)
+	br := bufio.NewReaderSize(cr, tcpBufferSize)
 	return &tcpConn{
 		conn:   c,
 		server: server,
+		cw:     cw,
+		cr:     cr,
 		bw:     bw,
 		enc:    gob.NewEncoder(bw),
 		br:     br,
@@ -75,18 +85,28 @@ func newTCPConn(c net.Conn, server bool) *tcpConn {
 	}
 }
 
+// sentLocked reports bytes handed to the encoder so far (written plus
+// still buffered); caller holds encMu.
+func (c *tcpConn) sentLocked() int64 { return c.cw.n + int64(c.bw.Buffered()) }
+
+// recvLocked reports bytes the decoder consumed so far (read minus still
+// buffered); caller holds decMu.
+func (c *tcpConn) recvLocked() int64 { return c.cr.n - int64(c.br.Buffered()) }
+
 // Send implements Conn. The message is encoded into the write buffer and
 // flushed to the socket before Send returns, so a sent message is never
 // stranded in user space.
 func (c *tcpConn) Send(m Message) error {
 	c.encMu.Lock()
 	defer c.encMu.Unlock()
+	before := c.sentLocked()
 	if err := c.enc.Encode(&m); err != nil {
 		return fmt.Errorf("transport: send %v: %w", m.Type, err)
 	}
 	if err := c.bw.Flush(); err != nil {
 		return fmt.Errorf("transport: flush %v: %w", m.Type, err)
 	}
+	c.meter.Sent(m.Type, int(c.sentLocked()-before))
 	return nil
 }
 
@@ -100,13 +120,16 @@ func (c *tcpConn) SendBatch(ms []Message) error {
 	c.encMu.Lock()
 	defer c.encMu.Unlock()
 	for i := range ms {
+		before := c.sentLocked()
 		if err := c.enc.Encode(&ms[i]); err != nil {
 			return fmt.Errorf("transport: send %v: %w", ms[i].Type, err)
 		}
+		c.meter.Sent(ms[i].Type, int(c.sentLocked()-before))
 	}
 	if err := c.bw.Flush(); err != nil {
 		return fmt.Errorf("transport: flush batch of %d: %w", len(ms), err)
 	}
+	c.meter.Batch(len(ms))
 	return nil
 }
 
@@ -132,6 +155,7 @@ func (c *tcpConn) Recv() (Message, error) {
 		}
 	}
 	var m Message
+	before := c.recvLocked()
 	if err := c.dec.Decode(&m); err != nil {
 		if first {
 			return Message{}, fmt.Errorf("transport: recv: gob decode of the first message failed "+
@@ -139,6 +163,7 @@ func (c *tcpConn) Recv() (Message, error) {
 		}
 		return Message{}, fmt.Errorf("transport: recv: %w", err)
 	}
+	c.meter.Received(m.Type, int(c.recvLocked()-before))
 	// A gob-decoded message owns all of its freshly allocated payload.
 	m.ownedPayload = true
 	return m, nil
@@ -177,8 +202,9 @@ func writeBinaryError(w io.Writer, text string) {
 // tcpListener adapts a net.Listener to the Listener interface, wrapping
 // accepted sockets in the configured wire format.
 type tcpListener struct {
-	l    net.Listener
-	wire WireFormat
+	l     net.Listener
+	wire  WireFormat
+	meter *Metrics
 }
 
 // Listen starts a TCP listener on addr (e.g. ":7070" or "127.0.0.1:0")
@@ -189,6 +215,12 @@ func Listen(addr string) (Listener, error) {
 
 // ListenWire starts a TCP listener speaking the given wire format.
 func ListenWire(addr string, wire WireFormat) (Listener, error) {
+	return ListenWireMetered(addr, wire, nil)
+}
+
+// ListenWireMetered is ListenWire with transport metering: every accepted
+// connection counts its frames and bytes into meter (nil disables).
+func ListenWireMetered(addr string, wire WireFormat, meter *Metrics) (Listener, error) {
 	wire, err := ParseWireFormat(string(wire))
 	if err != nil {
 		return nil, err
@@ -197,7 +229,7 @@ func ListenWire(addr string, wire WireFormat) (Listener, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
 	}
-	return &tcpListener{l: l, wire: wire}, nil
+	return &tcpListener{l: l, wire: wire, meter: meter}, nil
 }
 
 // Accept implements Listener.
@@ -207,9 +239,13 @@ func (t *tcpListener) Accept() (Conn, error) {
 		return nil, fmt.Errorf("transport: accept: %w", err)
 	}
 	if t.wire == WireGob {
-		return newTCPConn(c, true), nil
+		conn := newTCPConn(c, true)
+		conn.meter = t.meter
+		return conn, nil
 	}
-	return newBinaryConn(c, true), nil
+	conn := newBinaryConn(c, true)
+	conn.meter = t.meter
+	return conn, nil
 }
 
 // Close implements Listener.
@@ -226,6 +262,12 @@ func Dial(addr string) (Conn, error) {
 
 // DialWire connects to a parameter server with the given wire format.
 func DialWire(addr string, wire WireFormat) (Conn, error) {
+	return DialWireMetered(addr, wire, nil)
+}
+
+// DialWireMetered is DialWire with transport metering on the resulting
+// connection (nil disables).
+func DialWireMetered(addr string, wire WireFormat, meter *Metrics) (Conn, error) {
 	wire, err := ParseWireFormat(string(wire))
 	if err != nil {
 		return nil, err
@@ -235,7 +277,11 @@ func DialWire(addr string, wire WireFormat) (Conn, error) {
 		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
 	}
 	if wire == WireGob {
-		return newTCPConn(c, false), nil
+		conn := newTCPConn(c, false)
+		conn.meter = meter
+		return conn, nil
 	}
-	return newBinaryConn(c, false), nil
+	conn := newBinaryConn(c, false)
+	conn.meter = meter
+	return conn, nil
 }

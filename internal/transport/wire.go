@@ -368,6 +368,9 @@ type frameReader struct {
 	// first frame (where a mismatch means a misconfigured peer, not
 	// corruption) from mid-stream failures.
 	frames int
+	// lastSize is the on-wire size (header + body) of the last frame
+	// readFrame decoded, for transport metering.
+	lastSize int
 }
 
 // newFrameReader sizes the buffered reader for shard-chunk payloads: one
@@ -410,6 +413,7 @@ func (fr *frameReader) readFrame() (Message, error) {
 		return Message{}, fmt.Errorf("transport: declared body of %d bytes exceeds the %d-byte limit", declared, maxFrameBody)
 	}
 	bodyLen := int(declared)
+	fr.lastSize = headerSize + bodyLen
 
 	var body []byte
 	reused := false
@@ -747,6 +751,9 @@ type binaryConn struct {
 	// mismatch in the legacy format so a misconfigured gob worker fails
 	// fast instead of waiting forever for a reply it cannot parse.
 	server bool
+	// meter, when non-nil, counts frames and exact on-wire bytes per
+	// message type and direction.
+	meter *Metrics
 
 	encMu  sync.Mutex
 	encBuf []byte
@@ -798,6 +805,7 @@ func (c *binaryConn) Send(m Message) error {
 	if _, err := c.conn.Write(buf); err != nil {
 		return fmt.Errorf("transport: send %v: %w", m.Type, err)
 	}
+	c.meter.Sent(m.Type, len(buf))
 	return nil
 }
 
@@ -813,14 +821,28 @@ func (c *binaryConn) SendBatch(ms []Message) error {
 	defer c.encMu.Unlock()
 	buf := c.encBuf[:0]
 	var err error
+	var sizes []int
+	if c.meter != nil {
+		sizes = make([]int, len(ms))
+	}
 	for i := range ms {
+		before := len(buf)
 		if buf, err = appendFrame(buf, &ms[i]); err != nil {
 			return fmt.Errorf("transport: send %v: %w", ms[i].Type, err)
+		}
+		if sizes != nil {
+			sizes[i] = len(buf) - before
 		}
 	}
 	c.encBuf = retainEncBuf(buf)
 	if _, err := c.conn.Write(buf); err != nil {
 		return fmt.Errorf("transport: send batch of %d: %w", len(ms), err)
+	}
+	if c.meter != nil {
+		for i := range ms {
+			c.meter.Sent(ms[i].Type, sizes[i])
+		}
+		c.meter.Batch(len(ms))
 	}
 	return nil
 }
@@ -855,6 +877,7 @@ func (c *binaryConn) Recv() (Message, error) {
 		}
 		return Message{}, fmt.Errorf("transport: recv: %w", err)
 	}
+	c.meter.Received(m.Type, c.fr.lastSize)
 	return m, nil
 }
 

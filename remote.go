@@ -10,6 +10,7 @@ import (
 	"dssp/internal/core"
 	"dssp/internal/data"
 	"dssp/internal/nn"
+	"dssp/internal/obs"
 	"dssp/internal/optimizer"
 	"dssp/internal/ps"
 	"dssp/internal/transport"
@@ -58,6 +59,16 @@ type ServerConfig struct {
 	// pulls (the default grants them), forcing full weight chunks on every
 	// pull — an A/B and debugging knob.
 	DisableDeltaPull bool
+	// MetricsAddr, when non-empty, starts an admin HTTP listener on that
+	// address serving Prometheus metrics (/metrics), liveness (/healthz), a
+	// JSON status snapshot with optional push traces (/statusz?traces=1)
+	// and pprof (/debug/pprof/). "127.0.0.1:0" picks a free port — read it
+	// back with Server.MetricsAddr.
+	MetricsAddr string
+	// TraceEvery samples one in every TraceEvery pushes for lifecycle
+	// tracing; 0 keeps the default (ps.DefaultTraceEvery), negative
+	// disables tracing.
+	TraceEvery int
 	// Seed determines the initial weights; it must match the workers' seed.
 	Seed int64
 }
@@ -70,6 +81,7 @@ type Server struct {
 	spec     nn.ModelSpec
 	cfg      TrainConfig
 	restored bool
+	admin    *obs.AdminServer
 }
 
 // Addr returns the address the server is listening on.
@@ -85,7 +97,24 @@ func (s *Server) Done() <-chan struct{} { return s.inner.AllWorkersDone() }
 func (s *Server) Stop() {
 	_ = s.listener.Close()
 	s.inner.Stop()
+	_ = s.admin.Close()
 }
+
+// MetricsAddr returns the admin HTTP listener's address, or "" when
+// ServerConfig.MetricsAddr was unset.
+func (s *Server) MetricsAddr() string { return s.admin.Addr() }
+
+// Registry returns the server's observability registry (always present;
+// scraping it does not require the admin listener).
+func (s *Server) Registry() *obs.Registry { return s.inner.Registry() }
+
+// Status snapshots the server's live state — the same payload /statusz
+// serves.
+func (s *Server) Status() ps.ServerStatus { return s.inner.Status() }
+
+// Traces returns the sampled push-lifecycle traces collected so far, oldest
+// first (nil when tracing is disabled).
+func (s *Server) Traces() []obs.PushTrace { return s.inner.Traces() }
 
 // Updates returns the number of gradient updates applied so far.
 func (s *Server) Updates() int { return s.inner.Pushes() }
@@ -165,19 +194,33 @@ func Serve(cfg ServerConfig) (*Server, error) {
 			restored = true
 		}
 	}
+	reg := obs.NewRegistry()
 	server, err := ps.NewServer(ps.ServerConfig{
 		Workers:          cfg2.Workers,
 		Policy:           policy,
 		Store:            store,
 		Options:          cfg.Options.serverOptions(),
 		DisableDeltaPull: cfg.DisableDeltaPull,
+		Metrics:          reg,
+		Trace:            obs.TraceConfig{Every: cfg.TraceEvery},
 	})
 	if err != nil {
 		return nil, err
 	}
-	listener, err := transport.ListenWire(cfg.Addr, transport.WireFormat(cfg.Wire))
+	// Every accepted connection meters its frames and bytes into the same
+	// registry the server's counters live on.
+	listener, err := transport.ListenWireMetered(cfg.Addr, transport.WireFormat(cfg.Wire), transport.NewMetrics(reg))
 	if err != nil {
 		return nil, err
+	}
+	var admin *obs.AdminServer
+	if cfg.MetricsAddr != "" {
+		admin, err = obs.ServeAdmin(cfg.MetricsAddr, reg,
+			func() any { return server.Status() }, server.Traces)
+		if err != nil {
+			_ = listener.Close()
+			return nil, fmt.Errorf("dssp: metrics listener: %w", err)
+		}
 	}
 	go func() { _ = server.Serve(listener) }()
 	return &Server{
@@ -187,6 +230,7 @@ func Serve(cfg ServerConfig) (*Server, error) {
 		spec:     spec,
 		cfg:      cfg2,
 		restored: restored,
+		admin:    admin,
 	}, nil
 }
 
@@ -238,6 +282,15 @@ type WorkerConfig struct {
 	// before starting iteration FailAfter, and RunWorker returns a report
 	// with Crashed set.
 	FailAfter int
+	// MetricsAddr, when non-empty, starts an admin HTTP listener serving
+	// this worker's metrics (/metrics: pull/push latency, iteration count,
+	// transport traffic), /healthz and pprof. "127.0.0.1:0" picks a free
+	// port.
+	MetricsAddr string
+	// OnAdminAddr, when set alongside MetricsAddr, is called once with the
+	// admin listener's bound address — the way to learn the port when
+	// MetricsAddr asked for ":0".
+	OnAdminAddr func(addr string)
 }
 
 // WorkerReport summarizes one worker's run.
@@ -314,9 +367,27 @@ func RunWorker(cfg WorkerConfig) (*WorkerReport, error) {
 		ccfg.Codec = compress.Auto
 	}
 
+	// Worker-side observability is opt-in via MetricsAddr: one registry
+	// spans reconnects (each new link instruments onto it), so the scraped
+	// series survive a server restart.
+	var reg *obs.Registry
+	var meter *transport.Metrics
+	if cfg.MetricsAddr != "" {
+		reg = obs.NewRegistry()
+		meter = transport.NewMetrics(reg)
+		admin, err := obs.ServeAdmin(cfg.MetricsAddr, reg, nil, nil)
+		if err != nil {
+			return nil, fmt.Errorf("dssp: worker %d metrics listener: %w", cfg.WorkerID, err)
+		}
+		defer admin.Close()
+		if cfg.OnAdminAddr != nil {
+			cfg.OnAdminAddr(admin.Addr())
+		}
+	}
+
 	// connect dials, registers (or rejoins) and starts heartbeats.
 	connect := func(rejoin bool, lastVersion int64) (*workerLink, error) {
-		conn, err := transport.DialWire(cfg.ServerAddr, transport.WireFormat(cfg.Wire))
+		conn, err := transport.DialWireMetered(cfg.ServerAddr, transport.WireFormat(cfg.Wire), meter)
 		if err != nil {
 			return nil, err
 		}
@@ -325,6 +396,7 @@ func RunWorker(cfg WorkerConfig) (*WorkerReport, error) {
 			conn.Close()
 			return nil, err
 		}
+		client.Instrument(reg)
 		client.SetDeltaPull(cfg.DeltaPull)
 		if rejoin {
 			err = client.Rejoin(lastVersion)

@@ -39,9 +39,12 @@ bench-json:
 # an otherwise-busy machine belong here; jittery paths (e.g. BenchmarkDeltaPull,
 # whose regression risk is pinned by TestDeltaPullSkipsUnchangedShardBytes
 # instead) stay informational.
-BENCH_GATE_PATTERN = BenchmarkStoreConcurrentPushPull/sharded|BenchmarkStoreConcurrentPull/sharded
-BENCH_GATE_PINS = BenchmarkStoreConcurrentPushPull/sharded,BenchmarkStoreConcurrentPull/sharded
+BENCH_GATE_PATTERN = BenchmarkStoreConcurrentPushPull/sharded|BenchmarkStoreConcurrentPull/sharded|BenchmarkStoreApplySteadyState|BenchmarkMatMul128|BenchmarkFusedStepMomentumBatch4
+BENCH_GATE_PINS = BenchmarkStoreConcurrentPushPull/sharded,BenchmarkStoreConcurrentPull/sharded,BenchmarkStoreApplySteadyState,BenchmarkMatMul128,BenchmarkFusedStepMomentumBatch4
 BENCH_GATE_TIME = 1s
+# Packages holding the pinned benchmarks: the store pipeline plus the raw
+# compute kernels (blocked matmul, fused optimizer step) it is built on.
+BENCH_GATE_PKGS = ./internal/ps/ ./internal/tensor/ ./internal/optimizer/
 
 # Refresh the committed benchmark baseline (BENCH_baseline.json at the repo
 # root). A short fixed -benchtime keeps the full suite to a couple of
@@ -52,7 +55,7 @@ BENCH_GATE_TIME = 1s
 # in the baseline are like-for-like with what bench-gate measures.
 bench-baseline:
 	$(GO) test -run '^$$' -bench=. -benchtime=10x -benchmem ./... > bench-baseline.txt
-	$(GO) test -run '^$$' -bench '$(BENCH_GATE_PATTERN)' -benchtime=$(BENCH_GATE_TIME) ./internal/ps/ >> bench-baseline.txt
+	$(GO) test -run '^$$' -bench '$(BENCH_GATE_PATTERN)' -benchtime=$(BENCH_GATE_TIME) $(BENCH_GATE_PKGS) >> bench-baseline.txt
 	$(GO) run ./cmd/benchjson -in bench-baseline.txt -out BENCH_baseline.json
 
 # Pinned-benchmark regression gate: re-measure the allowlisted macro
@@ -62,7 +65,7 @@ bench-baseline:
 # the pins are chosen to be long-running and one-sided — faster hardware
 # passes trivially, only a real slowdown of the hot paths trips them.
 bench-gate:
-	$(GO) test -run '^$$' -bench '$(BENCH_GATE_PATTERN)' -benchtime=$(BENCH_GATE_TIME) ./internal/ps/ > bench-pinned.txt
+	$(GO) test -run '^$$' -bench '$(BENCH_GATE_PATTERN)' -benchtime=$(BENCH_GATE_TIME) $(BENCH_GATE_PKGS) > bench-pinned.txt
 	$(GO) run ./cmd/benchjson -in bench-pinned.txt -out BENCH_pinned.json \
 		-baseline BENCH_baseline.json -threshold 0.25 -pin '$(BENCH_GATE_PINS)'
 

@@ -161,10 +161,14 @@ func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	gb := c.gradB.Data()
 	imgSize := c.inC * h * w
 	outImgSize := c.outC * plane
+	// dcol is overwritten per batch item by MatMulTransAInto: one scratch
+	// matrix for the whole backward pass instead of one allocation per image.
+	dcol := tensor.New(c.inC*c.kernel*c.kernel, plane)
 	for b := 0; b < batch; b++ {
-		gradMat := tensor.FromSlice(gradData[b*outImgSize:(b+1)*outImgSize], c.outC, plane)
-		// dW += grad · colᵀ
-		c.gradW.Add(tensor.MatMulTransB(gradMat, c.lastCols[b]))
+		// The gradient slice is only read, so alias it instead of copying.
+		gradMat := tensor.FromSliceOwned(gradData[b*outImgSize:(b+1)*outImgSize], c.outC, plane)
+		// dW += grad · colᵀ, accumulated in place.
+		tensor.MatMulTransBAcc(c.gradW, gradMat, c.lastCols[b])
 		// db += per-channel sums
 		gm := gradMat.Data()
 		for oc := 0; oc < c.outC; oc++ {
@@ -175,7 +179,7 @@ func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 			gb[oc] += s
 		}
 		// dcol = Wᵀ · grad, then scatter back to the input gradient.
-		dcol := tensor.MatMulTransA(c.weight, gradMat)
+		tensor.MatMulTransAInto(dcol, c.weight, gradMat)
 		c.col2im(dcol, h, w, dxData[b*imgSize:(b+1)*imgSize])
 	}
 	return dx

@@ -62,8 +62,8 @@ func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if d.lastInput == nil {
 		panic("nn: Dense.Backward called before Forward(train=true)")
 	}
-	// dW = xᵀ · grad, db = column sums of grad, dx = grad · Wᵀ.
-	d.gradW.Add(tensor.MatMulTransA(d.lastInput, grad))
+	// dW += xᵀ · grad, db = column sums of grad, dx = grad · Wᵀ.
+	tensor.MatMulTransAAcc(d.gradW, d.lastInput, grad)
 	batch := grad.Dim(0)
 	gdata := grad.Data()
 	gb := d.gradB.Data()

@@ -3,6 +3,7 @@ package nn
 import (
 	"math"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"dssp/internal/tensor"
@@ -141,6 +142,31 @@ func TestGradientCheckResidualBlockWithProjection(t *testing.T) {
 	x := tensor.New(2, 2, 6, 6).RandNormal(rng, 0, 1)
 	labels := []int{0, 2}
 	numericalGradientCheck(t, net, x, labels, 10)
+}
+
+// TestGradientCheckThroughParallelMatMul re-runs a conv+dense gradient check
+// with every matrix product forced through the goroutine-parallel kernels:
+// analytic gradients computed by chunked row-parallel matmuls must still
+// match finite differences, proving the parallel path computes the same
+// mathematics as the serial one inside a full backward pass.
+func TestGradientCheckThroughParallelMatMul(t *testing.T) {
+	prevProcs := runtime.GOMAXPROCS(4)
+	prevFlops := tensor.SetMatMulParallelMinFlops(0)
+	t.Cleanup(func() {
+		runtime.GOMAXPROCS(prevProcs)
+		tensor.SetMatMulParallelMinFlops(prevFlops)
+	})
+	rng := rand.New(rand.NewSource(9))
+	net := NewNetwork(rng,
+		NewConv2D(rng, 2, 3, 3, 1, 1),
+		NewReLU(),
+		NewMaxPool2D(2),
+		NewFlatten(),
+		NewDense(rng, 3*3*3, 4),
+	)
+	x := tensor.New(3, 2, 6, 6).RandNormal(rng, 0, 1)
+	labels := []int{1, 3, 0}
+	numericalGradientCheck(t, net, x, labels, 20)
 }
 
 func TestGradientCheckGlobalAvgPool(t *testing.T) {

@@ -38,6 +38,24 @@ type Optimizer interface {
 	LoadState(state [][]float32)
 }
 
+// FusedStepper is implemented by optimizers that can apply a whole coalesced
+// push batch in one fused pass per parameter tensor: gradient summation,
+// weight decay, momentum update, and the parameter write happen per element,
+// so each gradient value is read exactly once and no summed-gradient or
+// cloned-parameter temporary is materialized.
+//
+// StepInto reads parameters from src and writes the updated values to dst;
+// dst may alias src element-wise (in-place update) or be a completely
+// separate buffer (the parameter server's copy-on-write publication path).
+// batch is a non-empty sequence of aligned gradient sets. The result must be
+// bit-identical to cloning src, summing the batch in order with a running
+// element-wise accumulation (((b0+b1)+b2)+…), and calling Step on the clone
+// — the contract that lets the store switch between the fused and unfused
+// paths without changing training dynamics.
+type FusedStepper interface {
+	StepInto(dst, src []*tensor.Tensor, batch [][]*tensor.Tensor)
+}
+
 // SGD is stochastic gradient descent with optional momentum and weight
 // decay: v = mu*v + grad + wd*param; param -= lr * v.
 type SGD struct {
@@ -45,6 +63,7 @@ type SGD struct {
 	momentum float64
 	decay    float64
 	velocity [][]float32
+	gscratch [][]float32 // reused per-tensor gradient-slice list for StepInto
 }
 
 // NewSGD returns a plain SGD optimizer with the given learning rate.
@@ -86,6 +105,194 @@ func (s *SGD) Step(params, grads []*tensor.Tensor) {
 			for j := range pd {
 				g := gd[j] + wd*pd[j]
 				pd[j] -= lr * g
+			}
+		}
+	}
+}
+
+// StepInto implements FusedStepper for SGD: one pass per parameter tensor
+// fuses the batch gradient sum, weight decay, momentum update, and parameter
+// write. See the interface for the aliasing and bit-identity contract.
+func (s *SGD) StepInto(dst, src []*tensor.Tensor, batch [][]*tensor.Tensor) {
+	if len(batch) == 0 {
+		panic("optimizer: StepInto needs a non-empty batch")
+	}
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("optimizer: %d dst tensors but %d src", len(dst), len(src)))
+	}
+	for _, grads := range batch {
+		if len(grads) != len(src) {
+			panic(fmt.Sprintf("optimizer: %d params but %d grads", len(src), len(grads)))
+		}
+	}
+	if s.momentum > 0 && s.velocity == nil {
+		s.velocity = make([][]float32, len(src))
+		for i, p := range src {
+			s.velocity[i] = make([]float32, p.Size())
+		}
+	}
+	lr := float32(s.lr)
+	mu := float32(s.momentum)
+	wd := float32(s.decay)
+	if cap(s.gscratch) < len(batch) {
+		s.gscratch = make([][]float32, len(batch))
+	}
+	gs := s.gscratch[:len(batch)]
+	for i := range src {
+		sd := src[i].Data()
+		dd := dst[i].Data()
+		if len(dd) != len(sd) {
+			panic(fmt.Sprintf("optimizer: param %d has %d values but dst has %d", i, len(sd), len(dd)))
+		}
+		for b, grads := range batch {
+			gd := grads[i].Data()
+			if len(gd) != len(sd) {
+				panic(fmt.Sprintf("optimizer: param %d has %d values but grad has %d", i, len(sd), len(gd)))
+			}
+			gs[b] = gd
+		}
+		if s.momentum > 0 {
+			fusedSGDMomentum(dd, sd, s.velocity[i], gs, lr, mu, wd)
+		} else {
+			fusedSGDPlain(dd, sd, gs, lr, wd)
+		}
+	}
+}
+
+// fusedSGDMomentum applies dst = src - lr·v' with v' = mu·v + (Σgs + wd·src)
+// element-wise. The batch sum accumulates in source order, matching a
+// sequential copy+Add loop bit for bit. Specialized small-batch bodies keep
+// the common coalescing sizes branch-free in the inner loop.
+func fusedSGDMomentum(dd, sd, v []float32, gs [][]float32, lr, mu, wd float32) {
+	sd = sd[:len(dd)]
+	v = v[:len(dd)]
+	switch len(gs) {
+	case 1:
+		g0 := gs[0][:len(dd)]
+		for j := range dd {
+			g := g0[j] + wd*sd[j]
+			vj := mu*v[j] + g
+			v[j] = vj
+			dd[j] = sd[j] - lr*vj
+		}
+	case 2:
+		g0 := gs[0][:len(dd)]
+		g1 := gs[1][:len(dd)]
+		for j := range dd {
+			g := (g0[j] + g1[j]) + wd*sd[j]
+			vj := mu*v[j] + g
+			v[j] = vj
+			dd[j] = sd[j] - lr*vj
+		}
+	case 3:
+		g0 := gs[0][:len(dd)]
+		g1 := gs[1][:len(dd)]
+		g2 := gs[2][:len(dd)]
+		for j := range dd {
+			g := ((g0[j] + g1[j]) + g2[j]) + wd*sd[j]
+			vj := mu*v[j] + g
+			v[j] = vj
+			dd[j] = sd[j] - lr*vj
+		}
+	case 4:
+		g0 := gs[0][:len(dd)]
+		g1 := gs[1][:len(dd)]
+		g2 := gs[2][:len(dd)]
+		g3 := gs[3][:len(dd)]
+		for j := range dd {
+			g := (((g0[j] + g1[j]) + g2[j]) + g3[j]) + wd*sd[j]
+			vj := mu*v[j] + g
+			v[j] = vj
+			dd[j] = sd[j] - lr*vj
+		}
+	default:
+		var buf fusedStrip
+		for start := 0; start < len(dd); start += len(buf) {
+			end := start + len(buf)
+			if end > len(dd) {
+				end = len(dd)
+			}
+			sum := stripSum(&buf, gs, start, end)
+			db := dd[start:end:end]
+			sb := sd[start:end:end]
+			vb := v[start:end:end]
+			for j, gj := range sum {
+				g := gj + wd*sb[j]
+				vj := mu*vb[j] + g
+				vb[j] = vj
+				db[j] = sb[j] - lr*vj
+			}
+		}
+	}
+}
+
+// fusedStrip is the stack-resident strip buffer used to sum wide batches a
+// cache-line-friendly chunk at a time; element order within the strip sum
+// still matches a sequential copy+Add pass exactly.
+type fusedStrip [512]float32
+
+// stripSum returns buf[:end-start] holding the in-order element-wise sum of
+// gs over [start, end).
+func stripSum(buf *fusedStrip, gs [][]float32, start, end int) []float32 {
+	w := end - start
+	sum := buf[:w:w]
+	copy(sum, gs[0][start:end])
+	for _, gb := range gs[1:] {
+		g := gb[start:end:end]
+		for j, vj := range g {
+			sum[j] += vj
+		}
+	}
+	return sum
+}
+
+// fusedSGDPlain is the momentum-free variant: dst = src - lr·(Σgs + wd·src).
+func fusedSGDPlain(dd, sd []float32, gs [][]float32, lr, wd float32) {
+	sd = sd[:len(dd)]
+	switch len(gs) {
+	case 1:
+		g0 := gs[0][:len(dd)]
+		for j := range dd {
+			g := g0[j] + wd*sd[j]
+			dd[j] = sd[j] - lr*g
+		}
+	case 2:
+		g0 := gs[0][:len(dd)]
+		g1 := gs[1][:len(dd)]
+		for j := range dd {
+			g := (g0[j] + g1[j]) + wd*sd[j]
+			dd[j] = sd[j] - lr*g
+		}
+	case 3:
+		g0 := gs[0][:len(dd)]
+		g1 := gs[1][:len(dd)]
+		g2 := gs[2][:len(dd)]
+		for j := range dd {
+			g := ((g0[j] + g1[j]) + g2[j]) + wd*sd[j]
+			dd[j] = sd[j] - lr*g
+		}
+	case 4:
+		g0 := gs[0][:len(dd)]
+		g1 := gs[1][:len(dd)]
+		g2 := gs[2][:len(dd)]
+		g3 := gs[3][:len(dd)]
+		for j := range dd {
+			g := (((g0[j] + g1[j]) + g2[j]) + g3[j]) + wd*sd[j]
+			dd[j] = sd[j] - lr*g
+		}
+	default:
+		var buf fusedStrip
+		for start := 0; start < len(dd); start += len(buf) {
+			end := start + len(buf)
+			if end > len(dd) {
+				end = len(dd)
+			}
+			sum := stripSum(&buf, gs, start, end)
+			db := dd[start:end:end]
+			sb := sd[start:end:end]
+			for j, gj := range sum {
+				g := gj + wd*sb[j]
+				db[j] = sb[j] - lr*g
 			}
 		}
 	}

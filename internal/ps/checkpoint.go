@@ -1,13 +1,36 @@
 package ps
 
 import (
+	"bytes"
 	"encoding/gob"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 
 	"dssp/internal/tensor"
 )
+
+// Checkpoints come in two on-disk formats:
+//
+//   - The legacy single-file format (store.ckpt): one gob blob holding every
+//     tensor, written by Store.SaveCheckpoint. Cost is proportional to model
+//     size on every save.
+//
+//   - The incremental manifest format (manifest.ckpt + seg-*.ckpt), written
+//     by Checkpointer: each shard's tensors and optimizer state live in a
+//     segment file stamped with the shard's publication version, and a save
+//     rewrites only the segments of shards whose version moved since the
+//     last save — the manifest re-references unchanged segments. Periodic
+//     checkpoint cost therefore tracks how much of the model actually
+//     changed, not how big it is.
+//
+// Crash safety is the same for both: every file is written to a temporary
+// name, fsynced, renamed into place, and the directory entry is fsynced —
+// the previous checkpoint stays intact and durable until the new one fully
+// is. For the manifest format the manifest rename is the commit point: new
+// segments are made durable before the manifest that references them, and
+// superseded segments are deleted only afterwards.
 
 // CheckpointConfig configures periodic store checkpoints on a server.
 type CheckpointConfig struct {
@@ -22,10 +45,24 @@ type CheckpointConfig struct {
 // Enabled reports whether the configuration asks for checkpoints at all.
 func (c CheckpointConfig) Enabled() bool { return c.Dir != "" }
 
-// CheckpointFile returns the checkpoint path used inside dir. Every writer
-// and restorer goes through this one name; atomicity comes from writing a
-// temporary file in dir and renaming it into place.
+// CheckpointFile returns the legacy single-file checkpoint path used inside
+// dir.
 func CheckpointFile(dir string) string { return filepath.Join(dir, "store.ckpt") }
+
+// ManifestFile returns the incremental checkpoint manifest path used inside
+// dir. The manifest and the legacy file have distinct names, so a directory
+// can be identified without sniffing gob payloads.
+func ManifestFile(dir string) string { return filepath.Join(dir, "manifest.ckpt") }
+
+// CheckpointExists reports whether dir holds a restorable checkpoint in
+// either format.
+func CheckpointExists(dir string) bool {
+	if _, err := os.Stat(ManifestFile(dir)); err == nil {
+		return true
+	}
+	_, err := os.Stat(CheckpointFile(dir))
+	return err == nil
+}
 
 // checkpointData is the serialized form of a store: the published weights,
 // the per-tensor optimizer state, the aggregate version, and the learning
@@ -41,11 +78,89 @@ type checkpointData struct {
 	State [][]float32
 }
 
-// SaveCheckpoint atomically writes the store's current weights, optimizer
-// state and version to path: the data lands in a temporary file in the same
-// directory and is renamed into place, so a crash mid-write never corrupts
-// the previous checkpoint. Concurrent Apply calls are safe; the snapshot is
-// consistent per shard (the same relaxation pulls live with).
+// checkpointManifest is the root of the incremental format: the store-wide
+// restore point plus one segment reference per shard of the saving store.
+type checkpointManifest struct {
+	Version      int64
+	LearningRate float64
+	NumTensors   int
+	Segments     []manifestSegment
+}
+
+// manifestSegment names one durable segment file and the shard snapshot it
+// holds.
+type manifestSegment struct {
+	// File is the segment filename, relative to the checkpoint directory.
+	File string
+	// Base is the global index of the segment's first tensor; Count is how
+	// many consecutive tensors it holds.
+	Base, Count int
+	// Version is the shard publication version the segment encodes — the
+	// dirtiness key deciding whether the next save rewrites it.
+	Version int64
+}
+
+// segmentData is one shard's serialized snapshot.
+type segmentData struct {
+	Base    int
+	Version int64
+	Shapes  [][]int
+	Params  [][]float32
+	// State is the shard optimizer's per-tensor state aligned with Params;
+	// nil when the shard holds none.
+	State [][]float32
+}
+
+// writeFileDurable atomically and durably replaces path with data: temp file
+// in the same directory, fsync, rename, fsync of the directory entry. The
+// previous file content survives any crash before the rename commits.
+func writeFileDurable(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".ckpt-*")
+	if err != nil {
+		return fmt.Errorf("ps: checkpoint temp file: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("ps: write checkpoint: %w", err)
+	}
+	// fsync before rename: otherwise the rename can become durable before
+	// the data, and a power cut leaves the published name pointing at a
+	// truncated file.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("ps: sync checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("ps: close checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("ps: publish checkpoint: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a completed rename survives power loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("ps: open checkpoint dir: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("ps: sync checkpoint dir: %w", err)
+	}
+	return nil
+}
+
+// SaveCheckpoint atomically and durably writes the store's current weights,
+// optimizer state and version to path in the legacy single-file format.
+// Concurrent Apply calls are safe; the snapshot is consistent per shard (the
+// same relaxation pulls live with).
 func (s *Store) SaveCheckpoint(path string) error {
 	ck := checkpointData{
 		Version: s.version.Load(),
@@ -56,52 +171,253 @@ func (s *Store) SaveCheckpoint(path string) error {
 	s.protoMu.Lock()
 	ck.LearningRate = s.proto.LearningRate()
 	s.protoMu.Unlock()
+	gens := make([]*paramGen, len(s.shards))
 	for i, sh := range s.shards {
 		base := s.ranges[i].Start
-		sh.mu.RLock()
-		params := sh.params
-		state := sh.opt.State()
-		sh.mu.RUnlock()
-		for j, p := range params {
-			// Published tensors are immutable; referencing their data without
-			// copying is safe for the duration of the encode.
+		g, _, state := sh.checkpointView()
+		gens[i] = g
+		for j, p := range g.params {
+			// Published tensors are immutable while the generation reference
+			// is held; the encode below reads them without copying.
 			ck.Params[base+j] = p.Data()
 		}
 		for j, v := range state {
 			ck.State[base+j] = v
 		}
 	}
+	defer func() {
+		for _, g := range gens {
+			g.release()
+		}
+	}()
 
 	dir := filepath.Dir(path)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("ps: checkpoint dir: %w", err)
 	}
-	tmp, err := os.CreateTemp(dir, ".ckpt-*")
-	if err != nil {
-		return fmt.Errorf("ps: checkpoint temp file: %w", err)
-	}
-	if err := gob.NewEncoder(tmp).Encode(&ck); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&ck); err != nil {
 		return fmt.Errorf("ps: encode checkpoint: %w", err)
 	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("ps: close checkpoint: %w", err)
+	return writeFileDurable(path, buf.Bytes())
+}
+
+// checkpointView returns the shard's current generation (with a bounded
+// reference held — the caller must release it), its publication version, and
+// a deep copy of the optimizer state consistent with that generation: the
+// applier advances all three under the same write lock.
+func (sh *shard) checkpointView() (g *paramGen, version int64, state [][]float32) {
+	sh.mu.RLock()
+	g, version = sh.gen, sh.version
+	g.refs.Add(1)
+	state = sh.opt.State()
+	sh.mu.RUnlock()
+	return g, version, state
+}
+
+// Checkpointer writes incremental checkpoints of one store into one
+// directory. It remembers the shard versions of the last completed save, so
+// the next save serializes only shards that have published since — the
+// manifest keeps referencing the existing segment files for the rest. It is
+// not safe for concurrent use; the server serializes saves (ckptMu).
+type Checkpointer struct {
+	store *Store
+	dir   string
+	// last is the manifest of the previous successful save; nil before the
+	// first one. Segment entries are reused verbatim for clean shards.
+	last []manifestSegment
+}
+
+// NewCheckpointer returns a Checkpointer writing st's checkpoints into dir
+// in the incremental manifest format.
+func NewCheckpointer(st *Store, dir string) *Checkpointer {
+	return &Checkpointer{store: st, dir: dir}
+}
+
+// Save writes one checkpoint. Shards whose publication version is unchanged
+// since the previous save keep their existing segment files; full forces
+// every shard to be rewritten (used for the final save on server stop, so a
+// stopping server always leaves freshly written state behind). It returns
+// how many shard segments were serialized and the total bytes written
+// (segments plus manifest).
+func (c *Checkpointer) Save(full bool) (shardsWritten int, bytesWritten int64, err error) {
+	st := c.store
+	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		return 0, 0, fmt.Errorf("ps: checkpoint dir: %w", err)
 	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("ps: publish checkpoint: %w", err)
+	m := checkpointManifest{
+		Version:    st.version.Load(),
+		NumTensors: len(st.shapes),
+		Segments:   make([]manifestSegment, len(st.shards)),
 	}
-	return nil
+	st.protoMu.Lock()
+	m.LearningRate = st.proto.LearningRate()
+	st.protoMu.Unlock()
+	for i, sh := range st.shards {
+		r := st.ranges[i]
+		if !full && c.last != nil {
+			sh.mu.RLock()
+			v := sh.version
+			sh.mu.RUnlock()
+			if v == c.last[i].Version {
+				m.Segments[i] = c.last[i]
+				continue
+			}
+		}
+		g, version, state := sh.checkpointView()
+		seg := segmentData{
+			Base:    r.Start,
+			Version: version,
+			Shapes:  st.shapes[r.Start:r.End],
+			Params:  make([][]float32, len(g.params)),
+			State:   state,
+		}
+		for j, p := range g.params {
+			seg.Params[j] = p.Data()
+		}
+		var buf bytes.Buffer
+		encErr := gob.NewEncoder(&buf).Encode(&seg)
+		g.release()
+		if encErr != nil {
+			return shardsWritten, bytesWritten, fmt.Errorf("ps: encode checkpoint segment %d: %w", i, encErr)
+		}
+		name := fmt.Sprintf("seg-%d-v%d.ckpt", i, version)
+		if err := writeFileDurable(filepath.Join(c.dir, name), buf.Bytes()); err != nil {
+			return shardsWritten, bytesWritten, err
+		}
+		m.Segments[i] = manifestSegment{
+			File:    name,
+			Base:    r.Start,
+			Count:   r.End - r.Start,
+			Version: version,
+		}
+		shardsWritten++
+		bytesWritten += int64(buf.Len())
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&m); err != nil {
+		return shardsWritten, bytesWritten, fmt.Errorf("ps: encode checkpoint manifest: %w", err)
+	}
+	// The manifest rename is the commit point: every segment it references
+	// is already durable, and until it lands the previous manifest (and its
+	// segments, still on disk) remain the restorable checkpoint.
+	if err := writeFileDurable(ManifestFile(c.dir), buf.Bytes()); err != nil {
+		return shardsWritten, bytesWritten, err
+	}
+	bytesWritten += int64(buf.Len())
+	c.last = m.Segments
+	c.gcSegments(m.Segments)
+	return shardsWritten, bytesWritten, nil
+}
+
+// gcSegments deletes segment files the just-committed manifest no longer
+// references — superseded versions, leftovers of crashed saves, or segments
+// of an older shard layout. Failures are ignored: stray segments cost disk,
+// not correctness.
+func (c *Checkpointer) gcSegments(live []manifestSegment) {
+	keep := make(map[string]bool, len(live))
+	for _, seg := range live {
+		keep[seg.File] = true
+	}
+	matches, err := filepath.Glob(filepath.Join(c.dir, "seg-*.ckpt"))
+	if err != nil {
+		return
+	}
+	sort.Strings(matches)
+	for _, path := range matches {
+		if !keep[filepath.Base(path)] {
+			os.Remove(path)
+		}
+	}
+}
+
+// RestoreCheckpointDir restores the store from dir, preferring the
+// incremental manifest format and falling back to the legacy single file.
+func (s *Store) RestoreCheckpointDir(dir string) error {
+	if _, err := os.Stat(ManifestFile(dir)); err == nil {
+		return s.restoreManifest(dir)
+	}
+	return s.RestoreCheckpoint(CheckpointFile(dir))
+}
+
+// restoreManifest loads an incremental checkpoint: the manifest names one
+// segment per saving-store shard; together the segments must cover every
+// tensor exactly once. The assembled state then goes through the same
+// validation and installation as a legacy checkpoint, so restore semantics —
+// including bit-identical weights and momentum — are format-independent.
+func (s *Store) restoreManifest(dir string) error {
+	f, err := os.Open(ManifestFile(dir))
+	if err != nil {
+		return fmt.Errorf("ps: open checkpoint manifest: %w", err)
+	}
+	var m checkpointManifest
+	err = gob.NewDecoder(f).Decode(&m)
+	f.Close()
+	if err != nil {
+		return fmt.Errorf("ps: decode checkpoint manifest: %w", err)
+	}
+	if m.NumTensors != len(s.shapes) {
+		return fmt.Errorf("ps: checkpoint has %d tensors, store has %d", m.NumTensors, len(s.shapes))
+	}
+	ck := checkpointData{
+		Version:      m.Version,
+		LearningRate: m.LearningRate,
+		Shapes:       make([][]int, len(s.shapes)),
+		Params:       make([][]float32, len(s.shapes)),
+		State:        make([][]float32, len(s.shapes)),
+	}
+	covered := 0
+	for i, ref := range m.Segments {
+		sf, err := os.Open(filepath.Join(dir, ref.File))
+		if err != nil {
+			return fmt.Errorf("ps: open checkpoint segment %d: %w", i, err)
+		}
+		var seg segmentData
+		err = gob.NewDecoder(sf).Decode(&seg)
+		sf.Close()
+		if err != nil {
+			return fmt.Errorf("ps: decode checkpoint segment %d: %w", i, err)
+		}
+		if seg.Base != ref.Base || seg.Version != ref.Version || len(seg.Params) != ref.Count {
+			return fmt.Errorf("ps: checkpoint segment %s does not match its manifest entry", ref.File)
+		}
+		if seg.Base < 0 || seg.Base+len(seg.Params) > len(s.shapes) {
+			return fmt.Errorf("ps: checkpoint segment %s covers tensors [%d,%d), store has %d",
+				ref.File, seg.Base, seg.Base+len(seg.Params), len(s.shapes))
+		}
+		if len(seg.Shapes) != len(seg.Params) {
+			return fmt.Errorf("ps: checkpoint segment %s has %d shapes for %d tensors",
+				ref.File, len(seg.Shapes), len(seg.Params))
+		}
+		if seg.State != nil && len(seg.State) != len(seg.Params) {
+			return fmt.Errorf("ps: checkpoint segment %s has state for %d of %d tensors",
+				ref.File, len(seg.State), len(seg.Params))
+		}
+		for j := range seg.Params {
+			g := seg.Base + j
+			if ck.Params[g] != nil {
+				return fmt.Errorf("ps: checkpoint tensor %d covered by two segments", g)
+			}
+			ck.Shapes[g] = seg.Shapes[j]
+			ck.Params[g] = seg.Params[j]
+			if seg.State != nil {
+				ck.State[g] = seg.State[j]
+			}
+			covered++
+		}
+	}
+	if covered != len(s.shapes) {
+		return fmt.Errorf("ps: checkpoint segments cover %d of %d tensors", covered, len(s.shapes))
+	}
+	return s.installCheckpoint(&ck)
 }
 
 // RestoreCheckpoint replaces the store's weights, optimizer state, version
-// and learning rate with the contents of the checkpoint at path. The
-// checkpoint's tensor shapes must match the store's — it restores a run of
-// the same model, not an arbitrary one — but the shard count may differ from
-// the saving server's. Restore before serving traffic; it is not synchronized
-// against concurrent Apply.
+// and learning rate with the contents of the legacy single-file checkpoint
+// at path. The checkpoint's tensor shapes must match the store's — it
+// restores a run of the same model, not an arbitrary one — but the shard
+// count may differ from the saving server's. Restore before serving traffic;
+// it is not synchronized against concurrent Apply.
 func (s *Store) RestoreCheckpoint(path string) error {
 	f, err := os.Open(path)
 	if err != nil {
@@ -112,6 +428,13 @@ func (s *Store) RestoreCheckpoint(path string) error {
 	if err := gob.NewDecoder(f).Decode(&ck); err != nil {
 		return fmt.Errorf("ps: decode checkpoint: %w", err)
 	}
+	return s.installCheckpoint(&ck)
+}
+
+// installCheckpoint validates assembled checkpoint state against the store's
+// layout and installs it: fresh generations per shard, optimizer state
+// loaded, versions re-based.
+func (s *Store) installCheckpoint(ck *checkpointData) error {
 	if ck.Version < 0 {
 		return fmt.Errorf("ps: checkpoint version %d is negative", ck.Version)
 	}
@@ -172,7 +495,11 @@ func (s *Store) RestoreCheckpoint(path string) error {
 			}
 		}
 		sh.mu.Lock()
-		sh.params = params
+		sh.gen = &paramGen{params: params}
+		// Old generations alias the replaced run's tensors; drop them rather
+		// than letting a future applier publish into pre-restore buffers a
+		// reader might still hold.
+		sh.retired = nil
 		sh.opt.LoadState(state)
 		// Bump the shard version past anything the packed-pull cache may have
 		// encoded so the next compressed pull repacks the restored weights —

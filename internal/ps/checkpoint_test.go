@@ -167,6 +167,169 @@ func TestRestoreMissingCheckpointFails(t *testing.T) {
 	}
 }
 
+// TestIncrementalCheckpointRoundTrip: a manifest-format checkpoint restores
+// bit-identically, including momentum — verified by driving both stores with
+// identical gradients afterwards, which diverges if velocity was lost.
+func TestIncrementalCheckpointRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	src := buildStore(t, 2, 5, 11)
+	ckpt := NewCheckpointer(src, dir)
+	if _, _, err := ckpt.Save(false); err != nil {
+		t.Fatal(err)
+	}
+	dst := buildStore(t, 2, 0, 11)
+	if err := dst.RestoreCheckpointDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	assertStoresEqual(t, src, dst, "manifest restore")
+
+	rng1 := rand.New(rand.NewSource(13))
+	rng2 := rand.New(rand.NewSource(13))
+	for i := 0; i < 3; i++ {
+		if _, err := src.Apply(randomGrads(rng1, []int{3, 4}, []int{7})); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := dst.Apply(randomGrads(rng2, []int{3, 4}, []int{7})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	assertStoresEqual(t, src, dst, "post-restore updates after manifest restore")
+}
+
+// TestIncrementalCheckpointRestoresAcrossShardCounts: segments are keyed by
+// global tensor index, so a manifest written by a 2-shard store restores
+// into a 1-shard one.
+func TestIncrementalCheckpointRestoresAcrossShardCounts(t *testing.T) {
+	dir := t.TempDir()
+	src := buildStore(t, 2, 4, 17)
+	if _, _, err := NewCheckpointer(src, dir).Save(false); err != nil {
+		t.Fatal(err)
+	}
+	dst := buildStore(t, 1, 0, 17)
+	if err := dst.RestoreCheckpointDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	assertStoresEqual(t, src, dst, "cross-shard manifest restore")
+}
+
+// TestIncrementalCheckpointSkipsCleanShards pins the incremental save's
+// defining behavior: a save with no intervening updates serializes zero
+// shard segments and writes only a manifest — a small fraction of a full
+// save — while a forced full save rewrites everything.
+func TestIncrementalCheckpointSkipsCleanShards(t *testing.T) {
+	dir := t.TempDir()
+	// A realistically sized model, so "manifest only" versus "weights" is a
+	// meaningful byte ratio rather than two small gob blobs.
+	initial := []*tensor.Tensor{tensor.New(128, 64), tensor.New(96, 32)}
+	st, err := NewStoreSharded(initial, optimizer.NewSGDMomentum(0.1, 0.9, 1e-4), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(23))
+	shapes := [][]int{{128, 64}, {96, 32}}
+	for i := 0; i < 3; i++ {
+		if _, err := st.Apply(randomGrads(rng, shapes...)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ckpt := NewCheckpointer(st, dir)
+
+	shards, fullBytes, err := ckpt.Save(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shards != 2 {
+		t.Fatalf("first save wrote %d shards, want 2", shards)
+	}
+
+	// Nothing changed: the incremental save must skip every shard, and its
+	// bytes (manifest only) must be far below a full snapshot's.
+	shards, idleBytes, err := ckpt.Save(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shards != 0 {
+		t.Fatalf("idle save wrote %d shards, want 0", shards)
+	}
+	if idleBytes*20 >= fullBytes {
+		t.Fatalf("idle save wrote %d bytes, full save %d; want ≪", idleBytes, fullBytes)
+	}
+	// The skipping save still leaves a fully restorable checkpoint.
+	dst, err := NewStoreSharded([]*tensor.Tensor{tensor.New(128, 64), tensor.New(96, 32)},
+		optimizer.NewSGDMomentum(0.1, 0.9, 1e-4), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.RestoreCheckpointDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	assertStoresEqual(t, st, dst, "restore after idle save")
+
+	// full=true rewrites clean shards anyway (the Stop path).
+	shards, _, err = ckpt.Save(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shards != 2 {
+		t.Fatalf("full save wrote %d shards, want 2", shards)
+	}
+
+	// After an update every shard is dirty again (each push spans the whole
+	// model), so the next incremental save rewrites both.
+	if _, err := st.Apply(randomGrads(rng, shapes...)); err != nil {
+		t.Fatal(err)
+	}
+	shards, _, err = ckpt.Save(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shards != 2 {
+		t.Fatalf("post-update save wrote %d shards, want 2", shards)
+	}
+}
+
+// TestIncrementalCheckpointGCsStaleSegments: superseded segment files are
+// deleted once the manifest that stops referencing them is durable, so the
+// directory holds one live segment per shard plus the manifest.
+func TestIncrementalCheckpointGCsStaleSegments(t *testing.T) {
+	dir := t.TempDir()
+	st := buildStore(t, 2, 2, 31)
+	ckpt := NewCheckpointer(st, dir)
+	rng := rand.New(rand.NewSource(37))
+	for round := 0; round < 3; round++ {
+		if _, _, err := ckpt.Save(false); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := st.Apply(randomGrads(rng, []int{3, 4}, []int{7})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	segs, err := filepath.Glob(filepath.Join(dir, "seg-*.ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 2 {
+		t.Fatalf("checkpoint dir holds %d segment files after 3 saves, want 2 (stale ones collected): %v", len(segs), segs)
+	}
+	if tmp, _ := filepath.Glob(filepath.Join(dir, ".ckpt-*")); len(tmp) != 0 {
+		t.Fatalf("temp files left behind: %v", tmp)
+	}
+}
+
+// TestSaveCheckpointLeavesNoTempFiles: the durable-write path (temp, fsync,
+// rename, directory fsync) must clean up after itself in the legacy format
+// too.
+func TestSaveCheckpointLeavesNoTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	st := buildStore(t, 1, 2, 41)
+	if err := st.SaveCheckpoint(CheckpointFile(dir)); err != nil {
+		t.Fatal(err)
+	}
+	if tmp, _ := filepath.Glob(filepath.Join(dir, ".ckpt-*")); len(tmp) != 0 {
+		t.Fatalf("temp files left behind: %v", tmp)
+	}
+}
+
 // TestServerCheckpointsPeriodicallyAndOnStop drives checkpoints through the
 // server: pushes trigger interval saves, Stop writes the final state, and a
 // fresh store restored from the file resumes at the stopped version.
@@ -214,7 +377,7 @@ func TestServerCheckpointsPeriodicallyAndOnStop(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := restored.RestoreCheckpoint(CheckpointFile(dir)); err != nil {
+	if err := restored.RestoreCheckpointDir(dir); err != nil {
 		t.Fatal(err)
 	}
 	// Stop's final save captured all 5 updates.

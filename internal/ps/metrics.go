@@ -38,6 +38,8 @@ type serverMetrics struct {
 	ckptErrors  *obs.Counter
 	ckptFailed  *obs.Gauge
 	ckptSeconds *obs.Histogram
+	ckptShards  *obs.Counter
+	ckptBytes   *obs.Counter
 }
 
 // newServerMetrics registers the server metric families on reg. Every
@@ -90,6 +92,10 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 			"1 when the most recent checkpoint save failed, 0 otherwise."),
 		ckptSeconds: reg.Histogram("dssp_checkpoint_seconds",
 			"Checkpoint save duration.", obs.LatencyBuckets),
+		ckptShards: reg.Counter("dssp_checkpoint_shards_written_total",
+			"Shard segments serialized by checkpoint saves; unchanged shards are skipped by incremental saves and not counted."),
+		ckptBytes: reg.Counter("dssp_checkpoint_bytes_written_total",
+			"Bytes written by checkpoint saves (segments plus manifests)."),
 	}
 }
 
@@ -101,6 +107,8 @@ type storeMetrics struct {
 	applyBatch   *obs.Histogram
 	applySeconds *obs.Histogram
 	cloneSeconds *obs.Histogram
+	cloneReuse   *obs.Counter
+	cloneAlloc   *obs.Counter
 }
 
 // newStoreMetrics registers the store metric families on reg.
@@ -115,6 +123,10 @@ func newStoreMetrics(reg *obs.Registry) *storeMetrics {
 		cloneSeconds: reg.Histogram("dssp_store_clone_seconds",
 			"Copy-on-write clone time within a shard apply.",
 			obs.LatencyBuckets),
+		cloneReuse: reg.Counter("dssp_store_clone_reuse_total",
+			"Copy-on-write publications that recycled a retired generation's buffers instead of allocating."),
+		cloneAlloc: reg.Counter("dssp_store_clone_alloc_total",
+			"Copy-on-write publications that allocated fresh parameter buffers."),
 	}
 }
 

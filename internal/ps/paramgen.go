@@ -1,0 +1,153 @@
+package ps
+
+import (
+	"sync/atomic"
+
+	"dssp/internal/tensor"
+)
+
+// paramGen is one published generation of a shard's parameters: the tensor
+// buffers one copy-on-write publication wrote, plus the bookkeeping that
+// decides when those buffers may be written again.
+//
+// The applier would otherwise allocate a full parameter copy per batch just
+// to honor publication immutability. Refcounting makes the steady state
+// double-buffered instead: once every reader of a retired generation has
+// released it, the applier reuses its buffers as the destination of the next
+// fused optimizer step, and apply allocates nothing.
+//
+// Two reader classes exist:
+//
+//   - Bounded readers (the TCP pull path, the compressed-pack fill,
+//     snapshots and checkpoints) hold a reference for the duration of the
+//     read: acquire under the shard's read lock, release when the data has
+//     been copied, packed, or serialized. refs therefore reaches zero again.
+//
+//   - Unbounded readers (the public View accessors and the in-process
+//     channel transport, whose messages alias tensors for as long as the
+//     peer keeps them) mark the generation escaped. An escaped generation is
+//     never reused — its buffers stay immutable forever and the garbage
+//     collector reclaims them.
+//
+// Memory-model argument for reuse safety: a reference (or the escaped mark)
+// is only ever taken while the generation is the shard's current one, under
+// sh.mu.RLock. The applier retires a generation under sh.mu.Lock, which
+// orders it after every in-flight acquisition; from then on no new reference
+// can appear. Seeing refs == 0 && !escaped on a retired generation therefore
+// proves all reads of its buffers happened before (the release's atomic
+// decrement synchronizes with the applier's load), and overwriting them
+// cannot race any reader.
+type paramGen struct {
+	params  []*tensor.Tensor
+	refs    atomic.Int64
+	escaped atomic.Bool
+}
+
+// release drops one bounded-reader reference taken by shard.acquire (or
+// Store.AcquireShardDelta). Must be called exactly once per acquisition,
+// after the last read of the generation's tensors.
+func (g *paramGen) release() {
+	if g != nil {
+		g.refs.Add(-1)
+	}
+}
+
+// acquire returns the shard's current generation and version with a
+// bounded-reader reference held; the caller must release it.
+func (sh *shard) acquire() (*paramGen, int64) {
+	sh.mu.RLock()
+	g, v := sh.gen, sh.version
+	g.refs.Add(1)
+	sh.mu.RUnlock()
+	return g, v
+}
+
+// viewVersioned returns the shard's currently published tensors together
+// with the shard-local version that published them. The tensors' lifetime is
+// unbounded from the store's point of view, so the generation is marked
+// escaped and its buffers are permanently retired from reuse.
+func (sh *shard) viewVersioned() ([]*tensor.Tensor, int64) {
+	sh.mu.RLock()
+	g, v := sh.gen, sh.version
+	g.escaped.Store(true)
+	sh.mu.RUnlock()
+	return g.params, v
+}
+
+// retiredGens bounds the applier's reuse pool. Two is the steady-state need:
+// with generation n current, generation n-1 may still be read by pulls that
+// grabbed it just before publication, and generation n-2 is the one whose
+// readers have drained — the reuse candidate. Anything older is either
+// escaped or pinned by an unusually slow reader; dropping it to the garbage
+// collector costs one allocation later but keeps the pool scan O(1).
+const retiredGens = 2
+
+// takeGen returns the destination generation for the next publication:
+// a retired generation whose buffers are provably quiescent when one exists,
+// otherwise freshly allocated buffers shaped like the current parameters.
+// Only the shard's applier calls it (single goroutine), under sh.mu.
+func (sh *shard) takeGen(m *storeMetrics) *paramGen {
+	for i, g := range sh.retired {
+		if !g.escaped.Load() && g.refs.Load() == 0 {
+			sh.retired = append(sh.retired[:i], sh.retired[i+1:]...)
+			sh.reuses.Add(1)
+			if m != nil {
+				m.cloneReuse.Inc()
+			}
+			return g
+		}
+	}
+	params := make([]*tensor.Tensor, len(sh.gen.params))
+	for i, p := range sh.gen.params {
+		params[i] = tensor.New(p.Shape()...)
+	}
+	sh.allocs.Add(1)
+	if m != nil {
+		m.cloneAlloc.Inc()
+	}
+	return &paramGen{params: params}
+}
+
+// retireGen moves the superseded generation into the reuse pool, evicting
+// the oldest entry beyond the cap. Called by the applier right after
+// publishing its successor.
+func (sh *shard) retireGen(g *paramGen) {
+	sh.retired = append(sh.retired, g)
+	if len(sh.retired) > retiredGens {
+		sh.retired = append(sh.retired[:0], sh.retired[1:]...)
+	}
+}
+
+// CloneStats returns how many copy-on-write publications recycled a retired
+// generation versus allocated fresh buffers, summed over shards. The
+// counters are maintained unconditionally (unlike the optional metrics
+// registry), so tests can assert the steady state allocates nothing.
+func (s *Store) CloneStats() (reused, allocated int64) {
+	for _, sh := range s.shards {
+		reused += sh.reuses.Load()
+		allocated += sh.allocs.Load()
+	}
+	return reused, allocated
+}
+
+// AcquireShardDelta is ViewShardDelta for bounded readers: the returned
+// tensors are valid until release is called on the returned generation, and
+// the read does not permanently exclude the underlying buffers from the
+// applier's reuse pool the way ViewShardDelta's escape semantics do. The
+// server's serializing pull path uses it so that steady-state pulls and
+// applies recycle buffers instead of allocating.
+//
+// release (paramGen.release) must be called exactly once, after the caller
+// is completely done with params — for a wire path, after the message
+// carrying them has been fully serialized. A nil generation is returned for
+// an unchanged shard; releasing nil is a no-op.
+func (s *Store) AcquireShardDelta(i int, have int64) (params []*tensor.Tensor, gen *paramGen, base int, version, shardVersion int64, unchanged bool) {
+	version = s.version.Load()
+	base = s.ranges[i].Start
+	g, shardVersion := s.shards[i].acquire()
+	if have >= 0 && have == shardVersion {
+		g.release()
+		return nil, nil, base, version, shardVersion, true
+	}
+	return g.params, g, base, version, shardVersion, false
+}

@@ -1,0 +1,257 @@
+package ps
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"dssp/internal/compress"
+	"dssp/internal/optimizer"
+	"dssp/internal/tensor"
+)
+
+// TestSteadyStateApplyAllocatesNoClones pins the headline property of the
+// refcounted generations: with no reader escaping buffers, a store settles
+// into double-buffering and copy-on-write publication stops allocating —
+// every publication past warm-up recycles a retired generation.
+func TestSteadyStateApplyAllocatesNoClones(t *testing.T) {
+	initial := []*tensor.Tensor{tensor.New(16, 8), tensor.New(32), tensor.New(5)}
+	st, err := NewStoreSharded(initial, optimizer.NewSGDMomentum(0.05, 0.9, 1e-4), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	shapes := [][]int{{16, 8}, {32}, {5}}
+
+	const warmup, steady = 4, 40
+	for i := 0; i < warmup; i++ {
+		if _, err := st.Apply(randomGrads(rng, shapes...)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, allocAfterWarmup := st.CloneStats()
+
+	var ticket int64
+
+	for i := 0; i < steady; i++ {
+		if ticket, err = st.Apply(randomGrads(rng, shapes...)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !st.WaitApplied(ticket, nil) {
+		t.Fatal("WaitApplied failed")
+	}
+	reused, allocated := st.CloneStats()
+	if allocated != allocAfterWarmup {
+		t.Fatalf("steady-state applies allocated %d new generations (had %d after warmup); want 0 new",
+			allocated-allocAfterWarmup, allocAfterWarmup)
+	}
+	if reused == 0 {
+		t.Fatal("no generation was ever reused")
+	}
+}
+
+// TestViewedGenerationIsNeverRecycled: a generation handed out through the
+// escaping view API keeps its exact contents forever, no matter how many
+// updates the store applies afterwards — the applier must not reclaim its
+// buffers as write destinations.
+func TestViewedGenerationIsNeverRecycled(t *testing.T) {
+	initial := []*tensor.Tensor{tensor.New(8, 4), tensor.New(9)}
+	st, err := NewStoreSharded(initial, optimizer.NewSGD(0.5), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	shapes := [][]int{{8, 4}, {9}}
+	if _, err := st.Apply(randomGrads(rng, shapes...)); err != nil {
+		t.Fatal(err)
+	}
+
+	viewed, _, _, _, _ := st.ViewShardDelta(0, -1)
+	frozen := make([][]float32, len(viewed))
+	for i, p := range viewed {
+		frozen[i] = append([]float32(nil), p.Data()...)
+	}
+
+	var ticket int64
+	for i := 0; i < 10; i++ {
+		if ticket, err = st.Apply(randomGrads(rng, shapes...)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !st.WaitApplied(ticket, nil) {
+		t.Fatal("WaitApplied failed")
+	}
+	for i, p := range viewed {
+		d := p.Data()
+		for j := range d {
+			if d[j] != frozen[i][j] {
+				t.Fatalf("escaped view mutated: tensor %d element %d changed from %v to %v",
+					i, j, frozen[i][j], d[j])
+			}
+		}
+	}
+}
+
+// TestAcquireShardDeltaReleasesUnchanged: the bounded-reader pull API must
+// not leak references on the Unchanged fast path, or the touched generation
+// would be pinned out of reuse forever.
+func TestAcquireShardDeltaReleasesUnchanged(t *testing.T) {
+	st, err := NewStoreSharded([]*tensor.Tensor{tensor.New(4)}, optimizer.NewSGD(0.1), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params, gen, _, _, shardV, unchanged := st.AcquireShardDelta(0, -1)
+	if unchanged || gen == nil || params == nil {
+		t.Fatal("first acquire must return the payload")
+	}
+	gen.release()
+	_, gen2, _, _, _, unchanged := st.AcquireShardDelta(0, shardV)
+	if !unchanged || gen2 != nil {
+		t.Fatal("acquire at the current version must report unchanged with no reference")
+	}
+	gen2.release() // nil release is a no-op
+	if n := st.shards[0].gen.refs.Load(); n != 0 {
+		t.Fatalf("current generation holds %d leaked references", n)
+	}
+}
+
+// TestRefcountedReuseHammer races every reader class against the applier's
+// buffer recycling: bounded acquires (the serializing pull path), snapshots,
+// packed-cache fills, and escaping views, all while applies publish and
+// retire generations as fast as they can. Run with -race, this is the proof
+// that reuse never hands a reader's buffer to the optimizer as a write
+// destination.
+func TestRefcountedReuseHammer(t *testing.T) {
+	initial := []*tensor.Tensor{tensor.New(64, 8), tensor.New(128), tensor.New(16, 3)}
+	st, err := NewStoreSharded(initial, optimizer.NewSGDMomentum(0.01, 0.9, 1e-4), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shapes := [][]int{{64, 8}, {128}, {16, 3}}
+	const (
+		writers = 2
+		applies = 150
+		readers = 6
+	)
+	stop := make(chan struct{})
+	var writerWG, readerWG sync.WaitGroup
+
+	// Writers: push gradients through the full apply pipeline.
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(seed int64) {
+			defer writerWG.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < applies; i++ {
+				ticket, err := st.Apply(randomGrads(rng, shapes...))
+				if err != nil {
+					t.Errorf("apply: %v", err)
+					return
+				}
+				if i%16 == 0 {
+					st.WaitApplied(ticket, stop)
+				}
+			}
+		}(int64(w + 1))
+	}
+
+	// Readers: every access pattern the store exports, mixed per iteration.
+	for r := 0; r < readers; r++ {
+		readerWG.Add(1)
+		go func(kind int) {
+			defer readerWG.Done()
+			sink := float32(0)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					_ = sink
+					return
+				default:
+				}
+				shard := i % st.Shards()
+				switch kind % 4 {
+				case 0: // bounded acquire, read everything, release
+					params, gen, _, _, _, unchanged := st.AcquireShardDelta(shard, -1)
+					if !unchanged {
+						for _, p := range params {
+							for _, v := range p.Data() {
+								sink += v
+							}
+						}
+					}
+					gen.release()
+				case 1: // deep-copy snapshot of one shard
+					params, _, _ := st.SnapshotShard(shard)
+					for _, p := range params {
+						sink += p.Data()[0]
+					}
+				case 2: // packed-cache fill (bounded borrow inside the store)
+					packed, _, _, _, unchanged := st.PackShardDelta(shard, -1, func(ps []*tensor.Tensor) []compress.Packed {
+						out := make([]compress.Packed, len(ps))
+						for j, p := range ps {
+							d := p.Data()
+							for _, v := range d {
+								sink += v
+							}
+							out[j] = compress.Packed{Payload: []byte{byte(len(d))}}
+						}
+						return out
+					})
+					if !unchanged && len(packed) == 0 {
+						t.Error("packed fill returned nothing")
+						return
+					}
+				case 3: // escaping view: buffers must stay immutable forever
+					params, _, _, _, unchanged := st.ViewShardDelta(shard, -1)
+					if !unchanged {
+						for _, p := range params {
+							sink += p.Data()[len(p.Data())-1]
+						}
+					}
+				}
+			}
+		}(r)
+	}
+
+	writerWG.Wait()
+	close(stop)
+	readerWG.Wait()
+	st.Close()
+	reused, allocated := st.CloneStats()
+	t.Logf("hammer: %d generations reused, %d allocated", reused, allocated)
+}
+
+// BenchmarkStoreApplySteadyState drives the full apply pipeline —
+// publication, generation recycling, fused optimizer step — on a bare store.
+// The alloc figure is the one the refcounted clones are about: steady state
+// should be dominated by the WaitApplied handshake, not parameter copies.
+func BenchmarkStoreApplySteadyState(b *testing.B) {
+	initial := []*tensor.Tensor{tensor.New(256, 128), tensor.New(256)}
+	st, err := NewStoreSharded(initial, optimizer.NewSGDMomentum(0.05, 0.9, 1e-4), 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	grads := randomGrads(rng, []int{256, 128}, []int{256})
+	if _, err := st.Apply(grads); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var ticket int64
+	for i := 0; i < b.N; i++ {
+		if ticket, err = st.Apply(grads); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if !st.WaitApplied(ticket, nil) {
+		b.Fatal("WaitApplied failed")
+	}
+	b.StopTimer()
+	reused, allocated := st.CloneStats()
+	if b.N > 8 && allocated > int64(st.Shards()*3) {
+		b.Fatalf("apply allocated %d generations over %d iterations (reused %d); steady state should recycle",
+			allocated, b.N, reused)
+	}
+}

@@ -154,8 +154,10 @@ type Server struct {
 	ckptBusy atomic.Bool
 	// ckptMu serializes checkpoint writes: an async interval save that
 	// snapshotted older state must not land its rename after the final save
-	// from Stop.
+	// from Stop. It also guards ckpt, the incremental checkpointer that
+	// remembers which shard versions the last save wrote.
 	ckptMu sync.Mutex
+	ckpt   *Checkpointer
 }
 
 // NewServer returns a parameter server with the given configuration.
@@ -331,22 +333,32 @@ func (s *Server) Stop() {
 		// accepted update, then park the store's applier goroutines.
 		s.cfg.Store.Close()
 		if s.cfg.Checkpoint.Enabled() {
-			s.saveCheckpoint()
+			// Full save: a stopping server leaves every shard freshly
+			// written, so the directory restores without depending on
+			// segments from earlier processes.
+			s.saveCheckpoint(true)
 		}
 	})
 }
 
 // saveCheckpoint writes one checkpoint, serialized against concurrent saves
-// so the file always ends up holding the newest snapshot taken: the store
-// version only moves forward, each save snapshots at call time, and the
-// mutex forces their renames into call order.
-func (s *Server) saveCheckpoint() {
+// so the directory always ends up holding the newest snapshot taken: the
+// store version only moves forward, each save snapshots at call time, and
+// the mutex forces their manifest renames into call order. Interval saves
+// are incremental — only shards that published since the last save are
+// serialized; full forces every shard out (the final save on Stop).
+func (s *Server) saveCheckpoint(full bool) {
 	s.ckptMu.Lock()
 	defer s.ckptMu.Unlock()
+	if s.ckpt == nil {
+		s.ckpt = NewCheckpointer(s.cfg.Store, s.cfg.Checkpoint.Dir)
+	}
 	start := time.Now()
-	err := s.cfg.Store.SaveCheckpoint(CheckpointFile(s.cfg.Checkpoint.Dir))
+	shards, bytes, err := s.ckpt.Save(full)
 	s.sm.ckptSeconds.Observe(time.Since(start).Seconds())
 	s.sm.ckptTotal.Inc()
+	s.sm.ckptShards.Add(uint64(shards))
+	s.sm.ckptBytes.Add(uint64(bytes))
 	if err != nil {
 		s.sm.ckptErrors.Inc()
 		s.sm.ckptFailed.Set(1)
@@ -600,18 +612,36 @@ const writerBatchMax = 32
 // batch (transport.BatchSender), everything waiting is sent with one
 // write/flush instead of one per message.
 func (s *Server) writer(sess *session) {
+	// On exit, release generation references stranded in the outbox: the
+	// payloads will never be serialized, and the pins would otherwise keep
+	// those buffers out of the applier's reuse pool.
+	defer func() {
+		for {
+			select {
+			case om := <-sess.outbox:
+				om.ref.release()
+			default:
+				return
+			}
+		}
+	}()
 	batcher, _ := sess.conn.(transport.BatchSender)
-	var batch []transport.Message
+	var batch []outMsg
+	var wire []transport.Message
 	for {
 		select {
-		case msg := <-sess.outbox:
+		case om := <-sess.outbox:
 			if batcher == nil {
-				if err := sess.conn.Send(msg); err != nil {
+				err := sess.conn.Send(om.msg)
+				// Success or failure, the transport is done reading the
+				// payload once Send returns.
+				om.ref.release()
+				if err != nil {
 					return
 				}
 				continue
 			}
-			batch = append(batch[:0], msg)
+			batch = append(batch[:0], om)
 			for len(batch) < writerBatchMax {
 				select {
 				case more := <-sess.outbox:
@@ -621,15 +651,26 @@ func (s *Server) writer(sess *session) {
 				}
 				break
 			}
-			if err := batcher.SendBatch(batch); err != nil {
-				return
-			}
-			// Drop the payload references: a pull reply's chunks alias the
-			// store's published snapshots, and a shorter next batch would
-			// otherwise pin the tail entries (up to a model's worth of old
-			// tensors) for the session's lifetime.
+			wire = wire[:0]
 			for i := range batch {
-				batch[i] = transport.Message{}
+				wire = append(wire, batch[i].msg)
+			}
+			err := batcher.SendBatch(wire)
+			// Release the generation pins (the transport is done with the
+			// payloads whether or not the send succeeded) and drop the
+			// payload references: a pull reply's chunks alias the store's
+			// published snapshots, and a shorter next batch would otherwise
+			// pin the tail entries (up to a model's worth of old tensors)
+			// for the session's lifetime.
+			for i := range batch {
+				batch[i].ref.release()
+				batch[i] = outMsg{}
+			}
+			for i := range wire {
+				wire[i] = transport.Message{}
+			}
+			if err != nil {
+				return
 			}
 		case <-sess.gone:
 			return
@@ -642,21 +683,37 @@ func (s *Server) writer(sess *session) {
 // enqueueOut places a message on a worker's current session outbox, dropping
 // it if the worker has no live session.
 func (s *Server) enqueueOut(worker int, msg transport.Message) {
+	s.enqueueOutRef(worker, msg, nil)
+}
+
+// enqueueOutRef is enqueueOut for payloads pinning a store generation: ref
+// travels with the message and is released by the writer after the send, or
+// here when the worker has no live session.
+func (s *Server) enqueueOutRef(worker int, msg transport.Message, ref *paramGen) {
 	sess := s.sessions.get(worker)
 	if sess == nil {
+		ref.release()
 		return
 	}
-	s.enqueueSession(sess, msg)
+	s.enqueueSessionRef(sess, msg, ref)
 }
 
 // enqueueSession places a message on a specific session's outbox. It never
 // blocks indefinitely: a session that ends or a server that stops unblocks
 // the send.
 func (s *Server) enqueueSession(sess *session, msg transport.Message) {
+	s.enqueueSessionRef(sess, msg, nil)
+}
+
+// enqueueSessionRef is enqueueSession with a generation reference attached;
+// dropping the message (session gone, server stopped) releases it.
+func (s *Server) enqueueSessionRef(sess *session, msg transport.Message, ref *paramGen) {
 	select {
-	case sess.outbox <- msg:
+	case sess.outbox <- outMsg{msg: msg, ref: ref}:
 	case <-sess.gone:
+		ref.release()
 	case <-s.stopped:
+		ref.release()
 	}
 }
 
@@ -927,7 +984,7 @@ func (s *Server) maybeCheckpoint(version int64) {
 	go func() {
 		defer s.wg.Done()
 		defer s.ckptBusy.Store(false)
-		s.saveCheckpoint()
+		s.saveCheckpoint(false)
 	}()
 }
 
@@ -1032,6 +1089,9 @@ func (s *Server) handlePull(sess *session, req transport.Message) {
 			Shards: shards,
 			Total:  total,
 		}
+		// ref pins the store generation an uncompressed chunk aliases until
+		// the writer has serialized it; nil for every other chunk kind.
+		var ref *paramGen
 		if compressPull {
 			packed, base, version, shardV, unchanged := st.PackShardDelta(i, haveV, s.packShard)
 			msg.Base = base
@@ -1051,6 +1111,25 @@ func (s *Server) handlePull(sess *session, req transport.Message) {
 				msg.Packed = packed
 				s.sm.chunksFull.Inc()
 			}
+		} else if sess.serializes {
+			// The transport serializes payloads inside Send, so the chunk
+			// only needs the generation pinned until the writer's send
+			// returns — a bounded borrow the applier's buffer reuse can see
+			// through, instead of ViewShardDelta's permanent escape.
+			params, gen, base, version, shardV, unchanged := st.AcquireShardDelta(i, haveV)
+			msg.Base = base
+			msg.Version = version
+			if sess.deltaPull {
+				msg.ShardVersion = shardV
+			}
+			if unchanged {
+				msg.Unchanged = true
+				s.sm.chunksUnchanged.Inc()
+			} else {
+				msg.Tensors = transport.ToWireOwned(params)
+				ref = gen
+				s.sm.chunksFull.Inc()
+			}
 		} else {
 			params, base, version, shardV, unchanged := st.ViewShardDelta(i, haveV)
 			msg.Base = base
@@ -1066,7 +1145,7 @@ func (s *Server) handlePull(sess *session, req transport.Message) {
 				s.sm.chunksFull.Inc()
 			}
 		}
-		s.enqueueOut(worker, msg)
+		s.enqueueOutRef(worker, msg, ref)
 	}
 }
 

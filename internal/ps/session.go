@@ -23,7 +23,12 @@ type session struct {
 	// its weight chunks may come back Unchanged. Set before the session's
 	// writer starts, immutable afterwards.
 	deltaPull bool
-	outbox    chan transport.Message
+	// serializes reports that the connection is a transport.SerializingSender:
+	// payloads are fully encoded inside Send/SendBatch, so pull replies may
+	// pin store generations with a bounded reference (released by the writer
+	// after the send) instead of escaping them from buffer reuse forever.
+	serializes bool
+	outbox     chan outMsg
 
 	// gone is closed exactly once when the session ends — deregistered,
 	// superseded, lease-expired, or server-stopped. The writer goroutine and
@@ -41,6 +46,17 @@ type session struct {
 	// released) by the time the next push arrives on this session's
 	// connection goroutine. Only that goroutine touches the field.
 	decodeScratch []*tensor.Tensor
+}
+
+// outMsg is one queued outbound message, plus — when the payload aliases a
+// store generation's tensors — the bounded-reader reference pinning that
+// generation. The writer releases ref once the transport has serialized the
+// message; every path that drops the message instead releases it on the
+// spot. ref is nil for control messages and for payloads that do not alias
+// store buffers.
+type outMsg struct {
+	msg transport.Message
+	ref *paramGen
 }
 
 // end marks the session over, releasing its writer and any blocked enqueue.
@@ -79,13 +95,15 @@ func newSessionTable() *sessionTable {
 func (t *sessionTable) register(worker int, conn transport.Conn, rejoined bool, now time.Time) (sess, old *session) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	_, serializes := conn.(transport.SerializingSender)
 	sess = &session{
-		worker:   worker,
-		conn:     conn,
-		rejoined: rejoined,
-		outbox:   make(chan transport.Message, 64),
-		gone:     make(chan struct{}),
-		lastSeen: now,
+		worker:     worker,
+		conn:       conn,
+		rejoined:   rejoined,
+		serializes: serializes,
+		outbox:     make(chan outMsg, 64),
+		gone:       make(chan struct{}),
+		lastSeen:   now,
 	}
 	old = t.sessions[worker]
 	t.sessions[worker] = sess

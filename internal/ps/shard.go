@@ -29,9 +29,16 @@ import (
 // applying the pushes one at a time.
 type shard struct {
 	mu      sync.RWMutex
-	params  []*tensor.Tensor
+	gen     *paramGen
 	opt     optimizer.Optimizer
 	version int64
+
+	// retired is the applier-owned pool of superseded generations awaiting
+	// reuse (paramgen.go); reuses/allocs count publication buffer fates and
+	// back Store.CloneStats.
+	retired []*paramGen
+	reuses  atomic.Int64
+	allocs  atomic.Int64
 
 	// agg replaces plain summation when a robust aggregator is configured
 	// (Store.SetAggregator); nil keeps the classic sum fast path. Only the
@@ -110,11 +117,18 @@ func (sh *shard) takeBatch(window, demand int64) [][]*tensor.Tensor {
 }
 
 // applyBatch absorbs one batch of queued gradient slices under the shard's
-// write lock, copy-on-write: one fresh copy of the shard's tensors takes one
-// optimizer step — with the batch's summed gradients when it holds more than
-// one push — and is published. Tensors already handed out by view are never
-// mutated. version and applied advance by the batch size, so readers observe
-// the same counts as k serial applies.
+// write lock, copy-on-write: the update is written into a destination
+// generation that is either a recycled retired generation (steady state:
+// zero allocations) or freshly allocated buffers, and published; tensors
+// already handed out to readers are never mutated. version and applied
+// advance by the batch size, so readers observe the same counts as k serial
+// applies.
+//
+// When the shard's optimizer supports the fused step and no robust
+// aggregator is configured, the whole batch — gradient sum, weight decay,
+// momentum, parameter write — is applied in one pass straight from the
+// queued gradients into the destination buffers, with results bit-identical
+// to the legacy sum+clone+Step sequence (optimizer.FusedStepper's contract).
 //
 // m and tr are the server-installed instrumentation (Store.instrument);
 // both may be nil, in which case the method takes no timestamps at all.
@@ -124,13 +138,17 @@ func (sh *shard) applyBatch(batch [][]*tensor.Tensor, m *storeMetrics, tr *obs.P
 		start = time.Now()
 	}
 	// The aggregation seam: a configured robust aggregator reduces the batch
-	// in place of the classic sum. Both paths leave the queued gradient
+	// in place of the classic sum; the fused path then applies the combined
+	// gradient as a batch of one. Both paths leave the queued gradient
 	// slices untouched — the result aliases batch[0] or aggregator-owned
 	// scratch.
+	fused, _ := sh.opt.(optimizer.FusedStepper)
 	var grads []*tensor.Tensor
 	switch {
 	case sh.agg != nil:
 		grads = sh.agg.combine(batch)
+	case fused != nil:
+		// The fused step consumes the raw batch; no separate sum pass.
 	case len(batch) > 1:
 		grads = sh.sum(batch)
 	default:
@@ -141,17 +159,26 @@ func (sh *shard) applyBatch(batch [][]*tensor.Tensor, m *storeMetrics, tr *obs.P
 	if m != nil {
 		cloneStart = time.Now()
 	}
-	next := make([]*tensor.Tensor, len(sh.params))
-	for i, p := range sh.params {
-		next[i] = p.Clone()
-	}
+	cur := sh.gen
+	next := sh.takeGen(m)
 	if m != nil {
 		m.cloneSeconds.Observe(time.Since(cloneStart).Seconds())
 	}
-	sh.opt.Step(next, grads)
-	sh.params = next
+	switch {
+	case fused != nil && grads == nil:
+		fused.StepInto(next.params, cur.params, batch)
+	case fused != nil:
+		fused.StepInto(next.params, cur.params, [][]*tensor.Tensor{grads})
+	default:
+		for i, p := range cur.params {
+			copy(next.params[i].Data(), p.Data())
+		}
+		sh.opt.Step(next.params, grads)
+	}
+	sh.gen = next
 	sh.version += int64(len(batch))
 	sh.mu.Unlock()
+	sh.retireGen(cur)
 	// Every push spans every shard, so this shard's applied counter walks
 	// the same ticket sequence the store hands out (the checkpoint restore
 	// path re-bases it); the batch covered tickets (to-len(batch), to].
@@ -184,15 +211,6 @@ func (sh *shard) sum(batch [][]*tensor.Tensor) []*tensor.Tensor {
 		}
 	}
 	return sh.sumBuf
-}
-
-// viewVersioned returns the shard's currently published tensors together
-// with the shard-local version that published them.
-func (sh *shard) viewVersioned() ([]*tensor.Tensor, int64) {
-	sh.mu.RLock()
-	params, version := sh.params, sh.version
-	sh.mu.RUnlock()
-	return params, version
 }
 
 // shardRange is the half-open interval of global tensor indices [Start, End)

@@ -172,7 +172,7 @@ func NewStoreSharded(initial []*tensor.Tensor, opt optimizer.Optimizer, shards i
 		for j := range params {
 			params[j] = initial[r.Start+j].Clone()
 		}
-		st.shards[i] = &shard{params: params, opt: opt.Clone(), wake: make(chan struct{}, 1)}
+		st.shards[i] = &shard{gen: &paramGen{params: params}, opt: opt.Clone(), wake: make(chan struct{}, 1)}
 	}
 	st.window.Store(1)
 	st.aggCfg = AggregatorConfig{}.Normalized()
@@ -531,27 +531,22 @@ func (s *Store) Close() {
 	s.applierWG.Wait()
 }
 
-// view returns the shard's currently published tensors. The returned slice
-// and tensors are immutable; the lock is held only for the reference grab.
-func (sh *shard) view() []*tensor.Tensor {
-	sh.mu.RLock()
-	params := sh.params
-	sh.mu.RUnlock()
-	return params
-}
-
 // Snapshot returns deep copies of the current parameters and their version.
-// Each shard's lock is held only while grabbing the published tensor
-// references; the copying happens outside all locks, so snapshots from many
-// workers proceed concurrently and never block gradient application.
+// Each shard's lock is held only while grabbing a referenced generation; the
+// copying happens outside all locks, so snapshots from many workers proceed
+// concurrently and never block gradient application. The reference is
+// released as soon as the copy completes, so snapshots never exclude a
+// generation's buffers from the applier's reuse pool.
 func (s *Store) Snapshot() ([]*tensor.Tensor, int64) {
 	version := s.version.Load()
 	out := make([]*tensor.Tensor, len(s.shapes))
 	for i, sh := range s.shards {
 		base := s.ranges[i].Start
-		for j, p := range sh.view() {
+		g, _ := sh.acquire()
+		for j, p := range g.params {
 			out[base+j] = p.Clone()
 		}
+		g.release()
 	}
 	return out, version
 }
@@ -561,11 +556,12 @@ func (s *Store) Snapshot() ([]*tensor.Tensor, int64) {
 // time.
 func (s *Store) SnapshotShard(i int) (params []*tensor.Tensor, base int, version int64) {
 	version = s.version.Load()
-	published := s.shards[i].view()
-	params = make([]*tensor.Tensor, len(published))
-	for j, p := range published {
+	g, _ := s.shards[i].acquire()
+	params = make([]*tensor.Tensor, len(g.params))
+	for j, p := range g.params {
 		params[j] = p.Clone()
 	}
+	g.release()
 	return params, s.ranges[i].Start, version
 }
 
@@ -621,10 +617,13 @@ func (s *Store) PackShardDelta(i int, have int64, pack func([]*tensor.Tensor) []
 	version = s.version.Load()
 	base = s.ranges[i].Start
 	sh := s.shards[i]
-	params, local := sh.viewVersioned()
+	// The pack read is bounded — the compressed form never aliases the
+	// parameter buffers — so it holds a reference instead of escaping the
+	// generation, keeping the buffers eligible for applier reuse.
+	g, local := sh.acquire()
 	sh.packedMu.Lock()
 	if sh.packed == nil || sh.packedVersion < local {
-		sh.packed = pack(params)
+		sh.packed = pack(g.params)
 		sh.packedVersion = local
 	}
 	// When another goroutine cached an even newer snapshot between our view
@@ -633,6 +632,7 @@ func (s *Store) PackShardDelta(i int, have int64, pack func([]*tensor.Tensor) []
 	// actually served, so delta gating and the payload can never disagree.
 	packed, shardVersion = sh.packed, sh.packedVersion
 	sh.packedMu.Unlock()
+	g.release()
 	if have >= 0 && have == shardVersion {
 		return nil, base, version, shardVersion, true
 	}

@@ -1,0 +1,113 @@
+package tensor
+
+// Slice-level numeric kernels shared by the tensor methods, the matmul
+// blocks, and (indirectly, via the same loop shapes) the fused optimizer
+// step. They are written so the compiler can keep bounds checks out of the
+// inner loops: every loop ranges over one of its operand slices and the
+// other operands are pre-sliced to the same length.
+//
+// The 4-way unrolls matter on the hot paths: they shorten the loop-carried
+// dependency per element, cut the loop overhead, and let the scheduler
+// overlap independent multiply-adds. Reassociation is confined to the matmul
+// kernels (see matmul.go); the element-wise kernels below keep exact
+// per-element evaluation order, so Add/AXPY/Scale results are bit-identical
+// to the scalar loops they replace.
+
+// addSlice performs dst[i] += src[i].
+func addSlice(dst, src []float32) {
+	_ = src[:len(dst)]
+	i := 0
+	for ; i+4 <= len(dst); i += 4 {
+		s := src[i : i+4 : i+4]
+		d := dst[i : i+4 : i+4]
+		d[0] += s[0]
+		d[1] += s[1]
+		d[2] += s[2]
+		d[3] += s[3]
+	}
+	for ; i < len(dst); i++ {
+		dst[i] += src[i]
+	}
+}
+
+// subSlice performs dst[i] -= src[i].
+func subSlice(dst, src []float32) {
+	_ = src[:len(dst)]
+	i := 0
+	for ; i+4 <= len(dst); i += 4 {
+		s := src[i : i+4 : i+4]
+		d := dst[i : i+4 : i+4]
+		d[0] -= s[0]
+		d[1] -= s[1]
+		d[2] -= s[2]
+		d[3] -= s[3]
+	}
+	for ; i < len(dst); i++ {
+		dst[i] -= src[i]
+	}
+}
+
+// axpySlice performs dst[i] += alpha * src[i].
+func axpySlice(alpha float32, src, dst []float32) {
+	_ = src[:len(dst)]
+	i := 0
+	for ; i+4 <= len(dst); i += 4 {
+		s := src[i : i+4 : i+4]
+		d := dst[i : i+4 : i+4]
+		d[0] += alpha * s[0]
+		d[1] += alpha * s[1]
+		d[2] += alpha * s[2]
+		d[3] += alpha * s[3]
+	}
+	for ; i < len(dst); i++ {
+		dst[i] += alpha * src[i]
+	}
+}
+
+// scaleSlice performs dst[i] *= s.
+func scaleSlice(s float32, dst []float32) {
+	i := 0
+	for ; i+4 <= len(dst); i += 4 {
+		d := dst[i : i+4 : i+4]
+		d[0] *= s
+		d[1] *= s
+		d[2] *= s
+		d[3] *= s
+	}
+	for ; i < len(dst); i++ {
+		dst[i] *= s
+	}
+}
+
+// SumInto overwrites dst with the element-wise sum of srcs, accumulating in
+// source order (dst = ((srcs[0]+srcs[1])+srcs[2])+…), so the result is
+// bit-identical to copying srcs[0] and adding the rest one at a time — the
+// contract the parameter server's coalescing paths rely on. It reads each
+// source exactly once. All tensors must share dst's shape; srcs must be
+// non-empty.
+func SumInto(dst *Tensor, srcs []*Tensor) *Tensor {
+	if len(srcs) == 0 {
+		panic("tensor: SumInto needs at least one source")
+	}
+	for _, s := range srcs {
+		assertSameShape("SumInto", dst, s)
+	}
+	dd := dst.data
+	copy(dd, srcs[0].data)
+	switch len(srcs) {
+	case 1:
+	case 2:
+		addSlice(dd, srcs[1].data)
+	case 3:
+		s1 := srcs[1].data[:len(dd)]
+		s2 := srcs[2].data[:len(dd)]
+		for j := range dd {
+			dd[j] = (dd[j] + s1[j]) + s2[j]
+		}
+	default:
+		for _, s := range srcs[1:] {
+			addSlice(dd, s.data)
+		}
+	}
+	return dst
+}

@@ -2,92 +2,321 @@ package tensor
 
 import "fmt"
 
+// Matrix multiplication is the numeric hot path of both training (dense and
+// im2col'd convolution layers) and the simulator's calibration runs. The
+// kernels below are cache-blocked and 4-way unrolled over the inner
+// dimension, and large products are split across the package's shared worker
+// pool by output-row blocks (pool.go); small matrices stay serial, so layer
+// shapes that fit in cache never pay fan-out overhead.
+//
+// Numerics: MatMul and MatMulTransA accumulate four inner-dimension terms
+// per pass, which reassociates the k-sum relative to a scalar i-k-j loop —
+// results are deterministic for a given shape but differ from the scalar
+// reference by rounding (tolerance-bounded, see matmul_test.go).
+// MatMulTransB keeps the scalar loop's per-output accumulation order and is
+// bit-identical to it. Gradients and activations are dense, so the kernels
+// carry no zero-skip branches: on real workloads such branches are pure
+// mispredict overhead in the innermost loop.
+
+// mmParallelMinFlops is the size threshold (in multiply-add flops, counted
+// as 2·m·k·n) below which a product stays on the calling goroutine. Small
+// matmuls are latency-bound: the pool's wakeup cost would exceed the work.
+// It is a variable so tests can force the parallel path on small shapes.
+var mmParallelMinFlops int64 = 1 << 21
+
+// SetMatMulParallelMinFlops adjusts the flop threshold below which matrix
+// products stay serial, returning the previous value; 0 sends every product
+// through the worker pool. It exists for tuning experiments and for tests in
+// other packages that must exercise the parallel path on small shapes. Not
+// safe to call concurrently with running multiplications.
+func SetMatMulParallelMinFlops(flops int64) int64 {
+	prev := mmParallelMinFlops
+	mmParallelMinFlops = flops
+	return prev
+}
+
+// mmGrainFlops is the minimum work per parallel chunk: enough that a chunk's
+// compute dominates its scheduling cost.
+const mmGrainFlops = 1 << 18
+
+// mmBlockJ is the column-block width: four unrolled operand rows of a block
+// plus the output row block stay resident in L1 across the inner-dimension
+// sweep.
+const mmBlockJ = 512
+
+// mmParallel runs rows over [0, m), fanning row blocks across the shared
+// worker pool when the product is large enough to amortize the fan-out.
+func mmParallel(m, k, n int, rows func(i0, i1 int)) {
+	flops := 2 * int64(m) * int64(k) * int64(n)
+	if flops < mmParallelMinFlops || m == 1 {
+		rows(0, m)
+		return
+	}
+	grain := 1
+	if perRow := 2 * int64(k) * int64(n); perRow > 0 && perRow < mmGrainFlops {
+		grain = int(mmGrainFlops / perRow)
+	}
+	parallelFor(m, grain, rows)
+}
+
 // MatMul returns the matrix product a×b for two 2-D tensors of shapes (m,k)
-// and (k,n). The inner loops are ordered i-k-j so that both operands are
-// traversed sequentially, which matters for the large fully-connected layers
-// of the downsized AlexNet.
+// and (k,n).
 func MatMul(a, b *Tensor) *Tensor {
-	if a.Dims() != 2 || b.Dims() != 2 {
-		panic(fmt.Sprintf("tensor: MatMul needs 2-D operands, got %v and %v", a.shape, b.shape))
-	}
-	m, k := a.shape[0], a.shape[1]
-	k2, n := b.shape[0], b.shape[1]
-	if k != k2 {
-		panic(fmt.Sprintf("tensor: MatMul inner dimensions differ: %v vs %v", a.shape, b.shape))
-	}
+	m, k, n := mmShapes("MatMul", a, b, false)
 	out := New(m, n)
-	for i := 0; i < m; i++ {
-		arow := a.data[i*k : (i+1)*k]
-		orow := out.data[i*n : (i+1)*n]
-		for kk := 0; kk < k; kk++ {
-			av := arow[kk]
-			if av == 0 {
-				continue
-			}
-			brow := b.data[kk*n : (kk+1)*n]
-			for j := 0; j < n; j++ {
-				orow[j] += av * brow[j]
-			}
-		}
-	}
+	// A fresh tensor is already zero, so the kernel can accumulate straight
+	// into it and skip the clear pass.
+	mmParallel(m, k, n, func(i0, i1 int) {
+		mmRows(a.data, b.data, out.data, k, n, i0, i1, true)
+	})
 	return out
+}
+
+// MatMulInto computes a×b into dst (overwriting it) and returns dst,
+// avoiding the output allocation for callers with a reusable buffer. dst
+// must have shape (m,n) and must not alias a or b.
+func MatMulInto(dst, a, b *Tensor) *Tensor {
+	m, k, n := mmShapes("MatMulInto", a, b, false)
+	mmCheckDst("MatMulInto", dst, m, n)
+	mmParallel(m, k, n, func(i0, i1 int) {
+		mmRows(a.data, b.data, dst.data, k, n, i0, i1, false)
+	})
+	return dst
 }
 
 // MatMulTransA returns aᵀ×b for a of shape (k,m) and b of shape (k,n),
 // producing an (m,n) tensor. It is used in the backward pass of dense layers
 // without materializing the transpose.
 func MatMulTransA(a, b *Tensor) *Tensor {
-	if a.Dims() != 2 || b.Dims() != 2 {
-		panic(fmt.Sprintf("tensor: MatMulTransA needs 2-D operands, got %v and %v", a.shape, b.shape))
-	}
-	k, m := a.shape[0], a.shape[1]
-	k2, n := b.shape[0], b.shape[1]
-	if k != k2 {
-		panic(fmt.Sprintf("tensor: MatMulTransA inner dimensions differ: %v vs %v", a.shape, b.shape))
-	}
+	m, k, n := mmShapes("MatMulTransA", a, b, true)
 	out := New(m, n)
-	for kk := 0; kk < k; kk++ {
-		arow := a.data[kk*m : (kk+1)*m]
-		brow := b.data[kk*n : (kk+1)*n]
-		for i := 0; i < m; i++ {
-			av := arow[i]
-			if av == 0 {
-				continue
-			}
-			orow := out.data[i*n : (i+1)*n]
-			for j := 0; j < n; j++ {
-				orow[j] += av * brow[j]
-			}
-		}
-	}
+	mmParallel(m, k, n, func(i0, i1 int) {
+		mmTransARows(a.data, b.data, out.data, k, m, n, i0, i1, true)
+	})
 	return out
+}
+
+// MatMulTransAInto computes aᵀ×b into dst (overwriting it) and returns dst.
+// dst must have shape (m,n) for a of shape (k,m) and must not alias a or b.
+func MatMulTransAInto(dst, a, b *Tensor) *Tensor {
+	m, k, n := mmShapes("MatMulTransAInto", a, b, true)
+	mmCheckDst("MatMulTransAInto", dst, m, n)
+	mmParallel(m, k, n, func(i0, i1 int) {
+		mmTransARows(a.data, b.data, dst.data, k, m, n, i0, i1, false)
+	})
+	return dst
+}
+
+// MatMulTransAAcc accumulates aᵀ×b into dst (dst += aᵀ×b) and returns dst.
+// It fuses the gradient-accumulation pattern dst.Add(MatMulTransA(a, b))
+// into one pass with no temporary. dst must not alias a or b.
+func MatMulTransAAcc(dst, a, b *Tensor) *Tensor {
+	m, k, n := mmShapes("MatMulTransAAcc", a, b, true)
+	mmCheckDst("MatMulTransAAcc", dst, m, n)
+	mmParallel(m, k, n, func(i0, i1 int) {
+		mmTransARows(a.data, b.data, dst.data, k, m, n, i0, i1, true)
+	})
+	return dst
 }
 
 // MatMulTransB returns a×bᵀ for a of shape (m,k) and b of shape (n,k),
 // producing an (m,n) tensor. It is used in the backward pass of dense layers.
 func MatMulTransB(a, b *Tensor) *Tensor {
-	if a.Dims() != 2 || b.Dims() != 2 {
-		panic(fmt.Sprintf("tensor: MatMulTransB needs 2-D operands, got %v and %v", a.shape, b.shape))
-	}
-	m, k := a.shape[0], a.shape[1]
-	n, k2 := b.shape[0], b.shape[1]
-	if k != k2 {
-		panic(fmt.Sprintf("tensor: MatMulTransB inner dimensions differ: %v vs %v", a.shape, b.shape))
-	}
+	m, k, n := mmShapesTransB("MatMulTransB", a, b)
 	out := New(m, n)
-	for i := 0; i < m; i++ {
-		arow := a.data[i*k : (i+1)*k]
-		orow := out.data[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
-			brow := b.data[j*k : (j+1)*k]
-			var sum float32
-			for kk := 0; kk < k; kk++ {
-				sum += arow[kk] * brow[kk]
+	mmParallel(m, k, n, func(i0, i1 int) {
+		mmTransBRows(a.data, b.data, out.data, k, n, i0, i1, false)
+	})
+	return out
+}
+
+// MatMulTransBAcc accumulates a×bᵀ into dst (dst += a×bᵀ) and returns dst.
+// dst must not alias a or b.
+func MatMulTransBAcc(dst, a, b *Tensor) *Tensor {
+	m, k, n := mmShapesTransB("MatMulTransBAcc", a, b)
+	mmCheckDst("MatMulTransBAcc", dst, m, n)
+	mmParallel(m, k, n, func(i0, i1 int) {
+		mmTransBRows(a.data, b.data, dst.data, k, n, i0, i1, true)
+	})
+	return dst
+}
+
+// mmShapes validates the operands of a plain or transposed-A product and
+// returns (m, k, n). With transA set, a has shape (k,m); otherwise (m,k).
+func mmShapes(op string, a, b *Tensor, transA bool) (m, k, n int) {
+	if a.Dims() != 2 || b.Dims() != 2 {
+		panic(fmt.Sprintf("tensor: %s needs 2-D operands, got %v and %v", op, a.shape, b.shape))
+	}
+	if transA {
+		k, m = a.shape[0], a.shape[1]
+	} else {
+		m, k = a.shape[0], a.shape[1]
+	}
+	if k != b.shape[0] {
+		panic(fmt.Sprintf("tensor: %s inner dimensions differ: %v vs %v", op, a.shape, b.shape))
+	}
+	return m, k, b.shape[1]
+}
+
+// mmShapesTransB validates the operands of a transposed-B product: a of
+// shape (m,k), b of shape (n,k).
+func mmShapesTransB(op string, a, b *Tensor) (m, k, n int) {
+	if a.Dims() != 2 || b.Dims() != 2 {
+		panic(fmt.Sprintf("tensor: %s needs 2-D operands, got %v and %v", op, a.shape, b.shape))
+	}
+	m, k = a.shape[0], a.shape[1]
+	n = b.shape[0]
+	if k != b.shape[1] {
+		panic(fmt.Sprintf("tensor: %s inner dimensions differ: %v vs %v", op, a.shape, b.shape))
+	}
+	return m, k, n
+}
+
+// mmCheckDst validates an Into/Acc destination shape.
+func mmCheckDst(op string, dst *Tensor, m, n int) {
+	if dst.Dims() != 2 || dst.shape[0] != m || dst.shape[1] != n {
+		panic(fmt.Sprintf("tensor: %s destination has shape %v, want (%d,%d)", op, dst.shape, m, n))
+	}
+}
+
+// mm4Rows adds a0·b0 + a1·b1 + a2·b2 + a3·b3 into ob. The reslices pin
+// every operand to len(ob) so the compiler drops all bounds checks from the
+// multiply-add loop.
+func mm4Rows(ob, b0, b1, b2, b3 []float32, a0, a1, a2, a3 float32) {
+	b0 = b0[:len(ob)]
+	b1 = b1[:len(ob)]
+	b2 = b2[:len(ob)]
+	b3 = b3[:len(ob)]
+	for j, v := range b0 {
+		ob[j] += a0*v + a1*b1[j] + a2*b2[j] + a3*b3[j]
+	}
+}
+
+// mmRows computes output rows [i0,i1) of a(m,k)×b(k,n). With acc the rows
+// accumulate into out; otherwise each column block is cleared first. Four
+// b-rows are streamed per pass over a column block, so the block of out
+// stays in L1 while each element of b is read exactly once per output row.
+// The 4-way form runs at the scalar floating-point ceiling (two FP ops per
+// multiply-add with all bounds checks eliminated); wider row/column tiles
+// were measured slower here because their extra live coefficients spill.
+func mmRows(a, b, out []float32, k, n, i0, i1 int, acc bool) {
+	for i := i0; i < i1; i++ {
+		arow := a[i*k : i*k+k]
+		orow := out[i*n : i*n+n]
+		for jb := 0; jb < n; jb += mmBlockJ {
+			je := jb + mmBlockJ
+			if je > n {
+				je = n
 			}
-			orow[j] = sum
+			ob := orow[jb:je:je]
+			if !acc {
+				for j := range ob {
+					ob[j] = 0
+				}
+			}
+			w := je - jb
+			kk := 0
+			for ; kk+4 <= k; kk += 4 {
+				mm4Rows(ob,
+					b[kk*n+jb:], b[(kk+1)*n+jb:], b[(kk+2)*n+jb:], b[(kk+3)*n+jb:],
+					arow[kk], arow[kk+1], arow[kk+2], arow[kk+3])
+			}
+			for ; kk < k; kk++ {
+				axpySlice(arow[kk], b[kk*n+jb:kk*n+jb+w], ob)
+			}
 		}
 	}
-	return out
+}
+
+// mmTransARows computes output rows [i0,i1) of aᵀ(m,k)×b(k,n) for a stored
+// as (k,m). Identical blocking to mmRows; the four per-pass a-loads are
+// strided down a's column i instead of along a row.
+func mmTransARows(a, b, out []float32, k, m, n, i0, i1 int, acc bool) {
+	for i := i0; i < i1; i++ {
+		orow := out[i*n : i*n+n]
+		for jb := 0; jb < n; jb += mmBlockJ {
+			je := jb + mmBlockJ
+			if je > n {
+				je = n
+			}
+			ob := orow[jb:je:je]
+			if !acc {
+				for j := range ob {
+					ob[j] = 0
+				}
+			}
+			w := je - jb
+			kk := 0
+			for ; kk+4 <= k; kk += 4 {
+				mm4Rows(ob,
+					b[kk*n+jb:], b[(kk+1)*n+jb:], b[(kk+2)*n+jb:], b[(kk+3)*n+jb:],
+					a[kk*m+i], a[(kk+1)*m+i], a[(kk+2)*m+i], a[(kk+3)*m+i])
+			}
+			for ; kk < k; kk++ {
+				axpySlice(a[kk*m+i], b[kk*n+jb:kk*n+jb+w], ob)
+			}
+		}
+	}
+}
+
+// mmDot4 returns the four dot products of arow against b0..b3. The
+// reslices pin every operand to len(arow) so the compiler drops all bounds
+// checks; the four accumulator chains are independent and overlap in the
+// pipeline. Each chain keeps the scalar loop's accumulation order.
+func mmDot4(arow, b0, b1, b2, b3 []float32) (s0, s1, s2, s3 float32) {
+	b0 = b0[:len(arow)]
+	b1 = b1[:len(arow)]
+	b2 = b2[:len(arow)]
+	b3 = b3[:len(arow)]
+	for kk, av := range arow {
+		s0 += av * b0[kk]
+		s1 += av * b1[kk]
+		s2 += av * b2[kk]
+		s3 += av * b3[kk]
+	}
+	return s0, s1, s2, s3
+}
+
+// mmTransBRows computes output rows [i0,i1) of a(m,k)×bᵀ for b stored as
+// (n,k): each output element is a dot product of two contiguous rows. Four
+// output columns are computed per pass with independent accumulators, so
+// the row of a is read once per four outputs and the four dot-product
+// chains overlap. Per-output accumulation order matches the scalar loop
+// exactly (no reassociation).
+func mmTransBRows(a, b, out []float32, k, n, i0, i1 int, acc bool) {
+	for i := i0; i < i1; i++ {
+		arow := a[i*k : i*k+k : i*k+k]
+		orow := out[i*n : i*n+n]
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			s0, s1, s2, s3 := mmDot4(arow,
+				b[j*k:], b[(j+1)*k:], b[(j+2)*k:], b[(j+3)*k:])
+			if acc {
+				orow[j] += s0
+				orow[j+1] += s1
+				orow[j+2] += s2
+				orow[j+3] += s3
+			} else {
+				orow[j] = s0
+				orow[j+1] = s1
+				orow[j+2] = s2
+				orow[j+3] = s3
+			}
+		}
+		for ; j < n; j++ {
+			brow := b[j*k : j*k+k]
+			var sum float32
+			brow = brow[:len(arow)]
+			for kk, av := range arow {
+				sum += av * brow[kk]
+			}
+			if acc {
+				orow[j] += sum
+			} else {
+				orow[j] = sum
+			}
+		}
+	}
 }
 
 // Transpose2D returns the transpose of a 2-D tensor.

@@ -1,0 +1,90 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// The package keeps one shared worker pool for its data-parallel kernels.
+// Every parallel matmul in the process draws from the same GOMAXPROCS-sized
+// pool, so concurrent callers — several workers evaluating models while a
+// parameter server's shard appliers run fused optimizer steps — divide the
+// machine between them instead of each spawning its own goroutine fleet and
+// oversubscribing the scheduler.
+//
+// Submission never blocks: when every pool worker is busy, the chunk runs on
+// the submitting goroutine. That keeps the pool deadlock-free by
+// construction (a kernel running inside a pool worker cannot wait on pool
+// capacity) and means the pool degrades to plain serial execution under
+// saturation rather than queueing latency.
+
+// poolTask is one contiguous index chunk of a parallelFor.
+type poolTask struct {
+	fn     func(lo, hi int)
+	lo, hi int
+	wg     *sync.WaitGroup
+}
+
+var (
+	poolOnce  sync.Once
+	poolTasks chan poolTask
+)
+
+// poolStart spawns the package's kernel workers: GOMAXPROCS-1 of them, the
+// submitting goroutine itself being the remaining worker. Started lazily on
+// the first parallel kernel so programs that never cross the parallel
+// threshold pay nothing.
+func poolStart() {
+	workers := runtime.GOMAXPROCS(0) - 1
+	if workers < 1 {
+		workers = 1
+	}
+	poolTasks = make(chan poolTask, 8*workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			for t := range poolTasks {
+				t.fn(t.lo, t.hi)
+				t.wg.Done()
+			}
+		}()
+	}
+}
+
+// parallelFor runs fn over the index range [0, n) split into contiguous
+// chunks of at least grain, fanning the chunks out across the shared pool.
+// The caller's goroutine always executes the last chunk itself, and the call
+// returns only when every chunk has finished. With one CPU, a small n, or a
+// saturated pool it degrades to a plain serial call.
+func parallelFor(n, grain int, fn func(lo, hi int)) {
+	if grain < 1 {
+		grain = 1
+	}
+	procs := runtime.GOMAXPROCS(0)
+	chunks := (n + grain - 1) / grain
+	if chunks > procs {
+		chunks = procs
+	}
+	if procs <= 1 || chunks <= 1 {
+		fn(0, n)
+		return
+	}
+	poolOnce.Do(poolStart)
+	step := (n + chunks - 1) / chunks
+	var wg sync.WaitGroup
+	lo := 0
+	for lo+step < n {
+		hi := lo + step
+		wg.Add(1)
+		select {
+		case poolTasks <- poolTask{fn: fn, lo: lo, hi: hi, wg: &wg}:
+		default:
+			// Pool saturated: run the chunk inline instead of queueing
+			// behind every other caller's work.
+			fn(lo, hi)
+			wg.Done()
+		}
+		lo = hi
+	}
+	fn(lo, n)
+	wg.Wait()
+}

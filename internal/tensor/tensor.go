@@ -185,18 +185,14 @@ func (t *Tensor) Fill(v float32) {
 // Add performs t += o element-wise and returns t.
 func (t *Tensor) Add(o *Tensor) *Tensor {
 	assertSameShape("Add", t, o)
-	for i := range t.data {
-		t.data[i] += o.data[i]
-	}
+	addSlice(t.data, o.data)
 	return t
 }
 
 // Sub performs t -= o element-wise and returns t.
 func (t *Tensor) Sub(o *Tensor) *Tensor {
 	assertSameShape("Sub", t, o)
-	for i := range t.data {
-		t.data[i] -= o.data[i]
-	}
+	subSlice(t.data, o.data)
 	return t
 }
 
@@ -211,18 +207,14 @@ func (t *Tensor) Mul(o *Tensor) *Tensor {
 
 // Scale multiplies every element by s in place and returns t.
 func (t *Tensor) Scale(s float32) *Tensor {
-	for i := range t.data {
-		t.data[i] *= s
-	}
+	scaleSlice(s, t.data)
 	return t
 }
 
 // AXPY performs t += alpha * o element-wise and returns t.
 func (t *Tensor) AXPY(alpha float32, o *Tensor) *Tensor {
 	assertSameShape("AXPY", t, o)
-	for i := range t.data {
-		t.data[i] += alpha * o.data[i]
-	}
+	axpySlice(alpha, o.data, t.data)
 	return t
 }
 

@@ -296,6 +296,19 @@ type BatchSender interface {
 	SendBatch([]Message) error
 }
 
+// SerializingSender is an optional Conn extension marking transports whose
+// Send and SendBatch fully serialize the message payload before returning:
+// once the call returns, buffers the message aliases are never read again by
+// the transport or the peer, so the caller may recycle them. Both TCP
+// transports qualify — they encode into the socket (binary) or the write
+// buffer (gob) synchronously. The in-process channel transport does not: it
+// hands the Message itself to the peer, which may hold the aliased tensors
+// indefinitely.
+type SerializingSender interface {
+	// SerializesOnSend is a marker method; implementations do nothing.
+	SerializesOnSend()
+}
+
 // Conn is a bidirectional, message-oriented connection between one worker
 // and the server. Send is safe for concurrent use from multiple goroutines
 // (a worker's heartbeat goroutine sends alongside the protocol goroutine);

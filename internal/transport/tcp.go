@@ -180,6 +180,10 @@ func (c *tcpConn) sendBinaryError(text string) {
 // Close implements Conn.
 func (c *tcpConn) Close() error { return c.conn.Close() }
 
+// SerializesOnSend marks the gob transport as a SerializingSender: Send and
+// SendBatch encode the payload into the write buffer before returning.
+func (c *tcpConn) SerializesOnSend() {}
+
 // writeGobError best-effort writes a gob-encoded MsgError to w — the reply a
 // binary server sends a gob peer so its decoder produces a readable error.
 func writeGobError(w io.Writer, text string) {

@@ -892,6 +892,11 @@ func (c *binaryConn) sendLegacyError(text string) {
 // Close implements Conn.
 func (c *binaryConn) Close() error { return c.conn.Close() }
 
+// SerializesOnSend marks the binary transport as a SerializingSender: Send
+// and SendBatch assemble the full frame and hand it to the kernel before
+// returning.
+func (c *binaryConn) SerializesOnSend() {}
+
 // isConnClosed reports whether err is a connection teardown rather than a
 // parse failure.
 func isConnClosed(err error) bool {

@@ -157,9 +157,13 @@ func TestMetricsEndpointDuringTCPRun(t *testing.T) {
 		"dssp_checkpoint_errors_total",
 		"dssp_checkpoint_last_failed",
 		"dssp_checkpoint_seconds_count",
+		"dssp_checkpoint_shards_written_total",
+		"dssp_checkpoint_bytes_written_total",
 		"dssp_store_apply_batch_size_sum",
 		"dssp_store_apply_seconds_count",
 		"dssp_store_clone_seconds_count",
+		"dssp_store_clone_reuse_total",
+		"dssp_store_clone_alloc_total",
 		"dssp_sessions_active",
 		"dssp_workers_finished",
 		"dssp_store_version",

@@ -3,7 +3,6 @@ package dssp
 import (
 	"fmt"
 	"math/rand"
-	"os"
 	"time"
 
 	"dssp/internal/compress"
@@ -185,14 +184,11 @@ func Serve(cfg ServerConfig) (*Server, error) {
 		return nil, err
 	}
 	restored := false
-	if cfg.Checkpoint.Dir != "" {
-		path := ps.CheckpointFile(cfg.Checkpoint.Dir)
-		if _, err := os.Stat(path); err == nil {
-			if err := store.RestoreCheckpoint(path); err != nil {
-				return nil, fmt.Errorf("dssp: restore checkpoint: %w", err)
-			}
-			restored = true
+	if cfg.Checkpoint.Dir != "" && ps.CheckpointExists(cfg.Checkpoint.Dir) {
+		if err := store.RestoreCheckpointDir(cfg.Checkpoint.Dir); err != nil {
+			return nil, fmt.Errorf("dssp: restore checkpoint: %w", err)
 		}
+		restored = true
 	}
 	reg := obs.NewRegistry()
 	server, err := ps.NewServer(ps.ServerConfig{

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke bench-json bench-baseline bench-gate proto-bench fuzz-seeds experiment-smoke metrics-smoke profile fmt fmt-check vet ci
+.PHONY: all build test race bench bench-smoke bench-json bench-baseline bench-gate proto-bench fuzz-seeds experiment-smoke metrics-smoke cluster-smoke profile fmt fmt-check vet ci
 
 all: build
 
@@ -39,8 +39,8 @@ bench-json:
 # an otherwise-busy machine belong here; jittery paths (e.g. BenchmarkDeltaPull,
 # whose regression risk is pinned by TestDeltaPullSkipsUnchangedShardBytes
 # instead) stay informational.
-BENCH_GATE_PATTERN = BenchmarkStoreConcurrentPushPull/sharded|BenchmarkStoreConcurrentPull/sharded|BenchmarkStoreApplySteadyState|BenchmarkMatMul128|BenchmarkFusedStepMomentumBatch4
-BENCH_GATE_PINS = BenchmarkStoreConcurrentPushPull/sharded,BenchmarkStoreConcurrentPull/sharded,BenchmarkStoreApplySteadyState,BenchmarkMatMul128,BenchmarkFusedStepMomentumBatch4
+BENCH_GATE_PATTERN = BenchmarkStoreConcurrentPushPull/sharded|BenchmarkStoreConcurrentPull/sharded|BenchmarkStoreApplySteadyState|BenchmarkMatMul128|BenchmarkFusedStepMomentumBatch4|BenchmarkClusterPushPull
+BENCH_GATE_PINS = BenchmarkStoreConcurrentPushPull/sharded,BenchmarkStoreConcurrentPull/sharded,BenchmarkStoreApplySteadyState,BenchmarkMatMul128,BenchmarkFusedStepMomentumBatch4,BenchmarkClusterPushPull/servers=1,BenchmarkClusterPushPull/servers=2
 BENCH_GATE_TIME = 1s
 # Packages holding the pinned benchmarks: the store pipeline plus the raw
 # compute kernels (blocked matmul, fused optimizer step) it is built on.
@@ -101,6 +101,14 @@ experiment-smoke:
 metrics-smoke:
 	$(GO) test -run 'TestMetricsEndpointDuringTCPRun|TestWorkerMetricsEndpoint' -count=1 -v .
 
+# Server-group smoke: a coordinator plus 3 data servers over real TCP trains
+# a 4-worker DSSP run to completion, the coordinator's clock must match the
+# pushed iteration count, and the model assembled from the shard owners must
+# hit the accuracy floor. -count=1 defeats the test cache: this is an
+# end-to-end network run, not a unit result worth memoizing.
+cluster-smoke:
+	$(GO) test -run 'TestClusterSmoke' -count=1 -v .
+
 # Profile real training in-process: a fixed-time run of the small-CNN
 # training benchmark with CPU and allocation profiles. Inspect with
 #   go tool pprof cpu.pprof     (then: top, web)
@@ -125,4 +133,4 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: build fmt-check vet race fuzz-seeds experiment-smoke metrics-smoke bench-smoke proto-bench
+ci: build fmt-check vet race fuzz-seeds experiment-smoke metrics-smoke cluster-smoke bench-smoke proto-bench

@@ -30,6 +30,15 @@
 // started with -reconnect; -checkpoint-dir/-checkpoint-every persist the
 // store so a restarted server resumes the run where it stopped.
 //
+// Server groups: -role places this server in a multi-server group
+// (DESIGN.md §10). A coordinator (-role coordinator -cluster-servers N)
+// owns the paradigm policy and the cluster map; data servers (-role data
+// -peers <coordinator> -cluster-servers N -cluster-index i, or -shard-range
+// lo:hi) each own a contiguous shard range of the store; a backup
+// (-role backup -primary <data server>) replicates its primary's weights and
+// requests promotion when the primary stays dead past -replicate-grace.
+// Workers join the group with psworker -cluster -server <coordinator>.
+//
 // Observability: -metrics-addr starts an admin HTTP listener serving
 // Prometheus /metrics, /healthz, a /statusz JSON snapshot, and
 // net/http/pprof (docs/METRICS.md catalogs every series). -trace-every
@@ -83,8 +92,38 @@ func main() {
 		traceEvery   = flag.Int("trace-every", 0, "sample the push lifecycle for 1 in N pushes (0 = default 64, negative = off)")
 		traceDump    = flag.Bool("trace-dump", false, "print sampled push-lifecycle traces as JSON lines at end of run")
 		seed         = flag.Int64("seed", 1, "seed for the initial weights (must match workers)")
+
+		role           = flag.String("role", "", "cluster role: coordinator, data, backup (empty = standalone server)")
+		peers          = flag.String("peers", "", "coordinator address (data and backup roles)")
+		clusterServers = flag.Int("cluster-servers", 0, "number of data servers in the group (all cluster roles)")
+		clusterIndex   = flag.Int("cluster-index", 0, "this server's slot in [0, cluster-servers) — which shard range it owns")
+		shardRange     = flag.String("shard-range", "", "owned shard range as lo:hi, overriding -cluster-index (must match a layout assignment)")
+		globalShards   = flag.Int("global-shards", 0, "group-wide store shard count (0 = two per data server); must match across the group")
+		advertise      = flag.String("advertise", "", "address published in the cluster map (default: the listen address)")
+		primary        = flag.String("primary", "", "the data server this backup replicates from (backup role)")
+		replicateEvery = flag.Duration("replicate-every", 0, "backup replication poll cadence (0 = default 25ms)")
+		replicateGrace = flag.Duration("replicate-grace", 0, "how long the primary may stay unreachable before the backup requests promotion (0 = default 2s)")
 	)
 	flag.Parse()
+
+	cluster := dssp.ClusterOptions{
+		Role:           *role,
+		Coordinator:    *peers,
+		Servers:        *clusterServers,
+		Index:          *clusterIndex,
+		GlobalShards:   *globalShards,
+		Advertise:      *advertise,
+		Primary:        *primary,
+		ReplicateEvery: *replicateEvery,
+		ReplicateGrace: *replicateGrace,
+	}
+	if *shardRange != "" {
+		lo, hi, err := dssp.ParseShardRange(*shardRange)
+		if err != nil {
+			log.Fatalf("psserver: %v", err)
+		}
+		cluster.ShardLo, cluster.ShardHi = lo, hi
+	}
 
 	cfg := dssp.ServerConfig{
 		Addr:         *addr,
@@ -109,6 +148,7 @@ func main() {
 		Dataset: dssp.DatasetConfig{
 			Examples: *examples, Classes: *classes, ImageSize: *imageSize, Noise: 0.5, Seed: *seed,
 		},
+		Cluster: cluster,
 	}
 	if err := run(cfg, *paradigm, *staleness, *rng, *enforce, *backups, *traceDump); err != nil {
 		log.Fatalf("psserver: %v", err)
@@ -132,6 +172,14 @@ func run(cfg dssp.ServerConfig, paradigm string, staleness, rng int, enforce boo
 	}
 	fmt.Printf("parameter server listening on %s (%s, %d workers, wire %s, codec %s, aggregator %s, %s)\n",
 		server.Addr(), sync.Describe(), cfg.Workers, cfg.Wire, cfg.Compression, cfg.Aggregator, mode)
+	switch cfg.Cluster.Role {
+	case dssp.RoleCoordinator:
+		fmt.Printf("cluster coordinator for %d data servers (global shards auto unless -global-shards set)\n", cfg.Cluster.Servers)
+	case dssp.RoleData:
+		fmt.Printf("cluster data server (group of %d), announcing to coordinator %s\n", cfg.Cluster.Servers, cfg.Cluster.Coordinator)
+	case dssp.RoleBackup:
+		fmt.Printf("cluster backup replicating %s, promotion via coordinator %s\n", cfg.Cluster.Primary, cfg.Cluster.Coordinator)
+	}
 	if server.Restored() {
 		fmt.Printf("restored checkpoint from %s at version %d\n", cfg.Checkpoint.Dir, server.Version())
 	}
@@ -142,6 +190,10 @@ func run(cfg dssp.ServerConfig, paradigm string, staleness, rng int, enforce boo
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
 	select {
+	case <-server.Failed():
+		err := server.FailureErr()
+		server.Stop()
+		return err
 	case <-server.Done():
 		// One consistent snapshot feeds the whole summary.
 		st := server.Status()

@@ -28,6 +28,13 @@
 // (surviving parameter-server restarts), -heartbeat proves liveness to an
 // -elastic server, and -fail-after injects a crash for demos.
 //
+// Server groups: -cluster makes -server the coordinator's address — the
+// worker fetches the cluster map at registration and routes gradient
+// fragments directly to each shard owner while the coordinator keeps making
+// the staleness decisions. A lost data link recovers by refetching the map
+// (which is how a backup promotion reaches the worker); a lost coordinator
+// fails the run fast.
+//
 // Observability: -metrics-addr starts an admin HTTP listener serving the
 // worker-side Prometheus /metrics (pull wait, push round-trip, iteration and
 // transport counters), /healthz and net/http/pprof.
@@ -44,7 +51,8 @@ import (
 
 func main() {
 	var (
-		server       = flag.String("server", "127.0.0.1:7070", "parameter server address")
+		server       = flag.String("server", "127.0.0.1:7070", "parameter server address (the coordinator with -cluster)")
+		cluster      = flag.Bool("cluster", false, "join a server group: fetch the cluster map from the coordinator at -server and route gradient fragments to each shard owner")
 		wire         = flag.String("wire", dssp.WireBinary, "TCP wire format: binary or gob (must match the server)")
 		id           = flag.Int("id", 0, "worker id in [0, workers)")
 		workers      = flag.Int("workers", 2, "total number of workers")
@@ -73,6 +81,7 @@ func main() {
 	compression := dssp.Compression{Codec: *compressName, TopK: *topk, Pull: *compressPull}
 	report, err := dssp.RunWorker(dssp.WorkerConfig{
 		ServerAddr: *server,
+		Cluster:    *cluster,
 		Wire:       *wire,
 		WorkerID:   *id,
 		Workers:    *workers,

@@ -50,6 +50,11 @@ type Client struct {
 	// (SetDeltaPull, before Register); deltaOn is the negotiated outcome.
 	wantDelta bool
 	deltaOn   bool
+	// cluster and replica stamp the registration with the v3 session flags:
+	// cluster-mode workers (accepted by coordinators), and read-only replica
+	// sessions (backup replication streams).
+	cluster bool
+	replica bool
 	// shardCache and shardVersions are the delta-pull state: the decoded
 	// tensors of the last full chunk received for each server shard, and the
 	// shard-local publication version they carry. Pull echoes the versions
@@ -102,6 +107,18 @@ func (c *Client) SetDeltaPull(enabled bool) { c.wantDelta = enabled }
 // the server (always false before Register).
 func (c *Client) DeltaPull() bool { return c.deltaOn }
 
+// SetCluster marks the registration as cluster-mode (PROTOCOL.md §6): a
+// coordinator only admits workers that set it, because a classic worker
+// would unknowingly train against the coordinator's placeholder store. Call
+// before Register. Plain servers ignore the flag.
+func (c *Client) SetCluster(enabled bool) { c.cluster = enabled }
+
+// SetReplica marks the registration as a read-only replica session — the
+// primary→backup replication stream. The server assigns a private negative
+// session key outside the worker range, keeps the session out of policy and
+// completion accounting, and rejects pushes from it. Call before Register.
+func (c *Client) SetReplica(enabled bool) { c.replica = enabled }
+
 // Traffic returns the approximate payload bytes this client pushed and
 // pulled so far.
 func (c *Client) Traffic() (pushed, pulled int64) { return c.pushedBytes, c.pulledBytes }
@@ -148,6 +165,8 @@ func (c *Client) register(msgType transport.MessageType, lastVersion int64) erro
 		CodecTopK: c.cfg.TopK,
 		CodecPull: c.cfg.Pull,
 		DeltaPull: c.wantDelta,
+		Cluster:   c.cluster,
+		Replica:   c.replica,
 	})
 	if err != nil {
 		return fmt.Errorf("ps: register worker %d: %w", c.worker, err)
@@ -370,6 +389,18 @@ func (c *Client) PushAndWait(grads []*tensor.Tensor, baseVersion int64, iteratio
 
 // pushAndWait implements PushAndWait.
 func (c *Client) pushAndWait(grads []*tensor.Tensor, baseVersion int64, iteration int) error {
+	if err := c.PushAsync(grads, baseVersion, iteration); err != nil {
+		return err
+	}
+	return c.WaitOK()
+}
+
+// PushAsync sends the worker's gradients without waiting for the release.
+// It exists for cluster workers, which fan a fragment out to every data
+// server before collecting the OKs (WaitOK, once per PushAsync, in order):
+// the fragments travel in parallel while each link stays lock-step. A nil
+// or empty grads sends a metadata-only push (the coordinator leg).
+func (c *Client) PushAsync(grads []*tensor.Tensor, baseVersion int64, iteration int) error {
 	msg := transport.Message{
 		Type:      transport.MsgPush,
 		Worker:    c.worker,
@@ -390,6 +421,12 @@ func (c *Client) pushAndWait(grads []*tensor.Tensor, baseVersion int64, iteratio
 	if err := c.conn.Send(msg); err != nil {
 		return fmt.Errorf("ps: push from worker %d: %w", c.worker, err)
 	}
+	return nil
+}
+
+// WaitOK blocks until the server releases the worker's outstanding push.
+// Exactly one WaitOK must follow every PushAsync.
+func (c *Client) WaitOK() error {
 	reply, err := c.recv()
 	if err != nil {
 		return err

@@ -1,0 +1,396 @@
+package ps
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"dssp/internal/optimizer"
+	"dssp/internal/tensor"
+	"dssp/internal/transport"
+)
+
+// This file holds the server-group (cluster) substrate: the partition
+// arithmetic that assigns contiguous runs of global store shards to data
+// servers, the range-restricted store a data server runs, and the live
+// weight install the primary→backup replication stream lands on.
+//
+// The cluster split keeps the paradigm semantics of conf_icdcs_ZhaoALC19
+// centralized: data servers apply gradient fragments under a local ASP
+// policy (release = "fragment applied"), while one coordinator runs the real
+// BSP/SSP/DSSP policy over metadata-only pushes, so staleness decisions stay
+// a single serialization point no matter how many servers carry the bytes.
+
+// ShardAssignment is one data server's slice of the global layout: the
+// contiguous global store shards it owns and the global tensor indices those
+// shards cover. Both ranges are half-open [Lo, Hi).
+type ShardAssignment struct {
+	ShardLo, ShardHi   int
+	TensorLo, TensorHi int
+}
+
+// GroupLayout partitions globalShards contiguous, size-balanced store shards
+// over servers data servers and returns each server's assignment together
+// with the normalized shard count. sizes are the per-tensor element counts
+// of the model, in global order.
+//
+// globalShards <= 0 selects a deterministic default of two shards per server
+// (machine-independent, unlike the single-server GOMAXPROCS default, because
+// every cluster participant must derive the identical layout); any value is
+// clamped to [servers, len(sizes)]. The shard boundaries are exactly those
+// NewStoreSharded(initial, opt, globalShards) would compute, which is what
+// makes an N-server group's optimizer arithmetic bit-identical to the
+// single-server store's on identical apply schedules.
+func GroupLayout(sizes []int, globalShards, servers int) ([]ShardAssignment, int, error) {
+	if len(sizes) == 0 {
+		return nil, 0, fmt.Errorf("ps: group layout needs at least one tensor")
+	}
+	if servers < 1 {
+		return nil, 0, fmt.Errorf("ps: group layout needs at least one server, got %d", servers)
+	}
+	if servers > len(sizes) {
+		return nil, 0, fmt.Errorf("ps: %d servers cannot each own a tensor of a %d-tensor model", servers, len(sizes))
+	}
+	if globalShards <= 0 {
+		globalShards = 2 * servers
+	}
+	if globalShards > len(sizes) {
+		globalShards = len(sizes)
+	}
+	if globalShards < servers {
+		globalShards = servers
+	}
+	ranges := partitionBySize(sizes, globalShards)
+	shardSizes := make([]int, len(ranges))
+	for i, r := range ranges {
+		for _, sz := range sizes[r.Start:r.End] {
+			shardSizes[i] += sz
+		}
+	}
+	srv := partitionBySize(shardSizes, servers)
+	out := make([]ShardAssignment, servers)
+	for i, a := range srv {
+		out[i] = ShardAssignment{
+			ShardLo:  a.Start,
+			ShardHi:  a.End,
+			TensorLo: ranges[a.Start].Start,
+			TensorHi: ranges[a.End-1].End,
+		}
+	}
+	return out, globalShards, nil
+}
+
+// Entry converts an assignment into its wire form at the given address.
+func (a ShardAssignment) Entry(addr string) transport.ServerEntry {
+	return transport.ServerEntry{
+		Addr:     addr,
+		ShardLo:  a.ShardLo,
+		ShardHi:  a.ShardHi,
+		TensorLo: a.TensorLo,
+		TensorHi: a.TensorHi,
+	}
+}
+
+// NewStoreRange builds the store a data server runs: the sub-range
+// [shardLo, shardHi) of the global globalShards-way partition of initial.
+// initial is the FULL global parameter list — the store clones only the
+// tensors its shards cover, but the shard boundaries are computed over the
+// whole model, so every data server in a group (and a single-server store
+// with the same shard count) agrees on them exactly. globalShards must be
+// the normalized count GroupLayout returned.
+//
+// The resulting store is local in every externally visible way: Shards()
+// reports shardHi-shardLo, tensor indices (EnqueueApply, ShardRange, pull
+// chunk bases) are relative to the range's first tensor. Callers map local
+// to global through the ShardAssignment that produced the range.
+func NewStoreRange(initial []*tensor.Tensor, opt optimizer.Optimizer, globalShards, shardLo, shardHi int) (*Store, error) {
+	if len(initial) == 0 {
+		return nil, fmt.Errorf("ps: store needs at least one parameter tensor")
+	}
+	if opt == nil {
+		return nil, fmt.Errorf("ps: store needs an optimizer")
+	}
+	if globalShards < 1 || globalShards > len(initial) {
+		return nil, fmt.Errorf("ps: global shard count %d outside [1, %d]", globalShards, len(initial))
+	}
+	if shardLo < 0 || shardHi <= shardLo || shardHi > globalShards {
+		return nil, fmt.Errorf("ps: shard range [%d, %d) outside [0, %d)", shardLo, shardHi, globalShards)
+	}
+	sizes := make([]int, len(initial))
+	for i, p := range initial {
+		sizes[i] = p.Size()
+	}
+	global := partitionBySize(sizes, globalShards)
+	tLo, tHi := global[shardLo].Start, global[shardHi-1].End
+
+	local := initial[tLo:tHi]
+	shapes := make([][]int, len(local))
+	scalars := 0
+	for i, p := range local {
+		shapes[i] = p.Shape()
+		scalars += p.Size()
+	}
+	st := &Store{
+		shards:  make([]*shard, shardHi-shardLo),
+		ranges:  make([]shardRange, shardHi-shardLo),
+		shapes:  shapes,
+		scalars: scalars,
+		proto:   opt,
+	}
+	for i := range st.shards {
+		g := global[shardLo+i]
+		st.ranges[i] = shardRange{Start: g.Start - tLo, End: g.End - tLo}
+		params := make([]*tensor.Tensor, g.End-g.Start)
+		for j := range params {
+			params[j] = initial[g.Start+j].Clone()
+		}
+		st.shards[i] = &shard{gen: &paramGen{params: params}, opt: opt.Clone(), wake: make(chan struct{}, 1)}
+	}
+	st.window.Store(1)
+	st.aggCfg = AggregatorConfig{}.Normalized()
+	return st, nil
+}
+
+// Install replaces the store's published weights with params at the given
+// applied version — the landing half of the primary→backup replication
+// stream. It mirrors the checkpoint-install path (quiesce, fresh generations,
+// shard-version bump so packed/delta caches refresh) but deliberately leaves
+// the optimizer state untouched: the replication stream carries weights
+// only, so a promoted backup resumes with cold momentum (DESIGN.md §10
+// spells out the trade). params are cloned; the caller keeps ownership.
+//
+// version must not regress: the replicator only ever streams forward, and a
+// backwards install would violate the version monotonicity every staleness
+// bound is defined against.
+func (s *Store) Install(params []*tensor.Tensor, version int64) error {
+	if version < 0 {
+		return fmt.Errorf("ps: install version %d is negative", version)
+	}
+	if cur := s.version.Load(); version < cur {
+		return fmt.Errorf("ps: install would move version backwards from %d to %d", cur, version)
+	}
+	if len(params) != len(s.shapes) {
+		return fmt.Errorf("ps: install carries %d tensors, store has %d", len(params), len(s.shapes))
+	}
+	for i, p := range params {
+		if !sameShape(p.Shape(), s.shapes[i]) {
+			return fmt.Errorf("ps: install tensor %d has shape %v, store expects %v", i, p.Shape(), s.shapes[i])
+		}
+	}
+	// Quiesce the apply pipeline so the per-shard counters below never race
+	// an applier. A backup store receives no pushes while standing by, so
+	// this is a no-op there; it is still correct on a live store.
+	s.Close()
+	for i, sh := range s.shards {
+		r := s.ranges[i]
+		fresh := make([]*tensor.Tensor, r.End-r.Start)
+		for j := range fresh {
+			fresh[j] = params[r.Start+j].Clone()
+		}
+		sh.mu.Lock()
+		sh.gen = &paramGen{params: fresh}
+		// Drop retired generations: they alias superseded weights and must
+		// not be recycled into a future publication a reader already holds.
+		sh.retired = nil
+		// Bump the shard version so packed-pull caches and delta-pulling
+		// readers refresh rather than trusting a stale version number.
+		sh.version++
+		sh.mu.Unlock()
+		sh.applied.Store(version)
+	}
+	s.reserved.Store(version)
+	s.version.Store(version)
+	return nil
+}
+
+// ClusterConfig is a server's group role (ServerConfig.Cluster). The zero
+// value is a classic standalone server.
+type ClusterConfig struct {
+	// Coordinator marks this server as the group's policy owner: it serves
+	// the cluster map to workers, accepts metadata-only pushes, and runs the
+	// real BSP/SSP/DSSP policy. A coordinator's store is a placeholder — it
+	// never carries model weights.
+	Coordinator bool
+	// GlobalShards and TotalTensors describe the group-wide layout the
+	// coordinator advertises in every map reply (the normalized shard count
+	// GroupLayout returned and the model's tensor count). Required when
+	// Coordinator is set.
+	GlobalShards int
+	TotalTensors int
+}
+
+// clusterState is the coordinator's live view of the group: the data-server
+// entries the map serves, the version workers use to detect change, and the
+// parked announce connections (peers) Stop must close — they are not worker
+// sessions, so the session sweep never reaches them, yet each holds a data
+// server's liveness watch on this coordinator.
+type clusterState struct {
+	mu         sync.Mutex
+	entries    []transport.ServerEntry
+	mapVersion int64
+	peers      map[transport.Conn]struct{}
+}
+
+// trackPeer registers a parked cluster-peer connection for closure on Stop.
+func (s *Server) trackPeer(conn transport.Conn) {
+	s.cluster.mu.Lock()
+	if s.cluster.peers == nil {
+		s.cluster.peers = make(map[transport.Conn]struct{})
+	}
+	s.cluster.peers[conn] = struct{}{}
+	s.cluster.mu.Unlock()
+}
+
+// untrackPeer drops a peer connection that ended on its own.
+func (s *Server) untrackPeer(conn transport.Conn) {
+	s.cluster.mu.Lock()
+	delete(s.cluster.peers, conn)
+	s.cluster.mu.Unlock()
+}
+
+// closePeers closes every parked peer connection — the coordinator side of
+// the data servers' fail-fast: their liveness watch sees the close
+// immediately instead of waiting out a transport timeout.
+func (s *Server) closePeers() {
+	s.cluster.mu.Lock()
+	for conn := range s.cluster.peers {
+		_ = conn.Close()
+	}
+	s.cluster.peers = nil
+	s.cluster.mu.Unlock()
+}
+
+// handleClusterMap answers a worker's map request on its own connection —
+// map fetches ride dedicated connections, never a registered session's, so
+// the reply goes out directly instead of through a session outbox. A
+// non-coordinator rejects the request by name: pointing a cluster worker at
+// a data server is a wiring bug worth a clear message.
+func (s *Server) handleClusterMap(conn transport.Conn) {
+	if !s.cfg.Cluster.Coordinator {
+		_ = conn.Send(transport.Message{
+			Type:  transport.MsgError,
+			Error: "not a cluster coordinator",
+		})
+		return
+	}
+	s.sm.clusterMapRequests.Inc()
+	s.cluster.mu.Lock()
+	entries := append([]transport.ServerEntry(nil), s.cluster.entries...)
+	mapVersion := s.cluster.mapVersion
+	s.cluster.mu.Unlock()
+	_ = conn.Send(transport.Message{
+		Type:        transport.MsgClusterMap,
+		Servers:     entries,
+		MapVersion:  mapVersion,
+		StoreShards: s.cfg.Cluster.GlobalShards,
+		Total:       s.cfg.Cluster.TotalTensors,
+		Version:     s.cfg.Store.Version(),
+	})
+}
+
+// handleServerAnnounce records a data server's entry in the map (backups
+// announce with Replica set and are acknowledged without entering the map —
+// they become routable only through promotion). Re-announcing an owned shard
+// range replaces the entry, which is how a restarted primary re-claims its
+// slice.
+func (s *Server) handleServerAnnounce(conn transport.Conn, msg transport.Message) {
+	if !s.cfg.Cluster.Coordinator {
+		_ = conn.Send(transport.Message{Type: transport.MsgError, Error: "not a cluster coordinator"})
+		return
+	}
+	entry, err := s.checkEntry(msg)
+	if err != nil {
+		_ = conn.Send(transport.Message{Type: transport.MsgError, Error: err.Error()})
+		return
+	}
+	s.sm.clusterAnnounces.Inc()
+	if !msg.Replica {
+		s.cluster.mu.Lock()
+		replaced := false
+		for i := range s.cluster.entries {
+			if s.cluster.entries[i].ShardLo == entry.ShardLo && s.cluster.entries[i].ShardHi == entry.ShardHi {
+				s.cluster.entries[i] = entry
+				replaced = true
+				break
+			}
+		}
+		if !replaced {
+			s.cluster.entries = append(s.cluster.entries, entry)
+			sort.Slice(s.cluster.entries, func(i, j int) bool {
+				return s.cluster.entries[i].ShardLo < s.cluster.entries[j].ShardLo
+			})
+		}
+		s.cluster.mapVersion++
+		s.cluster.mu.Unlock()
+	}
+	_ = conn.Send(transport.Message{Type: transport.MsgOK})
+}
+
+// handlePromote swaps the owner address of one shard range — the promotion a
+// backup requests after declaring its primary dead. Workers learn the new
+// owner from their next map fetch.
+func (s *Server) handlePromote(conn transport.Conn, msg transport.Message) {
+	if !s.cfg.Cluster.Coordinator {
+		_ = conn.Send(transport.Message{Type: transport.MsgError, Error: "not a cluster coordinator"})
+		return
+	}
+	entry, err := s.checkEntry(msg)
+	if err != nil {
+		_ = conn.Send(transport.Message{Type: transport.MsgError, Error: err.Error()})
+		return
+	}
+	s.cluster.mu.Lock()
+	promoted := false
+	for i := range s.cluster.entries {
+		if s.cluster.entries[i].ShardLo == entry.ShardLo && s.cluster.entries[i].ShardHi == entry.ShardHi {
+			s.cluster.entries[i] = entry
+			promoted = true
+			break
+		}
+	}
+	if promoted {
+		s.cluster.mapVersion++
+	}
+	s.cluster.mu.Unlock()
+	if !promoted {
+		_ = conn.Send(transport.Message{
+			Type:  transport.MsgError,
+			Error: fmt.Sprintf("no cluster-map entry owns shards [%d, %d)", entry.ShardLo, entry.ShardHi),
+		})
+		return
+	}
+	s.sm.clusterPromotions.Inc()
+	_ = conn.Send(transport.Message{Type: transport.MsgOK})
+}
+
+// checkEntry extracts and validates the single server entry an announce or
+// promote request must carry.
+func (s *Server) checkEntry(msg transport.Message) (transport.ServerEntry, error) {
+	if len(msg.Servers) != 1 {
+		return transport.ServerEntry{}, fmt.Errorf("%v must carry exactly one server entry, got %d", msg.Type, len(msg.Servers))
+	}
+	e := msg.Servers[0]
+	if e.Addr == "" {
+		return transport.ServerEntry{}, fmt.Errorf("%v entry has no address", msg.Type)
+	}
+	if e.ShardLo < 0 || e.ShardHi <= e.ShardLo || e.ShardHi > s.cfg.Cluster.GlobalShards {
+		return transport.ServerEntry{}, fmt.Errorf("%v shard range [%d, %d) outside [0, %d)",
+			msg.Type, e.ShardLo, e.ShardHi, s.cfg.Cluster.GlobalShards)
+	}
+	if e.TensorLo < 0 || e.TensorHi <= e.TensorLo || e.TensorHi > s.cfg.Cluster.TotalTensors {
+		return transport.ServerEntry{}, fmt.Errorf("%v tensor range [%d, %d) outside [0, %d)",
+			msg.Type, e.TensorLo, e.TensorHi, s.cfg.Cluster.TotalTensors)
+	}
+	return e, nil
+}
+
+// ClusterMap snapshots the coordinator's current map (nil on non-coordinator
+// servers): the entries in shard order and the map version.
+func (s *Server) ClusterMap() ([]transport.ServerEntry, int64) {
+	if !s.cfg.Cluster.Coordinator {
+		return nil, 0
+	}
+	s.cluster.mu.Lock()
+	defer s.cluster.mu.Unlock()
+	return append([]transport.ServerEntry(nil), s.cluster.entries...), s.cluster.mapVersion
+}

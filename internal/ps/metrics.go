@@ -34,6 +34,10 @@ type serverMetrics struct {
 	guardFlags     *obs.Counter
 	guardEvictions *obs.Counter
 
+	clusterMapRequests *obs.Counter
+	clusterAnnounces   *obs.Counter
+	clusterPromotions  *obs.Counter
+
 	ckptTotal   *obs.Counter
 	ckptErrors  *obs.Counter
 	ckptFailed  *obs.Gauge
@@ -84,6 +88,12 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 			"Anomaly flags raised by the push guard."),
 		guardEvictions: reg.Counter("dssp_guard_evictions_total",
 			"Workers evicted by the push guard."),
+		clusterMapRequests: reg.Counter("dssp_cluster_map_requests_total",
+			"Cluster-map fetches served (coordinator only; always zero elsewhere)."),
+		clusterAnnounces: reg.Counter("dssp_cluster_announces_total",
+			"Data-server and backup announcements accepted (coordinator only)."),
+		clusterPromotions: reg.Counter("dssp_cluster_promotions_total",
+			"Backup promotions applied to the cluster map (coordinator only)."),
 		ckptTotal: reg.Counter("dssp_checkpoint_total",
 			"Checkpoint save attempts."),
 		ckptErrors: reg.Counter("dssp_checkpoint_errors_total",

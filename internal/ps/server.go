@@ -53,6 +53,12 @@ type ServerConfig struct {
 	// the default 1-in-DefaultTraceEvery sampling; Every < 0 disables
 	// tracing entirely.
 	Trace obs.TraceConfig
+	// Cluster configures the server-group role (PROTOCOL.md §6). The zero
+	// value is a classic standalone server. With Coordinator set the server
+	// owns the group's policy layer: it serves the cluster map, accepts
+	// metadata-only pushes from cluster workers, and never carries weight
+	// bytes (its store is a placeholder).
+	Cluster ClusterConfig
 }
 
 // DefaultTraceEvery is the push-lifecycle trace sampling period when
@@ -150,6 +156,14 @@ type Server struct {
 	waits     *metrics.WaitTracker
 	pushedAt  map[int]time.Time
 
+	// cluster is the coordinator's live group map; replicaSeq hands out the
+	// negative session keys replica (backup) registrations live under; zeroGrad
+	// is the shared placeholder gradient a coordinator applies for
+	// metadata-only pushes (appliers only read gradients, so sharing is safe).
+	cluster    clusterState
+	replicaSeq atomic.Int64
+	zeroGrad   []*tensor.Tensor
+
 	// ckptBusy limits checkpoint saves to one in flight.
 	ckptBusy atomic.Bool
 	// ckptMu serializes checkpoint writes: an async interval save that
@@ -177,6 +191,19 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		return nil, err
 	}
 	cfg.Options = opts
+	if cfg.Cluster.Coordinator {
+		if cfg.Cluster.GlobalShards <= 0 || cfg.Cluster.TotalTensors <= 0 {
+			return nil, fmt.Errorf("ps: coordinator needs the group's global shard and tensor counts, got %d/%d",
+				cfg.Cluster.GlobalShards, cfg.Cluster.TotalTensors)
+		}
+		// The guard keys its flood detector on pull cadence, and cluster
+		// workers pull from data servers, never from the coordinator — every
+		// honest worker would look like a flooder here. The guard belongs on
+		// the data servers (DESIGN.md §10).
+		if cfg.Guard.Enabled {
+			return nil, fmt.Errorf("ps: anomaly guard runs on data servers, not the coordinator")
+		}
+	}
 	// Install the aggregation strategy before any push can reach the store.
 	// Windowed robust kinds with no explicit window aggregate over the full
 	// cohort: the order statistics need the honest majority in-window to
@@ -224,6 +251,30 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		reg:         reg,
 		sm:          newServerMetrics(reg),
 		tracer:      tracer,
+	}
+	if cfg.Cluster.Coordinator {
+		// Metadata-only pushes carry no payload; the policy still needs
+		// EnqueueApply to assign the ticket and advance the version, so a
+		// shared zero gradient matching the placeholder store stands in.
+		snap, _ := cfg.Store.Snapshot()
+		s.zeroGrad = make([]*tensor.Tensor, len(snap))
+		for i, p := range snap {
+			s.zeroGrad[i] = tensor.New(p.Shape()...)
+		}
+		reg.GaugeFunc("dssp_cluster_map_version",
+			"Coordinator cluster-map version: bumped by every announce and promotion.",
+			func() float64 {
+				s.cluster.mu.Lock()
+				defer s.cluster.mu.Unlock()
+				return float64(s.cluster.mapVersion)
+			})
+		reg.GaugeFunc("dssp_cluster_servers",
+			"Data servers currently in the coordinator's cluster map.",
+			func() float64 {
+				s.cluster.mu.Lock()
+				defer s.cluster.mu.Unlock()
+				return float64(len(s.cluster.entries))
+			})
 	}
 	// The store carries the apply-pipeline instrumentation only when serving
 	// (bare stores stay unmetered); the guard reports its flags and
@@ -329,6 +380,7 @@ func (s *Server) Stop() {
 			sess.end()
 			_ = sess.conn.Close()
 		}
+		s.closePeers()
 		// Drain the apply pipeline so the final checkpoint holds every
 		// accepted update, then park the store's applier goroutines.
 		s.cfg.Store.Close()
@@ -440,6 +492,20 @@ func (s *Server) handleConn(conn transport.Conn) {
 			}
 			return
 
+		case transport.MsgClusterMap:
+			s.handleClusterMap(conn)
+
+		case transport.MsgServerAnnounce:
+			// The announcing data server parks on this connection as its
+			// liveness watch; track it so Stop closes it (it never becomes a
+			// worker session, so the session sweep would miss it).
+			s.trackPeer(conn)
+			defer s.untrackPeer(conn)
+			s.handleServerAnnounce(conn, msg)
+
+		case transport.MsgPromote:
+			s.handlePromote(conn, msg)
+
 		case transport.MsgShutdown:
 			return
 
@@ -456,10 +522,25 @@ func (s *Server) handleConn(conn transport.Conn) {
 // version. It returns nil when the worker was rejected.
 func (s *Server) handleRegister(conn transport.Conn, msg transport.Message) *session {
 	worker := msg.Worker
-	if worker < 0 || worker >= s.cfg.Workers {
+	if msg.Replica {
+		// Replica (backup-replication) sessions live under negative keys so
+		// they can never collide with a worker slot, and stay invisible to the
+		// policy, the guard and completion accounting: a replica is a
+		// read-only observer, not a cohort member.
+		worker = -1 - int(s.replicaSeq.Add(1)-1)
+	} else if worker < 0 || worker >= s.cfg.Workers {
 		_ = conn.Send(transport.Message{
 			Type:  transport.MsgError,
 			Error: fmt.Sprintf("worker id %d out of range [0,%d)", worker, s.cfg.Workers),
+		})
+		return nil
+	}
+	if s.cfg.Cluster.Coordinator && !msg.Cluster {
+		// A classic worker pointed at the coordinator would train against the
+		// placeholder store — reject loudly instead of silently not learning.
+		_ = conn.Send(transport.Message{
+			Type:  transport.MsgError,
+			Error: "this server is a cluster coordinator; workers must register in cluster mode (fetch the cluster map)",
 		})
 		return nil
 	}
@@ -504,26 +585,30 @@ func (s *Server) handleRegister(conn transport.Conn, msg transport.Message) *ses
 		old.end()
 		_ = old.conn.Close()
 	}
-	s.mu.Lock()
-	s.joined[worker] = true
-	s.mu.Unlock()
-	// A rejoin restores the slot to the pushing cohort; re-derive the window.
-	s.shrinkWindow()
+	if worker >= 0 {
+		s.mu.Lock()
+		s.joined[worker] = true
+		s.mu.Unlock()
+		// A rejoin restores the slot to the pushing cohort; re-derive the window.
+		s.shrinkWindow()
+	}
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
 		s.writer(sess)
 	}()
 
-	now := s.clock()
-	s.policyMu.Lock()
-	if rejoined {
-		s.sm.rejoins.Inc()
+	if worker >= 0 {
+		now := s.clock()
+		s.policyMu.Lock()
+		if rejoined {
+			s.sm.rejoins.Inc()
+		}
+		decision := s.cfg.Policy.OnJoin(core.WorkerID(worker), now)
+		s.recordReleases(decision.Release, now)
+		s.queueReleases(releaseBatch{release: decision.Release, gate: s.cfg.Store.Reserved()})
+		s.policyMu.Unlock()
 	}
-	decision := s.cfg.Policy.OnJoin(core.WorkerID(worker), now)
-	s.recordReleases(decision.Release, now)
-	s.queueReleases(releaseBatch{release: decision.Release, gate: s.cfg.Store.Reserved()})
-	s.policyMu.Unlock()
 
 	s.enqueueSession(sess, transport.Message{
 		Type:        transport.MsgRegistered,
@@ -547,6 +632,11 @@ func (s *Server) leave(sess *session) {
 		return
 	}
 	sess.end()
+	if sess.worker < 0 {
+		// Replica sessions never entered policy or completion accounting, so
+		// their departure is invisible to both.
+		return
+	}
 	now := s.clock()
 	s.mu.Lock()
 	finished := s.finished[sess.worker]
@@ -860,13 +950,30 @@ func (s *Server) sendReleases(targets []*session, skip *session) {
 // outrun the application of the updates its release depends on.
 func (s *Server) handlePush(sess *session, msg transport.Message) {
 	worker := sess.worker
+	if worker < 0 {
+		s.enqueueSession(sess, transport.Message{
+			Type:  transport.MsgError,
+			Error: "replica sessions are read-only",
+		})
+		return
+	}
 	baseVersion := msg.Version
 	tr := s.tracer.Sample(worker, msg.Iteration)
 	if tr != nil {
 		tr.Base = baseVersion
 	}
 	decodeStart := time.Now()
-	grads, decodeErr := s.decodePush(sess, msg)
+	var grads []*tensor.Tensor
+	var decodeErr error
+	if s.cfg.Cluster.Coordinator && len(msg.Tensors) == 0 && len(msg.Packed) == 0 {
+		// Metadata-only cluster push: the bytes went to the data servers; the
+		// coordinator applies a shared zero gradient so the ticket/version
+		// machinery — and everything staleness is defined against — runs
+		// exactly as on a classic server.
+		grads = s.zeroGrad
+	} else {
+		grads, decodeErr = s.decodePush(sess, msg)
+	}
 	s.sm.phaseDecode.Observe(time.Since(decodeStart).Seconds())
 
 	var guardDrop bool
@@ -939,6 +1046,12 @@ func (s *Server) handlePush(sess *session, msg transport.Message) {
 		} else {
 			s.sm.pushes.Inc()
 			stale := int(ticket - 1 - baseVersion)
+			if stale < 0 && s.cfg.Cluster.Coordinator {
+				// Cluster workers report the min data-server version as their
+				// base; fragments apply before the metadata push lands, so the
+				// base can transiently run ahead of the coordinator's clock.
+				stale = 0
+			}
 			s.staleness.Observe(stale)
 			s.sm.staleness.Observe(float64(stale))
 			if tr != nil {
@@ -1063,7 +1176,8 @@ func (s *Server) handlePull(sess *session, req transport.Message) {
 	s.sm.pulls.Inc()
 	pullStart := time.Now()
 	defer func() { s.sm.pullSeconds.Observe(time.Since(pullStart).Seconds()) }()
-	if s.guard != nil {
+	if s.guard != nil && worker >= 0 {
+		// Replica sessions sit outside the guard's per-slot clock accounting.
 		s.guard.observePull(worker)
 	}
 	st := s.cfg.Store

@@ -1,0 +1,277 @@
+package trainer
+
+import (
+	"fmt"
+	"time"
+
+	"dssp/internal/core"
+	"dssp/internal/optimizer"
+	"dssp/internal/ps"
+	"dssp/internal/tensor"
+	"dssp/internal/transport"
+)
+
+// trainClient is the worker side of Algorithm 1 as the training loop sees
+// it: a single-server ps.Client and a server-group ps.ClusterClient both
+// satisfy it, so runWorker is one body for both topologies.
+type trainClient interface {
+	Pull() ([]*tensor.Tensor, int64, error)
+	PushAndWait(grads []*tensor.Tensor, baseVersion int64, iteration int) error
+	Done() error
+	Close() error
+	Traffic() (pushed, pulled int64)
+	StartHeartbeats(interval time.Duration) (stop func())
+}
+
+// serving is one way of standing the parameter-server side up — a single
+// in-process server, or a coordinator plus ClusterServers data servers. The
+// run body (worker fan-out, evaluation loop, result accounting) is identical
+// either way; only these hooks differ.
+type serving struct {
+	// connect builds, registers and heartbeat-starts one worker's client.
+	connect func(workerID int) (trainClient, error)
+	// snapshot returns the assembled global weights and their version (the
+	// minimum applied version across data servers in cluster mode).
+	snapshot func() ([]*tensor.Tensor, int64)
+	// version is the snapshot version alone, cheap enough for the eval poll.
+	version func() int64
+	// setLR applies a scheduled learning-rate change to every store.
+	setLR func(lr float64)
+	// policyServer is the server whose policy layer runs the paradigm — the
+	// single server, or the cluster coordinator. Result statistics
+	// (pushes, drops, staleness, waits, guard, metrics, traces) read from it.
+	policyServer *ps.Server
+	// stop tears the topology down in dependency order.
+	stop func()
+}
+
+// buildServing stands up the configured topology. ClusterServers <= 1 is the
+// classic single server; otherwise a coordinator owns the paradigm policy
+// while ClusterServers data servers own contiguous shard ranges of the store
+// (DESIGN.md §10), all in-process over channel transports.
+func buildServing(cfg Config, policy core.Policy, params []*tensor.Tensor) (*serving, error) {
+	if cfg.ClusterServers <= 1 {
+		return buildStandalone(cfg, policy, params)
+	}
+	return buildCluster(cfg, policy, params)
+}
+
+// buildStandalone is the classic topology: one server, one sharded store.
+func buildStandalone(cfg Config, policy core.Policy, params []*tensor.Tensor) (*serving, error) {
+	opt := optimizer.NewSGDMomentum(cfg.LearningRate, cfg.Momentum, cfg.WeightDecay)
+	store, err := ps.NewStoreSharded(params, opt, cfg.Shards)
+	if err != nil {
+		return nil, err
+	}
+	server, err := ps.NewServer(ps.ServerConfig{
+		Workers: cfg.Workers,
+		Policy:  policy,
+		Store:   store,
+		Options: cfg.Options,
+		Metrics: cfg.Metrics,
+		Trace:   cfg.Trace,
+	})
+	if err != nil {
+		return nil, err
+	}
+	listener := transport.NewChanListener()
+	listener.SetMeter(transport.NewMetrics(server.Registry()))
+	go func() { _ = server.Serve(listener) }()
+	connect := func(workerID int) (trainClient, error) {
+		conn, err := listener.Dial()
+		if err != nil {
+			return nil, err
+		}
+		client, err := ps.NewClientCompressed(conn, workerID, cfg.Compression)
+		if err != nil {
+			conn.Close()
+			return nil, err
+		}
+		client.SetDeltaPull(cfg.DeltaPull)
+		if err := client.Register(); err != nil {
+			client.Close()
+			return nil, err
+		}
+		return client, nil
+	}
+	return &serving{
+		connect:      connect,
+		snapshot:     store.Snapshot,
+		version:      store.Version,
+		setLR:        store.SetLearningRate,
+		policyServer: server,
+		stop: func() {
+			server.Stop()
+			listener.Close()
+		},
+	}, nil
+}
+
+// buildCluster is the server-group topology: cfg.ClusterServers data servers
+// each own a contiguous shard range of the model behind local ASP policies
+// (a fragment's OK means "applied"), and one coordinator runs the real
+// paradigm policy over metadata-only pushes — the single serialization point
+// conf_icdcs_ZhaoALC19's staleness bounds are defined against.
+func buildCluster(cfg Config, policy core.Policy, params []*tensor.Tensor) (*serving, error) {
+	sizes := make([]int, len(params))
+	for i, p := range params {
+		sizes[i] = p.Size()
+	}
+	layout, globalShards, err := ps.GroupLayout(sizes, cfg.Shards, cfg.ClusterServers)
+	if err != nil {
+		return nil, fmt.Errorf("trainer: cluster layout: %w", err)
+	}
+
+	coordStore, err := ps.NewStoreSharded([]*tensor.Tensor{tensor.New(1)}, optimizer.NewSGD(1), 1)
+	if err != nil {
+		return nil, err
+	}
+	coord, err := ps.NewServer(ps.ServerConfig{
+		Workers: cfg.Workers,
+		Policy:  policy,
+		Store:   coordStore,
+		Options: ps.Options{Elastic: cfg.Elastic, HeartbeatTimeout: cfg.HeartbeatTimeout},
+		Metrics: cfg.Metrics,
+		Trace:   cfg.Trace,
+		Cluster: ps.ClusterConfig{
+			Coordinator:  true,
+			GlobalShards: globalShards,
+			TotalTensors: len(params),
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// One in-process listener per server; the dial table keyed by advertised
+	// address is the channel-transport twin of TCP dialing.
+	listeners := make(map[string]*transport.ChanListener)
+	coordListener := transport.NewChanListener()
+	coordListener.SetMeter(transport.NewMetrics(coord.Registry()))
+	listeners[coordListener.Addr()] = coordListener
+	dial := func(addr string) (transport.Conn, error) {
+		l := listeners[addr]
+		if l == nil {
+			return nil, fmt.Errorf("trainer: no cluster server at %s", addr)
+		}
+		return l.Dial()
+	}
+	go func() { _ = coord.Serve(coordListener) }()
+
+	var servers []*ps.Server
+	var stores []*ps.Store
+	var closers []*transport.ChanListener
+	stopAll := func() {
+		coord.Stop()
+		for _, s := range servers {
+			s.Stop()
+		}
+		coordListener.Close()
+		for _, l := range closers {
+			l.Close()
+		}
+	}
+	// Data-server options: the byte-path knobs (compression, aggregation,
+	// guard) act where the gradients land. Checkpointing is deliberately
+	// dropped — per-range stores would race over one directory — and
+	// elasticity is the coordinator's call.
+	dataOpts := ps.Options{
+		Compression: cfg.Compression,
+		Aggregator:  cfg.Aggregator,
+		Guard:       cfg.Guard,
+	}
+	dataPolicy := func() core.Policy { return core.MustNewASP(cfg.Workers) }
+	for i := 0; i < cfg.ClusterServers; i++ {
+		a := layout[i]
+		opt := optimizer.NewSGDMomentum(cfg.LearningRate, cfg.Momentum, cfg.WeightDecay)
+		st, err := ps.NewStoreRange(params, opt, globalShards, a.ShardLo, a.ShardHi)
+		if err != nil {
+			stopAll()
+			return nil, err
+		}
+		srv, err := ps.NewServer(ps.ServerConfig{
+			Workers: cfg.Workers,
+			Policy:  dataPolicy(),
+			Store:   st,
+			Options: dataOpts,
+		})
+		if err != nil {
+			stopAll()
+			return nil, err
+		}
+		l := transport.NewChanListener()
+		listeners[l.Addr()] = l
+		closers = append(closers, l)
+		go func() { _ = srv.Serve(l) }()
+		servers = append(servers, srv)
+		stores = append(stores, st)
+		if err := announce(dial, coordListener.Addr(), a.Entry(l.Addr())); err != nil {
+			stopAll()
+			return nil, err
+		}
+	}
+
+	minVersion := func() int64 {
+		min := stores[0].Version()
+		for _, st := range stores[1:] {
+			if v := st.Version(); v < min {
+				min = v
+			}
+		}
+		return min
+	}
+	snapshot := func() ([]*tensor.Tensor, int64) {
+		out := make([]*tensor.Tensor, 0, len(params))
+		version := int64(-1)
+		for _, st := range stores {
+			part, v := st.Snapshot()
+			out = append(out, part...)
+			if version < 0 || v < version {
+				version = v
+			}
+		}
+		return out, version
+	}
+	connect := func(workerID int) (trainClient, error) {
+		return ps.NewClusterClient(dial, coordListener.Addr(), workerID, ps.ClusterClientConfig{
+			Compression: cfg.Compression,
+			DeltaPull:   cfg.DeltaPull,
+		})
+	}
+	return &serving{
+		connect:  connect,
+		snapshot: snapshot,
+		version:  minVersion,
+		setLR: func(lr float64) {
+			for _, st := range stores {
+				st.SetLearningRate(lr)
+			}
+		},
+		policyServer: coord,
+		stop:         stopAll,
+	}, nil
+}
+
+// announce registers one data server's map entry with the coordinator, the
+// same frame exchange the TCP layer performs.
+func announce(dial func(string) (transport.Conn, error), coordAddr string, entry transport.ServerEntry) error {
+	conn, err := dial(coordAddr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	if err := conn.Send(transport.Message{
+		Type:    transport.MsgServerAnnounce,
+		Servers: []transport.ServerEntry{entry},
+	}); err != nil {
+		return err
+	}
+	msg, err := conn.Recv()
+	if err != nil {
+		return err
+	}
+	if msg.Type != transport.MsgOK {
+		return fmt.Errorf("trainer: cluster announce rejected: %s", msg.Error)
+	}
+	return nil
+}

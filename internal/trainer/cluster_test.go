@@ -1,0 +1,100 @@
+package trainer
+
+import (
+	"testing"
+
+	"dssp/internal/core"
+	"dssp/internal/ps"
+)
+
+// TestClusterModeMatchesSingleServer pins the in-process server-group
+// topology against the classic single server: a serial schedule (one
+// worker, so every push applies alone) must produce the identical final
+// accuracy, and the same number of applied updates, whether the store lives
+// in one server or is range-partitioned across three.
+func TestClusterModeMatchesSingleServer(t *testing.T) {
+	cfg := smallConfig(core.PolicyConfig{Paradigm: core.ParadigmDSSP, Staleness: 1, Range: 4})
+	cfg.Workers = 1
+	cfg.Momentum = 0.9
+
+	single, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.ClusterServers = 3
+	group, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.Updates != group.Updates {
+		t.Fatalf("updates: single %d, group %d", single.Updates, group.Updates)
+	}
+	if single.FinalAccuracy != group.FinalAccuracy {
+		t.Fatalf("final accuracy: single %v, group %v (serial schedule must be bit-identical)",
+			single.FinalAccuracy, group.FinalAccuracy)
+	}
+}
+
+// TestClusterModeTrainsUnderEveryParadigm runs the group topology with
+// concurrent workers (coalescing, interleaving — no bit-identity claim) and
+// asserts it still converges under each paradigm.
+func TestClusterModeTrainsUnderEveryParadigm(t *testing.T) {
+	paradigms := []core.PolicyConfig{
+		{Paradigm: core.ParadigmBSP},
+		{Paradigm: core.ParadigmSSP, Staleness: 3},
+		{Paradigm: core.ParadigmDSSP, Staleness: 1, Range: 4},
+	}
+	for _, p := range paradigms {
+		p := p
+		t.Run(p.Describe(), func(t *testing.T) {
+			cfg := smallConfig(p)
+			cfg.ClusterServers = 2
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Updates == 0 {
+				t.Fatal("no updates were applied")
+			}
+			if res.FinalAccuracy < 0.7 {
+				t.Fatalf("final accuracy %.4f under %s never converged", res.FinalAccuracy, p.Describe())
+			}
+			if len(res.Crashed) != 0 {
+				t.Fatalf("workers crashed: %v", res.Crashed)
+			}
+		})
+	}
+}
+
+// TestClusterModeRejectsBadLayout pins the validation surface: more servers
+// than tensors cannot each own a shard.
+func TestClusterModeRejectsBadLayout(t *testing.T) {
+	cfg := smallConfig(core.PolicyConfig{Paradigm: core.ParadigmASP})
+	cfg.ClusterServers = 100
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("expected a layout error for 100 data servers")
+	}
+}
+
+// TestGroupLayoutDefaultsAreDeterministic guards the property the whole
+// cluster design rests on: every participant derives the identical layout
+// from (sizes, shards, servers) with no machine-dependent inputs.
+func TestGroupLayoutDefaultsAreDeterministic(t *testing.T) {
+	sizes := []int{100, 50, 200, 25, 75, 150}
+	a, na, err := ps.GroupLayout(sizes, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, nb, err := ps.GroupLayout(sizes, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if na != nb {
+		t.Fatalf("normalized shard counts differ: %d vs %d", na, nb)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("assignment %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

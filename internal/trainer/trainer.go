@@ -19,7 +19,6 @@ import (
 	"dssp/internal/obs"
 	"dssp/internal/optimizer"
 	"dssp/internal/ps"
-	"dssp/internal/transport"
 )
 
 // Config describes one distributed training run.
@@ -55,8 +54,16 @@ type Config struct {
 	EvalEvery int
 	// Shards is the number of independently locked partitions of the
 	// parameter store; 0 picks one per CPU. More shards mean more
-	// pull/push concurrency on the server.
+	// pull/push concurrency on the server. In cluster mode (ClusterServers
+	// >= 2) it is the group-wide shard count, normalized by ps.GroupLayout.
 	Shards int
+	// ClusterServers, when >= 2, runs the parameter server as an in-process
+	// server group: that many data servers each own a contiguous shard range
+	// of the store behind a coordinator that runs the paradigm policy, and
+	// workers route pushes and pulls through a cluster client — the
+	// single-process twin of a multi-process psserver group. 0 or 1 keeps
+	// the classic single server.
+	ClusterServers int
 	// Options is the server-side serving surface (compression, aggregation,
 	// guard, elasticity, heartbeat timeout, checkpointing), embedded so its
 	// fields read as they always did (cfg.Compression, cfg.Elastic, ...).
@@ -180,29 +187,11 @@ func Run(cfg Config) (*Result, error) {
 	// Build the initial model; every worker replica starts from the same
 	// weights because they are all pulled from the store before training.
 	initModel := cfg.Model.Build(rand.New(rand.NewSource(cfg.Seed)))
-	opt := optimizer.NewSGDMomentum(cfg.LearningRate, cfg.Momentum, cfg.WeightDecay)
-	store, err := ps.NewStoreSharded(initModel.Params(), opt, cfg.Shards)
+	srv, err := buildServing(cfg, policy, initModel.Params())
 	if err != nil {
 		return nil, err
 	}
-	server, err := ps.NewServer(ps.ServerConfig{
-		Workers: cfg.Workers,
-		Policy:  policy,
-		Store:   store,
-		Options: cfg.Options,
-		Metrics: cfg.Metrics,
-		Trace:   cfg.Trace,
-	})
-	if err != nil {
-		return nil, err
-	}
-	listener := transport.NewChanListener()
-	listener.SetMeter(transport.NewMetrics(server.Registry()))
-	go func() { _ = server.Serve(listener) }()
-	defer func() {
-		server.Stop()
-		listener.Close()
-	}()
+	defer srv.stop()
 
 	test := cfg.Test
 	if test == nil {
@@ -238,7 +227,7 @@ func Run(cfg Config) (*Result, error) {
 		wg.Add(1)
 		go func(workerID int) {
 			defer wg.Done()
-			report, err := runWorker(cfg, listener, workerID, totalIters)
+			report, err := runWorker(cfg, srv.connect, workerID, totalIters)
 			if err != nil {
 				errCh <- fmt.Errorf("worker %d: %w", workerID, err)
 				return
@@ -274,7 +263,7 @@ func Run(cfg Config) (*Result, error) {
 
 	lastEval := int64(0)
 	evaluate := func() {
-		params, version := store.Snapshot()
+		params, version := srv.snapshot()
 		if err := evalModel.SetParams(params); err != nil {
 			return
 		}
@@ -288,7 +277,7 @@ func Run(cfg Config) (*Result, error) {
 		if cfg.Schedule != nil {
 			totalUpdates := int64(totalIters) * int64(cfg.Workers)
 			epoch := int(version * int64(cfg.Epochs) / max64(totalUpdates, 1))
-			store.SetLearningRate(cfg.Schedule.At(epoch))
+			srv.setLR(cfg.Schedule.At(epoch))
 		}
 	}
 
@@ -298,12 +287,12 @@ poll:
 	for {
 		select {
 		case err := <-errCh:
-			server.Stop()
+			srv.stop()
 			return nil, err
 		case <-workersDone:
 			break poll
 		case <-ticker.C:
-			if store.Version()-lastEval >= int64(evalEvery) {
+			if srv.version()-lastEval >= int64(evalEvery) {
 				evaluate()
 			}
 		}
@@ -316,13 +305,13 @@ poll:
 	evaluate()
 
 	result.Duration = time.Since(start)
-	result.Staleness = server.Staleness()
-	result.Waits = server.Waits()
-	result.Updates = server.Pushes()
-	result.Dropped = server.Dropped()
-	result.Guard = server.GuardStats()
-	result.Metrics = server.Registry().Snapshot()
-	result.Traces = server.Traces()
+	result.Staleness = srv.policyServer.Staleness()
+	result.Waits = srv.policyServer.Waits()
+	result.Updates = srv.policyServer.Pushes()
+	result.Dropped = srv.policyServer.Dropped()
+	result.Guard = srv.policyServer.GuardStats()
+	result.Metrics = srv.policyServer.Registry().Snapshot()
+	result.Traces = srv.policyServer.Traces()
 	crashedMu.Lock()
 	result.Crashed = crashed
 	crashedMu.Unlock()
@@ -344,23 +333,16 @@ type workerReport struct {
 	crashed bool
 }
 
-// runWorker executes the worker side of Algorithm 1 for one worker.
-func runWorker(cfg Config, listener *transport.ChanListener, workerID, totalIters int) (workerReport, error) {
+// runWorker executes the worker side of Algorithm 1 for one worker. connect
+// hides the topology: it hands back a registered client against the single
+// server or the whole server group.
+func runWorker(cfg Config, connect func(workerID int) (trainClient, error), workerID, totalIters int) (workerReport, error) {
 	var report workerReport
-	conn, err := listener.Dial()
+	client, err := connect(workerID)
 	if err != nil {
-		return report, err
-	}
-	client, err := ps.NewClientCompressed(conn, workerID, cfg.Compression)
-	if err != nil {
-		conn.Close()
 		return report, err
 	}
 	defer client.Close()
-	client.SetDeltaPull(cfg.DeltaPull)
-	if err := client.Register(); err != nil {
-		return report, err
-	}
 	if cfg.HeartbeatInterval > 0 {
 		stop := client.StartHeartbeats(cfg.HeartbeatInterval)
 		defer stop()

@@ -44,6 +44,34 @@ func FuzzDecodeFrame(f *testing.F) {
 		f.Add(frame[:len(frame)-1]) // truncated payload
 		f.Add(frame[:headerSize])   // header only
 	}
+	// Version-3 server-group seeds: a full cluster map, a data-server
+	// announce, a backup promotion, and a cluster-mode registration.
+	v3Msgs := []Message{
+		{Type: MsgClusterMap, Version: 17, MapVersion: 3, StoreShards: 4, Total: 6, Servers: []ServerEntry{
+			{Addr: "10.0.0.1:7070", ShardLo: 0, ShardHi: 2, TensorLo: 0, TensorHi: 3},
+			{Addr: "10.0.0.2:7070", ShardLo: 2, ShardHi: 4, TensorLo: 3, TensorHi: 6},
+		}},
+		{Type: MsgClusterMap}, // the request form carries no fields
+		{Type: MsgServerAnnounce, Servers: []ServerEntry{{Addr: "10.0.0.3:7070", ShardHi: 2, TensorHi: 3}}, Replica: true},
+		{Type: MsgPromote, Servers: []ServerEntry{{Addr: "10.0.0.3:7070", ShardHi: 2, TensorHi: 3}}},
+		{Type: MsgRegister, Worker: 2, Cluster: true, DeltaPull: true},
+		{Type: MsgRegister, Replica: true, DeltaPull: true},
+	}
+	for i := range v3Msgs {
+		frame, err := appendFrame(nil, &v3Msgs[i])
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(frame)
+		f.Add(frame[:len(frame)-1])
+		// The same body downgraded to a version-2 header: the decoder must
+		// reject v3 tags in older frames, not mis-parse them.
+		if len(frame) > headerSize {
+			down := append([]byte(nil), frame...)
+			down[4] = 2
+			f.Add(down)
+		}
+	}
 	// Hostile headers: giant declared length, bad magic, future version.
 	big := []byte(wireMagic)
 	big = append(big, wireVersion, byte(MsgPush), 0, 0)

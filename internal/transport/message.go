@@ -57,6 +57,20 @@ const (
 	// MsgLeave deregisters a worker gracefully: the server removes it from
 	// synchronization accounting without treating the departure as a crash.
 	MsgLeave
+	// MsgClusterMap requests (worker→coordinator, no fields) or carries
+	// (coordinator→worker) the server-group cluster map: which data server
+	// owns which contiguous range of store shards. Protocol v3.
+	MsgClusterMap
+	// MsgServerAnnounce registers a data server (or, with Replica set, a
+	// standby backup) with the coordinator: Servers[0] describes the
+	// announcer's advertised address and shard range. The coordinator keeps
+	// the connection open; its death is the announcer's signal that the
+	// coordinator is gone. Protocol v3.
+	MsgServerAnnounce
+	// MsgPromote tells the coordinator a backup is taking over a dead
+	// primary's shard range: Servers[0] is the backup's entry, which replaces
+	// the map entry covering the same shard range. Protocol v3.
+	MsgPromote
 )
 
 // String returns the message type name.
@@ -86,9 +100,29 @@ func (t MessageType) String() string {
 		return "Rejoin"
 	case MsgLeave:
 		return "Leave"
+	case MsgClusterMap:
+		return "ClusterMap"
+	case MsgServerAnnounce:
+		return "ServerAnnounce"
+	case MsgPromote:
+		return "Promote"
 	default:
 		return fmt.Sprintf("MessageType(%d)", int(t))
 	}
+}
+
+// ServerEntry describes one data server in a cluster map: the address
+// workers dial and the contiguous ranges of global store shards and global
+// tensor indices it owns. Shard and tensor ranges are half-open [Lo, Hi).
+type ServerEntry struct {
+	// Addr is the address workers (and the backup's replicator) dial.
+	Addr string
+	// ShardLo and ShardHi bound the global store shards this server owns.
+	ShardLo, ShardHi int
+	// TensorLo and TensorHi bound the global tensor indices those shards
+	// cover, so clients can split a full gradient list per owner without
+	// recomputing the partition.
+	TensorLo, TensorHi int
 }
 
 // WireTensor is the serializable form of a tensor.
@@ -164,6 +198,26 @@ type Message struct {
 	// is what keeps v1 interop intact. Gob peers that predate the field
 	// ignore it, which downgrades to full pulls.
 	DeltaPull bool
+	// Servers carries cluster-map entries: the full map on a MsgClusterMap
+	// reply, the announcer's single entry on MsgServerAnnounce and
+	// MsgPromote. Binary wire tag 0x13 (protocol v3).
+	Servers []ServerEntry
+	// MapVersion is the coordinator's monotonically increasing cluster-map
+	// version, bumped on every announce and promotion; workers refetch the
+	// map until it changes when a data server stops answering. Binary wire
+	// tag 0x14 (protocol v3).
+	MapVersion int64
+	// Replica marks a MsgRegister as a server-to-server replica session
+	// (pull-only, outside worker-slot accounting) and a MsgServerAnnounce as
+	// a standby backup rather than a serving primary. Binary wire tag 0x15
+	// (protocol v3).
+	Replica bool
+	// Cluster marks a MsgRegister as coming from a cluster-mode worker that
+	// pushes metadata-only tickets to a coordinator; a coordinator rejects
+	// registrations without it (a plain worker would otherwise train against
+	// the coordinator's placeholder store). Binary wire tag 0x16 (protocol
+	// v3).
+	Cluster bool
 
 	// ownedPayload marks a message whose Tensors data and Packed payloads
 	// are owned by the message alone — set by the TCP transports, whose

@@ -19,8 +19,8 @@ import (
 // in-process channel transport, which moves references rather than bytes,
 // reports approximate payload sizes.
 type Metrics struct {
-	sentFrames, recvFrames [MsgLeave + 1]*obs.Counter
-	sentBytes, recvBytes   [MsgLeave + 1]*obs.Counter
+	sentFrames, recvFrames [MsgPromote + 1]*obs.Counter
+	sentBytes, recvBytes   [MsgPromote + 1]*obs.Counter
 	otherSent, otherRecv   *obs.Counter // frames of unknown future types
 	batch                  *obs.Histogram
 }
@@ -37,7 +37,7 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 		batch: reg.Histogram("dssp_transport_batch_size",
 			"Messages coalesced per batched send.", obs.SizeBuckets),
 	}
-	for t := MsgRegister; t <= MsgLeave; t++ {
+	for t := MsgRegister; t <= MsgPromote; t++ {
 		m.sentFrames[t] = frames.With("sent", t.String())
 		m.recvFrames[t] = frames.With("recv", t.String())
 		m.sentBytes[t] = bytes.With("sent", t.String())
@@ -53,7 +53,7 @@ func (m *Metrics) Sent(t MessageType, n int) {
 	if m == nil {
 		return
 	}
-	if t < MsgRegister || t > MsgLeave {
+	if t < MsgRegister || t > MsgPromote {
 		m.otherSent.Inc()
 		return
 	}
@@ -66,7 +66,7 @@ func (m *Metrics) Received(t MessageType, n int) {
 	if m == nil {
 		return
 	}
-	if t < MsgRegister || t > MsgLeave {
+	if t < MsgRegister || t > MsgPromote {
 		m.otherRecv.Inc()
 		return
 	}

@@ -40,13 +40,15 @@ import (
 const (
 	wireMagic = "DSSP"
 	// wireVersion is the newest protocol version this build speaks; version
-	// 2 added the delta-pull fields (tags 0x0F..0x12). Every frame is
-	// stamped with the lowest version able to express it (frameVersion), so
-	// a conversation that never uses v2 fields is byte-identical to a v1
-	// conversation — that is what keeps v1 peers interoperable with a v2
-	// server: the fields a v2 server would need v2 for are negotiation-gated
-	// and a v1 peer can never negotiate them.
-	wireVersion    = 2
+	// 2 added the delta-pull fields (tags 0x0F..0x12), version 3 the
+	// server-group fields (tags 0x13..0x16) and message types 13..15. Every
+	// frame is stamped with the lowest version able to express it
+	// (frameVersion), so a conversation that never uses v2/v3 fields is
+	// byte-identical to a v1 conversation — that is what keeps v1 peers
+	// interoperable with a v3 server: the fields a v3 server would need v3
+	// for are negotiation-gated (or cluster-only message types) and an older
+	// peer can never negotiate them.
+	wireVersion    = 3
 	wireVersionMin = 1
 	headerSize     = 12
 
@@ -98,13 +100,29 @@ const (
 	tagShardVersion = 0x10 // uint64 (two's-complement int64)
 	tagUnchanged    = 0x11 // uint8, must be 1
 	tagDeltaPull    = 0x12 // uint8, must be 1
+
+	// Version-3 tags (server groups). A frame carrying any of these — or one
+	// of the cluster message types MsgClusterMap, MsgServerAnnounce,
+	// MsgPromote — is stamped protocol version 3; decoders reject the tags
+	// inside an older frame.
+	tagServers    = 0x13 // uint32 count + count × (uint16 addr len + bytes + 4 × uint32)
+	tagMapVersion = 0x14 // uint64 (two's-complement int64)
+	tagReplica    = 0x15 // uint8, must be 1
+	tagCluster    = 0x16 // uint8, must be 1
 )
 
-// frameVersion returns the lowest protocol version able to express m: 2 when
-// any delta-pull field is present, 1 otherwise. Encoding at the minimum keeps
-// frames canonical and lets a v2 build interoperate with v1 peers for every
-// conversation that never negotiates v2 features.
+// frameVersion returns the lowest protocol version able to express m: 3 when
+// any server-group field is present or the type itself is a cluster message
+// (so a pre-cluster peer rejects the frame outright instead of silently
+// ignoring an unknown type), 2 when any delta-pull field is present, 1
+// otherwise. Encoding at the minimum keeps frames canonical and lets a v3
+// build interoperate with older peers for every conversation that never
+// negotiates newer features.
 func frameVersion(m *Message) byte {
+	if len(m.Servers) > 0 || m.MapVersion != 0 || m.Replica || m.Cluster ||
+		m.Type == MsgClusterMap || m.Type == MsgServerAnnounce || m.Type == MsgPromote {
+		return 3
+	}
 	if len(m.PullVersions) > 0 || m.ShardVersion != 0 || m.Unchanged || m.DeltaPull {
 		return 2
 	}
@@ -112,10 +130,11 @@ func frameVersion(m *Message) byte {
 }
 
 // FrameVersion reports the binary protocol version the wire encoder would
-// stamp on m (docs/PROTOCOL.md §3): 2 when any delta-pull field is present,
-// 1 otherwise. A v1-only peer rejects version-2 frames, so higher layers use
-// this to pin that messages bound for un-negotiated sessions stay expressible
-// in protocol version 1.
+// stamp on m (docs/PROTOCOL.md §3): 3 when any server-group field or cluster
+// message type is present, 2 when any delta-pull field is present, 1
+// otherwise. An older peer rejects higher-version frames, so higher layers
+// use this to pin that messages bound for un-negotiated sessions stay
+// expressible in protocol version 1.
 func FrameVersion(m Message) byte { return frameVersion(&m) }
 
 // hostLittleEndian reports whether the running machine stores integers
@@ -285,6 +304,46 @@ func appendBody(dst []byte, bodyStart int, m *Message) ([]byte, error) {
 	}
 	if m.DeltaPull {
 		dst = append(dst, tagDeltaPull, 1)
+	}
+	if len(m.Servers) > 0 {
+		if dst, err = appendServersSection(dst, m.Servers); err != nil {
+			return dst, err
+		}
+	}
+	if m.MapVersion != 0 {
+		dst = append(dst, tagMapVersion)
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(m.MapVersion))
+	}
+	if m.Replica {
+		dst = append(dst, tagReplica, 1)
+	}
+	if m.Cluster {
+		dst = append(dst, tagCluster, 1)
+	}
+	return dst, nil
+}
+
+// appendServersSection appends the cluster-map section: a count followed by
+// each entry's address (uint16 length + bytes) and its four range bounds as
+// uint32 two's-complement int32 values.
+func appendServersSection(dst []byte, entries []ServerEntry) ([]byte, error) {
+	if len(entries) > maxFrameBody/18 {
+		return dst, fmt.Errorf("transport: %d cluster-map entries exceed the frame limit", len(entries))
+	}
+	dst = append(dst, tagServers)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(entries)))
+	for i, e := range entries {
+		if len(e.Addr) > math.MaxUint16 {
+			return dst, fmt.Errorf("transport: cluster-map entry %d address of %d bytes exceeds %d", i, len(e.Addr), math.MaxUint16)
+		}
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(len(e.Addr)))
+		dst = append(dst, e.Addr...)
+		for _, v := range [4]int{e.ShardLo, e.ShardHi, e.TensorLo, e.TensorHi} {
+			if v < 0 || v > math.MaxInt32 {
+				return dst, fmt.Errorf("transport: cluster-map entry %d range bound %d outside the wire's int32 range", i, v)
+			}
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(int32(v)))
+		}
 	}
 	return dst, nil
 }
@@ -508,6 +567,10 @@ func parseBody(typ, version byte, body []byte) (Message, error) {
 			return Message{}, fmt.Errorf("transport: decode %v frame: field tag 0x%02x requires protocol version 2 but the frame is version %d",
 				MessageType(typ), tag, version)
 		}
+		if tag >= tagServers && tag <= tagCluster && version < 3 {
+			return Message{}, fmt.Errorf("transport: decode %v frame: field tag 0x%02x requires protocol version 3 but the frame is version %d",
+				MessageType(typ), tag, version)
+		}
 		prevTag = tag
 		var err error
 		switch tag {
@@ -613,6 +676,33 @@ func parseBody(typ, version byte, body []byte) (Message, error) {
 				err = fmt.Errorf("transport: DeltaPull byte is %d, want 1", body[off])
 			} else {
 				m.DeltaPull = true
+				off++
+			}
+		case tagServers:
+			m.Servers, off, err = parseServersSection(body, off)
+		case tagMapVersion:
+			if off+8 > len(body) {
+				err = errTruncatedField
+			} else {
+				m.MapVersion = int64(binary.LittleEndian.Uint64(body[off:]))
+				off += 8
+			}
+		case tagReplica:
+			if off >= len(body) {
+				err = errTruncatedField
+			} else if body[off] != 1 {
+				err = fmt.Errorf("transport: Replica byte is %d, want 1", body[off])
+			} else {
+				m.Replica = true
+				off++
+			}
+		case tagCluster:
+			if off >= len(body) {
+				err = errTruncatedField
+			} else if body[off] != 1 {
+				err = fmt.Errorf("transport: Cluster byte is %d, want 1", body[off])
+			} else {
+				m.Cluster = true
 				off++
 			}
 		default:
@@ -726,6 +816,43 @@ func parsePackedSection(body []byte, off int) ([]compress.Packed, int, error) {
 		off += n
 	}
 	return ps, off, nil
+}
+
+// parseServersSection decodes the cluster-map section. Addresses are copied
+// out of body (they are small strings, not payload slabs).
+func parseServersSection(body []byte, off int) ([]ServerEntry, int, error) {
+	if off+4 > len(body) {
+		return nil, off, errTruncatedField
+	}
+	count := int(binary.LittleEndian.Uint32(body[off:]))
+	off += 4
+	// Minimum encoding per entry: uint16 address length + 4 range bounds.
+	if count < 0 || count > (len(body)-off)/18+1 {
+		return nil, off, fmt.Errorf("cluster-map count %d cannot fit in %d remaining bytes", count, len(body)-off)
+	}
+	entries := make([]ServerEntry, count)
+	for i := range entries {
+		if off+2 > len(body) {
+			return nil, off, errTruncatedField
+		}
+		alen := int(binary.LittleEndian.Uint16(body[off:]))
+		off += 2
+		if off+alen+16 > len(body) {
+			return nil, off, errTruncatedField
+		}
+		addr := string(body[off : off+alen])
+		off += alen
+		var bounds [4]int
+		for j := range bounds {
+			bounds[j] = int(int32(binary.LittleEndian.Uint32(body[off:])))
+			off += 4
+			if bounds[j] < 0 {
+				return nil, off, fmt.Errorf("cluster-map entry %d has negative range bound %d", i, bounds[j])
+			}
+		}
+		entries[i] = ServerEntry{Addr: addr, ShardLo: bounds[0], ShardHi: bounds[1], TensorLo: bounds[2], TensorHi: bounds[3]}
+	}
+	return entries, off, nil
 }
 
 // mismatchHint explains a first-frame magic mismatch: the peer is almost

@@ -153,6 +153,9 @@ func TestMetricsEndpointDuringTCPRun(t *testing.T) {
 		`dssp_pull_shard_chunks_total{result="unchanged"}`,
 		"dssp_guard_flags_total",
 		"dssp_guard_evictions_total",
+		"dssp_cluster_map_requests_total",
+		"dssp_cluster_announces_total",
+		"dssp_cluster_promotions_total",
 		"dssp_checkpoint_total",
 		"dssp_checkpoint_errors_total",
 		"dssp_checkpoint_last_failed",

@@ -3,6 +3,8 @@ package dssp
 import (
 	"fmt"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"dssp/internal/compress"
@@ -12,6 +14,7 @@ import (
 	"dssp/internal/obs"
 	"dssp/internal/optimizer"
 	"dssp/internal/ps"
+	"dssp/internal/tensor"
 	"dssp/internal/transport"
 )
 
@@ -70,6 +73,11 @@ type ServerConfig struct {
 	TraceEvery int
 	// Seed determines the initial weights; it must match the workers' seed.
 	Seed int64
+	// Cluster places this server in a multi-server group (DESIGN.md
+	// §10): a coordinator that owns the paradigm policy, data servers that
+	// own shard ranges, or a backup standing by for one data server. The
+	// zero value is a classic standalone server.
+	Cluster ClusterOptions
 }
 
 // Server is a running TCP parameter server.
@@ -81,6 +89,18 @@ type Server struct {
 	cfg      TrainConfig
 	restored bool
 	admin    *obs.AdminServer
+
+	// Cluster state (zero/idle on standalone servers).
+	role      string
+	wire      string
+	failed    chan struct{}
+	failOnce  sync.Once
+	failErr   error
+	stopping  chan struct{}
+	stopOnce  sync.Once
+	bg        sync.WaitGroup
+	promoted  atomic.Bool
+	announced atomic.Bool
 }
 
 // Addr returns the address the server is listening on.
@@ -92,10 +112,14 @@ func (s *Server) Done() <-chan struct{} { return s.inner.AllWorkersDone() }
 
 // Stop shuts the server down, writing a final checkpoint when configured.
 // The listener closes first so reconnecting workers dial the successor
-// server rather than this dying one.
+// server rather than this dying one. On cluster roles it also stops the
+// background protocol loops (announce stream, replication) and waits for
+// them to exit.
 func (s *Server) Stop() {
+	s.stopOnce.Do(func() { close(s.stopping) })
 	_ = s.listener.Close()
 	s.inner.Stop()
+	s.bg.Wait()
 	_ = s.admin.Close()
 }
 
@@ -141,14 +165,27 @@ func (s *Server) CheckpointError() error { return s.inner.CheckpointError() }
 
 // Evaluate measures the current global model's accuracy on the held-out
 // split of the configured dataset. It snapshots the store without stopping
-// training, so it may be called mid-run.
+// training, so it may be called mid-run. On a cluster coordinator it
+// assembles the full weight vector from the data servers through read-only
+// replica sessions; data and backup servers hold only their shard range and
+// cannot evaluate.
 func (s *Server) Evaluate() (float64, error) {
 	_, test, err := s.cfg.buildDatasets()
 	if err != nil {
 		return 0, err
 	}
 	model := s.spec.Build(rand.New(rand.NewSource(s.cfg.Seed)))
-	params, _ := s.store.Snapshot()
+	var params []*tensor.Tensor
+	switch s.role {
+	case "":
+		params, _ = s.store.Snapshot()
+	case RoleCoordinator:
+		if params, _, err = clusterSnapshot(s.clusterDial, s.listener.Addr()); err != nil {
+			return 0, err
+		}
+	default:
+		return 0, fmt.Errorf("dssp: a %s server holds only its shard range; evaluate via the coordinator", s.role)
+	}
 	if err := model.SetParams(params); err != nil {
 		return 0, err
 	}
@@ -158,7 +195,12 @@ func (s *Server) Evaluate() (float64, error) {
 
 // Serve starts a parameter server listening on cfg.Addr and returns
 // immediately; the server runs until Stop is called or all workers finish.
+// With cfg.Cluster.Role set it starts the corresponding member of a server
+// group instead (DESIGN.md §10).
 func Serve(cfg ServerConfig) (*Server, error) {
+	if cfg.Cluster.Role != "" {
+		return serveCluster(cfg)
+	}
 	cfg2 := TrainConfig{Model: cfg.Model, Dataset: cfg.Dataset, Workers: cfg.Workers,
 		Sync: cfg.Sync, LearningRate: cfg.LearningRate, Seed: cfg.Seed}.withDefaults()
 	if cfg2.Workers <= 0 {
@@ -227,13 +269,24 @@ func Serve(cfg ServerConfig) (*Server, error) {
 		cfg:      cfg2,
 		restored: restored,
 		admin:    admin,
+		wire:     cfg.Wire,
+		failed:   make(chan struct{}),
+		stopping: make(chan struct{}),
 	}, nil
 }
 
 // WorkerConfig configures one TCP worker process (used by cmd/psworker).
 type WorkerConfig struct {
-	// ServerAddr is the parameter server's address.
+	// ServerAddr is the parameter server's address. With Cluster set this is
+	// the coordinator, from which the worker learns the cluster map.
 	ServerAddr string
+	// Cluster makes the worker join a server group: it registers with the
+	// coordinator at ServerAddr, fetches the cluster map, and routes gradient
+	// fragments directly to each shard owner while synchronization decisions
+	// stay with the coordinator. A dead data link recovers by refetching the
+	// map (which is how a backup promotion reaches the worker); a dead
+	// coordinator fails the run fast by design.
+	Cluster bool
 	// Wire selects the TCP wire format, WireBinary or WireGob; empty means
 	// WireBinary. It must match the server's.
 	Wire string
@@ -379,6 +432,37 @@ func RunWorker(cfg WorkerConfig) (*WorkerReport, error) {
 		if cfg.OnAdminAddr != nil {
 			cfg.OnAdminAddr(admin.Addr())
 		}
+	}
+
+	if cfg.Cluster {
+		adversarial := cfg.Adversary != 0 && cfg.Adversary != 1
+		iterate := func(replica *nn.Network) ([]*tensor.Tensor, float64) {
+			x, labels := iter.Next()
+			replica.ZeroGrads()
+			loss, _ := replica.Loss(x, labels, true)
+			replica.Backward()
+			if cfg.Delay > 0 {
+				time.Sleep(cfg.Delay)
+			}
+			grads := replica.CloneGrads()
+			if adversarial {
+				f := float32(cfg.Adversary)
+				for _, g := range grads {
+					d := g.Data()
+					for i := range d {
+						d[i] *= f
+					}
+				}
+			}
+			return grads, loss
+		}
+		itersPerEpoch := (shard.Len() + base.BatchSize - 1) / base.BatchSize
+		return runClusterWorker(cfg, base, spec, iterate, itersPerEpoch*base.Epochs,
+			ps.ClusterClientConfig{
+				Compression:    ccfg,
+				DeltaPull:      cfg.DeltaPull,
+				RecoverTimeout: cfg.ReconnectTimeout,
+			}, meter)
 	}
 
 	// connect dials, registers (or rejoins) and starts heartbeats.

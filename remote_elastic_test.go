@@ -1,56 +1,45 @@
-package dssp
+package dssp_test
 
 import (
-	"net"
 	"sync"
 	"testing"
 	"time"
+
+	"dssp"
+	"dssp/internal/cluster/clustertest"
 )
 
-// freePort reserves a TCP port for a server we will start (and restart)
-// during the test.
-func freePort(t *testing.T) string {
-	t.Helper()
-	l, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
-	addr := l.Addr().String()
-	l.Close()
-	return addr
-}
-
 // elasticServerConfig is a tiny DSSP cluster over real TCP.
-func elasticServerConfig(addr, ckptDir string, workers int) ServerConfig {
-	return ServerConfig{
+func elasticServerConfig(addr, ckptDir string, workers int) dssp.ServerConfig {
+	return dssp.ServerConfig{
 		Addr:         addr,
 		Workers:      workers,
-		Sync:         Sync{Paradigm: DSSP, Staleness: 2, Range: 4},
-		Model:        ModelSmallMLP,
-		Dataset:      DatasetConfig{Examples: 240, Classes: 3, ImageSize: 12, Noise: 0.3, Seed: 3},
+		Sync:         dssp.Sync{Paradigm: dssp.DSSP, Staleness: 2, Range: 4},
+		Model:        dssp.ModelSmallMLP,
+		Dataset:      dssp.DatasetConfig{Examples: 240, Classes: 3, ImageSize: 12, Noise: 0.3, Seed: 3},
 		LearningRate: 0.1,
-		Options: Options{
+		Options: dssp.Options{
 			Elastic:          true,
 			HeartbeatTimeout: 2 * time.Second,
-			Checkpoint:       Checkpoint{Dir: ckptDir, Every: 10},
+			Checkpoint:       dssp.Checkpoint{Dir: ckptDir, Every: 10},
 		},
 		Seed: 3,
 	}
 }
 
-func elasticWorkerConfig(addr string, id, workers int) WorkerConfig {
-	return WorkerConfig{
+func elasticWorkerConfig(addr string, id, workers int) dssp.WorkerConfig {
+	return dssp.WorkerConfig{
 		ServerAddr:       addr,
 		WorkerID:         id,
 		Workers:          workers,
-		Model:            ModelSmallMLP,
-		Dataset:          DatasetConfig{Examples: 240, Classes: 3, ImageSize: 12, Noise: 0.3, Seed: 3},
+		Model:            dssp.ModelSmallMLP,
+		Dataset:          dssp.DatasetConfig{Examples: 240, Classes: 3, ImageSize: 12, Noise: 0.3, Seed: 3},
 		BatchSize:        12,
 		Epochs:           3,
 		Seed:             3,
 		Reconnect:        true,
 		ReconnectTimeout: 30 * time.Second,
-		Options:          Options{HeartbeatInterval: 200 * time.Millisecond},
+		Options:          dssp.Options{HeartbeatInterval: 200 * time.Millisecond},
 	}
 }
 
@@ -61,10 +50,10 @@ func elasticWorkerConfig(addr string, id, workers int) WorkerConfig {
 // on their reconnect loops.
 func TestTCPWorkerCrashRejoinAndServerRestart(t *testing.T) {
 	const workers = 2
-	addr := freePort(t)
+	addr := clustertest.FreePort(t)
 	ckptDir := t.TempDir()
 
-	server, err := Serve(elasticServerConfig(addr, ckptDir, workers))
+	server, err := dssp.Serve(elasticServerConfig(addr, ckptDir, workers))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,20 +62,20 @@ func TestTCPWorkerCrashRejoinAndServerRestart(t *testing.T) {
 	// Worker 0 runs the whole course with a small per-iteration delay so the
 	// run is still in flight when we bounce the server.
 	var wg sync.WaitGroup
-	var w0report *WorkerReport
+	var w0report *dssp.WorkerReport
 	var w0err error
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
 		cfg := elasticWorkerConfig(addr, 0, workers)
 		cfg.Delay = 25 * time.Millisecond
-		w0report, w0err = RunWorker(cfg)
+		w0report, w0err = dssp.RunWorker(cfg)
 	}()
 
 	// Worker 1 crashes a few iterations in...
 	crashCfg := elasticWorkerConfig(addr, 1, workers)
 	crashCfg.FailAfter = 5
-	report, err := RunWorker(crashCfg)
+	report, err := dssp.RunWorker(crashCfg)
 	if err != nil {
 		t.Fatalf("crashing worker: %v", err)
 	}
@@ -95,14 +84,14 @@ func TestTCPWorkerCrashRejoinAndServerRestart(t *testing.T) {
 	}
 
 	// ...and is restarted, rejoining the same run.
-	var w1report *WorkerReport
+	var w1report *dssp.WorkerReport
 	var w1err error
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
 		cfg := elasticWorkerConfig(addr, 1, workers)
 		cfg.Delay = 20 * time.Millisecond
-		w1report, w1err = RunWorker(cfg)
+		w1report, w1err = dssp.RunWorker(cfg)
 	}()
 
 	// Give the run a moment, then kill the server and restore it from its
@@ -111,7 +100,7 @@ func TestTCPWorkerCrashRejoinAndServerRestart(t *testing.T) {
 	time.Sleep(300 * time.Millisecond)
 	versionBefore := server.Version()
 	server.Stop()
-	server, err = Serve(elasticServerConfig(addr, ckptDir, workers))
+	server, err = dssp.Serve(elasticServerConfig(addr, ckptDir, workers))
 	if err != nil {
 		t.Fatalf("restart: %v", err)
 	}
@@ -153,12 +142,12 @@ func TestTCPWorkerCrashRejoinAndServerRestart(t *testing.T) {
 // treats a wire-format mismatch as permanent: the error surfaces in well
 // under the reconnect budget instead of being redialed for all of it.
 func TestReconnectWorkerFailsFastOnWireMismatch(t *testing.T) {
-	server, err := Serve(ServerConfig{
+	server, err := dssp.Serve(dssp.ServerConfig{
 		Addr:    "127.0.0.1:0",
-		Wire:    WireGob,
+		Wire:    dssp.WireGob,
 		Workers: 1,
-		Sync:    Sync{Paradigm: ASP},
-		Dataset: DatasetConfig{Examples: 32, Classes: 2, ImageSize: 8, Seed: 1},
+		Sync:    dssp.Sync{Paradigm: dssp.ASP},
+		Dataset: dssp.DatasetConfig{Examples: 32, Classes: 2, ImageSize: 8, Seed: 1},
 		Seed:    1,
 	})
 	if err != nil {
@@ -167,12 +156,12 @@ func TestReconnectWorkerFailsFastOnWireMismatch(t *testing.T) {
 	defer server.Stop()
 
 	start := time.Now()
-	_, err = RunWorker(WorkerConfig{
+	_, err = dssp.RunWorker(dssp.WorkerConfig{
 		ServerAddr:       server.Addr(),
-		Wire:             WireBinary,
+		Wire:             dssp.WireBinary,
 		WorkerID:         0,
 		Workers:          1,
-		Dataset:          DatasetConfig{Examples: 32, Classes: 2, ImageSize: 8, Seed: 1},
+		Dataset:          dssp.DatasetConfig{Examples: 32, Classes: 2, ImageSize: 8, Seed: 1},
 		BatchSize:        8,
 		Epochs:           1,
 		Seed:             1,

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke bench-json bench-baseline bench-gate proto-bench fuzz-seeds experiment-smoke metrics-smoke cluster-smoke profile fmt fmt-check vet ci
+.PHONY: all build test race bench bench-smoke bench-json bench-baseline bench-gate proto-bench fuzz-seeds experiment-smoke metrics-smoke cluster-smoke aggtree-smoke profile fmt fmt-check vet ci
 
 all: build
 
@@ -39,8 +39,8 @@ bench-json:
 # an otherwise-busy machine belong here; jittery paths (e.g. BenchmarkDeltaPull,
 # whose regression risk is pinned by TestDeltaPullSkipsUnchangedShardBytes
 # instead) stay informational.
-BENCH_GATE_PATTERN = BenchmarkStoreConcurrentPushPull/sharded|BenchmarkStoreConcurrentPull/sharded|BenchmarkStoreApplySteadyState|BenchmarkMatMul128|BenchmarkFusedStepMomentumBatch4|BenchmarkClusterPushPull
-BENCH_GATE_PINS = BenchmarkStoreConcurrentPushPull/sharded,BenchmarkStoreConcurrentPull/sharded,BenchmarkStoreApplySteadyState,BenchmarkMatMul128,BenchmarkFusedStepMomentumBatch4,BenchmarkClusterPushPull/servers=1,BenchmarkClusterPushPull/servers=2
+BENCH_GATE_PATTERN = BenchmarkStoreConcurrentPushPull/sharded|BenchmarkStoreConcurrentPull/sharded|BenchmarkStoreApplySteadyState|BenchmarkMatMul128|BenchmarkFusedStepMomentumBatch4|BenchmarkClusterPushPull|BenchmarkAggTreeIngress
+BENCH_GATE_PINS = BenchmarkStoreConcurrentPushPull/sharded,BenchmarkStoreConcurrentPull/sharded,BenchmarkStoreApplySteadyState,BenchmarkMatMul128,BenchmarkFusedStepMomentumBatch4,BenchmarkClusterPushPull/servers=1,BenchmarkClusterPushPull/servers=2,BenchmarkAggTreeIngress/fanout=1,BenchmarkAggTreeIngress/fanout=4
 BENCH_GATE_TIME = 1s
 # Packages holding the pinned benchmarks: the store pipeline plus the raw
 # compute kernels (blocked matmul, fused optimizer step) it is built on.
@@ -109,6 +109,17 @@ metrics-smoke:
 cluster-smoke:
 	$(GO) test -run 'TestClusterSmoke' -count=1 -v .
 
+# Aggregation-tier smoke: the relay-churn run over real TCP (4 workers
+# behind two fanout-2 relays, one killed mid-run under BSP/SSP/DSSP — the
+# subtree must re-parent, no barrier may deadlock) plus the in-process
+# ingress-reduction pin (16 workers at fanout 4 land >=3x fewer push frames
+# and >=2x fewer bytes on the root than flat). -count=1 defeats the test
+# cache: these are end-to-end network runs, not unit results worth
+# memoizing.
+aggtree-smoke:
+	$(GO) test -run 'TestTCPRelayDeathReparentsSubtree' -count=1 -v .
+	$(GO) test -run 'TestTreeIngressReduction' -count=1 -v ./internal/trainer/
+
 # Profile real training in-process: a fixed-time run of the small-CNN
 # training benchmark with CPU and allocation profiles. Inspect with
 #   go tool pprof cpu.pprof     (then: top, web)
@@ -133,4 +144,4 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: build fmt-check vet race fuzz-seeds experiment-smoke metrics-smoke cluster-smoke bench-smoke proto-bench
+ci: build fmt-check vet race fuzz-seeds experiment-smoke metrics-smoke cluster-smoke aggtree-smoke bench-smoke proto-bench

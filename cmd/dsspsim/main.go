@@ -95,6 +95,21 @@ func runExperiment(paradigm string, staleness, rng int, enforce bool, trials int
 	if err != nil {
 		return err
 	}
+	// A second sweep contrasts topologies: the same paradigm on a 16-worker
+	// cluster flat versus behind fanout-4 and fanout-8 relay tiers, showing
+	// the root-ingress cut in frames and bytes.
+	topo, err := experiment.TimingMatrix(experiment.TimingMatrixConfig{
+		Cluster:   simulate.HomogeneousCluster(16),
+		Policies:  []core.PolicyConfig{policy},
+		Scenarios: []experiment.NetworkScenario{experiment.CalmNetwork()},
+		Fanouts:   []int{0, 4, 8},
+		Trials:    trials,
+		Seed:      seed,
+	})
+	report.Timing = append(report.Timing, topo...)
+	if err != nil {
+		return err
+	}
 
 	fmt.Print(report.Table())
 	if out != "" {

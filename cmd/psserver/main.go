@@ -39,6 +39,15 @@
 // requests promotion when the primary stays dead past -replicate-grace.
 // Workers join the group with psworker -cluster -server <coordinator>.
 //
+// Aggregation tier: -role relay runs an aggregation relay (DESIGN.md §11)
+// instead of a server: it registers a trunk with the root at -parent,
+// accepts up to -fanout ordinary worker sessions on -addr, sums their
+// gradients coordinate-wise, and forwards one ×k-weighted push per round —
+// cutting the root's ingress from O(workers) to O(workers/fanout) frames.
+// Workers join the tree with psworker -tree -server <root>; they learn
+// their relay from the root's layout and re-parent if it dies. A partial
+// stalled by a straggler is forwarded incomplete after -relay-flush.
+//
 // Observability: -metrics-addr starts an admin HTTP listener serving
 // Prometheus /metrics, /healthz, a /statusz JSON snapshot, and
 // net/http/pprof (docs/METRICS.md catalogs every series). -trace-every
@@ -93,8 +102,11 @@ func main() {
 		traceDump    = flag.Bool("trace-dump", false, "print sampled push-lifecycle traces as JSON lines at end of run")
 		seed         = flag.Int64("seed", 1, "seed for the initial weights (must match workers)")
 
-		role           = flag.String("role", "", "cluster role: coordinator, data, backup (empty = standalone server)")
+		role           = flag.String("role", "", "role: coordinator, data, backup (server group, DESIGN.md §10), or relay (aggregation tier, DESIGN.md §11); empty = standalone server")
 		peers          = flag.String("peers", "", "coordinator address (data and backup roles)")
+		parent         = flag.String("parent", "", "root server address the relay forwards to (relay role)")
+		fanout         = flag.Int("fanout", 4, "workers this relay aggregates per forwarded push (relay role)")
+		flushInterval  = flag.Duration("relay-flush", 0, "how long a relay partial waits for straggling workers before forwarding incomplete (0 = default 50ms; relay role)")
 		clusterServers = flag.Int("cluster-servers", 0, "number of data servers in the group (all cluster roles)")
 		clusterIndex   = flag.Int("cluster-index", 0, "this server's slot in [0, cluster-servers) — which shard range it owns")
 		shardRange     = flag.String("shard-range", "", "owned shard range as lo:hi, overriding -cluster-index (must match a layout assignment)")
@@ -105,6 +117,32 @@ func main() {
 		replicateGrace = flag.Duration("replicate-grace", 0, "how long the primary may stay unreachable before the backup requests promotion (0 = default 2s)")
 	)
 	flag.Parse()
+
+	if *role == "relay" {
+		// A relay left on the default codec follows the parent, like a
+		// worker's -compress auto; an explicit -compress must match exactly.
+		relayCompress := dssp.Compression{Codec: dssp.CompressAuto, TopK: *topk, Pull: *compressPull}
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "compress" {
+				relayCompress.Codec = *compressName
+			}
+		})
+		if err := runRelay(dssp.RelayConfig{
+			Addr:              *addr,
+			Advertise:         *advertise,
+			Parent:            *parent,
+			Fanout:            *fanout,
+			Wire:              *wire,
+			Compression:       relayCompress,
+			HeartbeatTimeout:  *hbTimeout,
+			HeartbeatInterval: *hbTimeout / 4,
+			FlushInterval:     *flushInterval,
+			MetricsAddr:       *metricsAddr,
+		}); err != nil {
+			log.Fatalf("psserver: %v", err)
+		}
+		return
+	}
 
 	cluster := dssp.ClusterOptions{
 		Role:           *role,
@@ -153,6 +191,37 @@ func main() {
 	if err := run(cfg, *paradigm, *staleness, *rng, *enforce, *backups, *traceDump); err != nil {
 		log.Fatalf("psserver: %v", err)
 	}
+}
+
+// runRelay runs the aggregation-relay role until interrupted or until its
+// trunk to the parent dies (workers then re-parent via a fresh layout fetch).
+func runRelay(cfg dssp.RelayConfig) error {
+	relay, err := dssp.ServeRelay(cfg)
+	if err != nil {
+		return err
+	}
+	defer relay.Stop()
+	fmt.Printf("aggregation relay listening on %s (parent %s, fanout %d, wire %s)\n",
+		relay.Addr(), cfg.Parent, cfg.Fanout, cfg.Wire)
+	if cfg.MetricsAddr != "" {
+		fmt.Printf("admin endpoint on http://%s (/metrics, /healthz, /debug/pprof)\n", relay.MetricsAddr())
+	}
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case <-relay.Done():
+		if err := relay.Err(); err != nil {
+			return err
+		}
+	case s := <-sigs:
+		st := relay.Stats()
+		fmt.Printf("received %v; shutting down after %d child pushes forwarded as %d partials\n",
+			s, st.ChildPushes, st.ForwardedPushes)
+	}
+	st := relay.Stats()
+	fmt.Printf("relay forwarded %d partials (%d bytes) for %d child pushes (%d bytes ingress)\n",
+		st.ForwardedPushes, st.ForwardedBytes, st.ChildPushes, st.IngressBytes)
+	return nil
 }
 
 func run(cfg dssp.ServerConfig, paradigm string, staleness, rng int, enforce bool, backups int, traceDump bool) error {

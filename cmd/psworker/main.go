@@ -35,6 +35,12 @@
 // (which is how a backup promotion reaches the worker); a lost coordinator
 // fails the run fast.
 //
+// Aggregation tier: -tree makes -server the root's address — the worker
+// fetches the tree layout and registers through the relay covering its id
+// (psserver -role relay), falling back to the root when none does. With
+// -reconnect, a worker orphaned by a dead relay re-fetches the layout and
+// re-parents instead of failing.
+//
 // Observability: -metrics-addr starts an admin HTTP listener serving the
 // worker-side Prometheus /metrics (pull wait, push round-trip, iteration and
 // transport counters), /healthz and net/http/pprof.
@@ -53,6 +59,7 @@ func main() {
 	var (
 		server       = flag.String("server", "127.0.0.1:7070", "parameter server address (the coordinator with -cluster)")
 		cluster      = flag.Bool("cluster", false, "join a server group: fetch the cluster map from the coordinator at -server and route gradient fragments to each shard owner")
+		tree         = flag.Bool("tree", false, "join through the aggregation tier: fetch the tree layout from the root at -server and push via the relay covering this worker (re-fetched on every reconnect)")
 		wire         = flag.String("wire", dssp.WireBinary, "TCP wire format: binary or gob (must match the server)")
 		id           = flag.Int("id", 0, "worker id in [0, workers)")
 		workers      = flag.Int("workers", 2, "total number of workers")
@@ -82,6 +89,7 @@ func main() {
 	report, err := dssp.RunWorker(dssp.WorkerConfig{
 		ServerAddr: *server,
 		Cluster:    *cluster,
+		Tree:       *tree,
 		Wire:       *wire,
 		WorkerID:   *id,
 		Workers:    *workers,

@@ -56,12 +56,15 @@ func linksFor(model simulate.LinkModel, workers []int) map[int]simulate.LinkMode
 	return m
 }
 
-// TimingCell is one aggregated (scenario, paradigm) cell of the timing
-// matrix.
+// TimingCell is one aggregated (scenario, paradigm, fanout) cell of the
+// timing matrix.
 type TimingCell struct {
 	// Scenario and Paradigm name the cell's coordinates.
 	Scenario string `json:"scenario"`
 	Paradigm string `json:"paradigm"`
+	// Fanout is the aggregation-tier fanout the cell ran under; 0 is the
+	// flat topology (workers push straight to the root).
+	Fanout int `json:"fanout,omitempty"`
 	// MeanFinish is the mean simulated completion time.
 	MeanFinish time.Duration `json:"mean_finish_ns"`
 	// Throughput is the mean applied updates per simulated second.
@@ -73,6 +76,10 @@ type TimingCell struct {
 	MeanDropped float64 `json:"mean_dropped"`
 	// MeanEvictions is the mean number of simulated guard evictions.
 	MeanEvictions float64 `json:"mean_evictions"`
+	// MeanRootFrames and MeanRootBytes are the mean push ingress the root
+	// absorbed per trial: the load the relay tier exists to cut.
+	MeanRootFrames float64 `json:"mean_root_frames"`
+	MeanRootBytes  float64 `json:"mean_root_bytes"`
 }
 
 // TimingMatrixConfig describes a simulator-backed sweep: every paradigm
@@ -88,6 +95,11 @@ type TimingMatrixConfig struct {
 	// Scenarios are the network columns; empty defaults to calm, flapping
 	// and partitioned with worker 0 affected.
 	Scenarios []NetworkScenario
+	// Fanouts are the aggregation-tier fanouts to sweep (0 = flat); empty
+	// defaults to flat only. A scenario whose guard is enabled skips
+	// fanout >= 2 cells — the real root refuses relay trunks under a
+	// guard, so those cells cannot exist.
+	Fanouts []int
 	// Iterations is each worker's iteration budget; 0 picks 60.
 	Iterations int
 	// Trials is runs per cell; 0 means 1.
@@ -114,6 +126,9 @@ func (c TimingMatrixConfig) withDefaults() TimingMatrixConfig {
 	if len(c.Scenarios) == 0 {
 		c.Scenarios = []NetworkScenario{CalmNetwork(), FlappingNetwork(0), PartitionedNetwork(0)}
 	}
+	if len(c.Fanouts) == 0 {
+		c.Fanouts = []int{0}
+	}
 	if c.Iterations <= 0 {
 		c.Iterations = 60
 	}
@@ -130,35 +145,45 @@ func TimingMatrix(cfg TimingMatrixConfig) ([]TimingCell, error) {
 	var cells []TimingCell
 	for _, sc := range cfg.Scenarios {
 		for _, pol := range cfg.Policies {
-			cell := TimingCell{Scenario: sc.Name, Paradigm: pol.Describe()}
-			for trial := 0; trial < cfg.Trials; trial++ {
-				res, err := simulate.Run(simulate.RunConfig{
-					Model:               cfg.Model,
-					Cluster:             cfg.Cluster,
-					Policy:              pol,
-					IterationsPerWorker: cfg.Iterations,
-					Events:              sc.Events,
-					Links:               sc.Links,
-					Adversaries:         sc.Adversaries,
-					Guard:               sc.Guard,
-					Seed:                cfg.Seed + int64(trial)*104729,
-				})
-				if err != nil {
-					return nil, fmt.Errorf("experiment: timing cell (%s, %s) trial %d: %w", sc.Name, cell.Paradigm, trial, err)
+			for _, fanout := range cfg.Fanouts {
+				if fanout >= 2 && sc.Guard.Enabled {
+					continue
 				}
-				cell.MeanFinish += res.Finish
-				cell.Throughput += res.Throughput()
-				cell.MeanStaleness += res.MeanStaleness()
-				cell.MeanDropped += float64(res.DroppedUpdates + res.GuardDropped)
-				cell.MeanEvictions += float64(len(res.Evicted))
+				cell := TimingCell{Scenario: sc.Name, Paradigm: pol.Describe(), Fanout: fanout}
+				for trial := 0; trial < cfg.Trials; trial++ {
+					res, err := simulate.Run(simulate.RunConfig{
+						Model:               cfg.Model,
+						Cluster:             cfg.Cluster,
+						Policy:              pol,
+						IterationsPerWorker: cfg.Iterations,
+						Events:              sc.Events,
+						Links:               sc.Links,
+						Adversaries:         sc.Adversaries,
+						Guard:               sc.Guard,
+						Fanout:              fanout,
+						Seed:                cfg.Seed + int64(trial)*104729,
+					})
+					if err != nil {
+						return nil, fmt.Errorf("experiment: timing cell (%s, %s, fanout %d) trial %d: %w", sc.Name, cell.Paradigm, fanout, trial, err)
+					}
+					cell.MeanFinish += res.Finish
+					cell.Throughput += res.Throughput()
+					cell.MeanStaleness += res.MeanStaleness()
+					cell.MeanDropped += float64(res.DroppedUpdates + res.GuardDropped)
+					cell.MeanEvictions += float64(len(res.Evicted))
+					cell.MeanRootFrames += float64(res.RootIngressFrames)
+					cell.MeanRootBytes += float64(res.RootIngressBytes)
+				}
+				n := float64(cfg.Trials)
+				cell.MeanFinish = time.Duration(float64(cell.MeanFinish) / n)
+				cell.Throughput /= n
+				cell.MeanStaleness /= n
+				cell.MeanDropped /= n
+				cell.MeanEvictions /= n
+				cell.MeanRootFrames /= n
+				cell.MeanRootBytes /= n
+				cells = append(cells, cell)
 			}
-			n := float64(cfg.Trials)
-			cell.MeanFinish = time.Duration(float64(cell.MeanFinish) / n)
-			cell.Throughput /= n
-			cell.MeanStaleness /= n
-			cell.MeanDropped /= n
-			cell.MeanEvictions /= n
-			cells = append(cells, cell)
 		}
 	}
 	return cells, nil

@@ -262,10 +262,27 @@ func (s *Server) closePeers() {
 
 // handleClusterMap answers a worker's map request on its own connection —
 // map fetches ride dedicated connections, never a registered session's, so
-// the reply goes out directly instead of through a session outbox. A
-// non-coordinator rejects the request by name: pointing a cluster worker at
-// a data server is a wiring bug worth a clear message.
-func (s *Server) handleClusterMap(conn transport.Conn) {
+// the reply goes out directly instead of through a session outbox. A request
+// with Relay set asks for the aggregation-tree layout instead of the
+// server-group map: the relay entries and the worker-index ranges each
+// covers, which any server with a relay tier (coordinator or not) serves. A
+// non-coordinator rejects a plain map request by name: pointing a cluster
+// worker at a data server is a wiring bug worth a clear message.
+func (s *Server) handleClusterMap(conn transport.Conn, msg transport.Message) {
+	if msg.Relay {
+		s.sm.treeLayoutFetches.Inc()
+		entries, version := s.tree.snapshot()
+		_ = conn.Send(transport.Message{
+			Type:        transport.MsgClusterMap,
+			Relay:       true,
+			Servers:     entries,
+			MapVersion:  version,
+			StoreShards: s.cfg.Store.Shards(),
+			Total:       s.cfg.Workers,
+			Version:     s.cfg.Store.Version(),
+		})
+		return
+	}
 	if !s.cfg.Cluster.Coordinator {
 		_ = conn.Send(transport.Message{
 			Type:  transport.MsgError,

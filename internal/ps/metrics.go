@@ -38,6 +38,12 @@ type serverMetrics struct {
 	clusterAnnounces   *obs.Counter
 	clusterPromotions  *obs.Counter
 
+	treePartials      *obs.Counter
+	treePartialSize   *obs.Histogram
+	treeChildJoins    *obs.Counter
+	treeChildLeaves   *obs.Counter
+	treeLayoutFetches *obs.Counter
+
 	ckptTotal   *obs.Counter
 	ckptErrors  *obs.Counter
 	ckptFailed  *obs.Gauge
@@ -94,6 +100,17 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 			"Data-server and backup announcements accepted (coordinator only)."),
 		clusterPromotions: reg.Counter("dssp_cluster_promotions_total",
 			"Backup promotions applied to the cluster map (coordinator only)."),
+		treePartials: reg.Counter("dssp_tree_partials_total",
+			"Aggregated relay partials accepted into the store (each stands in for several logical pushes)."),
+		treePartialSize: reg.Histogram("dssp_tree_partial_size",
+			"Logical pushes carried by each accepted relay partial.",
+			obs.SizeBuckets),
+		treeChildJoins: reg.Counter("dssp_tree_child_joins_total",
+			"Worker registrations accepted through relay trunks."),
+		treeChildLeaves: reg.Counter("dssp_tree_child_leaves_total",
+			"Worker departures forwarded by relay trunks (relay deaths sweep their children through the same counter)."),
+		treeLayoutFetches: reg.Counter("dssp_tree_layout_fetches_total",
+			"Aggregation-tree layout requests served."),
 		ckptTotal: reg.Counter("dssp_checkpoint_total",
 			"Checkpoint save attempts."),
 		ckptErrors: reg.Counter("dssp_checkpoint_errors_total",

@@ -1,0 +1,369 @@
+package ps
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"dssp/internal/core"
+	"dssp/internal/optimizer"
+	"dssp/internal/tensor"
+	"dssp/internal/transport"
+)
+
+// relayHarness stands up a root server fronted by relays over in-process
+// channel transports: the smallest complete aggregation tree.
+type relayHarness struct {
+	server       *Server
+	store        *Store
+	rootListener *transport.ChanListener
+	relays       []*Relay
+	listeners    []*transport.ChanListener
+}
+
+func newRelayHarness(t *testing.T, policy core.Policy, st *Store, relays, fanout int, opts Options) *relayHarness {
+	t.Helper()
+	srv, err := NewServer(ServerConfig{
+		Workers: policy.NumWorkers(),
+		Policy:  policy,
+		Store:   st,
+		Options: opts,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := transport.NewChanListener()
+	root.SetMeter(transport.NewMetrics(srv.Registry()))
+	go func() { _ = srv.Serve(root) }()
+	h := &relayHarness{server: srv, store: st, rootListener: root}
+	t.Cleanup(func() {
+		for _, r := range h.relays {
+			r.Stop()
+		}
+		srv.Stop()
+		for _, l := range h.listeners {
+			l.Close()
+		}
+		root.Close()
+	})
+	for i := 0; i < relays; i++ {
+		l := transport.NewChanListener()
+		h.listeners = append(h.listeners, l)
+		relay, err := NewRelay(RelayConfig{
+			Parent:    root.Dial,
+			Fanout:    fanout,
+			Advertise: l.Addr(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.relays = append(h.relays, relay)
+		go func(r *Relay, l *transport.ChanListener) { _ = r.Serve(l) }(relay, l)
+	}
+	return h
+}
+
+// childClient registers worker w through the relay the layout assigns it.
+func (h *relayHarness) childClient(t *testing.T, w int) *Client {
+	t.Helper()
+	conn, err := h.rootListener.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout, err := FetchTreeLayout(conn)
+	conn.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := layout.Covering(w)
+	var dial func() (transport.Conn, error)
+	dial = h.rootListener.Dial
+	for i, l := range h.listeners {
+		if l.Addr() == addr {
+			dial = h.listeners[i].Dial
+		}
+	}
+	c, err := dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := NewClient(c, w)
+	if err := client.Register(); err != nil {
+		t.Fatal(err)
+	}
+	return client
+}
+
+// testGrads returns a deterministic pseudo-random gradient for iteration it.
+func testGrads(seed int64, it, size int) []*tensor.Tensor {
+	rng := rand.New(rand.NewSource(seed + int64(it)*7919))
+	g := tensor.New(size)
+	for i := range g.Data() {
+		g.Data()[i] = float32(rng.NormFloat64())
+	}
+	return []*tensor.Tensor{g}
+}
+
+// TestTreeStateAssignsContiguousRanges unit-tests the root's layout
+// bookkeeping: relays claim the lowest uncovered worker runs, and a dead
+// relay's coverage transfers to a survivor.
+func TestTreeStateAssignsContiguousRanges(t *testing.T) {
+	var ts treeState
+	a := &session{}
+	b := &session{}
+	ts.add(a, "relay-a", 4, 8)
+	ts.add(b, "relay-b", 4, 8)
+	entries, v1 := ts.snapshot()
+	if len(entries) != 2 {
+		t.Fatalf("expected 2 entries, got %d", len(entries))
+	}
+	if entries[0].Addr != "relay-a" || entries[0].ShardLo != 0 || entries[0].ShardHi != 4 {
+		t.Errorf("first entry %+v, want relay-a covering [0,4)", entries[0])
+	}
+	if entries[1].Addr != "relay-b" || entries[1].ShardLo != 4 || entries[1].ShardHi != 8 {
+		t.Errorf("second entry %+v, want relay-b covering [4,8)", entries[1])
+	}
+	ts.remove(a)
+	entries, v2 := ts.snapshot()
+	if v2 <= v1 {
+		t.Errorf("layout version did not advance on removal: %d -> %d", v1, v2)
+	}
+	total := 0
+	for _, e := range entries {
+		if e.Addr != "relay-b" {
+			t.Errorf("dead relay's range went to %q, want relay-b", e.Addr)
+		}
+		total += e.ShardHi - e.ShardLo
+	}
+	if total != 8 {
+		t.Errorf("surviving coverage spans %d workers, want 8", total)
+	}
+}
+
+// TestRelaySerialScheduleBitIdentical pins the PR's equivalence claim: a
+// serial push schedule through a relay produces bit-identical parameters to
+// the same schedule against a bare server — the relay adds a hop, not
+// arithmetic.
+func TestRelaySerialScheduleBitIdentical(t *testing.T) {
+	const iters = 12
+	const size = 17
+	run := func(tree bool) []float32 {
+		init := []*tensor.Tensor{tensor.New(size)}
+		st, err := NewStoreSharded(init, optimizer.NewSGDMomentum(0.1, 0.9, 1e-4), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		policy := core.MustNewBSP(1)
+		var client *Client
+		if tree {
+			h := newRelayHarness(t, policy, st, 1, 1, Options{})
+			client = h.childClient(t, 0)
+		} else {
+			_, clients := startTestServer(t, policy, st)
+			client = clients[0]
+		}
+		for it := 0; it < iters; it++ {
+			_, version, err := client.Pull()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := client.PushAndWait(testGrads(42, it, size), version, it); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := client.Done(); err != nil {
+			t.Fatal(err)
+		}
+		params, version := st.Snapshot()
+		if version != iters {
+			t.Fatalf("final version %d, want %d", version, iters)
+		}
+		out := make([]float32, size)
+		copy(out, params[0].Data())
+		return out
+	}
+	flat := run(false)
+	relayed := run(true)
+	for i := range flat {
+		if flat[i] != relayed[i] {
+			t.Fatalf("param[%d] diverged: flat %v, relayed %v", i, flat[i], relayed[i])
+		}
+	}
+}
+
+// TestRelayAggregatesUnderBSP drives 4 workers through one fanout-4 relay
+// under BSP and checks the policy still sees every logical push while the
+// root's ingress shrinks to one frame per round.
+func TestRelayAggregatesUnderBSP(t *testing.T) {
+	const workers = 4
+	const iters = 6
+	const size = 9
+	init := []*tensor.Tensor{tensor.New(size)}
+	st, err := NewStoreSharded(init, optimizer.NewSGD(0.1), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := newRelayHarness(t, core.MustNewBSP(workers), st, 1, workers, Options{})
+
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			client := h.childClient(t, w)
+			defer client.Close()
+			for it := 0; it < iters; it++ {
+				_, version, err := client.Pull()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if err := client.PushAndWait(testGrads(int64(w), it, size), version, it); err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- client.Done()
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if got := h.server.Pushes(); got != workers*iters {
+		t.Errorf("policy saw %d pushes, want %d", got, workers*iters)
+	}
+	if v := st.Version(); v != int64(workers*iters) {
+		t.Errorf("store version %d, want %d", v, workers*iters)
+	}
+	snap := h.server.Registry().Snapshot()
+	frames := snap[`dssp_transport_frames_total{dir="recv",type="Push"}`]
+	if frames == 0 || frames > float64(iters+2) {
+		// One partial per BSP round, with a little slack for watchdog
+		// flushes around the start-of-run join race.
+		t.Errorf("root received %v push frames for %d rounds, want about %d", frames, iters, iters)
+	}
+	if snap[`dssp_tree_partials_total`] != frames {
+		t.Errorf("store accepted %v partials but root metered %v push frames",
+			snap[`dssp_tree_partials_total`], frames)
+	}
+	stats := h.relays[0].Stats()
+	if stats.ChildPushes != workers*iters {
+		t.Errorf("relay counted %d child pushes, want %d", stats.ChildPushes, workers*iters)
+	}
+	if stats.ForwardedBytes >= stats.IngressBytes {
+		t.Errorf("forwarded %d bytes >= ingress %d: no reduction", stats.ForwardedBytes, stats.IngressBytes)
+	}
+}
+
+// TestRelayRejectsOutOfRangeChild checks the root refuses a worker
+// registering through a relay that does not cover it.
+func TestRelayRejectsOutOfRangeChild(t *testing.T) {
+	st := testStore(t, 4)
+	h := newRelayHarness(t, core.MustNewASP(2), st, 1, 2, Options{})
+	conn, err := h.listeners[0].Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := NewClient(conn, 7)
+	if err := client.Register(); err == nil {
+		t.Fatal("expected registration of uncovered worker 7 to fail")
+	}
+	client.Close()
+}
+
+// TestRelayAdmissionRequiresSumAggregation checks the root rejects relay
+// trunks when the configured aggregator cannot decompose a summed partial.
+func TestRelayAdmissionRequiresSumAggregation(t *testing.T) {
+	st := testStore(t, 4)
+	srv, err := NewServer(ServerConfig{
+		Workers: 2,
+		Policy:  core.MustNewASP(2),
+		Store:   st,
+		Options: Options{Aggregator: AggregatorConfig{Kind: AggTrimmedMean, Window: 2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := transport.NewChanListener()
+	go func() { _ = srv.Serve(root) }()
+	defer func() {
+		srv.Stop()
+		root.Close()
+	}()
+	_, err = NewRelay(RelayConfig{Parent: root.Dial, Fanout: 2, Advertise: "x"})
+	if err == nil {
+		t.Fatal("expected relay admission to fail under a robust aggregator")
+	}
+}
+
+// TestRelayDeathSweepsSubtree kills a relay mid-run and checks the root
+// notices: the trunk's children are swept as departures so a BSP-style
+// barrier cannot deadlock on them, and the surviving direct worker finishes.
+func TestRelayDeathSweepsSubtree(t *testing.T) {
+	const size = 5
+	init := []*tensor.Tensor{tensor.New(size)}
+	st, err := NewStoreSharded(init, optimizer.NewSGD(0.1), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SSP with slack: worker 2 connects straight to the root; workers 0 and
+	// 1 ride the relay that dies.
+	h := newRelayHarness(t, core.MustNewSSP(3, 2), st, 1, 2, Options{Elastic: true})
+
+	c0 := h.childClient(t, 0)
+	defer c0.Close()
+	c1 := h.childClient(t, 1)
+	defer c1.Close()
+	for w, c := range []*Client{c0, c1} {
+		_, v, err := c.Pull()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.PushAndWait(testGrads(int64(w), 0, size), v, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	rootConn, err := h.rootListener.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := NewClient(rootConn, 2)
+	if err := c2.Register(); err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+
+	h.relays[0].Stop()
+
+	// The root must sweep workers 0 and 1 off the roster: the lone direct
+	// worker can then run to completion without tripping the slack bound.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if h.server.Departures() >= 2 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if d := h.server.Departures(); d < 2 {
+		t.Fatalf("root recorded %d departures after relay death, want >= 2", d)
+	}
+	for it := 0; it < 8; it++ {
+		_, version, err := c2.Pull()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c2.PushAndWait(testGrads(2, it, size), version, it); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c2.Done(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -120,6 +120,12 @@ type Server struct {
 	// joined records every worker slot that registered at least once.
 	joined   map[int]bool
 	finished map[int]bool
+	// routes maps worker slots joined through an aggregation relay to the
+	// trunk session carrying them: such workers have no session of their own,
+	// so presence checks (completion, window shrinking) and release delivery
+	// consult the route instead. A worker is either routed or directly
+	// sessioned, never both.
+	routes map[int]*session
 	// departedAt records when an unfinished worker's session last ended; a
 	// worker inside the rejoin grace window (one heartbeat timeout) is
 	// treated as "coming back", not gone, by elastic completion.
@@ -157,12 +163,20 @@ type Server struct {
 	pushedAt  map[int]time.Time
 
 	// cluster is the coordinator's live group map; replicaSeq hands out the
-	// negative session keys replica (backup) registrations live under; zeroGrad
-	// is the shared placeholder gradient a coordinator applies for
-	// metadata-only pushes (appliers only read gradients, so sharing is safe).
+	// negative session keys replica (backup) registrations live under — and
+	// relay trunks, which multiplex many logical workers over one negative-key
+	// session; zeroGrad is the shared placeholder gradient a coordinator
+	// applies for metadata-only pushes (appliers only read gradients, so
+	// sharing is safe).
 	cluster    clusterState
 	replicaSeq atomic.Int64
 	zeroGrad   []*tensor.Tensor
+
+	// tree is the aggregation-tree layout advertised to workers: the child
+	// ranges each registered relay covers (tree.go). Advisory — actual routing
+	// follows the joins workers perform — but it is what keeps re-parenting
+	// after a relay death deterministic.
+	tree treeState
 
 	// ckptBusy limits checkpoint saves to one in flight.
 	ckptBusy atomic.Bool
@@ -242,6 +256,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		joined:      make(map[int]bool),
 		finished:    make(map[int]bool),
 		departedAt:  make(map[int]time.Time),
+		routes:      make(map[int]*session),
 		stopped:     make(chan struct{}),
 		allDone:     make(chan struct{}),
 		releases:    make(chan releaseBatch, 256),
@@ -292,6 +307,16 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	reg.GaugeFunc("dssp_workers_finished",
 		"Worker slots that reported Done.",
 		func() float64 { s.mu.Lock(); defer s.mu.Unlock(); return float64(s.done) })
+	reg.GaugeFunc("dssp_tree_relays",
+		"Aggregation relays currently registered on this server.",
+		func() float64 {
+			s.tree.mu.Lock()
+			defer s.tree.mu.Unlock()
+			return float64(len(s.tree.relays))
+		})
+	reg.GaugeFunc("dssp_tree_routed_workers",
+		"Worker slots currently joined through an aggregation relay.",
+		func() float64 { s.mu.Lock(); defer s.mu.Unlock(); return float64(len(s.routes)) })
 	reg.GaugeFunc("dssp_store_version",
 		"Applied store version: updates visible on every shard.",
 		func() float64 { return float64(cfg.Store.Version()) })
@@ -460,6 +485,12 @@ func (s *Server) handleConn(conn transport.Conn) {
 		}
 		switch msg.Type {
 		case transport.MsgRegister, transport.MsgRejoin:
+			if sess != nil && sess.relay {
+				// A registration arriving on an established trunk is a child
+				// worker joining through the relay, not a new session.
+				s.handleChildJoin(sess, msg)
+				continue
+			}
 			sess = s.handleRegister(conn, msg)
 			if sess == nil {
 				return
@@ -471,6 +502,10 @@ func (s *Server) handleConn(conn transport.Conn) {
 		case transport.MsgPush:
 			if sess == nil {
 				return
+			}
+			if sess.relay {
+				s.handleRelayPush(sess, msg)
+				continue
 			}
 			s.handlePush(sess, msg)
 
@@ -484,16 +519,29 @@ func (s *Server) handleConn(conn transport.Conn) {
 			if sess == nil {
 				return
 			}
+			if sess.relay {
+				// Forwarded on behalf of a routed child; the trunk itself never
+				// finishes — it ends by closing its connection.
+				if msg.Worker >= 0 && msg.Worker < s.cfg.Workers {
+					s.handleDone(msg.Worker)
+				}
+				continue
+			}
 			s.handleDone(sess.worker)
 
 		case transport.MsgLeave:
+			if sess != nil && sess.relay {
+				// A routed child departed; the trunk stays up for its siblings.
+				s.handleChildLeave(sess, msg.Worker)
+				continue
+			}
 			if sess != nil {
 				s.leave(sess)
 			}
 			return
 
 		case transport.MsgClusterMap:
-			s.handleClusterMap(conn)
+			s.handleClusterMap(conn, msg)
 
 		case transport.MsgServerAnnounce:
 			// The announcing data server parks on this connection as its
@@ -522,7 +570,18 @@ func (s *Server) handleConn(conn transport.Conn) {
 // version. It returns nil when the worker was rejected.
 func (s *Server) handleRegister(conn transport.Conn, msg transport.Message) *session {
 	worker := msg.Worker
-	if msg.Replica {
+	if msg.Relay {
+		// An aggregation-relay trunk. Like a replica it lives under a private
+		// negative key outside the worker range; unlike one it multiplexes
+		// many logical workers (child joins, summed pushes, departures) over
+		// this single session. Reject configurations whose per-push machinery
+		// cannot attribute a pre-summed partial to individual workers.
+		if err := s.relayAdmissible(msg); err != nil {
+			_ = conn.Send(transport.Message{Type: transport.MsgError, Error: err.Error()})
+			return nil
+		}
+		worker = -1 - int(s.replicaSeq.Add(1)-1)
+	} else if msg.Replica {
 		// Replica (backup-replication) sessions live under negative keys so
 		// they can never collide with a worker slot, and stay invisible to the
 		// policy, the guard and completion accounting: a replica is a
@@ -563,6 +622,7 @@ func (s *Server) handleRegister(conn transport.Conn, msg transport.Message) *ses
 	// server is not configured to refuse. Workers that never ask (v1 binary
 	// peers, old gob builds, -delta-pull=false) keep full pulls.
 	sess.deltaPull = msg.DeltaPull && !s.cfg.DisableDeltaPull
+	sess.relay = msg.Relay
 	// Registration racing Stop: a worker that lands on a dying server (the
 	// listener stays open for the final checkpoint write) must be turned
 	// away, or it waits forever on a writer that exited with the server.
@@ -588,9 +648,18 @@ func (s *Server) handleRegister(conn transport.Conn, msg transport.Message) *ses
 	if worker >= 0 {
 		s.mu.Lock()
 		s.joined[worker] = true
+		// A direct registration supersedes any relay route the slot held: the
+		// worker re-parented to the root itself. The old relay's eventual
+		// MsgLeave for this child is verified against the route and ignored.
+		delete(s.routes, worker)
 		s.mu.Unlock()
 		// A rejoin restores the slot to the pushing cohort; re-derive the window.
 		s.shrinkWindow()
+	}
+	if sess.relay {
+		// Publish the relay in the tree layout so workers (and re-parenting
+		// children of a dead sibling) can find it.
+		s.tree.add(sess, msg.Servers[0].Addr, msg.Servers[0].ShardHi, s.cfg.Workers)
 	}
 	s.wg.Add(1)
 	go func() {
@@ -632,6 +701,13 @@ func (s *Server) leave(sess *session) {
 		return
 	}
 	sess.end()
+	if sess.relay {
+		// A dead trunk takes its routed children out of the cohort in one
+		// sweep; the layout drops the relay so re-parenting children land
+		// elsewhere.
+		s.trunkGone(sess)
+		return
+	}
 	if sess.worker < 0 {
 		// Replica sessions never entered policy or completion accounting, so
 		// their departure is invisible to both.
@@ -819,6 +895,14 @@ func (s *Server) recordReleases(release []core.WorkerID, now time.Time) {
 	}
 }
 
+// releaseTarget is one resolved release delivery: the session the OK rides —
+// the worker's own for a direct worker, its relay trunk for a routed one —
+// and the worker slot the OK names (the trunk demultiplexes by it).
+type releaseTarget struct {
+	sess   *session
+	worker int
+}
+
 // releaseBatch is one release decision queued for delivery: the workers to
 // send OK to, the pipeline depth (Store.Reserved) at decision time that must
 // be applied before any of them goes out, and — when the triggering push
@@ -830,11 +914,17 @@ func (s *Server) recordReleases(release []core.WorkerID, now time.Time) {
 // its gate.
 type releaseBatch struct {
 	release []core.WorkerID // decision's worker IDs, as the policy emitted them
-	targets []*session      // release resolved to sessions at decision time
+	targets []releaseTarget // release resolved to sessions at decision time
 	gate    int64
 	errSess *session // the session whose push failed; nil when none
 	err     error
-	ticket  int64
+	// errTrunk and errWorkers carry a failed relay partial's error fan-out:
+	// each listed worker gets a per-child MsgError on the trunk instead of an
+	// OK — the relay demultiplexes them to the children whose gradients were
+	// lost.
+	errTrunk   *session
+	errWorkers []int
+	ticket     int64
 	// queuedAt stamps the decision time for the release-lag histogram (how
 	// long the sequencer held the batch waiting on its apply gate); the zero
 	// value skips the observation.
@@ -859,7 +949,7 @@ func (s *Server) releaser() {
 			if !b.queuedAt.IsZero() {
 				s.sm.releaseLag.Observe(time.Since(b.queuedAt).Seconds())
 			}
-			s.sendReleases(b.targets, b.errSess)
+			s.sendReleases(b)
 			if b.ticket > 0 {
 				s.tracer.Released(b.ticket, time.Now())
 			}
@@ -868,6 +958,17 @@ func (s *Server) releaser() {
 				// let it train on as if the push had landed — on the session
 				// that pushed; a successor session never sees a stale error.
 				s.enqueueSession(b.errSess, transport.Message{Type: transport.MsgError, Error: b.err.Error()})
+			}
+			if b.err != nil && b.errTrunk != nil {
+				// A failed relay partial errors every child it carried, by
+				// worker, on the trunk that forwarded it.
+				for _, w := range b.errWorkers {
+					s.enqueueSession(b.errTrunk, transport.Message{
+						Type:   transport.MsgError,
+						Worker: w,
+						Error:  b.err.Error(),
+					})
+				}
 			}
 			if b.ticket > 0 {
 				s.maybeCheckpoint(b.ticket)
@@ -913,8 +1014,14 @@ func (s *Server) queueReleases(b releaseBatch) {
 		return
 	}
 	for _, id := range b.release {
-		if sess := s.sessions.get(int(id)); sess != nil {
-			b.targets = append(b.targets, sess)
+		w := int(id)
+		if sess := s.sessions.get(w); sess != nil {
+			b.targets = append(b.targets, releaseTarget{sess: sess, worker: w})
+		} else if trunk := s.routeFor(w); trunk != nil {
+			// Relay-routed workers have no session; their OK travels on the
+			// trunk, tagged with the worker it names, and the relay delivers
+			// it to the child.
+			b.targets = append(b.targets, releaseTarget{sess: trunk, worker: w})
 		}
 	}
 	select {
@@ -923,19 +1030,42 @@ func (s *Server) queueReleases(b releaseBatch) {
 	}
 }
 
-// sendReleases delivers the OK signal to every released session except skip
-// (nil excludes nobody) — the single implementation of release delivery for
-// push, join and leave decisions. skip carves out the session whose push
-// failed: it must not receive an OK that would let it train on as if the
-// push had landed.
-func (s *Server) sendReleases(targets []*session, skip *session) {
-	for _, sess := range targets {
-		if sess == skip {
+// routeFor returns the trunk session currently carrying a routed worker, or
+// nil for directly sessioned (or absent) workers.
+func (s *Server) routeFor(w int) *session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.routes[w]
+}
+
+// sendReleases delivers the batch's OK signals — the single implementation
+// of release delivery for push, join and leave decisions. The batch's error
+// carve-outs are honored: the direct session whose push failed, and the
+// children of a failed relay partial, must not receive an OK that would let
+// them train on as if the push had landed (the releaser sends them the error
+// instead).
+func (s *Server) sendReleases(b releaseBatch) {
+	for _, t := range b.targets {
+		if t.sess == b.errSess {
 			continue
 		}
-		s.enqueueSession(sess, transport.Message{Type: transport.MsgOK, Worker: sess.worker})
+		if t.sess == b.errTrunk && intsContain(b.errWorkers, t.worker) {
+			continue
+		}
+		s.enqueueSession(t.sess, transport.Message{Type: transport.MsgOK, Worker: t.worker})
 		s.sm.releases.Inc()
 	}
+}
+
+// intsContain reports whether xs contains v (errWorkers is relay-fanout
+// sized, so a linear scan beats building a set).
+func intsContain(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
 }
 
 // handlePush accepts a pushed gradient and queues the policy's release
@@ -1295,7 +1425,7 @@ func (s *Server) shrinkWindow() {
 	gone := 0
 	s.mu.Lock()
 	for w := range s.joined {
-		if s.finished[w] || (s.sessions.get(w) == nil && !s.departedAt[w].IsZero()) {
+		if s.finished[w] || (s.sessions.get(w) == nil && s.routes[w] == nil && !s.departedAt[w].IsZero()) {
 			gone++
 		}
 	}
@@ -1340,7 +1470,7 @@ func (s *Server) checkAllDone() {
 				if s.finished[w] {
 					continue
 				}
-				if s.sessions.get(w) != nil || now.Sub(s.departedAt[w]) <= s.hbTimeout {
+				if s.sessions.get(w) != nil || s.routes[w] != nil || now.Sub(s.departedAt[w]) <= s.hbTimeout {
 					complete = false
 					break
 				}

@@ -23,6 +23,13 @@ type session struct {
 	// its weight chunks may come back Unchanged. Set before the session's
 	// writer starts, immutable afterwards.
 	deltaPull bool
+	// relay marks an aggregation-relay trunk (MsgRegister with Relay set):
+	// the session lives under a negative key like a replica's, but unlike a
+	// replica it multiplexes many logical workers — child joins, aggregated
+	// pushes and departures arrive on it tagged with the child's worker ID,
+	// and releases for routed workers are delivered through it. Set before
+	// the writer starts, immutable afterwards.
+	relay bool
 	// serializes reports that the connection is a transport.SerializingSender:
 	// payloads are fully encoded inside Send/SendBatch, so pull replies may
 	// pin store generations with a bounded reference (released by the writer

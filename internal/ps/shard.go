@@ -52,14 +52,21 @@ type shard struct {
 	// restore.
 	applied atomic.Int64
 
-	// pendingMu guards pending, the queue feeding this shard's applier; wake
-	// has one slot and is signalled after every enqueue. spare is the
-	// drained-out queue slice from the previous batch, recycled so the
+	// pendingMu guards pending (the queue feeding this shard's applier) and
+	// weights, its parallel per-entry weight list: an entry of weight k is a
+	// pre-aggregated gradient standing in for k logical pushes (a relay's
+	// forwarded partial), counting k tickets toward window fills and version
+	// advancement. pendingWeight is the queued weight total. wake has one
+	// slot and is signalled after every enqueue. spare and spareWeights are
+	// the drained-out queue slices from the previous batch, recycled so the
 	// steady state allocates no queue storage.
-	pendingMu sync.Mutex
-	pending   [][]*tensor.Tensor
-	spare     [][]*tensor.Tensor
-	wake      chan struct{}
+	pendingMu     sync.Mutex
+	pending       [][]*tensor.Tensor
+	weights       []int64
+	pendingWeight int64
+	spare         [][]*tensor.Tensor
+	spareWeights  []int64
+	wake          chan struct{}
 
 	// sumBuf is the applier's coalescing scratch: the summed gradient slices
 	// of one batch, reused across batches. Only the applier touches it.
@@ -74,13 +81,17 @@ type shard struct {
 	packedVersion int64
 }
 
-// enqueue appends one push's gradient slice to the shard's apply queue and
-// wakes the applier. The tensors must stay unmodified until the push's
-// ticket is applied (Store.WaitApplied); the server's release gating
-// guarantees that for every wire path.
-func (sh *shard) enqueue(grads []*tensor.Tensor) {
+// enqueue appends one push's gradient slice to the shard's apply queue with
+// the given ticket weight (1 for an ordinary push, k for a relay partial
+// standing in for k logical pushes) and wakes the applier. The tensors must
+// stay unmodified until the push's last ticket is applied
+// (Store.WaitApplied); the server's release gating guarantees that for every
+// wire path.
+func (sh *shard) enqueue(grads []*tensor.Tensor, weight int64) {
 	sh.pendingMu.Lock()
 	sh.pending = append(sh.pending, grads)
+	sh.weights = append(sh.weights, weight)
+	sh.pendingWeight += weight
 	sh.pendingMu.Unlock()
 	select {
 	case sh.wake <- struct{}{}:
@@ -89,31 +100,35 @@ func (sh *shard) enqueue(grads []*tensor.Tensor) {
 }
 
 // takePending swaps out the current queue contents, returning them as one
-// batch (nil when the queue is empty). The swapped-in slice is the previous
+// batch (nil when the queue is empty). The swapped-in slices are the previous
 // batch's storage, so two batches' worth of queue capacity is reused
 // indefinitely.
-func (sh *shard) takePending() [][]*tensor.Tensor {
+func (sh *shard) takePending() ([][]*tensor.Tensor, []int64) {
 	return sh.takeBatch(1, 0)
 }
 
-// takeBatch is the window-aware queue drain: it returns the queued pushes as
-// one batch when the soft aggregation barrier is met — at least window
-// pushes are waiting, or a demanded ticket (a queued release, an explicit
-// flush) lies beyond what this shard has applied — and nil otherwise,
-// leaving the queue to keep filling. window 1 reproduces the classic
-// drain-whatever-is-there behaviour exactly.
-func (sh *shard) takeBatch(window, demand int64) [][]*tensor.Tensor {
+// takeBatch is the window-aware queue drain: it returns the queued pushes
+// (and their parallel ticket weights) as one batch when the soft aggregation
+// barrier is met — at least window tickets' worth of weight is waiting, or a
+// demanded ticket (a queued release, an explicit flush) lies beyond what
+// this shard has applied — and nil otherwise, leaving the queue to keep
+// filling. window 1 reproduces the classic drain-whatever-is-there behaviour
+// exactly.
+func (sh *shard) takeBatch(window, demand int64) ([][]*tensor.Tensor, []int64) {
 	sh.pendingMu.Lock()
-	n := int64(len(sh.pending))
+	n := sh.pendingWeight
 	if n == 0 || (n < window && demand <= sh.applied.Load()) {
 		sh.pendingMu.Unlock()
-		return nil
+		return nil, nil
 	}
-	batch := sh.pending
+	batch, weights := sh.pending, sh.weights
 	sh.pending = sh.spare[:0]
+	sh.weights = sh.spareWeights[:0]
+	sh.pendingWeight = 0
 	sh.pendingMu.Unlock()
 	sh.spare = batch
-	return batch
+	sh.spareWeights = weights
+	return batch, weights
 }
 
 // applyBatch absorbs one batch of queued gradient slices under the shard's
@@ -121,8 +136,10 @@ func (sh *shard) takeBatch(window, demand int64) [][]*tensor.Tensor {
 // generation that is either a recycled retired generation (steady state:
 // zero allocations) or freshly allocated buffers, and published; tensors
 // already handed out to readers are never mutated. version and applied
-// advance by the batch size, so readers observe the same counts as k serial
-// applies.
+// advance by the batch's total ticket weight — the batch size when every
+// entry is an ordinary weight-1 push, more when relay partials (each
+// standing in for several logical pushes) are present — so readers observe
+// the same counts as applying every logical push one at a time.
 //
 // When the shard's optimizer supports the fused step and no robust
 // aggregator is configured, the whole batch — gradient sum, weight decay,
@@ -132,10 +149,14 @@ func (sh *shard) takeBatch(window, demand int64) [][]*tensor.Tensor {
 //
 // m and tr are the server-installed instrumentation (Store.instrument);
 // both may be nil, in which case the method takes no timestamps at all.
-func (sh *shard) applyBatch(batch [][]*tensor.Tensor, m *storeMetrics, tr *obs.PushTracer) {
+func (sh *shard) applyBatch(batch [][]*tensor.Tensor, weights []int64, m *storeMetrics, tr *obs.PushTracer) {
 	var start time.Time
 	if m != nil {
 		start = time.Now()
+	}
+	total := int64(0)
+	for _, w := range weights {
+		total += w
 	}
 	// The aggregation seam: a configured robust aggregator reduces the batch
 	// in place of the classic sum; the fused path then applies the combined
@@ -176,19 +197,19 @@ func (sh *shard) applyBatch(batch [][]*tensor.Tensor, m *storeMetrics, tr *obs.P
 		sh.opt.Step(next.params, grads)
 	}
 	sh.gen = next
-	sh.version += int64(len(batch))
+	sh.version += total
 	sh.mu.Unlock()
 	sh.retireGen(cur)
 	// Every push spans every shard, so this shard's applied counter walks
 	// the same ticket sequence the store hands out (the checkpoint restore
-	// path re-bases it); the batch covered tickets (to-len(batch), to].
-	to := sh.applied.Add(int64(len(batch)))
+	// path re-bases it); the batch covered tickets (to-total, to].
+	to := sh.applied.Add(total)
 	if m != nil {
-		m.applyBatch.Observe(float64(len(batch)))
+		m.applyBatch.Observe(float64(total))
 		m.applySeconds.Observe(time.Since(start).Seconds())
 	}
 	if tr != nil {
-		tr.Applied(to-int64(len(batch)), to, len(batch), time.Now())
+		tr.Applied(to-total, to, int(total), time.Now())
 	}
 }
 

@@ -320,6 +320,21 @@ func (s *Store) Apply(grads []*tensor.Tensor) (int64, error) {
 // worker only learns its push completed (and so only reuses its gradient
 // buffers) after every ticket the release decision covered is applied.
 func (s *Store) EnqueueApply(grads []*tensor.Tensor) (int64, error) {
+	return s.EnqueueApplyWeighted(grads, 1)
+}
+
+// EnqueueApplyWeighted is EnqueueApply for a pre-aggregated gradient standing
+// in for weight logical pushes — a relay's forwarded partial, whose payload
+// is the coordinate-wise sum of weight children's gradients. The entry
+// reserves weight consecutive tickets and the returned ticket is the LAST of
+// them (the gate a release must wait on); the first is ticket-weight+1.
+// Version advances by weight when the entry is applied, exactly as if the
+// children had pushed individually, which is what keeps the ×k clock
+// advancement indistinguishable from flat pushes for staleness accounting.
+func (s *Store) EnqueueApplyWeighted(grads []*tensor.Tensor, weight int64) (int64, error) {
+	if weight < 1 {
+		return 0, fmt.Errorf("ps: push weight must be at least 1, got %d", weight)
+	}
 	if len(grads) != len(s.shapes) {
 		return 0, fmt.Errorf("ps: push carries %d tensors, store has %d", len(grads), len(s.shapes))
 	}
@@ -338,10 +353,10 @@ func (s *Store) EnqueueApply(grads []*tensor.Tensor) (int64, error) {
 	// enqMu makes the ticket and the queue insertions one atomic step, so
 	// every shard's queue holds pushes in ticket order (see the field doc).
 	s.enqMu.Lock()
-	ticket := s.reserved.Add(1)
+	ticket := s.reserved.Add(weight)
 	for i, sh := range s.shards {
 		r := s.ranges[i]
-		sh.enqueue(grads[r.Start:r.End])
+		sh.enqueue(grads[r.Start:r.End], weight)
 	}
 	s.enqMu.Unlock()
 	s.applyMu.RUnlock()
@@ -404,8 +419,8 @@ func (s *Store) watchdog(stop <-chan struct{}) {
 func (s *Store) applier(sh *shard, stop <-chan struct{}) {
 	defer s.applierWG.Done()
 	for {
-		if batch := sh.takeBatch(s.window.Load(), s.demand.Load()); len(batch) > 0 {
-			sh.applyBatch(batch, s.metrics, s.tracer)
+		if batch, weights := sh.takeBatch(s.window.Load(), s.demand.Load()); len(batch) > 0 {
+			sh.applyBatch(batch, weights, s.metrics, s.tracer)
 			s.advanceApplied()
 			continue
 		}
@@ -415,11 +430,11 @@ func (s *Store) applier(sh *shard, stop <-chan struct{}) {
 			// Everything enqueued before Close's fence is in the queue by
 			// now; drain it so no accepted ticket is lost.
 			for {
-				batch := sh.takePending()
+				batch, weights := sh.takePending()
 				if len(batch) == 0 {
 					return
 				}
-				sh.applyBatch(batch, s.metrics, s.tracer)
+				sh.applyBatch(batch, weights, s.metrics, s.tracer)
 				s.advanceApplied()
 			}
 		}

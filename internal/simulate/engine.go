@@ -41,6 +41,19 @@ type RunConfig struct {
 	// are dropped and repeat offenders evicted, mirroring the real
 	// server's GuardConfig.
 	Guard GuardSpec
+	// Fanout, when >= 2, interposes the aggregation-relay tier (DESIGN.md
+	// §11): relay r fronts workers [r*Fanout, (r+1)*Fanout), sums their
+	// pushes into one partial and forwards a single frame to the root, so
+	// the root link carries O(workers/Fanout) frames per round instead of
+	// O(workers). Child hops ride per-relay links; only relay frames
+	// contend on the root link. 0 or 1 means flat. Mirroring the real
+	// server's relay admission, Fanout >= 2 is incompatible with Guard.
+	Fanout int
+	// RelayFlush bounds how long a relay partial waits for straggling
+	// group members before forwarding incomplete, mirroring the real
+	// relay's watchdog; 0 picks the default 50ms
+	// (ps.DefaultRelayFlushInterval). Only meaningful with Fanout >= 2.
+	RelayFlush time.Duration
 	// Seed drives compute-time jitter.
 	Seed int64
 }
@@ -89,6 +102,14 @@ type RunResult struct {
 	Evicted []int
 	// Rejoins counts workers brought back by EventRejoin.
 	Rejoins int
+	// RootIngressFrames counts push frames arriving at the root: one per
+	// worker push when flat, one per forwarded relay partial under
+	// RunConfig.Fanout >= 2.
+	RootIngressFrames int
+	// RootIngressBytes is the gradient payload carried by those frames (a
+	// summed partial is one model-sized gradient regardless of how many
+	// pushes it folds).
+	RootIngressBytes int
 	// Bounded reports whether the paradigm guarantees any staleness bound
 	// (every paradigm except ASP).
 	Bounded bool
@@ -135,6 +156,15 @@ const (
 	evDelayShift
 	// evAdversary switches a worker's adversary behaviour (EventAdversary).
 	evAdversary
+	// evRelayIngress fires when a push has fully arrived at the worker's
+	// relay (RunConfig.Fanout >= 2).
+	evRelayIngress
+	// evRelayArrive fires when a forwarded relay partial has fully arrived
+	// at the root.
+	evRelayArrive
+	// evRelayFlush is a relay's watchdog: it forwards a partial that has
+	// waited RelayFlush for straggling group members.
+	evRelayFlush
 )
 
 // event is one entry of the simulation's time-ordered queue.
@@ -150,6 +180,12 @@ type event struct {
 	factor float64
 	// adversary carries the behaviour an evAdversary event installs.
 	adversary AdversaryKind
+	// batch lists the logical pushes folded into a relay frame
+	// (evRelayArrive), in arrival order at the relay.
+	batch []int
+	// gen is the partial generation an evRelayFlush watchdog was armed
+	// for; a stale generation means the partial already flushed.
+	gen int
 }
 
 // eventQueue is a min-heap of events ordered by time then insertion order.
@@ -206,11 +242,31 @@ type simulation struct {
 	monitor  *core.ClockMonitor
 	strikes  []int
 
+	// Relay tier state (Fanout >= 2): worker grouping, per-relay child
+	// links, and each relay's pending partial.
+	fanout          int
+	relayFlush      time.Duration
+	groupOf         []int
+	groups          [][]int
+	relayLinkFreeAt []time.Duration
+	partials        []relayPartialSim
+
 	linkFreeAt time.Duration
 	cpuFreeAt  time.Duration
 
 	result *RunResult
 }
+
+// relayPartialSim is one relay's windowed partial: the pushes summed so far
+// and a generation counter that invalidates armed watchdogs on flush.
+type relayPartialSim struct {
+	entries []int
+	member  map[int]bool
+	gen     int
+}
+
+// defaultRelayFlush mirrors ps.DefaultRelayFlushInterval.
+const defaultRelayFlush = 50 * time.Millisecond
 
 // Run executes one simulated training run.
 func Run(cfg RunConfig) (*RunResult, error) {
@@ -223,6 +279,15 @@ func Run(cfg RunConfig) (*RunResult, error) {
 	}
 	if cfg.Cluster.LinkBandwidth <= 0 || cfg.Cluster.ApplyRate <= 0 {
 		return nil, fmt.Errorf("simulate: cluster bandwidth and apply rate must be positive")
+	}
+	if cfg.Fanout < 0 {
+		return nil, fmt.Errorf("simulate: fanout must be >= 0, got %d", cfg.Fanout)
+	}
+	if cfg.Fanout >= 2 && cfg.Guard.Enabled {
+		// The guard screens per-worker clocks on raw ingress; a summed
+		// partial hides them. The real root rejects relay trunks the same
+		// way (relayAdmissible).
+		return nil, fmt.Errorf("simulate: the anomaly guard cannot screen relayed partials; disable Guard or run flat")
 	}
 	cfg.Policy.Workers = workers
 	policy, err := core.NewPolicy(cfg.Policy)
@@ -266,6 +331,27 @@ func Run(cfg RunConfig) (*RunResult, error) {
 		sim.speedScale[w] = 1
 		sim.links[w] = newLinkState(cfg.Links[w])
 		sim.adversary[w] = cfg.Adversaries[w]
+	}
+	if cfg.Fanout >= 2 {
+		sim.fanout = cfg.Fanout
+		sim.relayFlush = cfg.RelayFlush
+		if sim.relayFlush <= 0 {
+			sim.relayFlush = defaultRelayFlush
+		}
+		sim.groupOf = make([]int, workers)
+		for w := 0; w < workers; w++ {
+			g := w / cfg.Fanout
+			sim.groupOf[w] = g
+			for g >= len(sim.groups) {
+				sim.groups = append(sim.groups, nil)
+			}
+			sim.groups[g] = append(sim.groups[g], w)
+		}
+		sim.relayLinkFreeAt = make([]time.Duration, len(sim.groups))
+		sim.partials = make([]relayPartialSim, len(sim.groups))
+		for g := range sim.partials {
+			sim.partials[g].member = make(map[int]bool, cfg.Fanout)
+		}
 	}
 	sim.guardCfg = cfg.Guard.normalized()
 	if sim.guardCfg.Enabled {
@@ -348,7 +434,10 @@ func acquire(freeAt *time.Duration, now, cost time.Duration) time.Duration {
 func (s *simulation) run() {
 	for s.queue.Len() > 0 {
 		ev := heap.Pop(s.queue).(event)
-		if s.failed[ev.worker] && ev.kind != evRejoin && ev.kind != evDelayShift && ev.kind != evAdversary {
+		// Relay frames and watchdogs belong to the relay, not the worker
+		// whose id labels them: a member's crash must not discard them.
+		relayOwned := ev.kind == evRelayArrive || ev.kind == evRelayFlush
+		if s.failed[ev.worker] && !relayOwned && ev.kind != evRejoin && ev.kind != evDelayShift && ev.kind != evAdversary {
 			continue
 		}
 		switch ev.kind {
@@ -366,6 +455,12 @@ func (s *simulation) run() {
 			s.speedScale[ev.worker] = ev.factor
 		case evAdversary:
 			s.adversary[ev.worker] = ev.adversary
+		case evRelayIngress:
+			s.onRelayIngress(ev)
+		case evRelayArrive:
+			s.onRelayArrive(ev)
+		case evRelayFlush:
+			s.onRelayFlush(ev)
 		}
 	}
 }
@@ -375,6 +470,12 @@ func (s *simulation) run() {
 // hide CommOverlap of it behind computation, and the worker's link model
 // (if any) scales the result by its current Markov state.
 func (s *simulation) effectiveTransfer(w int, now time.Duration) time.Duration {
+	return time.Duration(float64(s.baseTransfer()) * s.links[w].multiplier(now, s.rng))
+}
+
+// baseTransfer is the overlap-adjusted transfer cost before any per-worker
+// link degradation — what a relay's trunk (a calm datacenter link) pays.
+func (s *simulation) baseTransfer() time.Duration {
 	base := s.transfer
 	if !s.aggregated {
 		overlap := s.cfg.Cluster.CommOverlap
@@ -386,19 +487,27 @@ func (s *simulation) effectiveTransfer(w int, now time.Duration) time.Duration {
 		}
 		base = time.Duration(float64(s.transfer) * (1 - overlap))
 	}
-	return time.Duration(float64(base) * s.links[w].multiplier(now, s.rng))
+	return base
 }
 
 // onComputeDone sends the worker's gradient to the server over the shared
 // link. A flood adversary emits floodBurst copies back to back; only the
 // first consumes the worker's iteration budget.
 func (s *simulation) onComputeDone(ev event) {
-	arrival := acquire(&s.linkFreeAt, ev.at, s.effectiveTransfer(ev.worker, ev.at))
-	s.scheduleEvent(event{at: arrival, kind: evPushArrive, worker: ev.worker})
+	// Under the relay tier the push rides the relay's child link instead of
+	// contending on the root's — that contention shift is the tier's point.
+	link := &s.linkFreeAt
+	kind := evPushArrive
+	if s.fanout >= 2 {
+		link = &s.relayLinkFreeAt[s.groupOf[ev.worker]]
+		kind = evRelayIngress
+	}
+	arrival := acquire(link, ev.at, s.effectiveTransfer(ev.worker, ev.at))
+	s.scheduleEvent(event{at: arrival, kind: kind, worker: ev.worker})
 	if s.adversary[ev.worker] == AdversaryPushFlood {
 		for i := 1; i < floodBurst; i++ {
-			arrival = acquire(&s.linkFreeAt, arrival, s.effectiveTransfer(ev.worker, arrival))
-			s.scheduleEvent(event{at: arrival, kind: evPushArrive, worker: ev.worker, extra: true})
+			arrival = acquire(link, arrival, s.effectiveTransfer(ev.worker, arrival))
+			s.scheduleEvent(event{at: arrival, kind: kind, worker: ev.worker, extra: true})
 		}
 	}
 }
@@ -409,6 +518,8 @@ func (s *simulation) onComputeDone(ev event) {
 // never reaches the policy's OnPush — the worker leaves instead.
 func (s *simulation) onPushArrive(ev event) {
 	w := ev.worker
+	s.result.RootIngressFrames++
+	s.result.RootIngressBytes += s.cfg.Model.Bytes()
 	if !ev.extra {
 		s.remaining[w]--
 		s.pushArrivedAt[w] = ev.at
@@ -467,6 +578,116 @@ func (s *simulation) onPushArrive(ev event) {
 	s.releaseWorkers(decision.Release, readyAt)
 }
 
+// doneFor reports whether a worker has completed its course: no iterations
+// left and no push awaiting release. A relay partial never waits on it.
+func (s *simulation) doneFor(w int) bool { return s.remaining[w] <= 0 && !s.waiting[w] }
+
+// relayComplete reports whether relay g's partial holds a contribution from
+// every group member still expected to push — the real relay's "full" flush
+// condition.
+func (s *simulation) relayComplete(g int) bool {
+	p := &s.partials[g]
+	if len(p.entries) == 0 {
+		return false
+	}
+	for _, w := range s.groups[g] {
+		if s.failed[w] || s.doneFor(w) {
+			continue
+		}
+		if !p.member[w] {
+			return false
+		}
+	}
+	return true
+}
+
+// flushRelay forwards relay g's pending partial to the root as one frame on
+// the root link, and invalidates any armed watchdog via the generation bump.
+func (s *simulation) flushRelay(g int, at time.Duration) {
+	p := &s.partials[g]
+	if len(p.entries) == 0 {
+		return
+	}
+	batch := p.entries
+	p.entries = nil
+	p.member = make(map[int]bool, s.fanout)
+	p.gen++
+	arrival := acquire(&s.linkFreeAt, at, s.baseTransfer())
+	s.scheduleEvent(event{at: arrival, kind: evRelayArrive, worker: batch[0], batch: batch})
+}
+
+// onRelayIngress folds an arrived push into its relay's partial. A duplicate
+// contribution flushes the open window first (the worker has lapped its
+// peers); a partial covering every expected member flushes immediately.
+func (s *simulation) onRelayIngress(ev event) {
+	w := ev.worker
+	g := s.groupOf[w]
+	if !ev.extra {
+		s.remaining[w]--
+		s.pushArrivedAt[w] = ev.at
+		s.waiting[w] = true
+	}
+	p := &s.partials[g]
+	if p.member[w] {
+		s.flushRelay(g, ev.at)
+	}
+	if len(p.entries) == 0 {
+		// First entry of a fresh partial: arm the straggler watchdog.
+		s.scheduleEvent(event{at: ev.at + s.relayFlush, kind: evRelayFlush, worker: w, gen: p.gen})
+	}
+	p.entries = append(p.entries, w)
+	p.member[w] = true
+	if s.relayComplete(g) {
+		s.flushRelay(g, ev.at)
+	}
+}
+
+// onRelayFlush is the armed watchdog firing: if the partial it was armed for
+// is still open, straggling members have held it past RelayFlush — forward
+// it incomplete, exactly like the real relay.
+func (s *simulation) onRelayFlush(ev event) {
+	g := s.groupOf[ev.worker]
+	if s.partials[g].gen == ev.gen {
+		s.flushRelay(g, ev.at)
+	}
+}
+
+// onRelayArrive processes one forwarded partial at the root: a single frame
+// of ingress whose embedded entries each reach the policy as a logical push,
+// applied as one weighted update — version advances by the batch size.
+func (s *simulation) onRelayArrive(ev event) {
+	s.result.RootIngressFrames++
+	s.result.RootIngressBytes += s.cfg.Model.Bytes()
+	applied := false
+	var release []core.WorkerID
+	for _, w := range ev.batch {
+		if s.failed[w] {
+			// The member died after contributing; its summed share cannot
+			// be subtracted, but its policy clock already left on OnLeave.
+			s.result.DroppedUpdates++
+			continue
+		}
+		decision := s.policy.OnPush(core.WorkerID(w), time.Unix(0, 0).Add(ev.at))
+		if decision.Drop {
+			s.result.DroppedUpdates++
+		} else {
+			staleness := s.version - s.baseVersion[w]
+			s.version++
+			s.result.Staleness.Observe(staleness)
+			s.result.Updates = append(s.result.Updates, UpdateEvent{At: ev.at, Worker: w, Staleness: staleness})
+			applied = true
+		}
+		release = append(release, decision.Release...)
+	}
+	readyAt := ev.at
+	if applied {
+		// One weighted apply per frame, however many pushes it folds —
+		// the relay already paid the summing.
+		readyAt = acquire(&s.cpuFreeAt, ev.at, s.applyCost+s.keyCost)
+	}
+	s.releaseWorkers(release, readyAt)
+}
+
 // onFail crashes a worker: it stops computing, any queued events for it are
 // discarded by run, and the policy is told it left so that peers blocked on
 // it are re-evaluated — exactly what the real server does when a connection
@@ -489,6 +710,15 @@ func (s *simulation) crashWorker(w int, at time.Duration) {
 	s.finishedAt[w] = at
 	decision := s.policy.OnLeave(core.WorkerID(w), time.Unix(0, 0).Add(at))
 	s.releaseWorkers(decision.Release, at)
+	if s.fanout >= 2 {
+		// The relay flushes on a member's departure (its share is already
+		// summed in), and a partial that was only waiting on the dead
+		// worker is now complete.
+		g := s.groupOf[w]
+		if s.partials[g].member[w] || s.relayComplete(g) {
+			s.flushRelay(g, at)
+		}
+	}
 }
 
 // onRejoin resurrects a crashed worker: the policy admits it back, it pulls
@@ -506,9 +736,18 @@ func (s *simulation) onRejoin(ev event) {
 	if s.monitor != nil {
 		s.monitor.ObservePull(core.WorkerID(w))
 	}
-	pullDone := acquire(&s.linkFreeAt, ev.at, s.effectiveTransfer(w, ev.at))
+	pullDone := acquire(s.pullLink(w), ev.at, s.effectiveTransfer(w, ev.at))
 	s.baseVersion[w] = s.version
 	s.schedule(pullDone, evPullDone, w)
+}
+
+// pullLink is the link a worker's pull rides: the root's when flat, its
+// relay's child link under the aggregation tier.
+func (s *simulation) pullLink(w int) *time.Duration {
+	if s.fanout >= 2 {
+		return &s.relayLinkFreeAt[s.groupOf[w]]
+	}
+	return &s.linkFreeAt
 }
 
 // releaseWorkers processes a policy release list: waiting workers resume
@@ -534,13 +773,19 @@ func (s *simulation) releaseWorkers(release []core.WorkerID, readyAt time.Durati
 			s.finishedAt[r] = releaseAt
 			d := s.policy.OnLeave(core.WorkerID(r), time.Unix(0, 0).Add(releaseAt))
 			s.releaseWorkers(d.Release, releaseAt)
+			if s.fanout >= 2 && s.relayComplete(s.groupOf[r]) {
+				// Its relay no longer expects it; a partial waiting only
+				// on this worker is complete now.
+				s.flushRelay(s.groupOf[r], releaseAt)
+			}
 			continue
 		}
-		// Pull the fresh weights over the shared link, then start computing.
+		// Pull the fresh weights over the shared link (the relay's child
+		// link under the tier — pulls pass through the relay's cache).
 		if s.monitor != nil {
 			s.monitor.ObservePull(core.WorkerID(r))
 		}
-		pullDone := acquire(&s.linkFreeAt, releaseAt, s.effectiveTransfer(r, releaseAt))
+		pullDone := acquire(s.pullLink(r), releaseAt, s.effectiveTransfer(r, releaseAt))
 		s.baseVersion[r] = s.version
 		s.schedule(pullDone, evPullDone, r)
 	}

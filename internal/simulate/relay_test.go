@@ -1,0 +1,115 @@
+package simulate
+
+import (
+	"testing"
+	"time"
+
+	"dssp/internal/core"
+)
+
+// fanoutRun simulates a run through the relay tier.
+func fanoutRun(t *testing.T, policy core.PolicyConfig, workers, iters, fanout int, events ...Event) *RunResult {
+	t.Helper()
+	run, err := Run(RunConfig{
+		Model:               ModelResNet50,
+		Cluster:             HomogeneousCluster(workers),
+		Policy:              policy,
+		IterationsPerWorker: iters,
+		Fanout:              fanout,
+		Events:              events,
+		Seed:                7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return run
+}
+
+// TestFanoutPreservesEveryLogicalPush pins the tier's semantic claim in the
+// simulator: relayed runs apply exactly as many updates as flat ones — the
+// relay batches frames, it does not eat pushes.
+func TestFanoutPreservesEveryLogicalPush(t *testing.T) {
+	const workers, iters = 8, 40
+	for _, policy := range []core.PolicyConfig{
+		{Paradigm: core.ParadigmBSP},
+		{Paradigm: core.ParadigmSSP, Staleness: 3},
+		{Paradigm: core.ParadigmDSSP, Staleness: 1, Range: 4},
+	} {
+		run := fanoutRun(t, policy, workers, iters, 4)
+		if got := len(run.Updates) + run.DroppedUpdates; got != workers*iters {
+			t.Errorf("%s: %d updates + %d dropped, want %d logical pushes",
+				policy.Describe(), len(run.Updates), run.DroppedUpdates, workers*iters)
+		}
+	}
+}
+
+// TestFanoutCutsRootIngress is the simulator-side headline: the same
+// workload at fanout 4 lands far fewer (and smaller in aggregate) push
+// frames on the root than flat, without losing updates.
+func TestFanoutCutsRootIngress(t *testing.T) {
+	const workers, iters = 8, 40
+	policy := core.PolicyConfig{Paradigm: core.ParadigmSSP, Staleness: 3}
+	flat := fanoutRun(t, policy, workers, iters, 0)
+	tree := fanoutRun(t, policy, workers, iters, 4)
+
+	if flat.RootIngressFrames != workers*iters {
+		t.Fatalf("flat root ingress %d frames, want %d", flat.RootIngressFrames, workers*iters)
+	}
+	if tree.RootIngressFrames*3 > flat.RootIngressFrames {
+		t.Errorf("fanout-4 root ingress %d frames vs flat %d: want >= 3x reduction",
+			tree.RootIngressFrames, flat.RootIngressFrames)
+	}
+	if tree.RootIngressBytes*2 > flat.RootIngressBytes {
+		t.Errorf("fanout-4 root ingress %d bytes vs flat %d: want >= 2x reduction",
+			tree.RootIngressBytes, flat.RootIngressBytes)
+	}
+	if len(tree.Updates) != len(flat.Updates) {
+		t.Errorf("fanout run applied %d updates, flat %d", len(tree.Updates), len(flat.Updates))
+	}
+}
+
+// TestFanoutSurvivesMemberCrash crashes one group member mid-run: the
+// remaining workers finish, and every push is either applied or accounted
+// dropped — nothing wedges inside a half-full partial.
+func TestFanoutSurvivesMemberCrash(t *testing.T) {
+	const workers, iters = 8, 40
+	policy := core.PolicyConfig{Paradigm: core.ParadigmDSSP, Staleness: 1, Range: 4}
+	run := fanoutRun(t, policy, workers, iters, 4, Crash(1, 200*time.Millisecond))
+
+	if run.Finish <= 0 {
+		t.Fatal("run never finished")
+	}
+	planned := workers * iters
+	if got := len(run.Updates) + run.DroppedUpdates; got > planned {
+		t.Errorf("%d updates + %d dropped exceeds %d planned pushes", len(run.Updates), run.DroppedUpdates, planned)
+	}
+	// The seven survivors complete their full budget.
+	perWorker := make(map[int]int, workers)
+	for _, u := range run.Updates {
+		perWorker[u.Worker]++
+	}
+	for w := 0; w < workers; w++ {
+		if w == 1 {
+			continue
+		}
+		if perWorker[w] == 0 {
+			t.Errorf("surviving worker %d applied no updates", w)
+		}
+	}
+}
+
+// TestFanoutRejectsGuard mirrors the real root's relay admission: a summed
+// partial hides per-worker clocks, so the guard and the tier are exclusive.
+func TestFanoutRejectsGuard(t *testing.T) {
+	_, err := Run(RunConfig{
+		Model:               ModelResNet50,
+		Cluster:             HomogeneousCluster(4),
+		Policy:              core.PolicyConfig{Paradigm: core.ParadigmASP},
+		IterationsPerWorker: 5,
+		Fanout:              2,
+		Guard:               GuardSpec{Enabled: true},
+	})
+	if err == nil {
+		t.Fatal("expected fanout + guard to be rejected")
+	}
+}

@@ -41,6 +41,11 @@ type serving struct {
 	// single server, or the cluster coordinator. Result statistics
 	// (pushes, drops, staleness, waits, guard, metrics, traces) read from it.
 	policyServer *ps.Server
+	// dial opens a fresh connection to the policy server (set by
+	// buildStandalone; the tree topology builds relay trunks over it).
+	dial func() (transport.Conn, error)
+	// relays is the aggregation tier, when the topology has one.
+	relays []*ps.Relay
 	// stop tears the topology down in dependency order.
 	stop func()
 }
@@ -50,6 +55,12 @@ type serving struct {
 // while ClusterServers data servers own contiguous shard ranges of the store
 // (DESIGN.md §10), all in-process over channel transports.
 func buildServing(cfg Config, policy core.Policy, params []*tensor.Tensor) (*serving, error) {
+	if cfg.Fanout >= 2 {
+		if cfg.ClusterServers >= 2 {
+			return nil, fmt.Errorf("trainer: Fanout and ClusterServers are mutually exclusive")
+		}
+		return buildTree(cfg, policy, params)
+	}
 	if cfg.ClusterServers <= 1 {
 		return buildStandalone(cfg, policy, params)
 	}
@@ -100,11 +111,98 @@ func buildStandalone(cfg Config, policy core.Policy, params []*tensor.Tensor) (*
 		version:      store.Version,
 		setLR:        store.SetLearningRate,
 		policyServer: server,
+		dial:         listener.Dial,
 		stop: func() {
 			server.Stop()
 			listener.Close()
 		},
 	}, nil
+}
+
+// buildTree is the aggregation-tree topology (DESIGN.md §11): the classic
+// single server at the root, fronted by ceil(Workers/Fanout) in-process
+// relays over channel transports. Each relay registers a trunk with the
+// root, learns its worker range through the tree layout, and sums its
+// children's pushes into one forwarded partial; workers fetch the layout
+// from the root at connect time and dial the relay covering them — the
+// single-process twin of `psserver -role relay`.
+func buildTree(cfg Config, policy core.Policy, params []*tensor.Tensor) (*serving, error) {
+	base, err := buildStandalone(cfg, policy, params)
+	if err != nil {
+		return nil, err
+	}
+	rootDial := base.dial
+	rootStop := base.stop
+
+	relayCount := (cfg.Workers + cfg.Fanout - 1) / cfg.Fanout
+	var relays []*ps.Relay
+	var listeners []*transport.ChanListener
+	byAddr := make(map[string]*transport.ChanListener)
+	stopAll := func() {
+		for _, r := range relays {
+			r.Stop()
+		}
+		for _, l := range listeners {
+			l.Close()
+		}
+		rootStop()
+	}
+	for i := 0; i < relayCount; i++ {
+		l := transport.NewChanListener()
+		listeners = append(listeners, l)
+		byAddr[l.Addr()] = l
+		relay, err := ps.NewRelay(ps.RelayConfig{
+			Parent:            rootDial,
+			Fanout:            cfg.Fanout,
+			Advertise:         l.Addr(),
+			Compression:       cfg.Compression,
+			HeartbeatInterval: cfg.HeartbeatInterval,
+			HeartbeatTimeout:  cfg.HeartbeatTimeout,
+		})
+		if err != nil {
+			stopAll()
+			return nil, fmt.Errorf("trainer: relay %d: %w", i, err)
+		}
+		relays = append(relays, relay)
+		go func(r *ps.Relay, l *transport.ChanListener) { _ = r.Serve(l) }(relay, l)
+	}
+
+	connect := func(workerID int) (trainClient, error) {
+		layoutConn, err := rootDial()
+		if err != nil {
+			return nil, err
+		}
+		layout, err := ps.FetchTreeLayout(layoutConn)
+		layoutConn.Close()
+		if err != nil {
+			return nil, err
+		}
+		var conn transport.Conn
+		if addr := layout.Covering(workerID); addr != "" && byAddr[addr] != nil {
+			conn, err = byAddr[addr].Dial()
+		} else {
+			conn, err = rootDial()
+		}
+		if err != nil {
+			return nil, err
+		}
+		client, err := ps.NewClientCompressed(conn, workerID, cfg.Compression)
+		if err != nil {
+			conn.Close()
+			return nil, err
+		}
+		client.SetDeltaPull(cfg.DeltaPull)
+		if err := client.Register(); err != nil {
+			client.Close()
+			return nil, err
+		}
+		return client, nil
+	}
+
+	base.connect = connect
+	base.relays = relays
+	base.stop = stopAll
+	return base, nil
 }
 
 // buildCluster is the server-group topology: cfg.ClusterServers data servers

@@ -64,6 +64,15 @@ type Config struct {
 	// single-process twin of a multi-process psserver group. 0 or 1 keeps
 	// the classic single server.
 	ClusterServers int
+	// Fanout, when >= 2, fronts the server with an in-process aggregation
+	// tier (DESIGN.md §11): ceil(Workers/Fanout) relays each sum the pushes
+	// of up to Fanout workers into one ×k-weighted partial, cutting the
+	// root's push ingress from O(Workers) to O(Workers/Fanout) frames per
+	// round while the policy layer still sees every logical push. Workers
+	// learn their relay from the root's tree layout, exactly as the TCP
+	// worker does. Incompatible with ClusterServers >= 2, a non-sum
+	// aggregator, and the anomaly guard. 0 or 1 keeps the flat topology.
+	Fanout int
 	// Options is the server-side serving surface (compression, aggregation,
 	// guard, elasticity, heartbeat timeout, checkpointing), embedded so its
 	// fields read as they always did (cfg.Compression, cfg.Elastic, ...).
@@ -99,6 +108,10 @@ type Config struct {
 	// Trace configures sampled push-lifecycle tracing on the server (zero =
 	// default sampling; Every < 0 disables).
 	Trace obs.TraceConfig
+	// relayHook, when set, receives the aggregation tier's relays right
+	// after the topology stands up — a test seam for reading RelayStats and
+	// injecting relay faults. Only meaningful with Fanout >= 2.
+	relayHook func([]*ps.Relay)
 }
 
 // Result collects the measurements of one run.
@@ -192,6 +205,9 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	defer srv.stop()
+	if cfg.relayHook != nil {
+		cfg.relayHook(srv.relays)
+	}
 
 	test := cfg.Test
 	if test == nil {

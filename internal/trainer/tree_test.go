@@ -1,0 +1,171 @@
+package trainer
+
+import (
+	"testing"
+
+	"dssp/internal/compress"
+	"dssp/internal/core"
+	"dssp/internal/ps"
+)
+
+// TestTreeTopologyTrainsUnderEveryParadigm runs the aggregation-tree
+// topology under each paradigm and checks it converges within the
+// established tolerance of the flat run: relays change who sums the
+// gradients, not what the optimizer sees.
+func TestTreeTopologyTrainsUnderEveryParadigm(t *testing.T) {
+	paradigms := []core.PolicyConfig{
+		{Paradigm: core.ParadigmBSP},
+		{Paradigm: core.ParadigmSSP, Staleness: 3},
+		{Paradigm: core.ParadigmDSSP, Staleness: 1, Range: 4},
+	}
+	for _, p := range paradigms {
+		p := p
+		t.Run(p.Describe(), func(t *testing.T) {
+			flatCfg := smallConfig(p)
+			flatCfg.Workers = 4
+			flat, err := Run(flatCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			treeCfg := smallConfig(p)
+			treeCfg.Workers = 4
+			treeCfg.Fanout = 2
+			tree, err := Run(treeCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tree.Updates != flat.Updates-flat.Dropped+tree.Dropped {
+				// Logical pushes must all reach the policy: the version
+				// advances by the partial's weight, so the update count
+				// matches flat push-for-push.
+				t.Errorf("tree applied %d updates (dropped %d), flat %d (dropped %d)",
+					tree.Updates, tree.Dropped, flat.Updates, flat.Dropped)
+			}
+			if diff := tree.FinalAccuracy - flat.FinalAccuracy; diff < -0.15 {
+				t.Errorf("tree accuracy %.3f more than 0.15 below flat %.3f",
+					tree.FinalAccuracy, flat.FinalAccuracy)
+			}
+			if tree.Metrics[`dssp_tree_partials_total`] == 0 {
+				t.Error("no relay partials reached the store")
+			}
+			if tree.Metrics[`dssp_tree_child_joins_total`] != 4 {
+				t.Errorf("expected 4 trunk-routed joins, got %v",
+					tree.Metrics[`dssp_tree_child_joins_total`])
+			}
+		})
+	}
+}
+
+// TestTreeTopologyWithCompressionAndDeltaPull exercises the per-hop byte
+// paths together: child→relay and relay→root pushes compressed with error
+// feedback at each hop, pulls delta-gated and packed through the relay
+// cache.
+func TestTreeTopologyWithCompressionAndDeltaPull(t *testing.T) {
+	cfg := smallConfig(core.PolicyConfig{Paradigm: core.ParadigmSSP, Staleness: 3})
+	cfg.Workers = 4
+	cfg.Fanout = 2
+	cfg.DeltaPull = true
+	cfg.Compression = compress.Config{Codec: compress.Int8, Pull: true}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Updates == 0 {
+		t.Fatal("no updates were applied")
+	}
+	if res.FinalAccuracy < 0.5 {
+		t.Errorf("compressed tree run collapsed: final accuracy %.3f", res.FinalAccuracy)
+	}
+}
+
+// TestTreeIngressReduction is the PR's headline pin: with 16 workers at
+// fanout 4 the root must receive at least 3x fewer push frames and 2x fewer
+// push ingress bytes than the flat topology, while every logical push still
+// reaches the policy layer. Frames and bytes come from the root listener's
+// transport meter, the same series a /metrics scrape exports.
+func TestTreeIngressReduction(t *testing.T) {
+	run := func(fanout int) *Result {
+		cfg := smallConfig(core.PolicyConfig{Paradigm: core.ParadigmBSP})
+		cfg.Workers = 16
+		cfg.BatchSize = 4
+		cfg.Epochs = 4
+		cfg.Fanout = fanout
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	flat := run(0)
+	tree := run(4)
+
+	const framesKey = `dssp_transport_frames_total{dir="recv",type="Push"}`
+	const bytesKey = `dssp_transport_bytes_total{dir="recv",type="Push"}`
+	flatFrames, treeFrames := flat.Metrics[framesKey], tree.Metrics[framesKey]
+	flatBytes, treeBytes := flat.Metrics[bytesKey], tree.Metrics[bytesKey]
+	if flatFrames == 0 || treeFrames == 0 {
+		t.Fatalf("missing transport meters: flat=%v tree=%v", flatFrames, treeFrames)
+	}
+	if treeFrames*3 > flatFrames {
+		t.Errorf("root push ingress %v frames, want <= 1/3 of flat's %v", treeFrames, flatFrames)
+	}
+	if treeBytes*2 > flatBytes {
+		t.Errorf("root push ingress %v bytes, want <= 1/2 of flat's %v", treeBytes, flatBytes)
+	}
+	if tree.Updates != flat.Updates {
+		t.Errorf("tree applied %d updates, flat %d — logical pushes lost", tree.Updates, flat.Updates)
+	}
+	if acc := tree.FinalAccuracy; acc < flat.FinalAccuracy-0.15 {
+		t.Errorf("tree accuracy %.3f more than 0.15 below flat %.3f", acc, flat.FinalAccuracy)
+	}
+}
+
+// TestTreeTrafficReconciliation checks per-hop accounting (satellite: every
+// byte crossing a relay is counted on both ends): the bytes the workers
+// report pushing must equal the ingress the relays account, and the relays'
+// forwarded bytes must land within the root's received push bytes.
+func TestTreeTrafficReconciliation(t *testing.T) {
+	cfg := smallConfig(core.PolicyConfig{Paradigm: core.ParadigmBSP})
+	cfg.Workers = 4
+	cfg.Fanout = 2
+	var relays []*ps.Relay
+	cfg.relayHook = func(rs []*ps.Relay) { relays = rs }
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(relays) != 2 {
+		t.Fatalf("expected 2 relays for 4 workers at fanout 2, got %d", len(relays))
+	}
+
+	var ingress, forwarded int64
+	var childPushes uint64
+	for _, r := range relays {
+		s := r.Stats()
+		ingress += s.IngressBytes
+		forwarded += s.ForwardedBytes
+		childPushes += s.ChildPushes
+	}
+	if res.PushedBytes != ingress {
+		t.Errorf("workers report pushing %d bytes, relays account %d ingress", res.PushedBytes, ingress)
+	}
+	if forwarded >= ingress {
+		t.Errorf("relays forwarded %d bytes >= their %d ingress: no aggregation happened", forwarded, ingress)
+	}
+	rootBytes := int64(res.Metrics[`dssp_transport_bytes_total{dir="recv",type="Push"}`])
+	// The channel transport's meter adds a small fixed envelope per frame
+	// on top of the payload bytes the relay accounts, so the root reads
+	// slightly above the relays' own number — never below it, and never by
+	// more than the envelope allowance.
+	if rootBytes < forwarded {
+		t.Errorf("root metered %d push bytes, below the %d the relays report forwarding", rootBytes, forwarded)
+	}
+	rootFrames := int64(res.Metrics[`dssp_transport_frames_total{dir="recv",type="Push"}`])
+	if slack := rootBytes - forwarded; slack > 128*rootFrames {
+		t.Errorf("root metered %d push bytes vs %d forwarded: reconciliation gap %d too large",
+			rootBytes, forwarded, slack)
+	}
+	if childPushes == 0 {
+		t.Error("relays saw no child pushes")
+	}
+}

@@ -131,6 +131,21 @@ type WireTensor struct {
 	Data  []float32
 }
 
+// PushEntry is the per-child metadata of one logical push folded into an
+// aggregated relay push: which worker pushed, the store version its gradients
+// were computed from, and its local iteration number. The relay sums the
+// gradients coordinate-wise but forwards every child's entry, so the root's
+// policy layer still observes each logical push for staleness accounting.
+type PushEntry struct {
+	// Worker is the pushing worker's ID.
+	Worker int
+	// Version is the store version the worker's gradients were computed
+	// against (the flat push's Version field).
+	Version int64
+	// Iteration is the worker's local iteration number.
+	Iteration int
+}
+
 // Message is the envelope exchanged between a worker and the server.
 type Message struct {
 	// Type identifies the message purpose.
@@ -218,6 +233,21 @@ type Message struct {
 	// the coordinator's placeholder store). Binary wire tag 0x16 (protocol
 	// v3).
 	Cluster bool
+	// Relay marks a MsgRegister as an aggregation-relay trunk session — a
+	// relay process that multiplexes the pushes, pulls and control messages
+	// of up to fanout children over one upstream connection — and a
+	// MsgClusterMap request/reply as concerning the aggregation-tree layout
+	// rather than the server-group shard map. On a trunk registration,
+	// Servers[0] optionally advertises the relay's child-facing address and
+	// its fanout (as ShardHi), which the root folds into the tree layout it
+	// serves to -tree workers. Binary wire tag 0x17 (protocol v4).
+	Relay bool
+	// PushEntries, on a trunk MsgPush, carries the per-child metadata of the
+	// logical pushes summed into this aggregated gradient: one entry per
+	// child, in relay arrival order. The payload (Tensors or Packed) is the
+	// coordinate-wise sum of all listed children's gradients. Binary wire tag
+	// 0x18 (protocol v4).
+	PushEntries []PushEntry
 
 	// ownedPayload marks a message whose Tensors data and Packed payloads
 	// are owned by the message alone — set by the TCP transports, whose

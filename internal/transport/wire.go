@@ -41,14 +41,15 @@ const (
 	wireMagic = "DSSP"
 	// wireVersion is the newest protocol version this build speaks; version
 	// 2 added the delta-pull fields (tags 0x0F..0x12), version 3 the
-	// server-group fields (tags 0x13..0x16) and message types 13..15. Every
-	// frame is stamped with the lowest version able to express it
-	// (frameVersion), so a conversation that never uses v2/v3 fields is
-	// byte-identical to a v1 conversation — that is what keeps v1 peers
-	// interoperable with a v3 server: the fields a v3 server would need v3
-	// for are negotiation-gated (or cluster-only message types) and an older
-	// peer can never negotiate them.
-	wireVersion    = 3
+	// server-group fields (tags 0x13..0x16) and message types 13..15, and
+	// version 4 the aggregation-tree fields (tags 0x17..0x18). Every frame is
+	// stamped with the lowest version able to express it (frameVersion), so a
+	// conversation that never uses v2/v3/v4 fields is byte-identical to a v1
+	// conversation — that is what keeps v1 peers interoperable with a v4
+	// server: the fields a v4 server would need v4 for are negotiation-gated
+	// (or cluster-only message types) and an older peer can never negotiate
+	// them.
+	wireVersion    = 4
 	wireVersionMin = 1
 	headerSize     = 12
 
@@ -109,16 +110,24 @@ const (
 	tagMapVersion = 0x14 // uint64 (two's-complement int64)
 	tagReplica    = 0x15 // uint8, must be 1
 	tagCluster    = 0x16 // uint8, must be 1
+
+	// Version-4 tags (aggregation trees). A frame carrying either is stamped
+	// protocol version 4; decoders reject them inside an older frame.
+	tagRelay       = 0x17 // uint8, must be 1
+	tagPushEntries = 0x18 // uint32 count + count × (uint32 worker + uint64 version + uint32 iteration)
 )
 
-// frameVersion returns the lowest protocol version able to express m: 3 when
-// any server-group field is present or the type itself is a cluster message
-// (so a pre-cluster peer rejects the frame outright instead of silently
-// ignoring an unknown type), 2 when any delta-pull field is present, 1
-// otherwise. Encoding at the minimum keeps frames canonical and lets a v3
-// build interoperate with older peers for every conversation that never
-// negotiates newer features.
+// frameVersion returns the lowest protocol version able to express m: 4 when
+// any aggregation-tree field is present, 3 when any server-group field is
+// present or the type itself is a cluster message (so a pre-cluster peer
+// rejects the frame outright instead of silently ignoring an unknown type),
+// 2 when any delta-pull field is present, 1 otherwise. Encoding at the
+// minimum keeps frames canonical and lets a v4 build interoperate with older
+// peers for every conversation that never negotiates newer features.
 func frameVersion(m *Message) byte {
+	if m.Relay || len(m.PushEntries) > 0 {
+		return 4
+	}
 	if len(m.Servers) > 0 || m.MapVersion != 0 || m.Replica || m.Cluster ||
 		m.Type == MsgClusterMap || m.Type == MsgServerAnnounce || m.Type == MsgPromote {
 		return 3
@@ -130,11 +139,11 @@ func frameVersion(m *Message) byte {
 }
 
 // FrameVersion reports the binary protocol version the wire encoder would
-// stamp on m (docs/PROTOCOL.md §3): 3 when any server-group field or cluster
-// message type is present, 2 when any delta-pull field is present, 1
-// otherwise. An older peer rejects higher-version frames, so higher layers
-// use this to pin that messages bound for un-negotiated sessions stay
-// expressible in protocol version 1.
+// stamp on m (docs/PROTOCOL.md §3): 4 when any aggregation-tree field is
+// present, 3 when any server-group field or cluster message type is present,
+// 2 when any delta-pull field is present, 1 otherwise. An older peer rejects
+// higher-version frames, so higher layers use this to pin that messages
+// bound for un-negotiated sessions stay expressible in protocol version 1.
 func FrameVersion(m Message) byte { return frameVersion(&m) }
 
 // hostLittleEndian reports whether the running machine stores integers
@@ -319,6 +328,27 @@ func appendBody(dst []byte, bodyStart int, m *Message) ([]byte, error) {
 	}
 	if m.Cluster {
 		dst = append(dst, tagCluster, 1)
+	}
+	if m.Relay {
+		dst = append(dst, tagRelay, 1)
+	}
+	if len(m.PushEntries) > 0 {
+		if len(m.PushEntries) > maxFrameBody/16 {
+			return dst, fmt.Errorf("transport: %d push entries exceed the frame limit", len(m.PushEntries))
+		}
+		dst = append(dst, tagPushEntries)
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(m.PushEntries)))
+		for i, e := range m.PushEntries {
+			if e.Worker < math.MinInt32 || e.Worker > math.MaxInt32 {
+				return dst, fmt.Errorf("transport: push entry %d worker %d outside the wire's int32 range", i, e.Worker)
+			}
+			if e.Iteration < math.MinInt32 || e.Iteration > math.MaxInt32 {
+				return dst, fmt.Errorf("transport: push entry %d iteration %d outside the wire's int32 range", i, e.Iteration)
+			}
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(int32(e.Worker)))
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(e.Version))
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(int32(e.Iteration)))
+		}
 	}
 	return dst, nil
 }
@@ -571,6 +601,10 @@ func parseBody(typ, version byte, body []byte) (Message, error) {
 			return Message{}, fmt.Errorf("transport: decode %v frame: field tag 0x%02x requires protocol version 3 but the frame is version %d",
 				MessageType(typ), tag, version)
 		}
+		if tag >= tagRelay && tag <= tagPushEntries && version < 4 {
+			return Message{}, fmt.Errorf("transport: decode %v frame: field tag 0x%02x requires protocol version 4 but the frame is version %d",
+				MessageType(typ), tag, version)
+		}
 		prevTag = tag
 		var err error
 		switch tag {
@@ -704,6 +738,35 @@ func parseBody(typ, version byte, body []byte) (Message, error) {
 			} else {
 				m.Cluster = true
 				off++
+			}
+		case tagRelay:
+			if off >= len(body) {
+				err = errTruncatedField
+			} else if body[off] != 1 {
+				err = fmt.Errorf("transport: Relay byte is %d, want 1", body[off])
+			} else {
+				m.Relay = true
+				off++
+			}
+		case tagPushEntries:
+			if off+4 > len(body) {
+				err = errTruncatedField
+			} else {
+				n := int(binary.LittleEndian.Uint32(body[off:]))
+				if n < 0 || n > (len(body)-off-4)/16 {
+					err = fmt.Errorf("transport: %d push entries cannot fit in %d remaining bytes", n, len(body)-off-4)
+				} else {
+					off += 4
+					m.PushEntries = make([]PushEntry, n)
+					for i := range m.PushEntries {
+						m.PushEntries[i] = PushEntry{
+							Worker:    int(int32(binary.LittleEndian.Uint32(body[off:]))),
+							Version:   int64(binary.LittleEndian.Uint64(body[off+4:])),
+							Iteration: int(int32(binary.LittleEndian.Uint32(body[off+12:]))),
+						}
+						off += 16
+					}
+				}
 			}
 		default:
 			err = fmt.Errorf("transport: unknown field tag 0x%02x in a version-%d frame", tag, version)

@@ -1,0 +1,140 @@
+package dssp
+
+import (
+	"fmt"
+	"time"
+
+	"dssp/internal/compress"
+	"dssp/internal/obs"
+	"dssp/internal/ps"
+	"dssp/internal/transport"
+)
+
+// RelayConfig configures an aggregation-relay process (cmd/psserver -role
+// relay, DESIGN.md §11): a middle tier that accepts ordinary worker sessions,
+// sums the gradients of up to Fanout workers into one partial, and forwards a
+// single ×k-weighted push to the parent server — cutting the root's push
+// ingress from O(workers) to O(workers/fanout) while the paradigm still sees
+// every logical push.
+type RelayConfig struct {
+	// Addr is the child-facing TCP listen address, e.g. ":7071".
+	Addr string
+	// Advertise is the address published in the root's tree layout — what
+	// workers dial. Empty uses the listener's own address (fine on one host;
+	// set it explicitly across machines, where ":7071" is not dialable).
+	Advertise string
+	// Parent is the root parameter server's address.
+	Parent string
+	// Fanout is how many workers this relay covers.
+	Fanout int
+	// Wire selects the TCP wire format, WireBinary or WireGob; empty means
+	// WireBinary. It must match the parent's and the workers'.
+	Wire string
+	// Compression is the gradient codec spoken on both hops; the zero value
+	// adopts whatever the parent speaks. An explicit codec must match the
+	// parent's exactly.
+	Compression Compression
+	// HeartbeatInterval is how often the relay proves liveness upstream; 0
+	// disables its own heartbeats (Recv errors still detect death).
+	HeartbeatInterval time.Duration
+	// HeartbeatTimeout is the child-session lease: a worker silent for
+	// longer is evicted, mirroring the root's elastic lease. 0 disables it.
+	HeartbeatTimeout time.Duration
+	// FlushInterval bounds how long a partial waits for straggling children
+	// before forwarding incomplete; 0 picks the default (50ms).
+	FlushInterval time.Duration
+	// MetricsAddr, when non-empty, starts an admin HTTP listener serving the
+	// relay's metrics (/metrics: dssp_relay_* series plus transport meters),
+	// /healthz and pprof. "127.0.0.1:0" picks a free port.
+	MetricsAddr string
+}
+
+// RelayServer is a running TCP aggregation relay.
+type RelayServer struct {
+	inner    *ps.Relay
+	listener transport.Listener
+	admin    *obs.AdminServer
+}
+
+// Addr returns the child-facing address the relay is listening on.
+func (r *RelayServer) Addr() string { return r.listener.Addr() }
+
+// MetricsAddr returns the admin HTTP listener's address, or "" when
+// RelayConfig.MetricsAddr was unset.
+func (r *RelayServer) MetricsAddr() string { return r.admin.Addr() }
+
+// Done returns a channel closed when the relay has stopped — Stop was
+// called, or its trunk to the parent died (workers then re-parent via a
+// fresh layout fetch).
+func (r *RelayServer) Done() <-chan struct{} { return r.inner.Done() }
+
+// Err returns the failure that stopped the relay, if any.
+func (r *RelayServer) Err() error { return r.inner.Err() }
+
+// Stats snapshots the relay's traffic accounting: child pushes and ingress
+// bytes in, forwarded partials and bytes out.
+func (r *RelayServer) Stats() ps.RelayStats { return r.inner.Stats() }
+
+// Registry returns the relay's observability registry.
+func (r *RelayServer) Registry() *obs.Registry { return r.inner.Registry() }
+
+// Stop shuts the relay down. Its children's connections close immediately,
+// so they reconnect and re-parent instead of hanging.
+func (r *RelayServer) Stop() {
+	r.inner.Stop()
+	_ = r.listener.Close()
+	_ = r.admin.Close()
+}
+
+// ServeRelay starts an aggregation relay: it registers a trunk with the
+// parent server, publishes its child-facing address in the root's tree
+// layout, and serves workers until stopped. Returns immediately.
+func ServeRelay(cfg RelayConfig) (*RelayServer, error) {
+	if cfg.Parent == "" {
+		return nil, fmt.Errorf("dssp: relay needs a parent server address")
+	}
+	wire, err := transport.ParseWireFormat(cfg.Wire)
+	if err != nil {
+		return nil, err
+	}
+	reg := obs.NewRegistry()
+	meter := transport.NewMetrics(reg)
+	listener, err := transport.ListenWireMetered(cfg.Addr, wire, meter)
+	if err != nil {
+		return nil, err
+	}
+	advertise := cfg.Advertise
+	if advertise == "" {
+		advertise = listener.Addr()
+	}
+	ccfg := cfg.Compression.internal()
+	if cfg.Compression.Codec == "" {
+		// Unset means "follow the parent", exactly as it does for workers.
+		ccfg.Codec = compress.Auto
+	}
+	relay, err := ps.NewRelay(ps.RelayConfig{
+		Parent:            func() (transport.Conn, error) { return transport.DialWireMetered(cfg.Parent, wire, meter) },
+		Fanout:            cfg.Fanout,
+		Advertise:         advertise,
+		Compression:       ccfg,
+		HeartbeatInterval: cfg.HeartbeatInterval,
+		HeartbeatTimeout:  cfg.HeartbeatTimeout,
+		FlushInterval:     cfg.FlushInterval,
+		Metrics:           reg,
+	})
+	if err != nil {
+		_ = listener.Close()
+		return nil, err
+	}
+	var admin *obs.AdminServer
+	if cfg.MetricsAddr != "" {
+		admin, err = obs.ServeAdmin(cfg.MetricsAddr, reg, nil, nil)
+		if err != nil {
+			relay.Stop()
+			_ = listener.Close()
+			return nil, fmt.Errorf("dssp: relay metrics listener: %w", err)
+		}
+	}
+	go func() { _ = relay.Serve(listener) }()
+	return &RelayServer{inner: relay, listener: listener, admin: admin}, nil
+}

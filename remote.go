@@ -287,6 +287,13 @@ type WorkerConfig struct {
 	// map (which is how a backup promotion reaches the worker); a dead
 	// coordinator fails the run fast by design.
 	Cluster bool
+	// Tree makes the worker join through the aggregation tier (DESIGN.md
+	// §11): it fetches the tree layout from the root at ServerAddr and dials
+	// the relay covering its worker index, falling back to the root when no
+	// relay does. Every reconnect attempt re-fetches the layout, which is
+	// how a worker orphaned by a dead relay re-parents. Mutually exclusive
+	// with Cluster.
+	Tree bool
 	// Wire selects the TCP wire format, WireBinary or WireGob; empty means
 	// WireBinary. It must match the server's.
 	Wire string
@@ -387,6 +394,9 @@ func RunWorker(cfg WorkerConfig) (*WorkerReport, error) {
 	if cfg.WorkerID < 0 || cfg.WorkerID >= base.Workers {
 		return nil, fmt.Errorf("dssp: worker id %d out of range [0,%d)", cfg.WorkerID, base.Workers)
 	}
+	if cfg.Tree && cfg.Cluster {
+		return nil, fmt.Errorf("dssp: Tree and Cluster are mutually exclusive")
+	}
 	// Validate the wire format up front: a typo must fail immediately, not
 	// spin inside the reconnect backoff loop.
 	if _, err := transport.ParseWireFormat(cfg.Wire); err != nil {
@@ -465,9 +475,36 @@ func RunWorker(cfg WorkerConfig) (*WorkerReport, error) {
 			}, meter)
 	}
 
+	// resolveAddr picks the endpoint to dial: the server itself, or — in
+	// tree mode — the relay the root's current layout assigns this worker.
+	// It re-fetches the layout on every call, so a reconnect after a relay
+	// death lands on the re-parented topology, not the dead address.
+	resolveAddr := func() (string, error) {
+		if !cfg.Tree {
+			return cfg.ServerAddr, nil
+		}
+		conn, err := transport.DialWireMetered(cfg.ServerAddr, transport.WireFormat(cfg.Wire), meter)
+		if err != nil {
+			return "", err
+		}
+		layout, err := ps.FetchTreeLayout(conn)
+		conn.Close()
+		if err != nil {
+			return "", err
+		}
+		if addr := layout.Covering(cfg.WorkerID); addr != "" {
+			return addr, nil
+		}
+		return cfg.ServerAddr, nil
+	}
+
 	// connect dials, registers (or rejoins) and starts heartbeats.
 	connect := func(rejoin bool, lastVersion int64) (*workerLink, error) {
-		conn, err := transport.DialWireMetered(cfg.ServerAddr, transport.WireFormat(cfg.Wire), meter)
+		addr, err := resolveAddr()
+		if err != nil {
+			return nil, err
+		}
+		conn, err := transport.DialWireMetered(addr, transport.WireFormat(cfg.Wire), meter)
 		if err != nil {
 			return nil, err
 		}
